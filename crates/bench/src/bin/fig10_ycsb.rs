@@ -1,0 +1,87 @@
+//! Figure 10: YCSB workload A (50 % reads / 50 % updates, uniform keys) —
+//! the high-performance CRUD benchmark. The paper runs every node as a
+//! coordinator (metadata syncing / MX mode) with clients load-balanced
+//! across nodes; the workload is I/O bound, so throughput scales with the
+//! cluster's aggregate I/O capacity.
+
+use citrus_bench::{gb, mean_demand, print_table, simulated_bytes, solve_closed_loop, Recording, Setup, Target};
+use workloads::runner::RunCost;
+use workloads::ycsb::{self, YcsbConfig, YcsbDriver};
+
+fn main() {
+    let records: u64 = std::env::var("CITRUS_YCSB_RECORDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let samples: u64 = std::env::var("CITRUS_YCSB_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    let clients = 256;
+    println!("Figure 10 — YCSB workload A ({records} records, {clients} threads, uniform)");
+
+    let mut rows = Vec::new();
+    let mut baseline = 0.0;
+    for setup in Setup::ALL {
+        let mut target = Target::build(setup, 64 << 30, 32);
+        let r = target.runner();
+        r.run(&ycsb::schema_statement()).expect("schema");
+        if setup.is_citus() {
+            r.run(&ycsb::distribution_statement()).expect("distribute");
+        }
+        let cfg = YcsbConfig { record_count: records, ..Default::default() };
+        ycsb::load(r, &cfg, 99).expect("load");
+        target.set_sim_widths(&[("usertable", ycsb::SIM_ROW_WIDTH)]);
+        // 100M × 1 KB rows vs 64 GB nodes: I/O-bound everywhere but the
+        // biggest cluster
+        let data = simulated_bytes(&target);
+        let per_node_mem = (data as f64 * 0.64) as u64;
+        let set = |e: &std::sync::Arc<pgmini::engine::Engine>| {
+            e.buffer.set_capacity(per_node_mem / pgmini::cost::PAGE_SIZE)
+        };
+        if let Some(e) = &target.engine {
+            set(e);
+        }
+        if let Some(c) = &target.cluster {
+            c.enable_mx(); // every node acts as coordinator (§3.2.1)
+            for n in c.nodes() {
+                set(&n.engine());
+            }
+        }
+        // load-balance the sampled clients over the nodes, like the paper's
+        // YCSB configuration
+        let nodes = target.data_nodes();
+        let mut costs: Vec<RunCost> = Vec::new();
+        for (i, &node) in nodes.iter().enumerate() {
+            let mut runner = target.runner_on(node);
+            let mut driver = YcsbDriver::new(cfg.clone(), 1000 + i as u64);
+            for _ in 0..20 {
+                let _ = driver.run(runner.as_mut());
+            }
+            for _ in 0..samples / nodes.len() as u64 {
+                let mut rec = Recording::new(runner.as_mut());
+                if driver.run(&mut rec).is_ok() {
+                    costs.push(rec.take());
+                }
+            }
+        }
+        let demand = mean_demand(&costs);
+        let solved = solve_closed_loop(&demand, &nodes, 16, clients, 0.0);
+        if setup == Setup::Postgres {
+            baseline = solved.throughput_per_sec;
+        }
+        rows.push(vec![
+            setup.name().to_string(),
+            format!("{:.2}", gb(data) * 1024.0),
+            format!("{:.0}", solved.throughput_per_sec),
+            format!("{:.2}x", solved.throughput_per_sec / baseline.max(1e-9)),
+            format!("{:.3}", solved.response_ms),
+            solved.bottleneck.clone(),
+        ]);
+    }
+    print_table(
+        "Figure 10: YCSB A throughput (ops/s)",
+        &["setup", "sim data MB", "ops/s", "vs PG", "update resp ms", "bottleneck"],
+        &rows,
+    );
+}

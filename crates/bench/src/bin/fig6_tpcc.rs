@@ -1,0 +1,135 @@
+//! Figure 6: HammerDB TPC-C-derived NOPM and response times — PostgreSQL vs
+//! Citus 0+1 / 4+1 / 8+1 with 250 virtual users and a 1 ms keying delay.
+//!
+//! The paper's shape: 0+1 slightly *below* PostgreSQL (planning overhead, no
+//! extra hardware), 4+1 around an order of magnitude up (the working set now
+//! fits in cluster memory: I/O-bound → CPU-bound), 8+1 higher but sublinear
+//! (the ~7 % cross-warehouse transactions are RTT-bound).
+
+use citrus_bench::{
+    gb, mean_demand, print_table, simulated_bytes, solve_closed_loop, Recording, Setup, Target,
+};
+use workloads::tpcc::{self, TpccConfig, TxnKind};
+
+fn main() {
+    let warehouses: u32 = std::env::var("CITRUS_TPCC_WAREHOUSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let sample_txns: u64 = std::env::var("CITRUS_TPCC_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    let cfg = TpccConfig { warehouses, items: 400, ..Default::default() };
+    let clients = 250;
+    let think_ms = 1.0;
+
+    println!("Figure 6 — HammerDB TPC-C-based benchmark");
+    println!(
+        "{warehouses} warehouses, {clients} virtual users, 1 ms think time, \
+         {sample_txns} sampled transactions per setup"
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline_nopm = 0.0;
+    for setup in Setup::ALL {
+        let mut target = Target::build(setup, 64 << 30, 32);
+        let r = target.runner();
+        for s in tpcc::schema_statements() {
+            r.run(&s).expect("schema");
+        }
+        if setup.is_citus() {
+            for s in tpcc::distribution_statements() {
+                r.run(&s).expect("distribute");
+            }
+        }
+        tpcc::load(r, &cfg, 42).expect("load");
+        if let Some(c) = &target.cluster {
+            // the paper delegates the HammerDB stored procedures by
+            // warehouse id (§4.1)
+            tpcc::register_procedures(c).expect("register procedures");
+        }
+        target.set_sim_widths(tpcc::SIM_WIDTHS);
+        // the paper's knife-edge: data ≈ 100 GB, nodes have 64 GB
+        let data_bytes = simulated_bytes(&target);
+        let per_node_mem = (data_bytes as f64 * 0.64) as u64;
+        let set_mem = |e: &std::sync::Arc<pgmini::engine::Engine>| {
+            e.buffer.set_capacity(per_node_mem / pgmini::cost::PAGE_SIZE)
+        };
+        if let Some(e) = &target.engine {
+            set_mem(e);
+        }
+        if let Some(c) = &target.cluster {
+            for n in c.nodes() {
+                set_mem(&n.engine());
+            }
+        }
+
+        // warm up, then sample per-transaction demands
+        let use_procs = setup.is_citus();
+        let mut driver = tpcc::TpccDriver::new(cfg.clone(), 7);
+        let r = target.runner();
+        for _ in 0..100 {
+            let kind = driver.next_kind();
+            let _ = if use_procs {
+                driver.run_via_procedures(r, kind)
+            } else {
+                driver.run(r, kind)
+            };
+        }
+        let mut samples = Vec::new();
+        let mut new_order_elapsed = Vec::new();
+        for _ in 0..sample_txns {
+            let kind = driver.next_kind();
+            let mut rec = Recording::new(r);
+            let outcome = if use_procs {
+                driver.run_via_procedures(&mut rec, kind)
+            } else {
+                driver.run(&mut rec, kind)
+            };
+            if outcome.is_ok() {
+                let cost = rec.take();
+                if kind == TxnKind::NewOrder {
+                    new_order_elapsed.push(cost.elapsed_ms);
+                }
+                samples.push(cost);
+            }
+        }
+        let demand = mean_demand(&samples);
+        let nodes = target.data_nodes();
+        let solved = solve_closed_loop(&demand, &nodes, 16, clients, think_ms);
+        let nopm = solved.throughput_per_sec * 60.0 * 0.45;
+        if setup == Setup::Postgres {
+            baseline_nopm = nopm;
+        }
+        let no_latency = new_order_elapsed.iter().sum::<f64>()
+            / new_order_elapsed.len().max(1) as f64;
+        rows.push(vec![
+            setup.name().to_string(),
+            format!("{:.1}", gb(data_bytes) * 1024.0),
+            format!("{:.0}", nopm),
+            format!("{:.2}x", nopm / baseline_nopm.max(1e-9)),
+            format!("{:.2}", solved.response_ms),
+            format!("{:.2}", no_latency),
+            solved.bottleneck.clone(),
+            format!(
+                "{:.1}%",
+                100.0 * driver.cross_warehouse_txns as f64 / driver.total_txns as f64
+            ),
+        ]);
+    }
+    print_table(
+        "Figure 6: TPC-C (NOPM, 250 vusers)",
+        &[
+            "setup",
+            "sim data MB",
+            "NOPM",
+            "vs PG",
+            "resp ms (MVA)",
+            "new-order ms (1 user)",
+            "bottleneck",
+            "cross-wh",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,80 @@
+//! Figure 8: data warehousing — the 18 Citus-supported TPC-H queries over a
+//! single session, reported as queries per hour. The paper's shape: TPC-H
+//! scans everything; the single server is I/O-bound while the cluster keeps
+//! data in memory and is CPU-bound, giving two orders of magnitude on 8+1.
+
+use citrus_bench::{gb, print_table, simulated_bytes, Setup, Target};
+use workloads::tpch;
+
+fn main() {
+    let sf: f64 = std::env::var("CITRUS_TPCH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    println!("Figure 8 — TPC-H-derived queries (scale factor {sf}, 18 supported queries)");
+
+    let mut rows = Vec::new();
+    let mut base_qph = 0.0;
+    for setup in Setup::ALL {
+        let mut target = Target::build(setup, 64 << 30, 8);
+        let r = target.runner();
+        for s in tpch::schema_statements() {
+            r.run(&s).expect("schema");
+        }
+        if setup.is_citus() {
+            for s in tpch::distribution_statements() {
+                r.run(&s).expect("distribute");
+            }
+        }
+        tpch::gen::load(r, sf, 33).expect("load");
+        target.set_sim_widths(tpch::SIM_WIDTHS);
+        // SF100 ≈ 135 GB vs 64 GB nodes
+        let data = simulated_bytes(&target);
+        let per_node_mem = (data as f64 * 64.0 / 135.0) as u64;
+        let set = |e: &std::sync::Arc<pgmini::engine::Engine>| {
+            e.buffer.set_capacity(per_node_mem / pgmini::cost::PAGE_SIZE)
+        };
+        if let Some(e) = &target.engine {
+            set(e);
+        }
+        if let Some(c) = &target.cluster {
+            for n in c.nodes() {
+                set(&n.engine());
+            }
+        }
+
+        let r = target.runner();
+        let mut total_ms = 0.0;
+        let mut slowest = (0u32, 0.0f64);
+        for n in tpch::queries::SUPPORTED {
+            let q = tpch::queries::query(n).expect("supported query");
+            r.run(&q).unwrap_or_else(|e| panic!("{}: q{n}: {e}", setup.name()));
+            let ms = r.last_cost().elapsed_ms;
+            total_ms += ms;
+            if ms > slowest.1 {
+                slowest = (n, ms);
+            }
+        }
+        let qph = 18.0 * 3_600_000.0 / total_ms;
+        if setup == Setup::Postgres {
+            base_qph = qph;
+        }
+        rows.push(vec![
+            setup.name().to_string(),
+            format!("{:.1}", gb(data) * 1024.0),
+            format!("{:.0}", total_ms),
+            format!("{:.0}", qph),
+            format!("{:.1}x", qph / base_qph.max(1e-9)),
+            format!("q{} ({:.0} ms)", slowest.0, slowest.1),
+        ]);
+    }
+    print_table(
+        "Figure 8: TPC-H queries per hour (single session)",
+        &["setup", "sim data MB", "18-query ms", "QPH", "vs PG", "slowest"],
+        &rows,
+    );
+    println!(
+        "unsupported (like Citus 9.5): {:?}",
+        tpch::queries::UNSUPPORTED
+    );
+}

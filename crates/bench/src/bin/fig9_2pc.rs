@@ -1,0 +1,76 @@
+//! Figure 9: distributed-transaction overhead — the pgbench two-update
+//! transaction with the same key (single shard group → 1PC delegation) vs
+//! different keys (2PC when the keys land on different nodes), 250
+//! connections. The paper reports a 20–30 % penalty for 2PC that still
+//! scales with the number of workers.
+
+use citrus_bench::{mean_demand, print_table, solve_closed_loop, Recording, Setup, Target};
+use workloads::pgbench::{self, PgbenchConfig, PgbenchDriver};
+
+fn main() {
+    let samples: u64 = std::env::var("CITRUS_2PC_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let clients = 250;
+    println!("Figure 9 — distributed transactions (two-update pgbench, 250 connections)");
+
+    let mut rows = Vec::new();
+    for setup in [Setup::Citus4Plus1, Setup::Citus8Plus1] {
+        let mut tps = [0.0f64; 2];
+        for (arm, same_key) in [(0usize, true), (1usize, false)] {
+            let mut target = Target::build(setup, 64 << 30, 32);
+            let r = target.runner();
+            for s in pgbench::schema_statements() {
+                r.run(&s).expect("schema");
+            }
+            for s in pgbench::distribution_statements() {
+                r.run(&s).expect("distribute");
+            }
+            let cfg = PgbenchConfig { rows_per_table: 2_000, same_key };
+            pgbench::load(r, &cfg).expect("load");
+            target.set_sim_widths(&[("a1", pgbench::SIM_ROW_WIDTH), ("a2", pgbench::SIM_ROW_WIDTH)]);
+            let mut driver = PgbenchDriver::new(cfg, 77);
+            let r = target.runner();
+            // the paper's 2×50 GB tables fit in cluster memory; warm the
+            // buffer pools so the measurement is RTT-bound, not cold-cache
+            r.run("SELECT count(*) FROM a1").expect("warm a1");
+            r.run("SELECT count(*) FROM a2").expect("warm a2");
+            for _ in 0..100 {
+                let _ = driver.run(r);
+            }
+            let mut costs = Vec::new();
+            for _ in 0..samples {
+                let mut rec = Recording::new(r);
+                if driver.run(&mut rec).is_ok() {
+                    costs.push(rec.take());
+                }
+            }
+            let demand = mean_demand(&costs);
+            let solved =
+                solve_closed_loop(&demand, &target.data_nodes(), 16, clients, 0.0);
+            tps[arm] = solved.throughput_per_sec;
+            rows.push(vec![
+                setup.name().to_string(),
+                if same_key { "same key (1PC)" } else { "different keys (2PC)" }.to_string(),
+                format!("{:.0}", solved.throughput_per_sec),
+                format!("{:.3}", solved.response_ms),
+                format!("{:.3}", demand.net_ms),
+                solved.bottleneck.clone(),
+            ]);
+        }
+        rows.push(vec![
+            setup.name().to_string(),
+            "2PC penalty".to_string(),
+            format!("{:.1}%", 100.0 * (1.0 - tps[1] / tps[0].max(1e-9))),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    print_table(
+        "Figure 9: 1PC vs 2PC throughput",
+        &["setup", "arm", "TPS", "resp ms", "net ms/txn", "bottleneck"],
+        &rows,
+    );
+}

@@ -1,0 +1,76 @@
+//! Tables 1–3 of the paper, regenerated from the `workloads::patterns` data.
+
+use citrus_bench::print_table;
+use workloads::patterns::{requires, scale_requirements, Capability, Pattern};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+
+    if arg == "table1" || arg == "all" {
+        let rows: Vec<Vec<String>> = vec![
+            {
+                let mut r = vec!["Typical query latency".to_string()];
+                for p in Pattern::ALL {
+                    let s = scale_requirements(p);
+                    r.push(if s.typical_latency_ms >= 1000.0 {
+                        format!("{}s+", s.typical_latency_ms / 1000.0)
+                    } else {
+                        format!("{}ms", s.typical_latency_ms)
+                    });
+                }
+                r
+            },
+            {
+                let mut r = vec!["Typical query throughput".to_string()];
+                for p in Pattern::ALL {
+                    let s = scale_requirements(p);
+                    r.push(if s.typical_throughput_per_sec >= 1000.0 {
+                        format!("{}k/s", s.typical_throughput_per_sec / 1000.0)
+                    } else {
+                        format!("{}/s", s.typical_throughput_per_sec)
+                    });
+                }
+                r
+            },
+            {
+                let mut r = vec!["Typical data size".to_string()];
+                for p in Pattern::ALL {
+                    let s = scale_requirements(p);
+                    r.push(format!("{}TB", s.typical_data_bytes >> 40));
+                }
+                r
+            },
+        ];
+        print_table(
+            "Table 1: scale requirements",
+            &["Scale requirements", "MT", "RA", "HC", "DW"],
+            &rows,
+        );
+    }
+
+    if arg == "table2" || arg == "all" {
+        let rows: Vec<Vec<String>> = Capability::ALL
+            .iter()
+            .map(|c| {
+                let mut r = vec![c.name().to_string()];
+                for p in Pattern::ALL {
+                    r.push(requires(p, *c).cell().to_string());
+                }
+                r
+            })
+            .collect();
+        print_table(
+            "Table 2: required capabilities",
+            &["Feature requirements", "MT", "RA", "HC", "DW"],
+            &rows,
+        );
+    }
+
+    if arg == "table3" || arg == "all" {
+        let rows: Vec<Vec<String>> = Pattern::ALL
+            .iter()
+            .map(|p| vec![p.name().to_string(), p.benchmark().to_string()])
+            .collect();
+        print_table("Table 3: benchmarks per workload", &["Workload", "Benchmark"], &rows);
+    }
+}

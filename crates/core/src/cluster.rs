@@ -1,0 +1,525 @@
+//! The cluster: nodes (engines), shared metadata, and inter-node connections.
+//!
+//! Mirrors the deployment model of §3.2: one coordinator (node 0), workers
+//! added via `add_worker`, clients connecting to the coordinator (or to any
+//! node once metadata syncing / MX mode is enabled). Each node is a full
+//! pgmini engine with the citrus extension installed — including the
+//! coordinator, which can also hold shards ("Citus 0+1").
+
+use crate::extension::CitrusExtension;
+use crate::metadata::{Metadata, NodeId};
+use netsim::VirtualClock;
+use parking_lot::{Mutex, RwLock};
+use pgmini::cost::SimCost;
+use pgmini::engine::{Engine, EngineConfig};
+use pgmini::error::{ErrorCode, PgError, PgResult};
+use pgmini::session::{QueryResult, Session};
+use pgmini::types::Row;
+use sqlparse::ast::Statement;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Shards per distributed table (Citus's `citus.shard_count`).
+    pub shard_count: u32,
+    /// Template for per-node engines.
+    pub engine: EngineConfig,
+    /// Reserve this many backend slots per node for superuser/maintenance;
+    /// the shared connection limit is `max_connections - reserve`.
+    pub connection_reserve: u32,
+    /// Slow-start interval of the adaptive executor, in virtual ms (§3.6.1).
+    pub slow_start_interval_ms: f64,
+    /// Real-time interval of the distributed deadlock detector daemon.
+    pub deadlock_detection_interval: std::time::Duration,
+    /// Real-time interval of the 2PC recovery daemon.
+    pub recovery_interval: std::time::Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shard_count: 32,
+            engine: EngineConfig::default(),
+            connection_reserve: 10,
+            slow_start_interval_ms: 10.0,
+            // the paper polls every 2s; tests shrink this
+            deadlock_detection_interval: std::time::Duration::from_millis(100),
+            recovery_interval: std::time::Duration::from_millis(200),
+        }
+    }
+}
+
+/// One server in the cluster. The engine is swappable so HA failover can
+/// promote a standby in place.
+pub struct Node {
+    pub id: NodeId,
+    pub name: String,
+    engine: RwLock<Arc<Engine>>,
+    active: AtomicBool,
+}
+
+impl Node {
+    pub fn engine(&self) -> Arc<Engine> {
+        self.engine.read().clone()
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Mark failed (connections to it start erroring).
+    pub fn set_active(&self, active: bool) {
+        self.active.store(active, Ordering::SeqCst);
+    }
+
+    /// Swap in a promoted standby engine.
+    pub fn replace_engine(&self, engine: Arc<Engine>) {
+        *self.engine.write() = engine;
+    }
+}
+
+/// The distributed cluster.
+pub struct Cluster {
+    pub config: ClusterConfig,
+    nodes: RwLock<Vec<Arc<Node>>>,
+    pub metadata: RwLock<Metadata>,
+    pub clock: VirtualClock,
+    /// Distributed transaction number sequence (per cluster; real Citus has
+    /// one per coordinator node, disambiguated by origin node id).
+    txn_number: AtomicU64,
+    /// Outgoing internal connections per target node (the shared connection
+    /// limit of §3.6.1, tracked in "shared memory").
+    conn_counts: Mutex<HashMap<NodeId, u32>>,
+    /// MX mode: metadata synced, any node coordinates (§3.2.1).
+    mx_enabled: AtomicBool,
+    /// Serialises 2PC commit-record writes against restore-point creation
+    /// (§3.9: the restore point blocks writes to the commit records table).
+    pub commit_record_lock: Mutex<()>,
+    /// Extension instance per node (index = NodeId).
+    extensions: RwLock<Vec<Arc<CitrusExtension>>>,
+}
+
+impl Cluster {
+    /// Create a cluster with just a coordinator (the smallest Citus cluster
+    /// is a single server).
+    pub fn new(config: ClusterConfig) -> Arc<Cluster> {
+        let cluster = Arc::new(Cluster {
+            config,
+            nodes: RwLock::new(Vec::new()),
+            metadata: RwLock::new(Metadata::new()),
+            clock: VirtualClock::new(),
+            txn_number: AtomicU64::new(1),
+            conn_counts: Mutex::new(HashMap::new()),
+            mx_enabled: AtomicBool::new(false),
+            commit_record_lock: Mutex::new(()),
+            extensions: RwLock::new(Vec::new()),
+        });
+        cluster.add_node_internal("coordinator");
+        cluster
+    }
+
+    /// Default-configured cluster.
+    pub fn new_default() -> Arc<Cluster> {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    fn add_node_internal(self: &Arc<Self>, name: &str) -> Arc<Node> {
+        let mut nodes = self.nodes.write();
+        let id = NodeId(nodes.len() as u32);
+        let mut cfg = self.config.engine.clone();
+        cfg.name = name.to_string();
+        let engine = Engine::new(cfg);
+        let node = Arc::new(Node {
+            id,
+            name: name.to_string(),
+            engine: RwLock::new(engine.clone()),
+            active: AtomicBool::new(true),
+        });
+        nodes.push(node.clone());
+        drop(nodes);
+        let ext = CitrusExtension::install(self, &engine, id);
+        self.extensions.write().push(ext);
+        node
+    }
+
+    /// Add a worker node (the `citus_add_node` UDF path). Existing reference
+    /// tables are replicated onto it.
+    pub fn add_worker(self: &Arc<Self>) -> PgResult<NodeId> {
+        let n = self.nodes.read().len();
+        let node = self.add_node_internal(&format!("worker-{n}"));
+        crate::table_mgmt::replicate_reference_tables_to(self, node.id)?;
+        Ok(node.id)
+    }
+
+    /// Swap the extension registered for a node (failover/restore).
+    pub fn replace_extension(&self, id: NodeId, ext: Arc<CitrusExtension>) {
+        let mut exts = self.extensions.write();
+        if let Some(slot) = exts.get_mut(id.0 as usize) {
+            *slot = ext;
+        }
+    }
+
+    /// The extension instance installed on a node.
+    pub fn extension(&self, id: NodeId) -> PgResult<Arc<CitrusExtension>> {
+        self.extensions
+            .read()
+            .get(id.0 as usize)
+            .cloned()
+            .ok_or_else(|| PgError::internal(format!("no extension for node {}", id.0)))
+    }
+
+    pub fn node(&self, id: NodeId) -> PgResult<Arc<Node>> {
+        self.nodes
+            .read()
+            .get(id.0 as usize)
+            .cloned()
+            .ok_or_else(|| PgError::internal(format!("unknown node {}", id.0)))
+    }
+
+    /// Which node owns this engine (pointer identity)?
+    pub fn node_of_engine(&self, engine: &Arc<Engine>) -> Option<NodeId> {
+        self.nodes
+            .read()
+            .iter()
+            .find(|n| Arc::ptr_eq(&n.engine(), engine))
+            .map(|n| n.id)
+    }
+
+    pub fn nodes(&self) -> Vec<Arc<Node>> {
+        self.nodes.read().clone()
+    }
+
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.read().iter().map(|n| n.id).collect()
+    }
+
+    /// Nodes eligible for shard placement: workers when any exist, otherwise
+    /// the coordinator itself acts as a worker ("Citus 0+1").
+    pub fn worker_ids(&self) -> Vec<NodeId> {
+        let nodes = self.nodes.read();
+        if nodes.len() > 1 {
+            nodes.iter().skip(1).map(|n| n.id).collect()
+        } else {
+            vec![NodeId(0)]
+        }
+    }
+
+    pub fn coordinator(&self) -> Arc<Node> {
+        self.nodes.read()[0].clone()
+    }
+
+    /// Client session to the coordinator.
+    pub fn session(self: &Arc<Self>) -> PgResult<ClientSession> {
+        self.session_on(NodeId(0))
+    }
+
+    /// Client session to any node. Non-coordinator nodes require MX mode
+    /// (metadata syncing) to coordinate distributed queries.
+    pub fn session_on(self: &Arc<Self>, node: NodeId) -> PgResult<ClientSession> {
+        let n = self.node(node)?;
+        if !n.is_active() {
+            return Err(PgError::new(
+                ErrorCode::ConnectionFailure,
+                format!("node {} is down", n.name),
+            ));
+        }
+        let inner = n.engine().session()?;
+        Ok(ClientSession { inner, cluster: self.clone(), node })
+    }
+
+    /// Allocate a distributed transaction number.
+    pub fn next_txn_number(&self) -> u64 {
+        self.txn_number.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub fn enable_mx(&self) {
+        self.mx_enabled.store(true, Ordering::SeqCst);
+    }
+
+    pub fn mx_enabled(&self) -> bool {
+        self.mx_enabled.load(Ordering::SeqCst)
+    }
+
+    /// Shared connection limit for a target node.
+    pub fn connection_limit(&self) -> u32 {
+        self.config.engine.max_connections.saturating_sub(self.config.connection_reserve)
+    }
+
+    /// Current tracked internal connections to `node`.
+    pub fn connections_to(&self, node: NodeId) -> u32 {
+        *self.conn_counts.lock().get(&node).unwrap_or(&0)
+    }
+
+    /// Try to reserve a connection slot to `node` (the shared counter of
+    /// §3.6.1). Returns false when at the limit.
+    pub fn try_reserve_connection(&self, node: NodeId) -> bool {
+        let mut counts = self.conn_counts.lock();
+        let c = counts.entry(node).or_insert(0);
+        if *c >= self.connection_limit() {
+            return false;
+        }
+        *c += 1;
+        true
+    }
+
+    pub fn release_connection(&self, node: NodeId) {
+        let mut counts = self.conn_counts.lock();
+        if let Some(c) = counts.get_mut(&node) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Open an internal connection to a node (workers talk to each other and
+    /// to the coordinator over the same path).
+    pub fn connect(self: &Arc<Self>, to: NodeId) -> PgResult<WorkerConn> {
+        let node = self.node(to)?;
+        if !node.is_active() {
+            return Err(PgError::new(
+                ErrorCode::ConnectionFailure,
+                format!("could not connect to node {}", node.name),
+            ));
+        }
+        if !self.try_reserve_connection(to) {
+            return Err(PgError::new(
+                ErrorCode::TooManyConnections,
+                format!("shared connection limit reached for node {}", node.name),
+            ));
+        }
+        let engine = node.engine();
+        let session = match engine.session() {
+            Ok(s) => s,
+            Err(e) => {
+                self.release_connection(to);
+                return Err(e);
+            }
+        };
+        Ok(WorkerConn {
+            node: to,
+            cluster: self.clone(),
+            engine,
+            session,
+            in_txn_block: false,
+            used_for_writes: false,
+            assigned_groups: Vec::new(),
+        })
+    }
+}
+
+/// An internal connection from a coordinating node to a worker node,
+/// accounting one RTT per statement executed over it.
+pub struct WorkerConn {
+    pub node: NodeId,
+    cluster: Arc<Cluster>,
+    /// Engine this connection was opened against; a promoted standby is a
+    /// different engine, which invalidates the connection like a broken
+    /// socket would.
+    engine: Arc<Engine>,
+    session: Session,
+    /// An explicit transaction block is open on the remote side.
+    pub in_txn_block: bool,
+    /// The remote transaction performed writes (2PC candidate).
+    pub used_for_writes: bool,
+    /// Co-located shard groups this connection has accessed in the current
+    /// transaction (placement-connection affinity, §3.6.1).
+    pub assigned_groups: Vec<u32>,
+}
+
+impl WorkerConn {
+    /// Execute a statement remotely. Returns the result and the *remote*
+    /// service cost (the RTT is returned separately in `net_ms`).
+    pub fn execute_stmt(&mut self, stmt: &Statement) -> PgResult<(QueryResult, SimCost)> {
+        self.check_alive()?;
+        let result = self.session.execute_stmt(stmt)?;
+        Ok((result, self.session.last_cost()))
+    }
+
+    fn check_alive(&self) -> PgResult<()> {
+        let node = self.cluster.node(self.node)?;
+        if !node.is_active() || !Arc::ptr_eq(&node.engine(), &self.engine) {
+            return Err(PgError::new(
+                ErrorCode::ConnectionFailure,
+                "connection to node lost",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Execute SQL text remotely (convenience; statements normally travel as
+    /// deparsed rewritten ASTs).
+    pub fn execute(&mut self, sql: &str) -> PgResult<(QueryResult, SimCost)> {
+        let stmt = sqlparse::parse(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// COPY rows into a table on the remote node.
+    pub fn copy_rows(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        rows: Vec<Row>,
+    ) -> PgResult<(u64, SimCost)> {
+        self.check_alive()?;
+        let n = self.session.copy_rows_local(table, columns, rows)?;
+        Ok((n, self.session.last_cost()))
+    }
+
+    /// Direct access to the remote session (transaction control, UDFs).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    pub fn rtt_ms(&self) -> f64 {
+        self.cluster.config.engine.cost.net_rtt_ms
+    }
+
+    /// Connection-establishment cost in virtual ms (fork + auth).
+    pub fn connect_cost_ms(&self) -> f64 {
+        self.cluster.config.engine.cost.connect_ms
+    }
+}
+
+impl Drop for WorkerConn {
+    fn drop(&mut self) {
+        if self.in_txn_block {
+            // abort any open remote transaction
+            let _ = self.session.execute_stmt(&Statement::Rollback);
+        }
+        self.cluster.release_connection(self.node);
+    }
+}
+
+/// A client-facing session: a pgmini session on one node, plus access to the
+/// distributed statistics the extension records for it.
+pub struct ClientSession {
+    inner: Session,
+    cluster: Arc<Cluster>,
+    node: NodeId,
+}
+
+impl ClientSession {
+    pub fn execute(&mut self, sql: &str) -> PgResult<QueryResult> {
+        self.inner.execute(sql)
+    }
+
+    pub fn execute_script(&mut self, sql: &str) -> PgResult<QueryResult> {
+        self.inner.execute_script(sql)
+    }
+
+    pub fn execute_with_params(&mut self, sql: &str, params: &[pgmini::types::Datum]) -> PgResult<QueryResult> {
+        self.inner.execute_with_params(sql, params)
+    }
+
+    pub fn query(&mut self, sql: &str) -> PgResult<Vec<Row>> {
+        self.inner.query(sql)
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.inner
+    }
+
+    /// Distributed cost of the last statement (falls back to a local-only
+    /// cost view when the statement never left this node).
+    pub fn last_dist_cost(&mut self) -> crate::cost::DistCost {
+        let ext = self.cluster.extension(self.node).ok();
+        if let Some(d) = ext.and_then(|e| e.take_last_dist_cost(self.inner.id())) {
+            return d;
+        }
+        let local = self.inner.last_cost();
+        let mut d = crate::cost::DistCost { elapsed_ms: local.total_ms(), ..Default::default() };
+        d.add_node(self.node, &local);
+        d
+    }
+
+    /// Distributed COPY: fan rows out to shards (§3.8).
+    pub fn copy(&mut self, table: &str, columns: &[String], rows: Vec<Row>) -> PgResult<u64> {
+        crate::copy::distributed_copy(&self.cluster, &mut self.inner, table, columns, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_starts_with_coordinator_only() {
+        let c = Cluster::new_default();
+        assert_eq!(c.node_ids().len(), 1);
+        assert_eq!(c.worker_ids(), vec![NodeId(0)], "0+1: coordinator acts as worker");
+        c.add_worker().unwrap();
+        c.add_worker().unwrap();
+        assert_eq!(c.node_ids().len(), 3);
+        assert_eq!(c.worker_ids(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn shared_connection_limit_enforced() {
+        let mut cfg = ClusterConfig::default();
+        cfg.engine.max_connections = 12;
+        cfg.connection_reserve = 10;
+        let c = Cluster::new(cfg);
+        let w = c.add_worker().unwrap();
+        let c1 = c.connect(w).unwrap();
+        let c2 = c.connect(w).unwrap();
+        let err = c.connect(w).map(|_| ()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::TooManyConnections);
+        drop(c1);
+        // a fresh connect succeeds (and releases its slot when dropped)
+        assert!(c.connect(w).is_ok());
+        drop(c2);
+        assert_eq!(c.connections_to(w), 0);
+    }
+
+    #[test]
+    fn connections_to_down_nodes_fail() {
+        let c = Cluster::new_default();
+        let w = c.add_worker().unwrap();
+        c.node(w).unwrap().set_active(false);
+        let err = c.connect(w).map(|_| ()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::ConnectionFailure);
+        assert!(c.session_on(w).map(|_| ()).is_err());
+        c.node(w).unwrap().set_active(true);
+        assert!(c.connect(w).is_ok());
+    }
+
+    #[test]
+    fn worker_conn_executes_remotely() {
+        let c = Cluster::new_default();
+        let w = c.add_worker().unwrap();
+        let mut conn = c.connect(w).unwrap();
+        conn.execute("CREATE TABLE t (a bigint)").unwrap();
+        conn.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        let (r, cost) = conn.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.rows()[0][0], pgmini::types::Datum::Int(2));
+        assert!(cost.total_ms() > 0.0);
+        // the table lives on the worker, not the coordinator
+        let mut s = c.session().unwrap();
+        assert!(s.execute("SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn dropping_conn_rolls_back_remote_txn() {
+        let c = Cluster::new_default();
+        let w = c.add_worker().unwrap();
+        {
+            let mut conn = c.connect(w).unwrap();
+            conn.execute("CREATE TABLE t (a bigint)").unwrap();
+            conn.execute("BEGIN").unwrap();
+            conn.execute("INSERT INTO t VALUES (1)").unwrap();
+            conn.in_txn_block = true;
+        }
+        let mut conn = c.connect(w).unwrap();
+        let (r, _) = conn.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.rows()[0][0], pgmini::types::Datum::Int(0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Distributed DDL propagation (§3.8): CREATE INDEX / DROP TABLE / TRUNCATE /
+//! VACUUM on citrus tables run against every shard, inside a parallel
+//! distributed transaction (multi-node DDL commits via 2PC like any other
+//! multi-node write).
+
+use crate::cluster::Cluster;
+use crate::executor::SessionState;
+use crate::extension::CitrusExtension;
+use crate::metadata::Metadata;
+use crate::planner::{DistPlan, Merge, PlannerKind, Task};
+use pgmini::error::PgResult;
+use pgmini::session::{QueryResult, Session};
+use sqlparse::ast::{CreateIndex, Statement};
+use std::sync::Arc;
+
+/// Does this utility statement involve citrus tables?
+pub fn touches_citrus(stmt: &Statement, meta: &Metadata) -> bool {
+    match stmt {
+        Statement::CreateIndex(ci) => meta.is_citrus_table(&ci.table),
+        Statement::DropTable { names, .. } => names.iter().any(|n| meta.is_citrus_table(n)),
+        Statement::Truncate { tables } => tables.iter().any(|t| meta.is_citrus_table(t)),
+        Statement::Vacuum { table: Some(t) } => meta.is_citrus_table(t),
+        _ => false,
+    }
+}
+
+/// Propagate a utility statement to all shards of the citrus tables it
+/// names.
+pub fn propagate(
+    ext: &CitrusExtension,
+    cluster: &Arc<Cluster>,
+    session: &mut Session,
+    state: &mut SessionState,
+    stmt: &Statement,
+) -> PgResult<QueryResult> {
+    match stmt {
+        Statement::CreateIndex(ci) => propagate_create_index(ext, cluster, session, state, ci),
+        Statement::DropTable { names, if_exists } => {
+            drop_tables(ext, cluster, session, state, names, *if_exists)
+        }
+        Statement::Truncate { tables } => {
+            let mut tasks = Vec::new();
+            {
+                let meta = cluster.metadata.read_recursive();
+                for t in tables {
+                    let dt = meta.require_table(t)?;
+                    for sid in &dt.shards {
+                        let shard = meta.shard(*sid)?;
+                        for &node in &shard.placements {
+                            tasks.push(Task {
+                                node,
+                                group: None,
+                                stmt: Statement::Truncate {
+                                    tables: vec![shard.physical_name()],
+                                },
+                                is_write: true,
+                                shards: vec![*sid],
+                            });
+                        }
+                    }
+                }
+            }
+            let plan = DistPlan {
+                kind: PlannerKind::Router,
+                tasks,
+                merge: Merge::AffectedSum,
+                is_write: true,
+                used_subplans: false,
+                prep: Vec::new(),
+            };
+            ext.execute_plan_with_txn(session, state, &plan)?;
+            Ok(QueryResult::Empty)
+        }
+        Statement::Vacuum { table: Some(t) } => {
+            let mut tasks = Vec::new();
+            {
+                let meta = cluster.metadata.read_recursive();
+                let dt = meta.require_table(t)?;
+                for sid in &dt.shards {
+                    let shard = meta.shard(*sid)?;
+                    for &node in &shard.placements {
+                        tasks.push(Task {
+                            node,
+                            group: None,
+                            stmt: Statement::Vacuum { table: Some(shard.physical_name()) },
+                            is_write: false,
+                            shards: vec![*sid],
+                        });
+                    }
+                }
+            }
+            let plan = DistPlan {
+                kind: PlannerKind::Router,
+                tasks,
+                merge: Merge::AffectedSum,
+                is_write: false,
+                used_subplans: false,
+                prep: Vec::new(),
+            };
+            ext.execute_plan_with_txn(session, state, &plan)
+        }
+        other => Err(pgmini::error::PgError::internal(format!(
+            "unexpected propagated DDL: {other:?}"
+        ))),
+    }
+}
+
+fn propagate_create_index(
+    ext: &CitrusExtension,
+    cluster: &Arc<Cluster>,
+    session: &mut Session,
+    state: &mut SessionState,
+    ci: &CreateIndex,
+) -> PgResult<QueryResult> {
+    // apply to the local shell first so future shards inherit the index
+    session.execute_local(&Statement::CreateIndex(Box::new(ci.clone())))?;
+    let mut tasks = Vec::new();
+    {
+        let meta = cluster.metadata.read_recursive();
+        let dt = meta.require_table(&ci.table)?;
+        for sid in &dt.shards {
+            let shard = meta.shard(*sid)?;
+            for (pi, &node) in shard.placements.iter().enumerate() {
+                let mut shard_ci = ci.clone();
+                shard_ci.name = if shard.placements.len() > 1 {
+                    format!("{}_{}_{}", ci.name, sid.0, pi)
+                } else {
+                    format!("{}_{}", ci.name, sid.0)
+                };
+                shard_ci.table = shard.physical_name();
+                tasks.push(Task {
+                    node,
+                    group: None,
+                    stmt: Statement::CreateIndex(Box::new(shard_ci)),
+                    is_write: true,
+                    shards: vec![*sid],
+                });
+            }
+        }
+    }
+    let plan = DistPlan {
+        kind: PlannerKind::Router,
+        tasks,
+        merge: Merge::AffectedSum,
+        is_write: true,
+        used_subplans: false,
+        prep: Vec::new(),
+    };
+    ext.execute_plan_with_txn(session, state, &plan)?;
+    Ok(QueryResult::Empty)
+}
+
+fn drop_tables(
+    ext: &CitrusExtension,
+    cluster: &Arc<Cluster>,
+    session: &mut Session,
+    state: &mut SessionState,
+    names: &[String],
+    if_exists: bool,
+) -> PgResult<QueryResult> {
+    for name in names {
+        let is_citrus = cluster.metadata.read_recursive().is_citrus_table(name);
+        if !is_citrus {
+            // plain local drop
+            session.execute_local(&Statement::DropTable {
+                names: vec![name.clone()],
+                if_exists,
+            })?;
+            continue;
+        }
+        // drop every shard, then the metadata, then the shell
+        let mut tasks = Vec::new();
+        {
+            let meta = cluster.metadata.read_recursive();
+            let dt = meta.require_table(name)?;
+            for sid in &dt.shards {
+                let shard = meta.shard(*sid)?;
+                for &node in &shard.placements {
+                    tasks.push(Task {
+                        node,
+                        group: None,
+                        stmt: Statement::DropTable {
+                            names: vec![shard.physical_name()],
+                            if_exists: true,
+                        },
+                        is_write: true,
+                        shards: vec![*sid],
+                    });
+                }
+            }
+        }
+        let plan = DistPlan {
+            kind: PlannerKind::Router,
+            tasks,
+            merge: Merge::AffectedSum,
+            is_write: true,
+            used_subplans: false,
+            prep: Vec::new(),
+        };
+        ext.execute_plan_with_txn(session, state, &plan)?;
+        cluster.metadata.write().drop_table(name)?;
+        session.execute_local(&Statement::DropTable {
+            names: vec![name.clone()],
+            if_exists: true,
+        })?;
+    }
+    Ok(QueryResult::Empty)
+}

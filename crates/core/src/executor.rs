@@ -1,0 +1,582 @@
+//! The adaptive executor (§3.6).
+//!
+//! Executes a [`DistPlan`]: runs prep steps (broadcast / repartition
+//! intermediate results), fans the per-shard tasks out over worker
+//! connections, and applies the coordinator merge step.
+//!
+//! Connection management follows the paper: within a transaction at most one
+//! *real* connection per worker exists and co-located shard groups stick to
+//! it (placement affinity); query parallelism is modelled by the virtual
+//! **slow-start scheduler** — the executor may use one connection per worker
+//! immediately and gains one more per 10 ms tick, capped by the shared
+//! connection limit — which yields each statement's elapsed virtual time.
+
+use crate::cluster::{Cluster, WorkerConn};
+use crate::cost::DistCost;
+use crate::metadata::NodeId;
+use crate::planner::join_order::PrepStep;
+use crate::planner::{merge, DistPlan, Merge, Task};
+use netsim::makespan;
+use pgmini::error::{ErrorCode, PgError, PgResult};
+use pgmini::session::QueryResult;
+use pgmini::types::{Row, SortKey};
+use sqlparse::ast::{ColumnDef, CreateTable, Statement, TypeName};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Result of executing a distributed plan.
+pub struct ExecutorOutput {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+    pub affected: u64,
+    pub cost: DistCost,
+    /// Peak virtual connections used on any single node (slow-start stats).
+    pub peak_connections: usize,
+}
+
+/// Per-(node, slot) key of a pooled connection.
+pub type ConnKey = (NodeId, u32);
+
+/// Distributed per-session state held by the extension.
+#[derive(Default)]
+pub struct SessionState {
+    pub conns: HashMap<ConnKey, WorkerConn>,
+    next_slot: u32,
+    /// (colocation id, bucket) → connection that touched it this transaction.
+    pub affinity: HashMap<(u32, usize), ConnKey>,
+    pub dist_txn: Option<pgmini::lock::DistTxnId>,
+    /// gids to COMMIT PREPARED in the post-commit callback: (node, gid).
+    pub pending_prepared: Vec<(NodeId, String)>,
+    /// Accumulated cost of the statement being executed.
+    pub stmt_cost: DistCost,
+    /// Cost of the last completed statement.
+    pub last_dist: Option<DistCost>,
+    /// Temp tables created for intermediate results: (node, table).
+    pub temp_tables: Vec<(NodeId, String)>,
+    /// Planner tier of the last distributed statement (EXPLAIN/tests).
+    pub last_planner: Option<crate::planner::PlannerKind>,
+    /// Cost accumulated by the commit protocol (1PC delegation / 2PC).
+    pub commit_cost: DistCost,
+    /// When set, statement costs also accumulate here (procedure bodies).
+    pub capture: Option<DistCost>,
+    /// Virtual connection-pool size per node: lanes opened by slow start
+    /// persist across statements ("Citus caches connections", §3.2.1).
+    pub virtual_lanes: HashMap<NodeId, usize>,
+    /// Strategy of the last INSERT..SELECT (tests/diagnostics).
+    pub last_insert_select: Option<crate::insert_select::InsertSelectStrategy>,
+}
+
+impl SessionState {
+    /// Take a pooled connection for `node`, preferring the affinity binding
+    /// for `group`. Returns `None` when a new connection must be opened.
+    fn checkout(&mut self, node: NodeId, group: Option<(u32, usize)>) -> Option<(ConnKey, WorkerConn)> {
+        if let Some(g) = group {
+            if let Some(key) = self.affinity.get(&g).copied() {
+                if let Some(conn) = self.conns.remove(&key) {
+                    return Some((key, conn));
+                }
+            }
+        }
+        // any pooled connection to that node
+        let key = self.conns.keys().find(|(n, _)| *n == node).copied()?;
+        self.conns.remove(&key).map(|c| (key, c))
+    }
+
+    fn checkin(&mut self, key: ConnKey, conn: WorkerConn, group: Option<(u32, usize)>) {
+        if let Some(g) = group {
+            self.affinity.insert(g, key);
+        }
+        self.conns.insert(key, conn);
+    }
+
+    fn new_key(&mut self, node: NodeId) -> ConnKey {
+        self.next_slot += 1;
+        (node, self.next_slot)
+    }
+
+    /// Connections with open transaction blocks, split by write usage.
+    pub fn txn_conn_keys(&self) -> (Vec<ConnKey>, Vec<ConnKey>) {
+        let mut writes = Vec::new();
+        let mut reads = Vec::new();
+        for (k, c) in &self.conns {
+            if c.in_txn_block {
+                if c.used_for_writes {
+                    writes.push(*k);
+                } else {
+                    reads.push(*k);
+                }
+            }
+        }
+        writes.sort();
+        reads.sort();
+        (writes, reads)
+    }
+}
+
+/// Acquire (or open) a connection for a task, honouring affinity and the
+/// shared connection limit. Also opens the remote transaction block when the
+/// local session is in a transaction.
+#[allow(clippy::too_many_arguments)]
+fn task_conn(
+    cluster: &Arc<Cluster>,
+    state: &mut SessionState,
+    node: NodeId,
+    group: Option<(u32, usize)>,
+    in_txn: bool,
+    dist_txn: Option<pgmini::lock::DistTxnId>,
+    cost: &mut DistCost,
+) -> PgResult<(ConnKey, WorkerConn, bool)> {
+    let (key, mut conn, fresh) = match state.checkout(node, group) {
+        Some((k, c)) => (k, c, false),
+        None => {
+            let c = cluster.connect(node)?;
+            cost.net_ms += c.connect_cost_ms();
+            (state.new_key(node), c, true)
+        }
+    };
+    if in_txn && !conn.in_txn_block {
+        conn.execute_stmt(&Statement::Begin)?;
+        if let Some(d) = dist_txn {
+            let (_, c) = conn.execute(&format!(
+                "SELECT assign_distributed_transaction_id({}, {}, {})",
+                d.origin_node, d.number, d.timestamp
+            ))?;
+            let _ = c;
+        }
+        conn.in_txn_block = true;
+        cost.net_ms += conn.rtt_ms();
+        cost.add_node(node, &pgmini::cost::SimCost::ZERO);
+    }
+    Ok((key, conn, fresh))
+}
+
+/// Virtual slow-start schedule for one node's task durations. Returns
+/// (node makespan in ms, lanes used).
+///
+/// Lane 0 exists immediately; a new lane may open each `slow_start_ms`
+/// (n = 1 + floor(t / interval)), each opening costs `connect_ms`, capped at
+/// `max_lanes`. Mirrors §3.6.1: sub-millisecond tasks never trigger extra
+/// connections, long analytical tasks fan out.
+pub fn slow_start_schedule(
+    durations: &[f64],
+    slow_start_ms: f64,
+    connect_ms: f64,
+    max_lanes: usize,
+    cores: u32,
+    existing_lanes: usize,
+) -> (f64, usize) {
+    if durations.is_empty() {
+        return (0.0, existing_lanes);
+    }
+    let max_lanes = max_lanes.max(1);
+    // lane -> time it becomes free; cached connections are free immediately
+    let mut lanes: Vec<f64> = vec![0.0; existing_lanes.clamp(1, max_lanes)];
+    for &d in durations {
+        // earliest available existing lane
+        let (best_idx, best_free) = lanes
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, t)| (i, *t))
+            .expect("lane 0 exists");
+        let finish_existing = best_free + d;
+        // a (k+1)-th lane becomes permissible at t = (k - cached)·interval
+        // (n(t) grows by one per tick beyond the cached pool), and takes
+        // connect_ms to establish
+        if lanes.len() < max_lanes {
+            let fresh = lanes.len().saturating_sub(existing_lanes.max(1)) + 1;
+            let start_new = fresh as f64 * slow_start_ms + connect_ms;
+            let finish_new = start_new + d;
+            if finish_new < finish_existing {
+                lanes.push(finish_new);
+                continue;
+            }
+        }
+        lanes[best_idx] = finish_existing;
+    }
+    let used = lanes.len();
+    (makespan::node_makespan(&lanes, cores), used)
+}
+
+/// Execute a distributed plan on behalf of `session`.
+pub fn execute_plan(
+    cluster: &Arc<Cluster>,
+    session: &mut pgmini::session::Session,
+    state: &mut SessionState,
+    plan: &DistPlan,
+    self_node: NodeId,
+) -> PgResult<ExecutorOutput> {
+    let mut cost = DistCost::default();
+
+    // 1. prep steps (intermediate results)
+    for step in &plan.prep {
+        run_prep_step(cluster, session, state, step, self_node, &mut cost)?;
+    }
+
+    // 2. transaction bookkeeping
+    let in_txn = session.in_transaction();
+    if in_txn && state.dist_txn.is_none() {
+        let d = pgmini::lock::DistTxnId {
+            origin_node: self_node.0,
+            number: cluster.next_txn_number(),
+            timestamp: cluster.clock.tick(),
+        };
+        state.dist_txn = Some(d);
+        session.assign_dist_txn_id(d);
+    }
+
+    // 3. run tasks, recording per-node durations for the virtual schedule
+    let mut per_node_durations: HashMap<NodeId, Vec<f64>> = HashMap::new();
+    let mut results: Vec<QueryResult> = Vec::with_capacity(plan.tasks.len());
+    let full_rtt = cluster.config.engine.cost.net_rtt_ms;
+    let mut any_remote = false;
+    for task in &plan.tasks {
+        // local execution (§3.2.1): tasks on the coordinating node itself
+        // skip the network round trip
+        let rtt = if task.node == self_node { 0.0 } else { full_rtt };
+        if task.node != self_node {
+            any_remote = true;
+        }
+        let (key, mut conn, _fresh) =
+            task_conn(cluster, state, task.node, task.group, in_txn, state.dist_txn, &mut cost)?;
+        let outcome = conn.execute_stmt(&task.stmt);
+        if task.is_write {
+            conn.used_for_writes = true;
+        }
+        let bind_group = if in_txn { task.group } else { None };
+        match outcome {
+            Ok((result, remote_cost)) => {
+                state.checkin(key, conn, bind_group);
+                cost.add_node(task.node, &remote_cost);
+                per_node_durations
+                    .entry(task.node)
+                    .or_default()
+                    .push(remote_cost.total_ms() + rtt);
+                results.push(result);
+            }
+            Err(e) => {
+                if is_connection_failure(&e) {
+                    // a broken connection never recovers: drop it (and any
+                    // affinity pointing at it) so the next statement dials a
+                    // fresh one — like discarding a broken socket
+                    state.affinity.retain(|_, k| *k != key);
+                    drop(conn);
+                } else {
+                    state.checkin(key, conn, bind_group);
+                }
+                return Err(e);
+            }
+        }
+    }
+
+    // 4. virtual elapsed time: slow-start schedule per node
+    let cores = cluster.config.engine.cores;
+    let slow_start = cluster.config.slow_start_interval_ms;
+    let connect_ms = cluster.config.engine.cost.connect_ms;
+    let limit = cluster.connection_limit() as usize;
+    let mut node_times = Vec::new();
+    let mut peak = 0usize;
+    for (node, durations) in &per_node_durations {
+        let existing = state.virtual_lanes.get(node).copied().unwrap_or(1);
+        let (t, lanes) =
+            slow_start_schedule(durations, slow_start, connect_ms, limit, cores, existing);
+        state.virtual_lanes.insert(*node, lanes.max(existing));
+        node_times.push(t);
+        peak = peak.max(lanes);
+    }
+    let mut elapsed = makespan::cluster_makespan(&node_times, 0.0);
+
+    // 5. merge
+    let model = cluster.config.engine.cost;
+    let output = match &plan.merge {
+        Merge::PassThrough => {
+            let first = results.into_iter().next().unwrap_or(QueryResult::Empty);
+            match first {
+                QueryResult::Rows { columns, rows } => (columns, rows, 0),
+                QueryResult::Affected(n) => (Vec::new(), Vec::new(), n),
+                QueryResult::Empty => (Vec::new(), Vec::new(), 0),
+            }
+        }
+        Merge::AffectedSum => {
+            let n = results.iter().map(QueryResult::affected).sum();
+            (Vec::new(), Vec::new(), n)
+        }
+        Merge::AffectedFirst => {
+            let n = results.first().map(QueryResult::affected).unwrap_or(0);
+            (Vec::new(), Vec::new(), n)
+        }
+        Merge::Concat { sort, limit, offset, distinct, visible } => {
+            let mut columns = Vec::new();
+            let mut rows: Vec<Row> = Vec::new();
+            for r in results {
+                if let QueryResult::Rows { columns: c, rows: mut rs } = r {
+                    if columns.is_empty() {
+                        columns = c;
+                    }
+                    rows.append(&mut rs);
+                }
+            }
+            let merge_cpu = model.cpu_tuple_ms * rows.len() as f64;
+            cost.coordinator.add_cpu(merge_cpu);
+            elapsed += merge_cpu;
+            if *distinct {
+                let mut seen = std::collections::BTreeSet::new();
+                rows.retain(|r| seen.insert(SortKey(r[..(*visible).min(r.len())].to_vec())));
+            }
+            if !sort.is_empty() {
+                rows.sort_by(|a, b| {
+                    for (idx, desc) in sort {
+                        let ord = a[*idx].total_cmp(&b[*idx]);
+                        let ord = if *desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+            }
+            if let Some(off) = offset {
+                let off = (*off as usize).min(rows.len());
+                rows.drain(..off);
+            }
+            if let Some(lim) = limit {
+                rows.truncate(*lim as usize);
+            }
+            for r in &mut rows {
+                r.truncate(*visible);
+            }
+            columns.truncate(*visible);
+            (columns, rows, 0)
+        }
+        Merge::GroupAgg(mplan) => {
+            let mut rows: Vec<Row> = Vec::new();
+            for r in results {
+                if let QueryResult::Rows { rows: mut rs, .. } = r {
+                    rows.append(&mut rs);
+                }
+            }
+            let (merged, work) = merge::execute_merge(mplan, rows)?;
+            let merge_cpu = model.cpu_tuple_ms * (work as f64 + merged.len() as f64);
+            cost.coordinator.add_cpu(merge_cpu);
+            elapsed += merge_cpu;
+            let columns = (0..mplan.visible).map(|i| format!("column{i}")).collect();
+            (columns, merged, 0)
+        }
+    };
+
+    // network latency: the fan-out round trip overlaps across tasks — charge
+    // one RTT of latency per statement (none if everything ran locally)
+    let stmt_rtt = if any_remote { full_rtt } else { 0.0 };
+    cost.net_ms += stmt_rtt;
+    elapsed += stmt_rtt;
+    cost.elapsed_ms = elapsed;
+
+    // 6. statement-scoped temp tables are dropped when not in a transaction
+    if !in_txn {
+        cleanup_temp_tables(cluster, state)?;
+    }
+    state.stmt_cost.add(&cost);
+
+    Ok(ExecutorOutput {
+        columns: output.0,
+        rows: output.1,
+        affected: output.2,
+        cost,
+        peak_connections: peak,
+    })
+}
+
+/// Drop all temp tables recorded in the session state.
+pub fn cleanup_temp_tables(cluster: &Arc<Cluster>, state: &mut SessionState) -> PgResult<()> {
+    let temps = std::mem::take(&mut state.temp_tables);
+    for (node, table) in temps {
+        // direct engine access: temp cleanup is maintenance, not query work
+        let engine = cluster.node(node)?.engine();
+        let _ = engine.ddl_drop_table(&table, true);
+    }
+    Ok(())
+}
+
+/// Execute one prep step: run its inner (distributed) select via the
+/// extension, then create and load the temp tables.
+fn run_prep_step(
+    cluster: &Arc<Cluster>,
+    session: &mut pgmini::session::Session,
+    state: &mut SessionState,
+    step: &PrepStep,
+    self_node: NodeId,
+    cost: &mut DistCost,
+) -> PgResult<()> {
+    let (select, columns) = match step {
+        PrepStep::Broadcast { select, columns, .. } => (select, columns),
+        PrepStep::Repartition { select, columns, .. } => (select, columns),
+    };
+    // run the source select through the full distributed pipeline
+    let ext = cluster.extension(self_node)?;
+    let rows = ext.run_select_distributed(session, select, state)?;
+    let col_types = infer_column_types(&rows, columns.len());
+
+    match step {
+        PrepStep::Broadcast { temp_table, nodes, .. } => {
+            for node in nodes {
+                create_and_load(
+                    cluster, state, *node, temp_table, columns, &col_types, rows.clone(), cost,
+                )?;
+            }
+        }
+        PrepStep::Repartition { temp_prefix, partition_col, bucket_nodes, .. } => {
+            // hash-partition rows over equal ranges, like shard pruning does
+            let n = bucket_nodes.len().max(1);
+            let width = (u32::MAX as u64 + 1) / n as u64;
+            let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); n];
+            for row in rows {
+                let h = crate::metadata::dist_hash(&row[*partition_col]);
+                let idx = ((h as u64) / width).min(n as u64 - 1) as usize;
+                buckets[idx].push(row);
+            }
+            for (i, (node, bucket_rows)) in bucket_nodes.iter().zip(buckets).enumerate() {
+                let table = format!("{temp_prefix}_{i}");
+                create_and_load(
+                    cluster, state, *node, &table, columns, &col_types, bucket_rows, cost,
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn create_and_load(
+    cluster: &Arc<Cluster>,
+    state: &mut SessionState,
+    node: NodeId,
+    table: &str,
+    columns: &[String],
+    col_types: &[TypeName],
+    rows: Vec<Row>,
+    cost: &mut DistCost,
+) -> PgResult<()> {
+    let (key, mut conn, _) = task_conn(cluster, state, node, None, false, None, cost)?;
+    let create = Statement::CreateTable(Box::new(CreateTable {
+        name: table.to_string(),
+        if_not_exists: false,
+        columns: columns
+            .iter()
+            .zip(col_types)
+            .map(|(name, ty)| ColumnDef {
+                name: name.clone(),
+                ty: *ty,
+                not_null: false,
+                primary_key: false,
+                unique: false,
+                default: None,
+                references: None,
+            })
+            .collect(),
+        constraints: Vec::new(),
+    }));
+    let create_result = conn.execute_stmt(&create);
+    let load_result = match &create_result {
+        Ok(_) => {
+            let moved = rows.len() as u64;
+            let r = conn.copy_rows(table, &[], rows);
+            // moving intermediate results costs network transfer time
+            cost.net_ms += conn.rtt_ms()
+                + moved as f64 * cluster.config.engine.cost.net_tuple_ms;
+            r.map(|(_, c)| c)
+        }
+        Err(e) => Err(e.clone()),
+    };
+    state.checkin(key, conn, None);
+    match load_result {
+        Ok(remote_cost) => {
+            cost.add_node(node, &remote_cost);
+            cost.elapsed_ms += remote_cost.total_ms();
+            state.temp_tables.push((node, table.to_string()));
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Infer temp-table column types from materialised rows (Text when unknown).
+fn infer_column_types(rows: &[Row], arity: usize) -> Vec<TypeName> {
+    let mut types = vec![None; arity];
+    for row in rows {
+        for (i, d) in row.iter().enumerate().take(arity) {
+            if types[i].is_none() {
+                types[i] = d.type_name();
+            }
+        }
+        if types.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    types.into_iter().map(|t| t.unwrap_or(TypeName::Text)).collect()
+}
+
+/// Did this statement's tasks write on more than one node? Used to decide
+/// between single-node delegation and 2PC.
+pub fn write_nodes(tasks: &[Task]) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> =
+        tasks.iter().filter(|t| t.is_write).map(|t| t.node).collect();
+    nodes.sort();
+    nodes.dedup();
+    nodes
+}
+
+/// Coordinator decides task errors for connection failures should roll back
+/// distributed transactions; surfaced as a helper for the HA tests.
+pub fn is_connection_failure(e: &PgError) -> bool {
+    e.code == ErrorCode::ConnectionFailure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_single_short_tasks_use_one_lane() {
+        // 32 tasks of 0.5ms each: all finish before the first 10ms tick
+        let durations = vec![0.5; 32];
+        let (t, lanes) = slow_start_schedule(&durations, 10.0, 15.0, 100, 16, 1);
+        assert_eq!(lanes, 1, "short tasks never open extra connections");
+        assert!((t - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_start_long_tasks_fan_out() {
+        // 8 tasks of 100ms: lanes open as ticks pass
+        let durations = vec![100.0; 8];
+        let (t, lanes) = slow_start_schedule(&durations, 10.0, 15.0, 100, 16, 1);
+        assert!(lanes > 1, "long tasks must fan out");
+        assert!(t < 800.0, "parallelism beats serial: {t}");
+    }
+
+    #[test]
+    fn slow_start_respects_shared_limit() {
+        let durations = vec![100.0; 32];
+        let (_, lanes) = slow_start_schedule(&durations, 10.0, 15.0, 3, 16, 1);
+        assert!(lanes <= 3);
+    }
+
+    #[test]
+    fn slow_start_respects_cores_in_makespan() {
+        // 32 long tasks on a 4-core node: even with 32 lanes the node can
+        // only run 4 at full speed
+        let durations = vec![50.0; 32];
+        let (t, _) = slow_start_schedule(&durations, 1.0, 0.0, 100, 4, 1);
+        assert!(t >= 32.0 * 50.0 / 4.0 - 1e-6);
+    }
+
+    #[test]
+    fn infer_types_from_rows() {
+        use pgmini::types::Datum;
+        let rows = vec![
+            vec![Datum::Null, Datum::from_text("x")],
+            vec![Datum::Int(5), Datum::Null],
+        ];
+        assert_eq!(infer_column_types(&rows, 2), vec![TypeName::Int, TypeName::Text]);
+        assert_eq!(infer_column_types(&[], 2), vec![TypeName::Text, TypeName::Text]);
+    }
+}

@@ -1,0 +1,729 @@
+//! The citrus extension: the object installed into every node's engine
+//! through the pgmini hook surface (§3.1).
+//!
+//! * the **planner hook** intercepts SELECT/DML on citrus tables, runs the
+//!   four-tier distributed planner, and drives the adaptive executor;
+//! * the **utility hook** intercepts DDL, TRUNCATE, VACUUM, and EXPLAIN;
+//! * the **transaction callbacks** implement single-node delegation and
+//!   two-phase commit with durable commit records (§3.7);
+//! * **UDFs** (`create_distributed_table`, `create_reference_table`,
+//!   `assign_distributed_transaction_id`, ...) are the metadata RPCs.
+
+use crate::cluster::Cluster;
+use crate::cost::DistCost;
+use crate::executor::{self, SessionState};
+use crate::metadata::NodeId;
+use crate::planner::{self, DistPlan, PlannerKind, SubplanExecutor};
+use parking_lot::Mutex;
+use pgmini::engine::Engine;
+use pgmini::error::{ErrorCode, PgError, PgResult};
+use pgmini::hooks::Extension;
+use pgmini::session::{QueryResult, Session};
+use pgmini::types::{Datum, Row};
+use sqlparse::ast::Statement;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+/// Name of the commit-records catalog (a real table, so commit records are
+/// exactly as durable as the local transaction that writes them).
+pub const COMMIT_RECORDS_TABLE: &str = "pg_dist_transaction";
+
+/// The extension instance installed on one node.
+pub struct CitrusExtension {
+    cluster: Weak<Cluster>,
+    pub node: NodeId,
+    sessions: Mutex<HashMap<u64, SessionState>>,
+    /// Distributed transaction numbers currently in flight from this node
+    /// (2PC recovery must not roll back prepared txns that are still active).
+    active_txn_numbers: Mutex<std::collections::HashSet<u64>>,
+}
+
+impl CitrusExtension {
+    /// Install the extension into an engine: hooks, UDFs, and the commit
+    /// records catalog.
+    pub fn install(cluster: &Arc<Cluster>, engine: &Arc<Engine>, node: NodeId) -> Arc<Self> {
+        let ext = Arc::new(CitrusExtension {
+            cluster: Arc::downgrade(cluster),
+            node,
+            sessions: Mutex::new(HashMap::new()),
+            active_txn_numbers: Mutex::new(std::collections::HashSet::new()),
+        });
+        engine.hooks.install(ext.clone());
+        Self::create_catalogs(engine);
+        Self::register_udfs(cluster, engine, &ext);
+        ext
+    }
+
+    /// Install onto a restored/promoted engine, replacing the cluster's
+    /// extension slot for that node (HA failover, backup restore).
+    pub fn install_restored(
+        cluster: &Arc<Cluster>,
+        engine: &Arc<Engine>,
+        node: NodeId,
+    ) -> Arc<Self> {
+        let ext = Self::install(cluster, engine, node);
+        cluster.replace_extension(node, ext.clone());
+        ext
+    }
+
+    fn create_catalogs(engine: &Arc<Engine>) {
+        let ddl = format!(
+            "CREATE TABLE IF NOT EXISTS {COMMIT_RECORDS_TABLE} (gid text PRIMARY KEY)"
+        );
+        if let Ok(Statement::CreateTable(ct)) = sqlparse::parse(&ddl) {
+            let _ = engine.ddl_create_table(&ct);
+        }
+    }
+
+    fn register_udfs(cluster: &Arc<Cluster>, engine: &Arc<Engine>, _ext: &Arc<Self>) {
+        let weak = Arc::downgrade(cluster);
+        engine.register_udf("assign_distributed_transaction_id", move |session, args| {
+            if args.len() != 3 {
+                return Err(PgError::new(
+                    ErrorCode::InvalidParameter,
+                    "assign_distributed_transaction_id(origin, number, timestamp)",
+                ));
+            }
+            let d = pgmini::lock::DistTxnId {
+                origin_node: args[0].as_i64()? as u32,
+                number: args[1].as_i64()? as u64,
+                timestamp: args[2].as_i64()? as u64,
+            };
+            session.assign_dist_txn_id(d);
+            Ok(Datum::Null)
+        });
+        let weak2 = weak.clone();
+        engine.register_udf("create_distributed_table", move |session, args| {
+            let cluster = weak2.upgrade().ok_or_else(|| PgError::internal("cluster gone"))?;
+            let table = args
+                .first()
+                .ok_or_else(|| PgError::new(ErrorCode::InvalidParameter, "table name required"))?
+                .as_str()?
+                .to_string();
+            let column = args
+                .get(1)
+                .ok_or_else(|| {
+                    PgError::new(ErrorCode::InvalidParameter, "distribution column required")
+                })?
+                .as_str()?
+                .to_string();
+            let colocate_with = match args.get(2) {
+                Some(Datum::Text(s)) if !s.is_empty() && s != "default" => Some(s.clone()),
+                _ => None,
+            };
+            crate::table_mgmt::create_distributed_table(
+                &cluster,
+                session,
+                &table,
+                &column,
+                colocate_with.as_deref(),
+            )?;
+            Ok(Datum::Null)
+        });
+        let weak3 = weak.clone();
+        engine.register_udf("create_reference_table", move |session, args| {
+            let cluster = weak3.upgrade().ok_or_else(|| PgError::internal("cluster gone"))?;
+            let table = args
+                .first()
+                .ok_or_else(|| PgError::new(ErrorCode::InvalidParameter, "table name required"))?
+                .as_str()?
+                .to_string();
+            crate::table_mgmt::create_reference_table(&cluster, session, &table)?;
+            Ok(Datum::Null)
+        });
+        let weak4 = weak.clone();
+        engine.register_udf("citus_add_node", move |_session, _args| {
+            let cluster = weak4.upgrade().ok_or_else(|| PgError::internal("cluster gone"))?;
+            let id = cluster.add_worker()?;
+            Ok(Datum::Int(id.0 as i64))
+        });
+        let weak5 = weak.clone();
+        engine.register_udf("rebalance_table_shards", move |_session, _args| {
+            let cluster = weak5.upgrade().ok_or_else(|| PgError::internal("cluster gone"))?;
+            let moves = crate::rebalancer::rebalance(
+                &cluster,
+                &crate::rebalancer::RebalanceStrategy::ByShardCount,
+            )?;
+            Ok(Datum::Int(moves as i64))
+        });
+        let weak6 = weak.clone();
+        engine.register_udf("citus_create_restore_point", move |_session, args| {
+            let cluster = weak6.upgrade().ok_or_else(|| PgError::internal("cluster gone"))?;
+            let name = args
+                .first()
+                .ok_or_else(|| PgError::new(ErrorCode::InvalidParameter, "name required"))?
+                .as_str()?
+                .to_string();
+            crate::backup::create_restore_point(&cluster, &name)?;
+            Ok(Datum::Null)
+        });
+    }
+
+    pub fn cluster(&self) -> PgResult<Arc<Cluster>> {
+        self.cluster
+            .upgrade()
+            .ok_or_else(|| PgError::internal("cluster has been dropped"))
+    }
+
+    // ---------------- session state bookkeeping ----------------
+
+    fn take_state(&self, sid: u64) -> SessionState {
+        self.sessions.lock().remove(&sid).unwrap_or_default()
+    }
+
+    fn put_state(&self, sid: u64, state: SessionState) {
+        self.sessions.lock().insert(sid, state);
+    }
+
+    /// Distributed cost of the session's last statement (consumed).
+    pub fn take_last_dist_cost(&self, sid: u64) -> Option<DistCost> {
+        self.sessions.lock().get_mut(&sid).and_then(|s| s.last_dist.take())
+    }
+
+    /// Record a cost computed outside the planner-hook path (COPY).
+    pub fn record_external_cost(&self, sid: u64, cost: DistCost) {
+        self.sessions.lock().entry(sid).or_default().last_dist = Some(cost);
+    }
+
+    /// Start accumulating all statement costs for `sid` (procedure bodies).
+    pub fn begin_cost_capture(&self, sid: u64) {
+        self.sessions.lock().entry(sid).or_default().capture = Some(DistCost::default());
+    }
+
+    /// Stop capturing and return the accumulated cost.
+    pub fn end_cost_capture(&self, sid: u64) -> DistCost {
+        self.sessions
+            .lock()
+            .get_mut(&sid)
+            .and_then(|s| s.capture.take())
+            .unwrap_or_default()
+    }
+
+    /// INSERT..SELECT strategy of the session's last statement.
+    pub fn last_insert_select_strategy(
+        &self,
+        sid: u64,
+    ) -> Option<crate::insert_select::InsertSelectStrategy> {
+        self.sessions.lock().get(&sid).and_then(|s| s.last_insert_select)
+    }
+
+    /// In-flight distributed transaction numbers from this node.
+    pub fn active_txn_numbers(&self) -> std::collections::HashSet<u64> {
+        self.active_txn_numbers.lock().clone()
+    }
+
+    // ---------------- distributed execution ----------------
+
+    /// Plan + execute a statement. `Ok(None)` means "not distributed".
+    fn plan_and_execute(
+        &self,
+        session: &mut Session,
+        stmt: &Statement,
+        state: &mut SessionState,
+    ) -> PgResult<Option<QueryResult>> {
+        let cluster = self.cluster()?;
+        // INSERT .. SELECT over citrus tables has its own three strategies
+        if let Statement::Insert(ins) = stmt {
+            if let sqlparse::ast::InsertSource::Query(_) = &ins.source {
+                let meta = cluster.metadata.read_recursive();
+                if meta.is_citrus_table(&ins.table) {
+                    drop(meta);
+                    return crate::insert_select::execute(self, &cluster, session, state, ins)
+                        .map(Some);
+                }
+            }
+        }
+        let plan = {
+            let meta = cluster.metadata.read_recursive();
+            let mut env = PlannerEnv { ext: self, session, state };
+            planner::plan_statement(stmt, &meta, self.node, &mut env)?
+        };
+        let Some(plan) = plan else { return Ok(None) };
+        self.execute_plan_with_txn(session, state, &plan).map(Some)
+    }
+
+    /// Execute a plan, wrapping multi-node writes in an (implicit) 2PC
+    /// transaction when in autocommit mode.
+    pub fn execute_plan_with_txn(
+        &self,
+        session: &mut Session,
+        state: &mut SessionState,
+        plan: &DistPlan,
+    ) -> PgResult<QueryResult> {
+        let cluster = self.cluster()?;
+        let multi_node_write =
+            plan.is_write && executor::write_nodes(&plan.tasks).len() > 1;
+        let autocommit_wrap = !session.in_transaction() && multi_node_write;
+        if autocommit_wrap {
+            session.ensure_xid()?;
+        }
+        let result = executor::execute_plan(&cluster, session, state, plan, self.node);
+        state.last_planner = Some(plan.kind);
+        match result {
+            Ok(out) => {
+                if autocommit_wrap {
+                    // the commit path runs the 2PC callbacks, which need the
+                    // session state to be visible in the map
+                    self.put_state(session.id(), std::mem::take(state));
+                    let commit = session.commit_current();
+                    *state = self.take_state(session.id());
+                    commit?;
+                }
+                if plan.is_write {
+                    Ok(QueryResult::Affected(out.affected))
+                } else {
+                    Ok(QueryResult::Rows { columns: out.columns, rows: out.rows })
+                }
+            }
+            Err(e) => {
+                if autocommit_wrap {
+                    self.put_state(session.id(), std::mem::take(state));
+                    session.rollback_current();
+                    *state = self.take_state(session.id());
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Execute a SELECT through the full distributed pipeline, returning its
+    /// rows (subplans / intermediate results / INSERT..SELECT source).
+    pub fn run_select_distributed(
+        &self,
+        session: &mut Session,
+        sel: &sqlparse::ast::Select,
+        state: &mut SessionState,
+    ) -> PgResult<Vec<Row>> {
+        let stmt = Statement::Select(Box::new(sel.clone()));
+        match self.plan_and_execute(session, &stmt, state)? {
+            Some(r) => Ok(r.into_rows()),
+            // not distributed: run locally (reference/local data)
+            None => Ok(session.execute_local(&stmt)?.into_rows()),
+        }
+    }
+
+    /// The planner tier used by the session's last distributed statement.
+    pub fn last_planner_kind(&self, sid: u64) -> Option<PlannerKind> {
+        self.sessions.lock().get(&sid).and_then(|s| s.last_planner)
+    }
+
+    // ---------------- 2PC ----------------
+
+    fn do_pre_commit(&self, session: &mut Session, state: &mut SessionState) -> PgResult<()> {
+        let cluster = self.cluster()?;
+        let rtt = cluster.config.engine.cost.net_rtt_ms;
+        state.commit_cost = DistCost::default();
+        let (write_keys, read_keys) = state.txn_conn_keys();
+        // close read-only remote transactions
+        for key in read_keys {
+            if let Some(mut conn) = state.conns.remove(&key) {
+                if let Ok((_, c)) = conn.execute_stmt(&Statement::Commit) {
+                    state.commit_cost.add_node(conn.node, &c);
+                }
+                conn.in_txn_block = false;
+                state.conns.insert(key, conn);
+            }
+        }
+        if write_keys.is_empty() {
+            state.commit_cost.net_ms += rtt;
+            state.commit_cost.elapsed_ms += rtt;
+            return Ok(());
+        }
+        if write_keys.len() == 1 {
+            // single-node delegation (§3.7.1): plain COMMIT on that worker
+            let key = write_keys[0];
+            let mut conn = state
+                .conns
+                .remove(&key)
+                .ok_or_else(|| PgError::internal("write connection vanished"))?;
+            let result = conn.execute_stmt(&Statement::Commit);
+            conn.in_txn_block = false;
+            conn.used_for_writes = false;
+            let node = conn.node;
+            state.conns.insert(key, conn);
+            let (_, c) = result?;
+            state.commit_cost.add_node(node, &c);
+            state.commit_cost.net_ms += rtt;
+            state.commit_cost.elapsed_ms += rtt + c.total_ms();
+            return Ok(());
+        }
+        // two-phase commit (§3.7.2)
+        let d = state.dist_txn.ok_or_else(|| {
+            PgError::internal("multi-node write without a distributed transaction id")
+        })?;
+        self.active_txn_numbers.lock().insert(d.number);
+        let mut prepared: Vec<(executor::ConnKey, String)> = Vec::new();
+        let mut failure: Option<PgError> = None;
+        for (i, key) in write_keys.iter().enumerate() {
+            let gid = format!("citrus_{}_{}_{}", d.origin_node, d.number, i);
+            let Some(mut conn) = state.conns.remove(key) else {
+                failure = Some(PgError::internal("write connection vanished"));
+                break;
+            };
+            let r = conn.execute_stmt(&Statement::PrepareTransaction(gid.clone()));
+            let node = conn.node;
+            match r {
+                Ok((_, c)) => {
+                    conn.in_txn_block = false;
+                    conn.used_for_writes = false;
+                    state.conns.insert(*key, conn);
+                    state.commit_cost.add_node(node, &c);
+                    prepared.push((*key, gid));
+                }
+                Err(e) => {
+                    // the remote transaction may still be open: roll it back
+                    // now so the pooled connection is reusable
+                    let _ = conn.execute_stmt(&Statement::Rollback);
+                    conn.in_txn_block = false;
+                    conn.used_for_writes = false;
+                    state.conns.insert(*key, conn);
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        // prepare round trips fan out in parallel: one RTT of latency,
+        // followed by the durable commit-record write
+        state.commit_cost.net_ms += rtt * (prepared.len() as f64).max(1.0);
+        state.commit_cost.elapsed_ms += rtt;
+        if let Some(e) = failure {
+            // roll back everything: prepared ones via ROLLBACK PREPARED, the
+            // rest via plain ROLLBACK (post_abort will catch stragglers)
+            for (key, gid) in prepared {
+                if let Some(mut conn) = state.conns.remove(&key) {
+                    let _ = conn.execute_stmt(&Statement::RollbackPrepared(gid));
+                    state.conns.insert(key, conn);
+                }
+            }
+            self.active_txn_numbers.lock().remove(&d.number);
+            return Err(e);
+        }
+        // durable commit records, written inside the committing local
+        // transaction; the restore-point lock serialises this against
+        // consistent backups (§3.9)
+        {
+            let _guard = cluster.commit_record_lock.lock();
+            for (_, gid) in &prepared {
+                session.execute_local(&sqlparse::parse(&format!(
+                    "INSERT INTO {COMMIT_RECORDS_TABLE} (gid) VALUES ('{gid}')"
+                ))?)?;
+                let local = session.last_cost();
+                state.commit_cost.coordinator.add(&local);
+                state.commit_cost.elapsed_ms += local.total_ms();
+            }
+        }
+        state.pending_prepared =
+            prepared.into_iter().map(|((node, _), gid)| (node, gid)).collect();
+        Ok(())
+    }
+
+    fn do_post_commit(&self, session: &mut Session, state: &mut SessionState) {
+        let cluster = match self.cluster() {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        // second phase: COMMIT PREPARED, best effort (recovery finishes any
+        // that fail, §3.7.2)
+        let pending = std::mem::take(&mut state.pending_prepared);
+        let mut finished_numbers: Vec<u64> = Vec::new();
+        for (node, gid) in pending {
+            let committed = match find_conn_to(state, node) {
+                Some(key) => {
+                    let mut conn = state.conns.remove(&key).expect("key present");
+                    let r = conn.execute_stmt(&Statement::CommitPrepared(gid.clone()));
+                    state.conns.insert(key, conn);
+                    r.is_ok()
+                }
+                None => match cluster.connect(node) {
+                    Ok(mut conn) => {
+                        conn.execute_stmt(&Statement::CommitPrepared(gid.clone())).is_ok()
+                    }
+                    Err(_) => false,
+                },
+            };
+            if committed {
+                state.commit_cost.net_ms += cluster.config.engine.cost.net_rtt_ms;
+                // the commit record has served its purpose
+                if let Ok(stmt) = sqlparse::parse(&format!(
+                    "DELETE FROM {COMMIT_RECORDS_TABLE} WHERE gid = '{gid}'"
+                )) {
+                    let _ = session.execute_local(&stmt);
+                }
+                if let Some(n) = parse_gid_number(&gid) {
+                    finished_numbers.push(n);
+                }
+            }
+        }
+        let mut active = self.active_txn_numbers.lock();
+        for n in finished_numbers {
+            active.remove(&n);
+        }
+        drop(active);
+        if let Some(d) = state.dist_txn.take() {
+            self.active_txn_numbers.lock().remove(&d.number);
+        }
+        state.affinity.clear();
+        let _ = executor::cleanup_temp_tables(&cluster, state);
+        if state.commit_cost.net_ms > 0.0 {
+            state.commit_cost.elapsed_ms += cluster.config.engine.cost.net_rtt_ms;
+        }
+        // publish the commit protocol's cost: explicit COMMIT statements
+        // never pass the planner hook, so this is their only cost channel;
+        // autocommit wraps fold it into the statement cost instead
+        let ccost = std::mem::take(&mut state.commit_cost);
+        state.stmt_cost.add(&ccost);
+        state.last_dist = Some(ccost);
+    }
+
+    fn do_post_abort(&self, _session: &mut Session, state: &mut SessionState) {
+        // abort any open remote transactions
+        let keys: Vec<executor::ConnKey> = state
+            .conns
+            .iter()
+            .filter(|(_, c)| c.in_txn_block)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            if let Some(mut conn) = state.conns.remove(&key) {
+                let _ = conn.execute_stmt(&Statement::Rollback);
+                conn.in_txn_block = false;
+                conn.used_for_writes = false;
+                state.conns.insert(key, conn);
+            }
+        }
+        if let Some(d) = state.dist_txn.take() {
+            self.active_txn_numbers.lock().remove(&d.number);
+        }
+        state.pending_prepared.clear();
+        state.affinity.clear();
+        if let Ok(cluster) = self.cluster() {
+            let _ = executor::cleanup_temp_tables(&cluster, state);
+        }
+    }
+}
+
+fn find_conn_to(state: &SessionState, node: NodeId) -> Option<executor::ConnKey> {
+    state.conns.keys().find(|(n, _)| *n == node).copied()
+}
+
+/// Extract the txn number from `citrus_{origin}_{number}_{i}`.
+pub fn parse_gid_number(gid: &str) -> Option<u64> {
+    let mut parts = gid.split('_');
+    if parts.next() != Some("citrus") {
+        return None;
+    }
+    let _origin = parts.next()?;
+    parts.next()?.parse().ok()
+}
+
+/// Extract the origin node from a gid.
+pub fn parse_gid_origin(gid: &str) -> Option<u32> {
+    let mut parts = gid.split('_');
+    if parts.next() != Some("citrus") {
+        return None;
+    }
+    parts.next()?.parse().ok()
+}
+
+impl Extension for CitrusExtension {
+    fn planner_hook(
+        &self,
+        session: &mut Session,
+        stmt: &Statement,
+    ) -> Option<PgResult<QueryResult>> {
+        let cluster = self.cluster().ok()?;
+        // cheap pre-filter: reference to at least one citrus table?
+        {
+            let meta = cluster.metadata.read_recursive();
+            let tables = planner::rewrite::collect_tables(stmt);
+            if !tables.iter().any(|t| meta.is_citrus_table(t)) {
+                return None;
+            }
+        }
+        let sid = session.id();
+        let mut state = self.take_state(sid);
+        state.stmt_cost = DistCost::default();
+        let result = self.plan_and_execute(session, stmt, &mut state);
+        let stmt_cost = std::mem::take(&mut state.stmt_cost);
+        if let Some(cap) = &mut state.capture {
+            cap.add(&stmt_cost);
+        }
+        state.last_dist = Some(stmt_cost);
+        self.put_state(sid, state);
+        match result {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    fn utility_hook(
+        &self,
+        session: &mut Session,
+        stmt: &Statement,
+    ) -> Option<PgResult<QueryResult>> {
+        let cluster = self.cluster().ok()?;
+        let sid = session.id();
+        match stmt {
+            Statement::CreateIndex(_)
+            | Statement::DropTable { .. }
+            | Statement::Truncate { .. }
+            | Statement::Vacuum { .. } => {
+                let handled = {
+                    let meta = cluster.metadata.read_recursive();
+                    crate::ddl::touches_citrus(stmt, &meta)
+                };
+                if !handled {
+                    return None;
+                }
+                let mut state = self.take_state(sid);
+                let r = crate::ddl::propagate(self, &cluster, session, &mut state, stmt);
+                self.put_state(sid, state);
+                Some(r)
+            }
+            Statement::Explain(inner) => {
+                let is_citrus = {
+                    let meta = cluster.metadata.read_recursive();
+                    planner::rewrite::collect_tables(inner)
+                        .iter()
+                        .any(|t| meta.is_citrus_table(t))
+                };
+                if !is_citrus {
+                    return None;
+                }
+                let mut state = self.take_state(sid);
+                let r = self.explain(session, inner, &mut state);
+                self.put_state(sid, state);
+                Some(r)
+            }
+            Statement::Copy(c) => {
+                let is_citrus = {
+                    let meta = cluster.metadata.read_recursive();
+                    meta.is_citrus_table(&c.table)
+                };
+                if !is_citrus {
+                    return None;
+                }
+                Some(Err(PgError::unsupported(
+                    "COPY to a distributed table: use ClientSession::copy (the data path)",
+                )))
+            }
+            _ => None,
+        }
+    }
+
+    fn pre_commit(&self, session: &mut Session) -> PgResult<()> {
+        let sid = session.id();
+        let mut state = self.take_state(sid);
+        let r = self.do_pre_commit(session, &mut state);
+        self.put_state(sid, state);
+        r
+    }
+
+    fn post_commit(&self, session: &mut Session) {
+        let sid = session.id();
+        let mut state = self.take_state(sid);
+        self.do_post_commit(session, &mut state);
+        self.put_state(sid, state);
+    }
+
+    fn post_abort(&self, session: &mut Session) {
+        let sid = session.id();
+        let mut state = self.take_state(sid);
+        self.do_post_abort(session, &mut state);
+        self.put_state(sid, state);
+    }
+}
+
+impl CitrusExtension {
+    /// Distributed EXPLAIN: the CustomScan header plus task summary.
+    fn explain(
+        &self,
+        session: &mut Session,
+        inner: &Statement,
+        state: &mut SessionState,
+    ) -> PgResult<QueryResult> {
+        let cluster = self.cluster()?;
+        let plan = {
+            let meta = cluster.metadata.read_recursive();
+            let mut env = PlannerEnv { ext: self, session, state };
+            planner::plan_statement(inner, &meta, self.node, &mut env)?
+        };
+        let Some(plan) = plan else {
+            return Err(PgError::internal("explain on non-distributed statement"));
+        };
+        let mut lines = vec![
+            format!("Custom Scan (Citrus Adaptive) via {}", plan.kind.as_str()),
+            format!("  Task Count: {}", plan.tasks.len()),
+        ];
+        match &plan.merge {
+            crate::planner::Merge::GroupAgg(_) => {
+                lines.push("  Merge: partial aggregation on coordinator".to_string())
+            }
+            crate::planner::Merge::Concat { sort, .. } if !sort.is_empty() => {
+                lines.push("  Merge: re-sort on coordinator".to_string())
+            }
+            _ => {}
+        }
+        if !plan.prep.is_empty() {
+            lines.push(format!("  Subplans: {} (intermediate results)", plan.prep.len()));
+        }
+        if let Some(t) = plan.tasks.first() {
+            lines.push(format!("  First Task on node {}: {}", t.node.0, sqlparse::deparse(&t.stmt)));
+        }
+        Ok(QueryResult::Rows {
+            columns: vec!["QUERY PLAN".to_string()],
+            rows: lines.into_iter().map(|l| vec![Datum::Text(l)]).collect(),
+        })
+    }
+}
+
+/// Planner environment: gives the planner subplan execution and join-order
+/// statistics over the live cluster.
+struct PlannerEnv<'a> {
+    ext: &'a CitrusExtension,
+    session: &'a mut Session,
+    state: &'a mut SessionState,
+}
+
+impl SubplanExecutor for PlannerEnv<'_> {
+    fn run_distributed_subquery(
+        &mut self,
+        sel: &sqlparse::ast::Select,
+    ) -> PgResult<Vec<Row>> {
+        self.ext.run_select_distributed(self.session, sel, self.state)
+    }
+
+    fn as_join_order_env(
+        &mut self,
+    ) -> Option<&mut dyn crate::planner::join_order::JoinOrderEnv> {
+        Some(self)
+    }
+}
+
+impl crate::planner::join_order::JoinOrderEnv for PlannerEnv<'_> {
+    fn table_row_count(&mut self, table: &str) -> PgResult<u64> {
+        let cluster = self.ext.cluster()?;
+        let meta = cluster.metadata.read_recursive();
+        let dt = meta.require_table(table)?;
+        let mut total = 0u64;
+        for sid in &dt.shards {
+            let shard = meta.shard(*sid)?;
+            let Some(&node) = shard.placements.first() else { continue };
+            let engine = cluster.node(node)?.engine();
+            if let Ok(m) = engine.table_meta(&shard.physical_name()) {
+                if let Ok(store) = engine.store(m.id) {
+                    total += store.live_estimate();
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    fn table_column_names(&mut self, table: &str) -> PgResult<Vec<String>> {
+        // the shell table on the coordinating node keeps the schema
+        let cluster = self.ext.cluster()?;
+        let engine = cluster.node(self.ext.node)?.engine();
+        Ok(engine.table_meta(table)?.column_names())
+    }
+}

@@ -1,0 +1,58 @@
+//! High availability (§3.9).
+//!
+//! Each node's durability lives in its WAL; a standby is a fresh engine
+//! built by replaying that WAL (streaming replication compressed into
+//! replay-at-promote, which preserves the observable semantics: committed
+//! transactions survive, in-flight ones roll back, prepared ones await 2PC
+//! recovery). Failover marks the node down — in-flight distributed
+//! transactions touching it fail and roll back — then promotes the standby
+//! and flips the node back to active, after which the recovery daemon
+//! settles any prepared transactions from the commit records.
+
+use crate::cluster::Cluster;
+use crate::extension::CitrusExtension;
+use crate::metadata::NodeId;
+use pgmini::engine::Engine;
+use pgmini::error::PgResult;
+use std::sync::Arc;
+
+/// Report of one failover.
+#[derive(Debug, Clone)]
+pub struct FailoverReport {
+    pub node: NodeId,
+    /// Prepared transactions found on the promoted standby.
+    pub prepared_recovered: Vec<String>,
+    /// 2PC recovery outcome after promotion.
+    pub recovery: crate::recovery::RecoveryStats,
+}
+
+/// Crash a node: connections to it fail until it is promoted/restored.
+pub fn crash_node(cluster: &Arc<Cluster>, node: NodeId) -> PgResult<()> {
+    cluster.node(node)?.set_active(false);
+    Ok(())
+}
+
+/// Promote a standby for a crashed node: replay the WAL into a fresh engine,
+/// reinstall the extension, swap it in, and run 2PC recovery. The paper's
+/// 20–30 s failover window collapses to the replay time here.
+pub fn promote_standby(cluster: &Arc<Cluster>, node_id: NodeId) -> PgResult<FailoverReport> {
+    let node = cluster.node(node_id)?;
+    let old_engine = node.engine();
+    // the WAL is the durable part that survives the crash
+    let records = old_engine.wal.all();
+    let standby = Engine::restore_from_wal(&records, None)?;
+    // reinstall the extension (hooks + UDFs + catalogs)
+    CitrusExtension::install_restored(cluster, &standby, node_id);
+    let prepared = standby.txns.prepared_gids();
+    node.replace_engine(standby);
+    node.set_active(true);
+    // settle the prepared transactions via commit records
+    let recovery = crate::recovery::recover_once(cluster)?;
+    Ok(FailoverReport { node: node_id, prepared_recovered: prepared, recovery })
+}
+
+/// Crash + promote in one step (the orchestrator's happy path).
+pub fn fail_over(cluster: &Arc<Cluster>, node: NodeId) -> PgResult<FailoverReport> {
+    crash_node(cluster, node)?;
+    promote_standby(cluster, node)
+}

@@ -1,0 +1,57 @@
+//! citrus: a distributed PostgreSQL-style engine implemented as a pgmini
+//! *extension* — the Rust reproduction of *Citus: Distributed PostgreSQL for
+//! Data-Intensive Applications* (SIGMOD 2021).
+//!
+//! A [`cluster::Cluster`] is a set of pgmini engines (one coordinator, any
+//! number of workers) joined by a simulated fabric. Installing the
+//! [`extension::CitrusExtension`] into each engine adds:
+//!
+//! * distributed and reference **table types** with co-location (§3.3) via
+//!   the `create_distributed_table` / `create_reference_table` UDFs;
+//! * the **four-tier planner** — fast path, router, pushdown, join order
+//!   (§3.5) — in [`planner`];
+//! * the **adaptive executor** with slow start, a shared connection limit,
+//!   and placement-connection affinity (§3.6) in [`executor`];
+//! * **distributed transactions**: single-node delegation, 2PC with durable
+//!   commit records, recovery, and distributed deadlock detection (§3.7);
+//! * distributed **DDL**, **COPY**, **INSERT..SELECT** (3 strategies), and
+//!   delegated **stored procedures** (§3.8);
+//! * the **shard rebalancer** (§3.4), **HA failover** and **consistent
+//!   restore points** (§3.9).
+//!
+//! ```
+//! use citrus::cluster::Cluster;
+//! let cluster = Cluster::new_default();
+//! cluster.add_worker().unwrap();
+//! cluster.add_worker().unwrap();
+//! let mut session = cluster.session().unwrap();
+//! session.execute("CREATE TABLE events (device_id bigint, payload text)").unwrap();
+//! session.execute("SELECT create_distributed_table('events', 'device_id')").unwrap();
+//! session.execute("INSERT INTO events VALUES (1, 'hello'), (2, 'world')").unwrap();
+//! let n = session.query("SELECT count(*) FROM events").unwrap();
+//! assert_eq!(n[0][0], pgmini::types::Datum::Int(2));
+//! ```
+
+pub mod backup;
+pub mod cluster;
+pub mod copy;
+pub mod cost;
+pub mod ddl;
+pub mod deadlock;
+pub mod executor;
+pub mod extension;
+pub mod ha;
+pub mod insert_select;
+pub mod maintenance;
+pub mod metadata;
+pub mod planner;
+pub mod procedures;
+pub mod rebalancer;
+pub mod recovery;
+pub mod table_mgmt;
+
+pub use cluster::{ClientSession, Cluster, ClusterConfig};
+pub use cost::DistCost;
+pub use extension::CitrusExtension;
+pub use metadata::{NodeId, PartitionMethod, ShardId};
+pub use planner::PlannerKind;

@@ -1,0 +1,53 @@
+//! The maintenance daemon (§3.1 "background workers").
+//!
+//! Runs distributed deadlock detection and 2PC recovery on their configured
+//! intervals, through the pgmini background-worker API. Tests usually call
+//! [`crate::deadlock::detect_once`] / [`crate::recovery::recover_once`]
+//! directly for determinism; benchmarks and examples run the daemon.
+
+use crate::cluster::Cluster;
+use pgmini::bgworker::BackgroundWorker;
+use std::sync::{Arc, Weak};
+
+/// Handle to the running maintenance workers; stops them on drop.
+pub struct MaintenanceDaemon {
+    workers: Vec<BackgroundWorker>,
+}
+
+impl MaintenanceDaemon {
+    /// Number of completed deadlock-detection passes.
+    pub fn detection_passes(&self) -> u64 {
+        self.workers.first().map(|w| w.tick_count()).unwrap_or(0)
+    }
+
+    pub fn stop(&mut self) {
+        for w in &mut self.workers {
+            w.stop();
+        }
+    }
+}
+
+/// Start the maintenance daemon for a cluster.
+pub fn start(cluster: &Arc<Cluster>) -> MaintenanceDaemon {
+    let weak: Weak<Cluster> = Arc::downgrade(cluster);
+    let weak2 = weak.clone();
+    let deadlock_worker = BackgroundWorker::spawn(
+        "citrus-deadlock-detector",
+        cluster.config.deadlock_detection_interval,
+        move || {
+            if let Some(c) = weak.upgrade() {
+                let _ = crate::deadlock::detect_once(&c);
+            }
+        },
+    );
+    let recovery_worker = BackgroundWorker::spawn(
+        "citrus-2pc-recovery",
+        cluster.config.recovery_interval,
+        move || {
+            if let Some(c) = weak2.upgrade() {
+                let _ = crate::recovery::recover_once(&c);
+            }
+        },
+    );
+    MaintenanceDaemon { workers: vec![deadlock_worker, recovery_worker] }
+}

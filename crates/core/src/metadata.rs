@@ -1,0 +1,452 @@
+//! Distribution metadata — the `pg_dist_partition` / `pg_dist_shard` /
+//! `pg_dist_placement` / `pg_dist_colocation` catalogs of the paper (§3.3).
+//!
+//! Distributed tables are hash-partitioned on a 32-bit hash space into
+//! shards that each own a contiguous hash range; co-located tables share a
+//! colocation group, which guarantees equal ranges land on equal nodes.
+
+use pgmini::error::{ErrorCode, PgError, PgResult};
+use pgmini::types::Datum;
+use std::collections::HashMap;
+
+/// A node in the cluster. Node 0 is the original coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A logical shard id. Starts at 102008 like real Citus clusters do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub u64);
+
+pub const FIRST_SHARD_ID: u64 = 102_008;
+
+/// How a citrus table is partitioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMethod {
+    /// Hash-partitioned on a distribution column.
+    Hash,
+    /// Replicated to every node.
+    Reference,
+}
+
+/// One shard of a distributed table.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    pub id: ShardId,
+    pub table: String,
+    /// Inclusive hash range `[min_hash, max_hash]` on the 32-bit hash space.
+    /// Reference tables use the full range.
+    pub min_hash: u32,
+    pub max_hash: u32,
+    /// Nodes holding this shard. One for distributed tables; all nodes for
+    /// reference tables.
+    pub placements: Vec<NodeId>,
+}
+
+impl Shard {
+    /// Physical table name of this shard on its placement node(s).
+    pub fn physical_name(&self) -> String {
+        format!("{}_{}", self.table, self.id.0)
+    }
+}
+
+/// Metadata of one citrus table.
+#[derive(Debug, Clone)]
+pub struct DistTable {
+    pub name: String,
+    pub method: PartitionMethod,
+    /// Distribution column name and position (None for reference tables).
+    pub dist_column: Option<(String, usize)>,
+    pub colocation_id: u32,
+    /// Shard ids in hash-range order.
+    pub shards: Vec<ShardId>,
+}
+
+impl DistTable {
+    pub fn is_reference(&self) -> bool {
+        self.method == PartitionMethod::Reference
+    }
+}
+
+/// Cluster-wide distribution metadata (the coordinator's catalogs; with MX
+/// metadata syncing every node shares this view).
+#[derive(Debug, Default, Clone)]
+pub struct Metadata {
+    tables: HashMap<String, DistTable>,
+    shards: HashMap<ShardId, Shard>,
+    next_shard: u64,
+    next_colocation: u32,
+}
+
+impl Metadata {
+    pub fn new() -> Self {
+        Metadata {
+            tables: HashMap::new(),
+            shards: HashMap::new(),
+            next_shard: FIRST_SHARD_ID,
+            next_colocation: 1,
+        }
+    }
+
+    pub fn is_citrus_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn table(&self, name: &str) -> Option<&DistTable> {
+        self.tables.get(name)
+    }
+
+    pub fn require_table(&self, name: &str) -> PgResult<&DistTable> {
+        self.tables.get(name).ok_or_else(|| {
+            PgError::new(ErrorCode::UndefinedTable, format!("\"{name}\" is not a citrus table"))
+        })
+    }
+
+    pub fn shard(&self, id: ShardId) -> PgResult<&Shard> {
+        self.shards
+            .get(&id)
+            .ok_or_else(|| PgError::internal(format!("unknown shard {}", id.0)))
+    }
+
+    pub fn shard_mut(&mut self, id: ShardId) -> PgResult<&mut Shard> {
+        self.shards
+            .get_mut(&id)
+            .ok_or_else(|| PgError::internal(format!("unknown shard {}", id.0)))
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &DistTable> {
+        self.tables.values()
+    }
+
+    pub fn all_shards(&self) -> impl Iterator<Item = &Shard> {
+        self.shards.values()
+    }
+
+    pub fn allocate_colocation_id(&mut self) -> u32 {
+        let id = self.next_colocation;
+        self.next_colocation += 1;
+        id
+    }
+
+    /// Tables sharing a colocation group, sorted by name.
+    pub fn colocated_tables(&self, colocation_id: u32) -> Vec<&DistTable> {
+        let mut v: Vec<&DistTable> =
+            self.tables.values().filter(|t| t.colocation_id == colocation_id).collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Register a hash-distributed table with `shard_count` shards placed
+    /// round-robin over `nodes` (or aligned with `align_with`'s placements
+    /// for co-location).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_hash_table(
+        &mut self,
+        name: &str,
+        dist_column: &str,
+        dist_col_index: usize,
+        shard_count: u32,
+        nodes: &[NodeId],
+        colocation_id: u32,
+        align_with: Option<&str>,
+    ) -> PgResult<Vec<ShardId>> {
+        if self.tables.contains_key(name) {
+            return Err(PgError::new(
+                ErrorCode::DuplicateObject,
+                format!("table \"{name}\" is already distributed"),
+            ));
+        }
+        if nodes.is_empty() {
+            return Err(PgError::internal("no nodes to place shards on"));
+        }
+        let placements: Vec<Vec<NodeId>> = match align_with {
+            Some(other) => {
+                let other_meta = self.require_table(other)?;
+                let other_shards = other_meta.shards.clone();
+                if other_shards.len() != shard_count as usize {
+                    return Err(PgError::new(
+                        ErrorCode::InvalidParameter,
+                        "colocate_with target has a different shard count",
+                    ));
+                }
+                other_shards
+                    .iter()
+                    .map(|sid| Ok(self.shard(*sid)?.placements.clone()))
+                    .collect::<PgResult<_>>()?
+            }
+            None => (0..shard_count)
+                .map(|i| vec![nodes[i as usize % nodes.len()]])
+                .collect(),
+        };
+        let ranges = hash_ranges(shard_count);
+        let mut ids = Vec::with_capacity(shard_count as usize);
+        for (i, (min_hash, max_hash)) in ranges.into_iter().enumerate() {
+            let id = ShardId(self.next_shard);
+            self.next_shard += 1;
+            self.shards.insert(
+                id,
+                Shard {
+                    id,
+                    table: name.to_string(),
+                    min_hash,
+                    max_hash,
+                    placements: placements[i].clone(),
+                },
+            );
+            ids.push(id);
+        }
+        self.tables.insert(
+            name.to_string(),
+            DistTable {
+                name: name.to_string(),
+                method: PartitionMethod::Hash,
+                dist_column: Some((dist_column.to_string(), dist_col_index)),
+                colocation_id,
+                shards: ids.clone(),
+            },
+        );
+        Ok(ids)
+    }
+
+    /// Register a reference table replicated to `nodes`.
+    pub fn add_reference_table(&mut self, name: &str, nodes: &[NodeId]) -> PgResult<ShardId> {
+        if self.tables.contains_key(name) {
+            return Err(PgError::new(
+                ErrorCode::DuplicateObject,
+                format!("table \"{name}\" is already distributed"),
+            ));
+        }
+        let id = ShardId(self.next_shard);
+        self.next_shard += 1;
+        self.shards.insert(
+            id,
+            Shard {
+                id,
+                table: name.to_string(),
+                min_hash: 0,
+                max_hash: u32::MAX,
+                placements: nodes.to_vec(),
+            },
+        );
+        self.tables.insert(
+            name.to_string(),
+            DistTable {
+                name: name.to_string(),
+                method: PartitionMethod::Reference,
+                dist_column: None,
+                colocation_id: 0,
+                shards: vec![id],
+            },
+        );
+        Ok(id)
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> PgResult<Vec<Shard>> {
+        let meta = self.tables.remove(name).ok_or_else(|| {
+            PgError::new(ErrorCode::UndefinedTable, format!("\"{name}\" is not a citrus table"))
+        })?;
+        Ok(meta
+            .shards
+            .iter()
+            .filter_map(|sid| self.shards.remove(sid))
+            .collect())
+    }
+
+    /// Add a new reference-table placement (reference tables replicate to
+    /// new nodes when the cluster grows).
+    pub fn add_reference_placement(&mut self, table: &str, node: NodeId) -> PgResult<()> {
+        let sid = self.require_table(table)?.shards[0];
+        let shard = self.shard_mut(sid)?;
+        if !shard.placements.contains(&node) {
+            shard.placements.push(node);
+        }
+        Ok(())
+    }
+
+    /// The shard of `table` owning hash `h`, by binary search on ranges.
+    pub fn shard_for_hash(&self, table: &str, h: u32) -> PgResult<&Shard> {
+        let meta = self.require_table(table)?;
+        let n = meta.shards.len();
+        if n == 0 {
+            return Err(PgError::internal("table has no shards"));
+        }
+        // equal ranges → direct index computation
+        let width = (u32::MAX as u64 + 1) / n as u64;
+        let idx = ((h as u64) / width).min(n as u64 - 1) as usize;
+        let shard = self.shard(meta.shards[idx])?;
+        debug_assert!(shard.min_hash <= h && h <= shard.max_hash);
+        Ok(shard)
+    }
+
+    /// Shard index (bucket) of a distribution value in this table's group.
+    pub fn shard_index_for_value(&self, table: &str, value: &Datum) -> PgResult<usize> {
+        let meta = self.require_table(table)?;
+        let h = dist_hash(value);
+        let n = meta.shards.len().max(1);
+        let width = (u32::MAX as u64 + 1) / n as u64;
+        Ok(((h as u64) / width).min(n as u64 - 1) as usize)
+    }
+
+    /// Per-node shard counts for a colocation group (rebalancer input).
+    pub fn placement_counts(&self, nodes: &[NodeId]) -> HashMap<NodeId, usize> {
+        let mut counts: HashMap<NodeId, usize> =
+            nodes.iter().map(|n| (*n, 0)).collect();
+        for s in self.shards.values() {
+            if let Some(meta) = self.tables.get(&s.table) {
+                if meta.is_reference() {
+                    continue;
+                }
+            }
+            for p in &s.placements {
+                *counts.entry(*p).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// The 32-bit distribution hash of a datum (lower half of the engine hash —
+/// shared with hash joins, so co-location agrees with equality).
+pub fn dist_hash(value: &Datum) -> u32 {
+    (value.hash64() & 0xFFFF_FFFF) as u32
+}
+
+/// Contiguous, equal, inclusive hash ranges covering the 32-bit space.
+pub fn hash_ranges(shard_count: u32) -> Vec<(u32, u32)> {
+    let n = shard_count.max(1) as u64;
+    let width = (u32::MAX as u64 + 1) / n;
+    (0..n)
+        .map(|i| {
+            let lo = i * width;
+            let hi = if i == n - 1 { u32::MAX as u64 } else { (i + 1) * width - 1 };
+            (lo as u32, hi as u32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (1..=n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn hash_ranges_cover_space() {
+        for count in [1u32, 2, 3, 7, 32] {
+            let ranges = hash_ranges(count);
+            assert_eq!(ranges.len(), count as usize);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, u32::MAX);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1 as u64 + 1, w[1].0 as u64, "contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn add_hash_table_round_robin() {
+        let mut m = Metadata::new();
+        let cid = m.allocate_colocation_id();
+        let ids = m.add_hash_table("orders", "o_id", 0, 8, &nodes(4), cid, None).unwrap();
+        assert_eq!(ids.len(), 8);
+        assert_eq!(ids[0].0, FIRST_SHARD_ID);
+        // round robin placement
+        let counts = m.placement_counts(&nodes(4));
+        for n in nodes(4) {
+            assert_eq!(counts[&n], 2);
+        }
+        assert_eq!(m.shard(ids[3]).unwrap().physical_name(), format!("orders_{}", ids[3].0));
+    }
+
+    #[test]
+    fn colocation_aligns_placements() {
+        let mut m = Metadata::new();
+        let cid = m.allocate_colocation_id();
+        m.add_hash_table("a", "k", 0, 8, &nodes(3), cid, None).unwrap();
+        m.add_hash_table("b", "k", 1, 8, &nodes(3), cid, Some("a")).unwrap();
+        let a = m.table("a").unwrap().shards.clone();
+        let b = m.table("b").unwrap().shards.clone();
+        for (sa, sb) in a.iter().zip(&b) {
+            let pa = &m.shard(*sa).unwrap().placements;
+            let pb = &m.shard(*sb).unwrap().placements;
+            assert_eq!(pa, pb, "co-located shards share nodes");
+            assert_eq!(m.shard(*sa).unwrap().min_hash, m.shard(*sb).unwrap().min_hash);
+        }
+        assert_eq!(m.colocated_tables(cid).len(), 2);
+        // shard-count mismatch is rejected
+        assert!(m.add_hash_table("c", "k", 0, 4, &nodes(3), cid, Some("a")).is_err());
+    }
+
+    #[test]
+    fn shard_for_hash_matches_ranges() {
+        let mut m = Metadata::new();
+        let cid = m.allocate_colocation_id();
+        m.add_hash_table("t", "k", 0, 32, &nodes(4), cid, None).unwrap();
+        for v in [0i64, 1, -5, 42, 1_000_000, i64::MAX] {
+            let d = Datum::Int(v);
+            let h = dist_hash(&d);
+            let s = m.shard_for_hash("t", h).unwrap();
+            assert!(s.min_hash <= h && h <= s.max_hash);
+            let idx = m.shard_index_for_value("t", &d).unwrap();
+            assert_eq!(m.table("t").unwrap().shards[idx], s.id);
+        }
+    }
+
+    #[test]
+    fn same_value_same_shard_index_across_colocated_tables() {
+        let mut m = Metadata::new();
+        let cid = m.allocate_colocation_id();
+        m.add_hash_table("a", "k", 0, 16, &nodes(4), cid, None).unwrap();
+        m.add_hash_table("b", "k", 0, 16, &nodes(4), cid, Some("a")).unwrap();
+        for v in 0..200 {
+            let d = Datum::Int(v);
+            assert_eq!(
+                m.shard_index_for_value("a", &d).unwrap(),
+                m.shard_index_for_value("b", &d).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn reference_tables_replicate_everywhere() {
+        let mut m = Metadata::new();
+        let sid = m.add_reference_table("dims", &nodes(4)).unwrap();
+        let s = m.shard(sid).unwrap();
+        assert_eq!(s.placements.len(), 4);
+        assert!(m.table("dims").unwrap().is_reference());
+        // adding a node extends placements
+        m.add_reference_placement("dims", NodeId(9)).unwrap();
+        assert_eq!(m.shard(sid).unwrap().placements.len(), 5);
+        // reference shards are excluded from balance counts
+        assert!(m.placement_counts(&nodes(4)).values().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn duplicate_distribution_rejected() {
+        let mut m = Metadata::new();
+        let cid = m.allocate_colocation_id();
+        m.add_hash_table("t", "k", 0, 4, &nodes(2), cid, None).unwrap();
+        assert!(m.add_hash_table("t", "k", 0, 4, &nodes(2), cid, None).is_err());
+        assert!(m.add_reference_table("t", &nodes(2)).is_err());
+    }
+
+    #[test]
+    fn drop_removes_shards() {
+        let mut m = Metadata::new();
+        let cid = m.allocate_colocation_id();
+        let ids = m.add_hash_table("t", "k", 0, 4, &nodes(2), cid, None).unwrap();
+        let dropped = m.drop_table("t").unwrap();
+        assert_eq!(dropped.len(), 4);
+        assert!(!m.is_citrus_table("t"));
+        assert!(m.shard(ids[0]).is_err());
+    }
+
+    #[test]
+    fn dist_hash_is_type_class_compatible() {
+        // Int and equal-valued Float hash identically (auto-colocation by
+        // distribution-column type works across int/float literals)
+        assert_eq!(dist_hash(&Datum::Int(7)), dist_hash(&Datum::Float(7.0)));
+        assert_ne!(dist_hash(&Datum::Int(7)), dist_hash(&Datum::Int(8)));
+    }
+}

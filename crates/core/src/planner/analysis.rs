@@ -1,0 +1,517 @@
+//! Distribution-column constraint analysis.
+//!
+//! The router planner must decide whether an arbitrarily complex query can be
+//! scoped to one set of co-located shards (§3.5). That holds when, at every
+//! query level, each distributed table's distribution column is pinned to the
+//! same hash bucket — either directly (`w_id = 7`) or transitively through
+//! co-located equijoins (`a.w_id = b.w_id AND a.w_id = 7`). The same
+//! machinery provides shard pruning for the multi-shard planners.
+
+use crate::metadata::Metadata;
+use pgmini::types::Datum;
+use sqlparse::ast::{BinaryOp, Expr, Literal, Select, Statement, TableRef};
+use std::collections::HashMap;
+
+/// Outcome of bucket inference for one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BucketInference {
+    /// No distributed tables involved.
+    NoDistTables,
+    /// Every level pins to this bucket: router-eligible.
+    Single(usize),
+    /// Cannot be scoped to one bucket (multi-shard or unconstrained).
+    Multi,
+}
+
+/// One query level's distributed-table references and constraints.
+#[derive(Debug, Default)]
+pub struct LevelFacts {
+    /// alias → (table name, distribution column name).
+    pub dist_aliases: HashMap<String, (String, String)>,
+    /// alias → constant values pinning its distribution column (`=` or `IN`).
+    pub pinned: HashMap<String, Vec<Datum>>,
+    /// equijoins between distribution columns: (alias, alias).
+    pub joins: Vec<(String, String)>,
+}
+
+/// Extract a constant from literal (or cast-literal) expressions.
+pub fn const_datum(e: &Expr) -> Option<Datum> {
+    match e {
+        Expr::Literal(l) => Some(match l {
+            Literal::Null => Datum::Null,
+            Literal::Bool(b) => Datum::Bool(*b),
+            Literal::Int(v) => Datum::Int(*v),
+            Literal::Float(v) => Datum::Float(*v),
+            Literal::String(s) => Datum::Text(s.clone()),
+        }),
+        Expr::Cast { expr, ty } => const_datum(expr).and_then(|d| d.cast_to(*ty).ok()),
+        Expr::Unary { op: sqlparse::ast::UnaryOp::Neg, expr } => {
+            const_datum(expr).and_then(|d| match d {
+                Datum::Int(v) => Some(Datum::Int(-v)),
+                Datum::Float(v) => Some(Datum::Float(-v)),
+                _ => None,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Gather the facts of one SELECT level (not recursing into subqueries).
+pub fn level_facts(sel: &Select, meta: &Metadata) -> LevelFacts {
+    let mut facts = LevelFacts::default();
+    for f in &sel.from {
+        register_from(f, meta, &mut facts);
+    }
+    // conjuncts: WHERE plus all JOIN ON conditions at this level
+    let mut conjuncts: Vec<&Expr> = Vec::new();
+    if let Some(w) = &sel.where_clause {
+        split_and(w, &mut conjuncts);
+    }
+    for f in &sel.from {
+        collect_on_conjuncts(f, &mut conjuncts);
+    }
+    for c in conjuncts {
+        apply_conjunct(c, &mut facts);
+    }
+    facts
+}
+
+fn register_from(t: &TableRef, meta: &Metadata, facts: &mut LevelFacts) {
+    match t {
+        TableRef::Table { name, alias } => {
+            if let Some(dt) = meta.table(name) {
+                if let Some((col, _)) = &dt.dist_column {
+                    facts
+                        .dist_aliases
+                        .insert(alias.clone().unwrap_or_else(|| name.clone()), (name.clone(), col.clone()));
+                }
+            }
+        }
+        TableRef::Subquery { .. } => {}
+        TableRef::Join { left, right, .. } => {
+            register_from(left, meta, facts);
+            register_from(right, meta, facts);
+        }
+    }
+}
+
+fn collect_on_conjuncts<'a>(t: &'a TableRef, out: &mut Vec<&'a Expr>) {
+    if let TableRef::Join { left, right, on, .. } = t {
+        collect_on_conjuncts(left, out);
+        collect_on_conjuncts(right, out);
+        if let Some(c) = on {
+            split_and(c, out);
+        }
+    }
+}
+
+fn split_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::Binary { left, op: BinaryOp::And, right } = e {
+        split_and(left, out);
+        split_and(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Resolve a column reference to a distribution alias at this level.
+fn dist_alias_of<'a>(
+    facts: &'a LevelFacts,
+    table: &Option<String>,
+    name: &str,
+) -> Option<&'a str> {
+    match table {
+        Some(q) => facts
+            .dist_aliases
+            .get(q)
+            .filter(|(_, col)| col == name)
+            .map(|_| facts.dist_aliases.get_key_value(q).expect("present").0.as_str()),
+        None => {
+            let hits: Vec<&str> = facts
+                .dist_aliases
+                .iter()
+                .filter(|(_, (_, col))| col == name)
+                .map(|(a, _)| a.as_str())
+                .collect();
+            if hits.len() == 1 {
+                Some(hits[0])
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn apply_conjunct(e: &Expr, facts: &mut LevelFacts) {
+    match e {
+        Expr::Binary { left, op: BinaryOp::Eq, right } => {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column { table, name }, other) | (other, Expr::Column { table, name }) => {
+                    if let Some(alias) = dist_alias_of(facts, table, name).map(str::to_string) {
+                        if let Some(d) = const_datum(other) {
+                            facts.pinned.entry(alias).or_default().push(d);
+                            return;
+                        }
+                        // column = column: an equijoin between dist columns?
+                        if let Expr::Column { table: t2, name: n2 } = other {
+                            if let Some(alias2) =
+                                dist_alias_of(facts, t2, n2).map(str::to_string)
+                            {
+                                facts.joins.push((alias, alias2));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Expr::InList { expr, list, negated: false } => {
+            if let Expr::Column { table, name } = expr.as_ref() {
+                if let Some(alias) = dist_alias_of(facts, table, name).map(str::to_string) {
+                    let consts: Option<Vec<Datum>> = list.iter().map(const_datum).collect();
+                    if let Some(cs) = consts {
+                        // IN pins to a *set*; only a singleton pins a bucket,
+                        // but the set still prunes shards
+                        facts.pinned.entry(alias).or_default().extend(cs);
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The hash buckets a level's constraints allow, per alias (None = all).
+pub fn level_buckets(facts: &LevelFacts, meta: &Metadata) -> Option<Vec<usize>> {
+    let mut intersect: Option<Vec<usize>> = None;
+    for (alias, values) in &facts.pinned {
+        let (table, _) = &facts.dist_aliases[alias];
+        let mut buckets: Vec<usize> = values
+            .iter()
+            .filter_map(|v| meta.shard_index_for_value(table, v).ok())
+            .collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        intersect = Some(match intersect {
+            None => buckets,
+            Some(prev) => prev.into_iter().filter(|b| buckets.contains(b)).collect(),
+        });
+    }
+    intersect
+}
+
+/// Union-find based single-bucket inference for one level: every distributed
+/// alias must resolve to the same bucket, directly or through equijoins.
+pub fn level_single_bucket(facts: &LevelFacts, meta: &Metadata) -> Option<usize> {
+    if facts.dist_aliases.is_empty() {
+        return None;
+    }
+    // union-find over aliases
+    let aliases: Vec<&String> = facts.dist_aliases.keys().collect();
+    let index: HashMap<&str, usize> =
+        aliases.iter().enumerate().map(|(i, a)| (a.as_str(), i)).collect();
+    let mut parent: Vec<usize> = (0..aliases.len()).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (a, b) in &facts.joins {
+        if let (Some(&ia), Some(&ib)) = (index.get(a.as_str()), index.get(b.as_str())) {
+            let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+            parent[ra] = rb;
+        }
+    }
+    // bucket per component
+    let mut component_bucket: HashMap<usize, usize> = HashMap::new();
+    for (alias, values) in &facts.pinned {
+        // a singleton pin determines the bucket; a multi-value pin cannot
+        let (table, _) = &facts.dist_aliases[alias];
+        let mut buckets: Vec<usize> = values
+            .iter()
+            .filter_map(|v| meta.shard_index_for_value(table, v).ok())
+            .collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        if buckets.len() != 1 {
+            return None;
+        }
+        let root = find(&mut parent, index[alias.as_str()]);
+        match component_bucket.get(&root) {
+            Some(&b) if b != buckets[0] => return None,
+            _ => {
+                component_bucket.insert(root, buckets[0]);
+            }
+        }
+    }
+    // every alias's component must be pinned, and all to the same bucket
+    let mut the_bucket: Option<usize> = None;
+    for a in &aliases {
+        let root = find(&mut parent, index[a.as_str()]);
+        match component_bucket.get(&root) {
+            None => return None,
+            Some(&b) => match the_bucket {
+                None => the_bucket = Some(b),
+                Some(prev) if prev != b => return None,
+                _ => {}
+            },
+        }
+    }
+    the_bucket
+}
+
+/// Walk every SELECT level of a statement, calling `f` on each.
+pub fn for_each_level(stmt: &Statement, f: &mut dyn FnMut(&Select)) {
+    match stmt {
+        Statement::Select(sel) => walk_select(sel, f),
+        Statement::Insert(ins) => {
+            if let sqlparse::ast::InsertSource::Query(sel) = &ins.source {
+                walk_select(sel, f);
+            }
+        }
+        Statement::Update(u) => {
+            if let Some(w) = &u.where_clause {
+                walk_expr_levels(w, f);
+            }
+        }
+        Statement::Delete(d) => {
+            if let Some(w) = &d.where_clause {
+                walk_expr_levels(w, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn walk_select(sel: &Select, f: &mut dyn FnMut(&Select)) {
+    f(sel);
+    for t in &sel.from {
+        walk_table_ref(t, f);
+    }
+    if let Some(w) = &sel.where_clause {
+        walk_expr_levels(w, f);
+    }
+    if let Some(h) = &sel.having {
+        walk_expr_levels(h, f);
+    }
+    for item in &sel.projection {
+        if let sqlparse::ast::SelectItem::Expr { expr, .. } = item {
+            walk_expr_levels(expr, f);
+        }
+    }
+}
+
+fn walk_table_ref(t: &TableRef, f: &mut dyn FnMut(&Select)) {
+    match t {
+        TableRef::Table { .. } => {}
+        TableRef::Subquery { query, .. } => walk_select(query, f),
+        TableRef::Join { left, right, on, .. } => {
+            walk_table_ref(left, f);
+            walk_table_ref(right, f);
+            if let Some(c) = on {
+                walk_expr_levels(c, f);
+            }
+        }
+    }
+}
+
+fn walk_expr_levels(e: &Expr, f: &mut dyn FnMut(&Select)) {
+    e.walk(&mut |x| match x {
+        Expr::InSubquery { subquery, .. } => walk_select(subquery, f),
+        Expr::Exists { subquery, .. } => walk_select(subquery, f),
+        Expr::ScalarSubquery(q) => walk_select(q, f),
+        _ => {}
+    });
+}
+
+/// Infer the bucket for a whole statement: every level containing
+/// distributed tables must pin to the same single bucket.
+pub fn infer_bucket(stmt: &Statement, meta: &Metadata) -> BucketInference {
+    let mut any_dist = false;
+    let mut bucket: Option<usize> = None;
+    let mut conflict = false;
+    for_each_level(stmt, &mut |sel| {
+        let facts = level_facts(sel, meta);
+        if facts.dist_aliases.is_empty() {
+            return;
+        }
+        any_dist = true;
+        match level_single_bucket(&facts, meta) {
+            None => conflict = true,
+            Some(b) => match bucket {
+                None => bucket = Some(b),
+                Some(prev) if prev != b => conflict = true,
+                _ => {}
+            },
+        }
+    });
+    // DML target tables are levels of their own
+    if let Statement::Update(u) = stmt {
+        merge_dml_target(&u.table, &u.alias, &u.where_clause, meta, &mut any_dist, &mut bucket, &mut conflict);
+    }
+    if let Statement::Delete(d) = stmt {
+        merge_dml_target(&d.table, &d.alias, &d.where_clause, meta, &mut any_dist, &mut bucket, &mut conflict);
+    }
+    if !any_dist {
+        return BucketInference::NoDistTables;
+    }
+    if conflict {
+        return BucketInference::Multi;
+    }
+    match bucket {
+        Some(b) => BucketInference::Single(b),
+        None => BucketInference::Multi,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_dml_target(
+    table: &str,
+    alias: &Option<String>,
+    where_clause: &Option<Expr>,
+    meta: &Metadata,
+    any_dist: &mut bool,
+    bucket: &mut Option<usize>,
+    conflict: &mut bool,
+) {
+    let Some(dt) = meta.table(table) else { return };
+    let Some((col, _)) = &dt.dist_column else { return };
+    *any_dist = true;
+    let mut facts = LevelFacts::default();
+    facts.dist_aliases.insert(
+        alias.clone().unwrap_or_else(|| table.to_string()),
+        (table.to_string(), col.clone()),
+    );
+    let mut conjuncts = Vec::new();
+    if let Some(w) = where_clause {
+        split_and(w, &mut conjuncts);
+    }
+    for c in conjuncts {
+        apply_conjunct(c, &mut facts);
+    }
+    match level_single_bucket(&facts, meta) {
+        None => *conflict = true,
+        Some(b) => match bucket {
+            None => *bucket = Some(b),
+            Some(prev) if *prev != b => *conflict = true,
+            _ => {}
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::NodeId;
+    use sqlparse::parse;
+
+    fn meta() -> Metadata {
+        let mut m = Metadata::new();
+        let nodes: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        let cid = m.allocate_colocation_id();
+        m.add_hash_table("orders", "w_id", 1, 16, &nodes, cid, None).unwrap();
+        m.add_hash_table("lines", "w_id", 0, 16, &nodes, cid, Some("orders")).unwrap();
+        m.add_reference_table("items", &nodes).unwrap();
+        m
+    }
+
+    fn infer(sql: &str) -> BucketInference {
+        infer_bucket(&parse(sql).unwrap(), &meta())
+    }
+
+    fn bucket_of(v: i64) -> usize {
+        meta().shard_index_for_value("orders", &Datum::Int(v)).unwrap()
+    }
+
+    #[test]
+    fn direct_equality_routes() {
+        assert_eq!(infer("SELECT * FROM orders WHERE w_id = 7"), BucketInference::Single(bucket_of(7)));
+        assert_eq!(
+            infer("SELECT * FROM orders WHERE orders.w_id = 7 AND o_total > 5"),
+            BucketInference::Single(bucket_of(7))
+        );
+    }
+
+    #[test]
+    fn transitive_equijoin_routes() {
+        let q = "SELECT * FROM orders o JOIN lines l ON o.w_id = l.w_id WHERE o.w_id = 3";
+        assert_eq!(infer(q), BucketInference::Single(bucket_of(3)));
+        // comma join with WHERE-clause join condition
+        let q = "SELECT * FROM orders o, lines l WHERE o.w_id = l.w_id AND l.w_id = 3";
+        assert_eq!(infer(q), BucketInference::Single(bucket_of(3)));
+    }
+
+    #[test]
+    fn unpinned_table_is_multi() {
+        assert_eq!(infer("SELECT * FROM orders"), BucketInference::Multi);
+        // join without connecting condition: lines is unpinned
+        let q = "SELECT * FROM orders o, lines l WHERE o.w_id = 3";
+        assert_eq!(infer(q), BucketInference::Multi);
+    }
+
+    #[test]
+    fn conflicting_pins_are_multi() {
+        let q = "SELECT * FROM orders o JOIN lines l ON o.w_id = l.w_id \
+                 WHERE o.w_id = 3 AND l.w_id = 90";
+        // 3 and 90 almost surely land in different buckets of 16
+        if bucket_of(3) != bucket_of(90) {
+            assert_eq!(infer(q), BucketInference::Multi);
+        }
+    }
+
+    #[test]
+    fn reference_only_has_no_dist_tables() {
+        assert_eq!(infer("SELECT * FROM items"), BucketInference::NoDistTables);
+    }
+
+    #[test]
+    fn subquery_levels_must_agree() {
+        let q = "SELECT * FROM orders WHERE w_id = 5 AND o_id IN \
+                 (SELECT o_id FROM lines WHERE w_id = 5)";
+        assert_eq!(infer(q), BucketInference::Single(bucket_of(5)));
+        let q2 = "SELECT * FROM orders WHERE w_id = 5 AND o_id IN \
+                  (SELECT o_id FROM lines WHERE w_id = 1000)";
+        if bucket_of(5) != bucket_of(1000) {
+            assert_eq!(infer(q2), BucketInference::Multi);
+        }
+    }
+
+    #[test]
+    fn dml_targets_route() {
+        assert_eq!(
+            infer("UPDATE orders SET o_total = 1 WHERE w_id = 9"),
+            BucketInference::Single(bucket_of(9))
+        );
+        assert_eq!(
+            infer("DELETE FROM lines WHERE w_id = 9 AND o_id = 4"),
+            BucketInference::Single(bucket_of(9))
+        );
+        assert_eq!(infer("UPDATE orders SET o_total = 1"), BucketInference::Multi);
+    }
+
+    #[test]
+    fn in_list_prunes_but_does_not_route() {
+        assert_eq!(infer("SELECT * FROM orders WHERE w_id IN (1, 2, 3)"), BucketInference::Multi);
+        let m = meta();
+        let Statement::Select(sel) =
+            parse("SELECT * FROM orders WHERE w_id IN (1, 2, 3)").unwrap()
+        else {
+            panic!()
+        };
+        let facts = level_facts(&sel, &m);
+        let buckets = level_buckets(&facts, &m).unwrap();
+        assert!(!buckets.is_empty() && buckets.len() <= 3);
+    }
+
+    #[test]
+    fn cast_constants_pin() {
+        // text distribution columns pinned via quoted literals
+        let mut m = Metadata::new();
+        let cid = m.allocate_colocation_id();
+        m.add_hash_table("docs", "key", 0, 8, &[NodeId(1)], cid, None).unwrap();
+        let stmt = parse("SELECT * FROM docs WHERE key = 'user-42'").unwrap();
+        assert!(matches!(infer_bucket(&stmt, &m), BucketInference::Single(_)));
+    }
+}

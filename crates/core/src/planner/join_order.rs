@@ -1,0 +1,482 @@
+//! Tier 4: the logical join-order planner (§3.5, Figure 4D).
+//!
+//! Handles joins that are *not* co-located by moving data: either
+//! **broadcast** (replicate the smaller relation next to every shard of the
+//! anchor) or **repartition** (hash-partition both sides on the join key and
+//! join bucket-wise). The planner picks the join order / strategy that
+//! minimises network traffic, estimated from table row counts.
+//!
+//! Both strategies materialise *intermediate results* as prep steps the
+//! distributed executor runs before the main tasks — the "subplans whose
+//! results need to be broadcast or re-partitioned" of §3.5.
+
+use super::analysis::{level_facts, LevelFacts};
+use super::merge::split_aggregation;
+use super::rewrite;
+use super::{bucket_name_map, bucket_node, DistPlan, Merge, PlannerKind, SubplanExecutor, Task};
+use crate::metadata::{Metadata, NodeId};
+use pgmini::error::{PgError, PgResult};
+use sqlparse::ast::{
+    BinaryOp, Expr, Literal, Select, SelectItem, Statement, TableRef,
+};
+
+/// Environment the join-order planner needs beyond metadata.
+pub trait JoinOrderEnv: SubplanExecutor {
+    /// Total live rows of a distributed table (sum over shards).
+    fn table_row_count(&mut self, table: &str) -> PgResult<u64>;
+    /// Column names of a table (from the shell table's schema).
+    fn table_column_names(&mut self, table: &str) -> PgResult<Vec<String>>;
+}
+
+/// A data-movement step executed before the main tasks.
+#[derive(Debug, Clone)]
+pub enum PrepStep {
+    /// Run `select` (distributed), create `temp_table` on each node in
+    /// `nodes` with `columns`, and load the full result everywhere.
+    Broadcast {
+        select: Select,
+        temp_table: String,
+        columns: Vec<String>,
+        nodes: Vec<NodeId>,
+    },
+    /// Run `select` (distributed), hash-partition rows on column
+    /// `partition_col` into `bucket_nodes.len()` buckets, and load bucket i
+    /// into `{temp_prefix}_{i}` on `bucket_nodes[i]`.
+    Repartition {
+        select: Select,
+        temp_prefix: String,
+        columns: Vec<String>,
+        partition_col: usize,
+        bucket_nodes: Vec<NodeId>,
+    },
+}
+
+impl PrepStep {
+    /// Temp tables created on each node (for cleanup).
+    pub fn temp_tables(&self) -> Vec<(NodeId, String)> {
+        match self {
+            PrepStep::Broadcast { temp_table, nodes, .. } => {
+                nodes.iter().map(|n| (*n, temp_table.clone())).collect()
+            }
+            PrepStep::Repartition { temp_prefix, bucket_nodes, .. } => bucket_nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (*n, format!("{temp_prefix}_{i}")))
+                .collect(),
+        }
+    }
+}
+
+/// How much data each strategy moves, in rows×placements (the "network
+/// traffic" the paper's join-order search minimises).
+fn broadcast_cost(rows: u64, nodes: usize) -> u64 {
+    rows.saturating_mul(nodes as u64)
+}
+
+fn repartition_cost(rows_a: u64, rows_b: u64) -> u64 {
+    rows_a.saturating_add(rows_b)
+}
+
+/// Try to plan a non-co-located join query.
+pub fn try_join_order(
+    stmt: &Statement,
+    meta: &Metadata,
+    subplans: &mut dyn SubplanExecutor,
+) -> PgResult<Option<DistPlan>> {
+    // this tier only handles SELECTs whose FROM is a flat list of base tables
+    let Statement::Select(sel) = stmt else { return Ok(None) };
+    let mut flat_tables: Vec<(String, String)> = Vec::new(); // (name, visible alias)
+    for f in &sel.from {
+        if !flatten_from(f, &mut flat_tables) {
+            return Ok(None);
+        }
+    }
+    let env = subplans
+        .as_join_order_env()
+        .ok_or_else(|| PgError::unsupported("non-co-located joins need executor support"))?;
+
+    let dist: Vec<(String, String)> = flat_tables
+        .iter()
+        .filter(|(name, _)| meta.table(name).is_some_and(|t| !t.is_reference()))
+        .cloned()
+        .collect();
+    if dist.len() < 2 {
+        return Ok(None); // single-table cases belong to earlier tiers
+    }
+
+    // anchor: the largest distributed table stays in place
+    let mut sizes: Vec<(String, String, u64)> = Vec::new();
+    for (name, alias) in &dist {
+        sizes.push((name.clone(), alias.clone(), env.table_row_count(name)?));
+    }
+    sizes.sort_by(|a, b| b.2.cmp(&a.2));
+    let (anchor_name, anchor_alias, anchor_rows) = sizes[0].clone();
+    let anchor = meta.require_table(&anchor_name)?.clone();
+    let facts = level_facts(sel, meta);
+
+    // tables already co-located with the anchor through dist-col equijoins
+    // stay; the rest must move
+    let moved: Vec<(String, String, u64)> = sizes[1..]
+        .iter()
+        .filter(|(name, alias, _)| {
+            !is_colocated_join(&anchor, &anchor_alias, name, alias, meta, &facts)
+        })
+        .cloned()
+        .collect();
+    if moved.is_empty() {
+        return Ok(None); // actually co-located; pushdown should have taken it
+    }
+
+    let nodes: Vec<NodeId> = {
+        let mut v: Vec<NodeId> = anchor
+            .shards
+            .iter()
+            .filter_map(|sid| meta.shard(*sid).ok())
+            .flat_map(|s| s.placements.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+
+    // choose strategy: 2-way join of two large tables on a non-dist column →
+    // repartition both sides; otherwise broadcast the smaller relations
+    // (ascending size = minimal traffic)
+    if dist.len() == 2 {
+        let (m_name, m_alias, m_rows) = moved[0].clone();
+        let bcast = broadcast_cost(m_rows, nodes.len());
+        let repart = repartition_cost(anchor_rows, m_rows);
+        if repart < bcast {
+            return plan_repartition(
+                sel, meta, env, &anchor_name, &anchor_alias, &m_name, &m_alias, &facts,
+            )
+            .map(Some);
+        }
+    }
+    plan_broadcast(sel, meta, env, &anchor, &moved, &nodes).map(Some)
+}
+
+fn flatten_from(t: &TableRef, out: &mut Vec<(String, String)>) -> bool {
+    match t {
+        TableRef::Table { name, alias } => {
+            out.push((name.clone(), alias.clone().unwrap_or_else(|| name.clone())));
+            true
+        }
+        TableRef::Join { left, right, .. } => {
+            flatten_from(left, out) && flatten_from(right, out)
+        }
+        TableRef::Subquery { .. } => false,
+    }
+}
+
+/// Is `other` joined to the anchor on both distribution columns while
+/// co-located with it?
+fn is_colocated_join(
+    anchor: &crate::metadata::DistTable,
+    anchor_alias: &str,
+    other: &str,
+    other_alias: &str,
+    meta: &Metadata,
+    facts: &LevelFacts,
+) -> bool {
+    let Some(other_meta) = meta.table(other) else { return false };
+    if other_meta.colocation_id != anchor.colocation_id {
+        return false;
+    }
+    facts.joins.iter().any(|(a, b)| {
+        (a == anchor_alias && b == other_alias) || (a == other_alias && b == anchor_alias)
+    })
+}
+
+/// Broadcast strategy: replicate each moved table to every anchor node as a
+/// temp table, then push the rewritten join down per anchor shard.
+fn plan_broadcast(
+    sel: &Select,
+    meta: &Metadata,
+    env: &mut dyn JoinOrderEnv,
+    anchor: &crate::metadata::DistTable,
+    moved: &[(String, String, u64)],
+    nodes: &[NodeId],
+) -> PgResult<DistPlan> {
+    let mut prep = Vec::new();
+    let mut rename: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    // broadcast in ascending size order (the paper's traffic-minimising order)
+    let mut order: Vec<&(String, String, u64)> = moved.iter().collect();
+    order.sort_by_key(|(_, _, r)| *r);
+    for (i, (name, _alias, _rows)) in order.iter().enumerate() {
+        let temp = format!("citrus_bcast_{i}_{name}");
+        let columns = env.table_column_names(name)?;
+        let mut inner = Select::empty();
+        inner.projection = vec![SelectItem::Wildcard];
+        inner.from = vec![TableRef::Table { name: name.clone(), alias: None }];
+        prep.push(PrepStep::Broadcast {
+            select: inner,
+            temp_table: temp.clone(),
+            columns,
+            nodes: nodes.to_vec(),
+        });
+        rename.insert(name.clone(), temp);
+    }
+    // main query: moved tables → temp names; anchor & co-located → shards
+    let main = rewrite::rewrite_select(sel, &|n| rename.get(n).cloned());
+    finish_fanout_plan(&main, meta, anchor, prep, PlannerKind::JoinOrder)
+}
+
+/// Repartition strategy: hash both sides on the join key into N buckets and
+/// join bucket-wise on the worker nodes.
+#[allow(clippy::too_many_arguments)]
+fn plan_repartition(
+    sel: &Select,
+    meta: &Metadata,
+    env: &mut dyn JoinOrderEnv,
+    a_name: &str,
+    a_alias: &str,
+    b_name: &str,
+    b_alias: &str,
+    _facts: &LevelFacts,
+) -> PgResult<DistPlan> {
+    // find the equijoin condition between the two tables
+    let Some((a_col, b_col)) = find_equijoin(sel, a_alias, b_alias) else {
+        return Err(PgError::unsupported(
+            "cartesian products between distributed tables are not supported",
+        ));
+    };
+    let a_cols = env.table_column_names(a_name)?;
+    let b_cols = env.table_column_names(b_name)?;
+    let a_key = a_cols
+        .iter()
+        .position(|c| c == &a_col)
+        .ok_or_else(|| PgError::undefined_column(&a_col))?;
+    let b_key = b_cols
+        .iter()
+        .position(|c| c == &b_col)
+        .ok_or_else(|| PgError::undefined_column(&b_col))?;
+
+    // partition count: one bucket per worker node, round-robin placement
+    let workers: Vec<NodeId> = {
+        let dt = meta.require_table(a_name)?;
+        let mut v: Vec<NodeId> = dt
+            .shards
+            .iter()
+            .filter_map(|sid| meta.shard(*sid).ok())
+            .flat_map(|s| s.placements.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let bucket_count = (workers.len() * 4).max(4);
+    let bucket_nodes: Vec<NodeId> =
+        (0..bucket_count).map(|i| workers[i % workers.len()]).collect();
+
+    let mk_select = |name: &str| {
+        let mut s = Select::empty();
+        s.projection = vec![SelectItem::Wildcard];
+        s.from = vec![TableRef::Table { name: name.to_string(), alias: None }];
+        s
+    };
+    let prep = vec![
+        PrepStep::Repartition {
+            select: mk_select(a_name),
+            temp_prefix: format!("citrus_repart_a_{a_name}"),
+            columns: a_cols,
+            partition_col: a_key,
+            bucket_nodes: bucket_nodes.clone(),
+        },
+        PrepStep::Repartition {
+            select: mk_select(b_name),
+            temp_prefix: format!("citrus_repart_b_{b_name}"),
+            columns: b_cols,
+            partition_col: b_key,
+            bucket_nodes: bucket_nodes.clone(),
+        },
+    ];
+
+    // per-bucket tasks: query with both tables renamed to the bucket temps
+    let needs_merge = has_aggregates_or_group(sel);
+    let (worker_template, merge) = if needs_merge {
+        let split = split_aggregation(sel, &[])
+            .map_err(|e| PgError::unsupported(format!("repartitioned aggregate: {}", e.message)))?;
+        (split.worker_query, Merge::GroupAgg(Box::new(split.merge)))
+    } else {
+        (
+            sel.clone(),
+            Merge::Concat {
+                sort: resolve_simple_sort(sel)?,
+                limit: sel.limit.as_ref().and_then(expr_u64),
+                offset: sel.offset.as_ref().and_then(expr_u64),
+                distinct: sel.distinct,
+                visible: sel.projection.len(),
+            },
+        )
+    };
+    let mut tasks = Vec::with_capacity(bucket_count);
+    for (i, node) in bucket_nodes.iter().enumerate() {
+        let a_temp = format!("citrus_repart_a_{a_name}_{i}");
+        let b_temp = format!("citrus_repart_b_{b_name}_{i}");
+        let rewritten = rewrite::rewrite_select(&worker_template, &|n| {
+            if n == a_name {
+                Some(a_temp.clone())
+            } else if n == b_name {
+                Some(b_temp.clone())
+            } else {
+                meta.table(n).filter(|t| t.is_reference()).map(|t| {
+                    meta.shard(t.shards[0]).expect("reference shard").physical_name()
+                })
+            }
+        });
+        tasks.push(Task {
+            node: *node,
+            group: None,
+            stmt: Statement::Select(Box::new(rewritten)),
+            is_write: false,
+            shards: vec![],
+        });
+    }
+    Ok(DistPlan {
+        kind: PlannerKind::JoinOrder,
+        tasks,
+        merge,
+        is_write: false,
+        used_subplans: true,
+        prep,
+    })
+}
+
+fn find_equijoin(sel: &Select, a_alias: &str, b_alias: &str) -> Option<(String, String)> {
+    let mut conjuncts: Vec<&Expr> = Vec::new();
+    fn split<'x>(e: &'x Expr, out: &mut Vec<&'x Expr>) {
+        if let Expr::Binary { left, op: BinaryOp::And, right } = e {
+            split(left, out);
+            split(right, out);
+        } else {
+            out.push(e);
+        }
+    }
+    if let Some(w) = &sel.where_clause {
+        split(w, &mut conjuncts);
+    }
+    fn collect_on<'x>(t: &'x TableRef, out: &mut Vec<&'x Expr>) {
+        if let TableRef::Join { left, right, on, .. } = t {
+            collect_on(left, out);
+            collect_on(right, out);
+            if let Some(c) = on {
+                split(c, out);
+            }
+        }
+    }
+    for f in &sel.from {
+        collect_on(f, &mut conjuncts);
+    }
+    for c in conjuncts {
+        if let Expr::Binary { left, op: BinaryOp::Eq, right } = c {
+            if let (Expr::Column { table: Some(ta), name: na }, Expr::Column { table: Some(tb), name: nb }) =
+                (left.as_ref(), right.as_ref())
+            {
+                if ta == a_alias && tb == b_alias {
+                    return Some((na.clone(), nb.clone()));
+                }
+                if ta == b_alias && tb == a_alias {
+                    return Some((nb.clone(), na.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn has_aggregates_or_group(sel: &Select) -> bool {
+    !sel.group_by.is_empty()
+        || sel.projection.iter().any(|p| match p {
+            SelectItem::Expr { expr, .. } => {
+                let mut found = false;
+                expr.walk(&mut |x| {
+                    if let Expr::Func(f) = x {
+                        if matches!(f.name.as_str(), "count" | "sum" | "avg" | "min" | "max") {
+                            found = true;
+                        }
+                    }
+                });
+                found
+            }
+            _ => false,
+        })
+}
+
+fn resolve_simple_sort(sel: &Select) -> PgResult<Vec<(usize, bool)>> {
+    let mut out = Vec::new();
+    for ob in &sel.order_by {
+        match &ob.expr {
+            Expr::Literal(Literal::Int(n)) if *n >= 1 => {
+                out.push(((*n as usize) - 1, ob.desc));
+            }
+            Expr::Column { table: None, name } => {
+                if let Some(i) = sel.projection.iter().position(|p| {
+                    matches!(p, SelectItem::Expr { alias: Some(a), .. } if a == name)
+                        || matches!(p, SelectItem::Expr { expr: Expr::Column { name: n2, .. }, .. } if n2 == name)
+                }) {
+                    out.push((i, ob.desc));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+fn expr_u64(e: &Expr) -> Option<u64> {
+    match e {
+        Expr::Literal(Literal::Int(n)) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Build per-anchor-bucket tasks from a main query whose moved tables were
+/// already renamed, splitting aggregates when needed.
+fn finish_fanout_plan(
+    main: &Select,
+    meta: &Metadata,
+    anchor: &crate::metadata::DistTable,
+    prep: Vec<PrepStep>,
+    kind: PlannerKind,
+) -> PgResult<DistPlan> {
+    let needs_merge = has_aggregates_or_group(main)
+        && !main.group_by.iter().any(|g| {
+            matches!(
+                g,
+                Expr::Column { name, .. }
+                    if anchor.dist_column.as_ref().is_some_and(|(c, _)| c == name)
+            )
+        });
+    let (worker_template, merge) = if needs_merge {
+        let dist_cols: Vec<String> =
+            anchor.dist_column.iter().map(|(c, _)| c.clone()).collect();
+        let split = split_aggregation(main, &dist_cols)?;
+        (split.worker_query, Merge::GroupAgg(Box::new(split.merge)))
+    } else {
+        (
+            main.clone(),
+            Merge::Concat {
+                sort: resolve_simple_sort(main)?,
+                limit: main.limit.as_ref().and_then(expr_u64),
+                offset: main.offset.as_ref().and_then(expr_u64),
+                distinct: main.distinct,
+                visible: main.projection.len(),
+            },
+        )
+    };
+    let buckets: Vec<usize> = (0..anchor.shards.len()).collect();
+    let mut tasks = Vec::with_capacity(buckets.len());
+    for b in buckets {
+        let map = bucket_name_map(meta, b);
+        let rewritten = rewrite::rewrite_select(&worker_template, &map);
+        tasks.push(Task {
+            node: bucket_node(meta, &anchor.name, b)?,
+            group: Some((anchor.colocation_id, b)),
+            stmt: Statement::Select(Box::new(rewritten)),
+            is_write: false,
+            shards: vec![anchor.shards[b]],
+        });
+    }
+    Ok(DistPlan { kind, tasks, merge, is_write: false, used_subplans: true, prep })
+}

@@ -1,0 +1,638 @@
+//! Aggregate splitting and the coordinator merge step.
+//!
+//! When a multi-shard query's GROUP BY does not include the distribution
+//! column, the pushdown planner rewrites the worker query to produce
+//! *partial* aggregates per shard, and this module combines them on the
+//! coordinator: `count → sum of counts`, `sum → sum`, `min/max → min/max`,
+//! `avg → sum/count recomposed at the end` — the Figure 5 call flow.
+
+use pgmini::error::{ErrorCode, PgError, PgResult};
+use pgmini::expr::{bind, eval, ColumnRef, EvalCtx, RowScope};
+use pgmini::types::{Datum, Row, SortKey};
+use sqlparse::ast::{
+    BinaryOp, Expr, FuncCall, Literal, OrderByItem, Select, SelectItem, TypeName,
+};
+use sqlparse::deparse_expr;
+use std::collections::BTreeMap;
+
+/// How one partial-aggregate column combines across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    Sum,
+    Min,
+    Max,
+}
+
+/// Coordinator-side merge description.
+#[derive(Debug, Clone)]
+pub struct MergePlan {
+    /// Leading worker-row columns that are group keys.
+    pub group_cols: usize,
+    /// Combiners for the partial columns that follow the group keys.
+    pub partials: Vec<Combine>,
+    /// Final output expressions over the merged row. Scope: `__g.c{i}` for
+    /// group key i, `__p.c{j}` for combined partial j.
+    pub final_exprs: Vec<Expr>,
+    pub having: Option<Expr>,
+    /// Sort over the final output (index, desc).
+    pub sort: Vec<(usize, bool)>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+    /// Final output arity (hidden sort columns beyond this are dropped).
+    pub visible: usize,
+}
+
+/// Result of splitting a SELECT for pushdown-with-merge.
+#[derive(Debug)]
+pub struct SplitAggregation {
+    /// The query each shard runs (group keys + partial aggregates).
+    pub worker_query: Select,
+    pub merge: MergePlan,
+}
+
+fn group_ref(i: usize) -> Expr {
+    Expr::Column { table: Some("__g".into()), name: format!("c{i}") }
+}
+
+fn partial_ref(j: usize) -> Expr {
+    Expr::Column { table: Some("__p".into()), name: format!("c{j}") }
+}
+
+/// Is this function call an aggregate?
+fn agg_kind(f: &FuncCall) -> Option<&'static str> {
+    match (f.name.as_str(), f.star) {
+        ("count", _) => Some("count"),
+        ("sum", false) => Some("sum"),
+        ("avg", false) => Some("avg"),
+        ("min", false) => Some("min"),
+        ("max", false) => Some("max"),
+        _ => None,
+    }
+}
+
+#[allow(dead_code)]
+fn contains_agg(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if let Expr::Func(f) = x {
+            if agg_kind(f).is_some() {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Split a top-level SELECT into worker partial query + coordinator merge.
+/// `dist_cols` are the distribution-column spellings at this level (used to
+/// validate `count(DISTINCT ..)`).
+pub fn split_aggregation(sel: &Select, dist_cols: &[String]) -> PgResult<SplitAggregation> {
+    // resolve GROUP BY ordinals against the projection
+    let mut group_exprs: Vec<Expr> = Vec::new();
+    for g in &sel.group_by {
+        match g {
+            Expr::Literal(Literal::Int(n)) => {
+                let idx = (*n as usize).checked_sub(1);
+                match idx.and_then(|i| sel.projection.get(i)) {
+                    Some(SelectItem::Expr { expr, .. }) => group_exprs.push(expr.clone()),
+                    _ => {
+                        return Err(PgError::new(
+                            ErrorCode::Syntax,
+                            format!("GROUP BY position {n} is not in the select list"),
+                        ))
+                    }
+                }
+            }
+            other => group_exprs.push(other.clone()),
+        }
+    }
+    let group_keys: Vec<String> = group_exprs.iter().map(normal_key).collect();
+
+    // rewrite projection: collect partial aggregate calls
+    let mut partial_items: Vec<(Expr, Combine)> = Vec::new();
+    let mut partial_keys: Vec<String> = Vec::new();
+    let mut final_exprs: Vec<Expr> = Vec::new();
+    let mut names: Vec<Option<String>> = Vec::new();
+    for item in &sel.projection {
+        let SelectItem::Expr { expr, alias } = item else {
+            return Err(PgError::unsupported("wildcard in a merged aggregate query"));
+        };
+        final_exprs.push(rewrite_to_final(
+            expr,
+            &group_keys,
+            &mut partial_items,
+            &mut partial_keys,
+            dist_cols,
+        )?);
+        names.push(alias.clone());
+    }
+    let visible = final_exprs.len();
+    let having = sel
+        .having
+        .as_ref()
+        .map(|h| rewrite_to_final(h, &group_keys, &mut partial_items, &mut partial_keys, dist_cols))
+        .transpose()?;
+
+    // ORDER BY → indexes into final projection (appending hidden columns)
+    let mut sort: Vec<(usize, bool)> = Vec::new();
+    for OrderByItem { expr, desc } in &sel.order_by {
+        let idx = match expr {
+            Expr::Literal(Literal::Int(n)) => {
+                (*n as usize).checked_sub(1).filter(|i| *i < visible).ok_or_else(|| {
+                    PgError::new(ErrorCode::Syntax, "ORDER BY position out of range")
+                })?
+            }
+            Expr::Column { table: None, name }
+                if names.iter().any(|a| a.as_deref() == Some(name)) =>
+            {
+                names.iter().position(|a| a.as_deref() == Some(name.as_str())).expect("checked")
+            }
+            other => {
+                let rewritten = rewrite_to_final(
+                    other,
+                    &group_keys,
+                    &mut partial_items,
+                    &mut partial_keys,
+                    dist_cols,
+                )?;
+                if let Some(i) = final_exprs.iter().position(|e| e == &rewritten) {
+                    i
+                } else {
+                    final_exprs.push(rewritten);
+                    names.push(None);
+                    final_exprs.len() - 1
+                }
+            }
+        };
+        sort.push((idx, *desc));
+    }
+
+    // build the worker query: group keys then partial aggregates
+    let mut worker = Select::empty();
+    worker.from = sel.from.clone();
+    worker.where_clause = sel.where_clause.clone();
+    for (i, g) in group_exprs.iter().enumerate() {
+        worker
+            .projection
+            .push(SelectItem::Expr { expr: g.clone(), alias: Some(format!("g{i}")) });
+    }
+    for (j, (p, _)) in partial_items.iter().enumerate() {
+        worker
+            .projection
+            .push(SelectItem::Expr { expr: p.clone(), alias: Some(format!("p{j}")) });
+    }
+    worker.group_by = group_exprs;
+
+    Ok(SplitAggregation {
+        worker_query: worker,
+        merge: MergePlan {
+            group_cols: group_keys.len(),
+            partials: partial_items.into_iter().map(|(_, c)| c).collect(),
+            final_exprs,
+            having,
+            sort,
+            limit: sel.limit.as_ref().and_then(expr_u64),
+            offset: sel.offset.as_ref().and_then(expr_u64),
+            visible,
+        },
+    })
+}
+
+fn expr_u64(e: &Expr) -> Option<u64> {
+    match e {
+        Expr::Literal(Literal::Int(n)) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn normal_key(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => format!("col:{name}"),
+        other => deparse_expr(other),
+    }
+}
+
+/// Register a partial aggregate item; returns its column index.
+fn push_partial(
+    items: &mut Vec<(Expr, Combine)>,
+    keys: &mut Vec<String>,
+    expr: Expr,
+    combine: Combine,
+) -> usize {
+    let key = deparse_expr(&expr);
+    if let Some(i) = keys.iter().position(|k| k == &key) {
+        return i;
+    }
+    items.push((expr, combine));
+    keys.push(key);
+    items.len() - 1
+}
+
+/// Rewrite an expression into the final (merge-side) form, collecting the
+/// partial aggregates the workers must produce.
+fn rewrite_to_final(
+    e: &Expr,
+    group_keys: &[String],
+    partials: &mut Vec<(Expr, Combine)>,
+    partial_keys: &mut Vec<String>,
+    dist_cols: &[String],
+) -> PgResult<Expr> {
+    if let Some(i) = group_keys.iter().position(|k| k == &normal_key(e)) {
+        return Ok(group_ref(i));
+    }
+    if let Expr::Func(f) = e {
+        if let Some(kind) = agg_kind(f) {
+            if f.distinct {
+                // DISTINCT aggregates only push down when the argument is the
+                // distribution column (each value lives on exactly one shard)
+                let arg_is_dist = matches!(
+                    f.args.first(),
+                    Some(Expr::Column { name, .. }) if dist_cols.contains(name)
+                );
+                if !arg_is_dist {
+                    return Err(PgError::unsupported(
+                        "DISTINCT aggregates on non-distribution columns require repartitioning",
+                    ));
+                }
+                let idx = push_partial(partials, partial_keys, e.clone(), Combine::Sum);
+                return Ok(partial_ref(idx));
+            }
+            return Ok(match kind {
+                "count" | "sum" => {
+                    let idx = push_partial(partials, partial_keys, e.clone(), Combine::Sum);
+                    partial_ref(idx)
+                }
+                "min" => {
+                    let idx = push_partial(partials, partial_keys, e.clone(), Combine::Min);
+                    partial_ref(idx)
+                }
+                "max" => {
+                    let idx = push_partial(partials, partial_keys, e.clone(), Combine::Max);
+                    partial_ref(idx)
+                }
+                "avg" => {
+                    // avg(x) = sum(x)::float / nullif(count(x), 0)
+                    let arg = f.args[0].clone();
+                    let sum_idx = push_partial(
+                        partials,
+                        partial_keys,
+                        Expr::Func(FuncCall::new("sum", vec![arg.clone()])),
+                        Combine::Sum,
+                    );
+                    let count_idx = push_partial(
+                        partials,
+                        partial_keys,
+                        Expr::Func(FuncCall::new("count", vec![arg])),
+                        Combine::Sum,
+                    );
+                    Expr::bin(
+                        Expr::Cast {
+                            expr: Box::new(partial_ref(sum_idx)),
+                            ty: TypeName::Float,
+                        },
+                        BinaryOp::Div,
+                        Expr::Func(FuncCall::new(
+                            "nullif",
+                            vec![partial_ref(count_idx), Expr::int(0)],
+                        )),
+                    )
+                }
+                _ => unreachable!("agg_kind covers these"),
+            });
+        }
+    }
+    // recurse structurally; bare columns that are neither group keys nor
+    // inside aggregates are an error (same rule PostgreSQL enforces)
+    Ok(match e {
+        Expr::Column { .. } => {
+            return Err(PgError::new(
+                ErrorCode::Syntax,
+                format!(
+                    "column {} must appear in the GROUP BY clause or be used in an aggregate",
+                    deparse_expr(e)
+                ),
+            ))
+        }
+        Expr::Literal(_) | Expr::Param(_) => e.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_to_final(expr, group_keys, partials, partial_keys, dist_cols)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(rewrite_to_final(left, group_keys, partials, partial_keys, dist_cols)?),
+            op: *op,
+            right: Box::new(rewrite_to_final(
+                right,
+                group_keys,
+                partials,
+                partial_keys,
+                dist_cols,
+            )?),
+        },
+        Expr::Cast { expr, ty } => Expr::Cast {
+            expr: Box::new(rewrite_to_final(expr, group_keys, partials, partial_keys, dist_cols)?),
+            ty: *ty,
+        },
+        Expr::Case { operand, branches, else_result } => Expr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| {
+                    rewrite_to_final(o, group_keys, partials, partial_keys, dist_cols)
+                        .map(Box::new)
+                })
+                .transpose()?,
+            branches: branches
+                .iter()
+                .map(|(w, t)| {
+                    Ok((
+                        rewrite_to_final(w, group_keys, partials, partial_keys, dist_cols)?,
+                        rewrite_to_final(t, group_keys, partials, partial_keys, dist_cols)?,
+                    ))
+                })
+                .collect::<PgResult<_>>()?,
+            else_result: else_result
+                .as_ref()
+                .map(|x| {
+                    rewrite_to_final(x, group_keys, partials, partial_keys, dist_cols)
+                        .map(Box::new)
+                })
+                .transpose()?,
+        },
+        Expr::Func(f) => Expr::Func(FuncCall {
+            name: f.name.clone(),
+            args: f
+                .args
+                .iter()
+                .map(|a| rewrite_to_final(a, group_keys, partials, partial_keys, dist_cols))
+                .collect::<PgResult<_>>()?,
+            distinct: f.distinct,
+            star: f.star,
+        }),
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_to_final(expr, group_keys, partials, partial_keys, dist_cols)?),
+            negated: *negated,
+        },
+        other => {
+            return Err(PgError::unsupported(format!(
+                "expression over aggregates not supported in merge step: {}",
+                deparse_expr(other)
+            )))
+        }
+    })
+}
+
+/// Execute the merge: combine worker rows, evaluate final expressions,
+/// filter, sort, limit. Returns (rows, merge CPU work units).
+pub fn execute_merge(plan: &MergePlan, worker_rows: Vec<Row>) -> PgResult<(Vec<Row>, u64)> {
+    let work = worker_rows.len() as u64;
+    // group and combine
+    let mut groups: BTreeMap<SortKey, Vec<Datum>> = BTreeMap::new();
+    for row in worker_rows {
+        if row.len() < plan.group_cols + plan.partials.len() {
+            return Err(PgError::internal("merge row arity mismatch"));
+        }
+        let key = SortKey(row[..plan.group_cols].to_vec());
+        let incoming = &row[plan.group_cols..plan.group_cols + plan.partials.len()];
+        match groups.get_mut(&key) {
+            None => {
+                groups.insert(key, incoming.to_vec());
+            }
+            Some(acc) => {
+                for ((a, b), combine) in acc.iter_mut().zip(incoming).zip(&plan.partials) {
+                    *a = combine_datum(a, b, *combine)?;
+                }
+            }
+        }
+    }
+    // when there is no GROUP BY and no rows arrived, aggregates still emit
+    // one all-NULL/0 row; workers always return at least one partial row per
+    // shard for global aggregates, so groups is only empty with zero shards
+    if groups.is_empty() && plan.group_cols == 0 {
+        let zero: Vec<Datum> = plan
+            .partials
+            .iter()
+            .map(|c| match c {
+                Combine::Sum => Datum::Null,
+                _ => Datum::Null,
+            })
+            .collect();
+        groups.insert(SortKey(vec![]), zero);
+    }
+
+    // final projection scope: __g.c0.. then __p.c0..
+    let mut cols: Vec<ColumnRef> =
+        (0..plan.group_cols).map(|i| ColumnRef::new(Some("__g"), &format!("c{i}"))).collect();
+    cols.extend(
+        (0..plan.partials.len()).map(|j| ColumnRef::new(Some("__p"), &format!("c{j}"))),
+    );
+    let scope = RowScope { cols };
+    let bound_final: Vec<pgmini::expr::BExpr> = plan
+        .final_exprs
+        .iter()
+        .map(|e| bind(e, &scope, &[]))
+        .collect::<PgResult<_>>()?;
+    let bound_having =
+        plan.having.as_ref().map(|h| bind(h, &scope, &[])).transpose()?;
+    let ctx = EvalCtx::default();
+
+    let mut out: Vec<Row> = Vec::with_capacity(groups.len());
+    for (key, acc) in groups {
+        let mut merged = key.0;
+        merged.extend(acc);
+        if let Some(h) = &bound_having {
+            if !matches!(eval(h, &merged, &ctx)?, Datum::Bool(true)) {
+                continue;
+            }
+        }
+        let row: Row =
+            bound_final.iter().map(|b| eval(b, &merged, &ctx)).collect::<PgResult<_>>()?;
+        out.push(row);
+    }
+
+    if !plan.sort.is_empty() {
+        out.sort_by(|a, b| {
+            for (idx, desc) in &plan.sort {
+                let ord = a[*idx].total_cmp(&b[*idx]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(off) = plan.offset {
+        let off = (off as usize).min(out.len());
+        out.drain(..off);
+    }
+    if let Some(lim) = plan.limit {
+        out.truncate(lim as usize);
+    }
+    for r in &mut out {
+        r.truncate(plan.visible);
+    }
+    Ok((out, work))
+}
+
+fn combine_datum(a: &Datum, b: &Datum, combine: Combine) -> PgResult<Datum> {
+    if a.is_null() {
+        return Ok(b.clone());
+    }
+    if b.is_null() {
+        return Ok(a.clone());
+    }
+    Ok(match combine {
+        Combine::Sum => match (a, b) {
+            (Datum::Int(x), Datum::Int(y)) => Datum::Int(x.wrapping_add(*y)),
+            _ => Datum::Float(a.as_f64()? + b.as_f64()?),
+        },
+        Combine::Min => {
+            if a.sql_cmp(b) == Some(std::cmp::Ordering::Greater) {
+                b.clone()
+            } else {
+                a.clone()
+            }
+        }
+        Combine::Max => {
+            if a.sql_cmp(b) == Some(std::cmp::Ordering::Less) {
+                b.clone()
+            } else {
+                a.clone()
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlparse::ast::Statement;
+    use sqlparse::{deparse, parse};
+
+    fn split(sql: &str) -> SplitAggregation {
+        let Statement::Select(sel) = parse(sql).unwrap() else { panic!() };
+        split_aggregation(&sel, &["w_id".to_string()]).unwrap()
+    }
+
+    #[test]
+    fn count_and_sum_split_to_sum_merge() {
+        let s = split("SELECT region, count(*), sum(amount) FROM t GROUP BY region");
+        let text = deparse(&Statement::Select(Box::new(s.worker_query.clone())));
+        assert!(text.contains("count(*)"), "{text}");
+        assert!(text.contains("sum(amount)"), "{text}");
+        assert!(text.contains("GROUP BY region"), "{text}");
+        assert_eq!(s.merge.group_cols, 1);
+        assert_eq!(s.merge.partials, vec![Combine::Sum, Combine::Sum]);
+    }
+
+    #[test]
+    fn avg_decomposes_into_sum_and_count() {
+        let s = split("SELECT avg(x) FROM t");
+        let text = deparse(&Statement::Select(Box::new(s.worker_query.clone())));
+        assert!(text.contains("sum(x)"), "{text}");
+        assert!(text.contains("count(x)"), "{text}");
+        assert!(!text.contains("avg"), "avg must not reach workers: {text}");
+        // merge of [sum, count] partials: (10+20)/(2+3) = 6
+        let rows = vec![
+            vec![Datum::Float(10.0), Datum::Int(2)],
+            vec![Datum::Float(20.0), Datum::Int(3)],
+        ];
+        let (out, _) = execute_merge(&s.merge, rows).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Datum::Float(6.0));
+    }
+
+    #[test]
+    fn merge_groups_and_combines() {
+        let s = split("SELECT region, count(*), min(x), max(x) FROM t GROUP BY region");
+        let rows = vec![
+            vec![Datum::from_text("eu"), Datum::Int(5), Datum::Int(1), Datum::Int(9)],
+            vec![Datum::from_text("eu"), Datum::Int(3), Datum::Int(0), Datum::Int(4)],
+            vec![Datum::from_text("us"), Datum::Int(2), Datum::Int(7), Datum::Int(8)],
+        ];
+        let (out, _) = execute_merge(&s.merge, rows).unwrap();
+        assert_eq!(out.len(), 2);
+        // BTreeMap ordering: eu before us
+        assert_eq!(out[0], vec![Datum::from_text("eu"), Datum::Int(8), Datum::Int(0), Datum::Int(9)]);
+        assert_eq!(out[1], vec![Datum::from_text("us"), Datum::Int(2), Datum::Int(7), Datum::Int(8)]);
+    }
+
+    #[test]
+    fn having_and_order_apply_after_merge() {
+        let s = split(
+            "SELECT region, sum(x) AS total FROM t GROUP BY region \
+             HAVING sum(x) > 5 ORDER BY total DESC LIMIT 1",
+        );
+        let rows = vec![
+            vec![Datum::from_text("a"), Datum::Int(4)],
+            vec![Datum::from_text("a"), Datum::Int(4)],
+            vec![Datum::from_text("b"), Datum::Int(3)],
+            vec![Datum::from_text("c"), Datum::Int(9)],
+        ];
+        let (out, _) = execute_merge(&s.merge, rows).unwrap();
+        // a=8, c=9 pass having; order desc, limit 1 → c
+        assert_eq!(out, vec![vec![Datum::from_text("c"), Datum::Int(9)]]);
+    }
+
+    #[test]
+    fn arithmetic_over_aggregates() {
+        let s = split("SELECT 100 * sum(a) / sum(b) FROM t");
+        let rows = vec![
+            vec![Datum::Int(2), Datum::Int(5)],
+            vec![Datum::Int(3), Datum::Int(5)],
+        ];
+        let (out, _) = execute_merge(&s.merge, rows).unwrap();
+        assert_eq!(out[0][0], Datum::Int(50));
+    }
+
+    #[test]
+    fn count_distinct_requires_dist_column() {
+        let Statement::Select(sel) =
+            parse("SELECT count(DISTINCT other) FROM t").unwrap()
+        else {
+            panic!()
+        };
+        let err = split_aggregation(&sel, &["w_id".to_string()]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::FeatureNotSupported);
+        // on the distribution column it's allowed
+        let Statement::Select(sel) =
+            parse("SELECT count(DISTINCT w_id) FROM t").unwrap()
+        else {
+            panic!()
+        };
+        assert!(split_aggregation(&sel, &["w_id".to_string()]).is_ok());
+    }
+
+    #[test]
+    fn bare_column_outside_group_by_rejected() {
+        let Statement::Select(sel) =
+            parse("SELECT region, other, count(*) FROM t GROUP BY region").unwrap()
+        else {
+            panic!()
+        };
+        assert!(split_aggregation(&sel, &[]).is_err());
+    }
+
+    #[test]
+    fn group_by_ordinal_resolves() {
+        let s = split("SELECT region, count(*) FROM t GROUP BY 1 ORDER BY 2 DESC");
+        assert_eq!(s.merge.group_cols, 1);
+        assert_eq!(s.merge.sort, vec![(1, true)]);
+    }
+
+    #[test]
+    fn sum_combines_floats_and_ints() {
+        assert_eq!(
+            combine_datum(&Datum::Int(2), &Datum::Int(3), Combine::Sum).unwrap(),
+            Datum::Int(5)
+        );
+        assert_eq!(
+            combine_datum(&Datum::Float(2.5), &Datum::Int(3), Combine::Sum).unwrap(),
+            Datum::Float(5.5)
+        );
+        assert_eq!(
+            combine_datum(&Datum::Null, &Datum::Int(3), Combine::Sum).unwrap(),
+            Datum::Int(3)
+        );
+    }
+}

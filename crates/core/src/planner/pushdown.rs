@@ -1,0 +1,670 @@
+//! Tier 3: the logical pushdown planner (§3.5).
+//!
+//! Detects whether the whole join tree can be delegated to the workers —
+//! all distributed tables co-located and joined on their distribution
+//! columns, and no subquery needing a global merge — then fans the rewritten
+//! query out to every (pruned) shard. When the top-level GROUP BY does not
+//! include the distribution column, aggregates are split into worker partials
+//! plus a coordinator merge step ([`super::merge`]).
+//!
+//! WHERE-clause subqueries over distributed tables become *subplans*: they
+//! are planned recursively, executed first, and their results substituted as
+//! constants — citrus's intermediate results.
+
+use super::analysis::{level_buckets, level_facts, LevelFacts};
+use super::merge::split_aggregation;
+use super::rewrite;
+use super::{bucket_name_map, bucket_node, DistPlan, Merge, PlannerKind, SubplanExecutor, Task};
+use crate::metadata::{Metadata, NodeId};
+use pgmini::error::{ErrorCode, PgError, PgResult};
+use pgmini::types::Datum;
+use sqlparse::ast::{
+    Expr, Insert, InsertSource, Literal, Select, SelectItem, Statement, TableRef,
+};
+
+/// Try to plan a multi-shard statement by pushdown. Assumes all distributed
+/// tables referenced share one colocation group (checked by the caller).
+pub fn try_pushdown(
+    stmt: &Statement,
+    meta: &Metadata,
+    self_node: NodeId,
+    subplans: &mut dyn SubplanExecutor,
+) -> PgResult<Option<DistPlan>> {
+    match stmt {
+        Statement::Select(sel) => {
+            let (sel, used_subplans) = resolve_subplans_select(sel, meta, subplans)?;
+            // subplan resolution may leave only reference tables behind
+            // (e.g. a reference-table query filtered by a distributed
+            // subquery); delegate the remainder to the local replica
+            let remaining = rewrite::collect_tables(&Statement::Select(Box::new(sel.clone())));
+            let any_distributed = remaining
+                .iter()
+                .any(|t| meta.table(t).is_some_and(|x| !x.is_reference()));
+            if !any_distributed {
+                let mut plan = super::reference_read_plan(
+                    &Statement::Select(Box::new(sel)),
+                    meta,
+                    self_node,
+                )?;
+                plan.used_subplans = used_subplans;
+                return Ok(Some(plan));
+            }
+            plan_select(&sel, meta, used_subplans).map(Some)
+        }
+        Statement::Update(_) | Statement::Delete(_) => {
+            let (stmt, used_subplans) = resolve_subplans_dml(stmt, meta, subplans)?;
+            plan_multi_shard_dml(&stmt, meta, used_subplans).map(Some)
+        }
+        Statement::Insert(ins) => match &ins.source {
+            InsertSource::Values(rows) if rows.len() > 1 => {
+                plan_multi_row_insert(ins, rows, meta).map(Some)
+            }
+            _ => Ok(None),
+        },
+        _ => Ok(None),
+    }
+}
+
+// ---------------- subplans (intermediate results) ----------------
+
+/// Replace WHERE/HAVING subqueries that reference distributed tables with
+/// their materialised results (scalar constant / IN-list). Returns the
+/// rewritten select and whether any subplan ran.
+fn resolve_subplans_select(
+    sel: &Select,
+    meta: &Metadata,
+    subplans: &mut dyn SubplanExecutor,
+) -> PgResult<(Select, bool)> {
+    let mut out = sel.clone();
+    let mut used = false;
+    resolve_select_in_place(&mut out, meta, subplans, &mut used)?;
+    Ok((out, used))
+}
+
+/// Resolve distributed subqueries everywhere they can appear: WHERE, HAVING,
+/// the projection, and recursively inside FROM-subqueries and JOIN
+/// conditions.
+fn resolve_select_in_place(
+    sel: &mut Select,
+    meta: &Metadata,
+    subplans: &mut dyn SubplanExecutor,
+    used: &mut bool,
+) -> PgResult<()> {
+    if let Some(w) = &sel.where_clause {
+        sel.where_clause = Some(resolve_expr(w, meta, subplans, used)?);
+    }
+    if let Some(h) = &sel.having {
+        sel.having = Some(resolve_expr(h, meta, subplans, used)?);
+    }
+    for item in &mut sel.projection {
+        if let sqlparse::ast::SelectItem::Expr { expr, .. } = item {
+            *expr = resolve_expr(expr, meta, subplans, used)?;
+        }
+    }
+    for f in &mut sel.from {
+        resolve_table_ref(f, meta, subplans, used)?;
+    }
+    Ok(())
+}
+
+fn resolve_table_ref(
+    t: &mut TableRef,
+    meta: &Metadata,
+    subplans: &mut dyn SubplanExecutor,
+    used: &mut bool,
+) -> PgResult<()> {
+    match t {
+        TableRef::Table { .. } => Ok(()),
+        TableRef::Subquery { query, .. } => {
+            resolve_select_in_place(query, meta, subplans, used)
+        }
+        TableRef::Join { left, right, on, .. } => {
+            resolve_table_ref(left, meta, subplans, used)?;
+            resolve_table_ref(right, meta, subplans, used)?;
+            if let Some(c) = on {
+                *on = Some(resolve_expr(c, meta, subplans, used)?);
+            }
+            Ok(())
+        }
+    }
+}
+
+fn resolve_subplans_dml(
+    stmt: &Statement,
+    meta: &Metadata,
+    subplans: &mut dyn SubplanExecutor,
+) -> PgResult<(Statement, bool)> {
+    let mut used = false;
+    let out = match stmt {
+        Statement::Update(u) => {
+            let mut u2 = (**u).clone();
+            if let Some(w) = &u2.where_clause {
+                u2.where_clause = Some(resolve_expr(w, meta, subplans, &mut used)?);
+            }
+            Statement::Update(Box::new(u2))
+        }
+        Statement::Delete(d) => {
+            let mut d2 = (**d).clone();
+            if let Some(w) = &d2.where_clause {
+                d2.where_clause = Some(resolve_expr(w, meta, subplans, &mut used)?);
+            }
+            Statement::Delete(Box::new(d2))
+        }
+        other => other.clone(),
+    };
+    Ok((out, used))
+}
+
+fn subquery_has_citrus_tables(sel: &Select, meta: &Metadata) -> bool {
+    let tables = rewrite::collect_tables(&Statement::Select(Box::new(sel.clone())));
+    tables.iter().any(|t| meta.is_citrus_table(t))
+}
+
+fn subquery_has_distributed_tables(sel: &Select, meta: &Metadata) -> bool {
+    let tables = rewrite::collect_tables(&Statement::Select(Box::new(sel.clone())));
+    tables.iter().any(|t| meta.table(t).is_some_and(|x| !x.is_reference()))
+}
+
+fn datum_expr(d: &Datum) -> Expr {
+    match d {
+        Datum::Null => Expr::Literal(Literal::Null),
+        Datum::Bool(b) => Expr::Literal(Literal::Bool(*b)),
+        Datum::Int(v) => Expr::Literal(Literal::Int(*v)),
+        Datum::Float(v) => Expr::Literal(Literal::Float(*v)),
+        other => Expr::Literal(Literal::String(other.to_text())),
+    }
+}
+
+/// Run an uncorrelated subplan; correlation surfaces as an unresolvable
+/// column on the workers, reported as the unsupported-feature error Citus
+/// 9.5 raises for correlated subqueries.
+fn run_subplan(
+    sel: &Select,
+    subplans: &mut dyn SubplanExecutor,
+) -> PgResult<Vec<pgmini::types::Row>> {
+    subplans.run_distributed_subquery(sel).map_err(|e| {
+        if e.code == ErrorCode::UndefinedColumn {
+            PgError::unsupported(format!(
+                "correlated subqueries are not supported ({})",
+                e.message
+            ))
+        } else {
+            e
+        }
+    })
+}
+
+fn resolve_expr(
+    e: &Expr,
+    meta: &Metadata,
+    subplans: &mut dyn SubplanExecutor,
+    used: &mut bool,
+) -> PgResult<Expr> {
+    Ok(match e {
+        Expr::ScalarSubquery(q) if subquery_has_citrus_tables(q, meta) => {
+            let rows = run_subplan(q, subplans)?;
+            *used = true;
+            match rows.len() {
+                0 => Expr::Literal(Literal::Null),
+                1 => datum_expr(&rows[0][0]),
+                _ => {
+                    return Err(PgError::new(
+                        ErrorCode::Syntax,
+                        "more than one row returned by a subquery used as an expression",
+                    ))
+                }
+            }
+        }
+        Expr::InSubquery { expr, subquery, negated }
+            if subquery_has_citrus_tables(subquery, meta) =>
+        {
+            let rows = run_subplan(subquery, subplans)?;
+            *used = true;
+            let inner = resolve_expr(expr, meta, subplans, used)?;
+            if rows.is_empty() {
+                Expr::Literal(Literal::Bool(*negated))
+            } else {
+                Expr::InList {
+                    expr: Box::new(inner),
+                    list: rows.iter().map(|r| datum_expr(&r[0])).collect(),
+                    negated: *negated,
+                }
+            }
+        }
+        Expr::Exists { subquery, negated } if subquery_has_citrus_tables(subquery, meta) => {
+            let rows = run_subplan(subquery, subplans)?;
+            *used = true;
+            Expr::Literal(Literal::Bool((!rows.is_empty()) != *negated))
+        }
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(resolve_expr(left, meta, subplans, used)?),
+            op: *op,
+            right: Box::new(resolve_expr(right, meta, subplans, used)?),
+        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(resolve_expr(expr, meta, subplans, used)?) }
+        }
+        other => other.clone(),
+    })
+}
+
+// ---------------- pushdown safety ----------------
+
+/// Distribution columns exposed by a level (table dist columns plus
+/// subquery projections that pass an inner dist column through).
+fn exposed_dist_cols(sel: &Select, meta: &Metadata) -> Vec<String> {
+    let mut out = Vec::new();
+    for f in &sel.from {
+        exposed_from_table_ref(f, meta, &mut out);
+    }
+    out
+}
+
+fn exposed_from_table_ref(t: &TableRef, meta: &Metadata, out: &mut Vec<String>) {
+    match t {
+        TableRef::Table { name, .. } => {
+            if let Some(dt) = meta.table(name) {
+                if let Some((col, _)) = &dt.dist_column {
+                    if !out.contains(col) {
+                        out.push(col.clone());
+                    }
+                }
+            }
+        }
+        TableRef::Subquery { query, .. } => {
+            let inner = exposed_dist_cols(query, meta);
+            for item in &query.projection {
+                if let SelectItem::Expr { expr: Expr::Column { name, .. }, alias } = item {
+                    if inner.contains(name) {
+                        let visible = alias.clone().unwrap_or_else(|| name.clone());
+                        if !out.contains(&visible) {
+                            out.push(visible);
+                        }
+                    }
+                }
+            }
+        }
+        TableRef::Join { left, right, .. } => {
+            exposed_from_table_ref(left, meta, out);
+            exposed_from_table_ref(right, meta, out);
+        }
+    }
+}
+
+/// True when every dist table at this level is connected through dist-column
+/// equijoins (single component).
+fn level_joins_connected(facts: &LevelFacts) -> bool {
+    let n = facts.dist_aliases.len();
+    if n <= 1 {
+        return true;
+    }
+    let aliases: Vec<&String> = facts.dist_aliases.keys().collect();
+    let index: std::collections::HashMap<&str, usize> =
+        aliases.iter().enumerate().map(|(i, a)| (a.as_str(), i)).collect();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    for (a, b) in &facts.joins {
+        if let (Some(&ia), Some(&ib)) = (index.get(a.as_str()), index.get(b.as_str())) {
+            let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+            parent[ra] = rb;
+        }
+    }
+    let root = find(&mut parent, 0);
+    (1..n).all(|i| find(&mut parent, i) == root)
+}
+
+/// Does an expression list reference one of the exposed dist columns?
+fn group_contains_dist_col(group_by: &[Expr], projection: &[SelectItem], exposed: &[String]) -> bool {
+    group_by.iter().any(|g| {
+        let g = match g {
+            // ordinals point into the projection
+            Expr::Literal(Literal::Int(n)) => {
+                match projection.get((*n as usize).saturating_sub(1)) {
+                    Some(SelectItem::Expr { expr, .. }) => expr,
+                    _ => return false,
+                }
+            }
+            other => other,
+        };
+        matches!(g, Expr::Column { name, .. } if exposed.contains(name))
+    })
+}
+
+fn has_aggregates(sel: &Select) -> bool {
+    let is_agg = |e: &Expr| {
+        let mut found = false;
+        e.walk(&mut |x| {
+            if let Expr::Func(f) = x {
+                if matches!(f.name.as_str(), "count" | "sum" | "avg" | "min" | "max") {
+                    found = true;
+                }
+            }
+        });
+        found
+    };
+    sel.projection.iter().any(|p| match p {
+        SelectItem::Expr { expr, .. } => is_agg(expr),
+        _ => false,
+    }) || sel.having.as_ref().is_some_and(|h| is_agg(h))
+}
+
+/// Verify that every level of the select tree is pushdown-safe; errors name
+/// the violation (matches the "Citus does not support X" UX).
+fn check_pushdown_safe(sel: &Select, meta: &Metadata, is_top: bool) -> PgResult<()> {
+    let facts = level_facts(sel, meta);
+    let dist_subqueries: Vec<&Select> = sel
+        .from
+        .iter()
+        .filter_map(|f| match f {
+            TableRef::Subquery { query, .. }
+                if subquery_has_distributed_tables(query, meta) =>
+            {
+                Some(query.as_ref())
+            }
+            _ => None,
+        })
+        .collect();
+    // recursion into FROM-subqueries
+    for sub in &dist_subqueries {
+        check_pushdown_safe(sub, meta, false)?;
+    }
+    let dist_items = facts.dist_aliases.len() + dist_subqueries.len();
+    if dist_items == 0 {
+        return Ok(());
+    }
+    if !facts.dist_aliases.is_empty() && !dist_subqueries.is_empty() {
+        return Err(PgError::unsupported(
+            "joining a distributed table with a distributed subquery requires a \
+             co-located join that citrus cannot verify here",
+        ));
+    }
+    if dist_subqueries.len() > 1 {
+        return Err(PgError::unsupported(
+            "joining multiple distributed subqueries is not supported",
+        ));
+    }
+    if !level_joins_connected(&facts) {
+        return Err(PgError::unsupported(
+            "complex joins are only supported when all distributed tables are \
+             co-located and joined on their distribution columns",
+        ));
+    }
+    if !is_top {
+        // a nested level must not require a global merge step
+        let exposed = exposed_dist_cols(sel, meta);
+        if has_aggregates(sel) || !sel.group_by.is_empty() {
+            if !group_contains_dist_col(&sel.group_by, &sel.projection, &exposed) {
+                return Err(PgError::unsupported(
+                    "subquery with aggregates must GROUP BY the distribution column",
+                ));
+            }
+        }
+        if sel.limit.is_some() || sel.offset.is_some() || sel.distinct {
+            return Err(PgError::unsupported(
+                "subquery with LIMIT/OFFSET/DISTINCT requires a global merge step",
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------- SELECT planning ----------------
+
+fn plan_select(sel: &Select, meta: &Metadata, used_subplans: bool) -> PgResult<DistPlan> {
+    check_pushdown_safe(sel, meta, true)?;
+
+    // anchor table for placements
+    let tables = rewrite::collect_tables(&Statement::Select(Box::new(sel.clone())));
+    let anchor = tables
+        .iter()
+        .filter_map(|t| meta.table(t))
+        .find(|dt| !dt.is_reference())
+        .ok_or_else(|| PgError::internal("pushdown with no distributed table"))?
+        .clone();
+    let shard_count = anchor.shards.len();
+
+    // shard pruning from the top level's constraints
+    let facts = level_facts(sel, meta);
+    let buckets: Vec<usize> =
+        level_buckets(&facts, meta).unwrap_or_else(|| (0..shard_count).collect());
+
+    let exposed = exposed_dist_cols(sel, meta);
+    let full_pushdown = !has_aggregates(sel) && sel.group_by.is_empty()
+        || group_contains_dist_col(&sel.group_by, &sel.projection, &exposed);
+
+    if full_pushdown {
+        // the workers run the whole query; the coordinator concatenates,
+        // re-sorts, and applies LIMIT/OFFSET
+        let mut worker = sel.clone();
+        // sort keys must be visible in the output for the coordinator; a
+        // wildcard expands to an unknown arity, so never truncate then
+        let has_wildcard = worker
+            .projection
+            .iter()
+            .any(|p| !matches!(p, SelectItem::Expr { .. }));
+        let visible =
+            if has_wildcard { usize::MAX } else { worker.projection.len() };
+        let mut sort: Vec<(usize, bool)> = Vec::new();
+        for ob in &sel.order_by {
+            let idx = match &ob.expr {
+                Expr::Literal(Literal::Int(n)) => (*n as usize)
+                    .checked_sub(1)
+                    .filter(|i| *i < visible.min(1 << 20))
+                    .ok_or_else(|| {
+                        PgError::new(ErrorCode::Syntax, "ORDER BY position out of range")
+                    })?,
+                Expr::Column { table: None, name } => {
+                    match worker.projection.iter().position(|p| {
+                        matches!(p, SelectItem::Expr { alias: Some(a), .. } if a == name)
+                            || matches!(
+                                p,
+                                SelectItem::Expr { expr: Expr::Column { name: n2, .. }, alias: None }
+                                    if n2 == name
+                            )
+                    }) {
+                        Some(i) => i,
+                        None => {
+                            worker.projection.push(SelectItem::Expr {
+                                expr: ob.expr.clone(),
+                                alias: Some(format!("__ord{}", worker.projection.len())),
+                            });
+                            worker.projection.len() - 1
+                        }
+                    }
+                }
+                other => {
+                    worker.projection.push(SelectItem::Expr {
+                        expr: other.clone(),
+                        alias: Some(format!("__ord{}", worker.projection.len())),
+                    });
+                    worker.projection.len() - 1
+                }
+            };
+            sort.push((idx, ob.desc));
+        }
+        let limit = sel.limit.as_ref().and_then(expr_u64);
+        let offset = sel.offset.as_ref().and_then(expr_u64);
+        // workers can pre-limit to limit+offset when a sort order is pushed
+        worker.limit = limit.map(|l| {
+            Expr::Literal(Literal::Int((l + offset.unwrap_or(0)) as i64))
+        });
+        worker.offset = None;
+        let tasks = build_tasks(&worker, meta, &anchor, &buckets, false)?;
+        return Ok(DistPlan {
+            kind: PlannerKind::Pushdown,
+            tasks,
+            merge: Merge::Concat { sort, limit, offset, distinct: sel.distinct, visible },
+            is_write: false,
+            used_subplans,
+            prep: Vec::new(),
+        });
+    }
+
+    // aggregate split: worker partials + coordinator merge
+    let split = split_aggregation(sel, &exposed)?;
+    let tasks = build_tasks(&split.worker_query, meta, &anchor, &buckets, false)?;
+    Ok(DistPlan {
+        kind: PlannerKind::Pushdown,
+        tasks,
+        merge: Merge::GroupAgg(Box::new(split.merge)),
+        is_write: false,
+        used_subplans,
+        prep: Vec::new(),
+    })
+}
+
+fn expr_u64(e: &Expr) -> Option<u64> {
+    match e {
+        Expr::Literal(Literal::Int(n)) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn build_tasks(
+    worker: &Select,
+    meta: &Metadata,
+    anchor: &crate::metadata::DistTable,
+    buckets: &[usize],
+    is_write: bool,
+) -> PgResult<Vec<Task>> {
+    let mut tasks = Vec::with_capacity(buckets.len());
+    for &b in buckets {
+        let map = bucket_name_map(meta, b);
+        let rewritten = rewrite::rewrite_select(worker, &map);
+        let node = bucket_node(meta, &anchor.name, b)?;
+        tasks.push(Task {
+            node,
+            group: Some((anchor.colocation_id, b)),
+            stmt: Statement::Select(Box::new(rewritten)),
+            is_write,
+            shards: vec![anchor.shards[b]],
+        });
+    }
+    Ok(tasks)
+}
+
+// ---------------- multi-shard DML ----------------
+
+fn plan_multi_shard_dml(
+    stmt: &Statement,
+    meta: &Metadata,
+    used_subplans: bool,
+) -> PgResult<DistPlan> {
+    let (table, where_clause) = match stmt {
+        Statement::Update(u) => (&u.table, &u.where_clause),
+        Statement::Delete(d) => (&d.table, &d.where_clause),
+        _ => return Err(PgError::internal("plan_multi_shard_dml on non-DML")),
+    };
+    let dt = meta.require_table(table)?.clone();
+    // prune from the WHERE clause
+    let buckets: Vec<usize> = {
+        let mut facts = LevelFacts::default();
+        if let Some((col, _)) = &dt.dist_column {
+            facts
+                .dist_aliases
+                .insert(table.clone(), (table.clone(), col.clone()));
+        }
+        if let Some(w) = where_clause {
+            // reuse analysis by fabricating a single-table level
+            let sel = Select {
+                from: vec![TableRef::Table { name: table.clone(), alias: None }],
+                where_clause: Some(w.clone()),
+                ..Select::empty()
+            };
+            let facts = level_facts(&sel, meta);
+            level_buckets(&facts, meta).unwrap_or_else(|| (0..dt.shards.len()).collect())
+        } else {
+            (0..dt.shards.len()).collect()
+        }
+    };
+    let mut tasks = Vec::with_capacity(buckets.len());
+    for b in buckets {
+        let map = bucket_name_map(meta, b);
+        let rewritten = rewrite::rewrite_statement(stmt, &map);
+        tasks.push(Task {
+            node: bucket_node(meta, table, b)?,
+            group: Some((dt.colocation_id, b)),
+            stmt: rewritten,
+            is_write: true,
+            shards: vec![dt.shards[b]],
+        });
+    }
+    Ok(DistPlan {
+        kind: PlannerKind::Pushdown,
+        tasks,
+        merge: Merge::AffectedSum,
+        is_write: true,
+        used_subplans,
+        prep: Vec::new(),
+    })
+}
+
+/// Split a multi-row VALUES insert into one insert per target shard.
+fn plan_multi_row_insert(
+    ins: &Insert,
+    rows: &[Vec<Expr>],
+    meta: &Metadata,
+) -> PgResult<DistPlan> {
+    let dt = meta.require_table(&ins.table)?.clone();
+    let (dist_col, dist_idx) = dt
+        .dist_column
+        .clone()
+        .ok_or_else(|| PgError::internal("multi-row insert on reference table"))?;
+    let pos = if ins.columns.is_empty() {
+        dist_idx
+    } else {
+        ins.columns.iter().position(|c| c == &dist_col).ok_or_else(|| {
+            PgError::new(
+                ErrorCode::NotNullViolation,
+                format!("INSERT must include the distribution column \"{dist_col}\""),
+            )
+        })?
+    };
+    let mut per_bucket: std::collections::BTreeMap<usize, Vec<Vec<Expr>>> =
+        std::collections::BTreeMap::new();
+    for row in rows {
+        let v = row.get(pos).and_then(super::analysis::const_datum).ok_or_else(|| {
+            PgError::unsupported("distribution column value must be a constant")
+        })?;
+        if v.is_null() {
+            return Err(PgError::new(
+                ErrorCode::NotNullViolation,
+                "distribution column value cannot be NULL",
+            ));
+        }
+        let b = meta.shard_index_for_value(&ins.table, &v)?;
+        per_bucket.entry(b).or_default().push(row.clone());
+    }
+    let mut tasks = Vec::with_capacity(per_bucket.len());
+    for (b, bucket_rows) in per_bucket {
+        let map = bucket_name_map(meta, b);
+        let stmt = Statement::Insert(Box::new(Insert {
+            table: ins.table.clone(),
+            columns: ins.columns.clone(),
+            source: InsertSource::Values(bucket_rows),
+            on_conflict: ins.on_conflict.clone(),
+        }));
+        let rewritten = rewrite::rewrite_statement(&stmt, &map);
+        tasks.push(Task {
+            node: bucket_node(meta, &ins.table, b)?,
+            group: Some((dt.colocation_id, b)),
+            stmt: rewritten,
+            is_write: true,
+            shards: vec![dt.shards[b]],
+        });
+    }
+    Ok(DistPlan {
+        kind: PlannerKind::Pushdown,
+        tasks,
+        merge: Merge::AffectedSum,
+        is_write: true,
+        used_subplans: false,
+        prep: Vec::new(),
+    })
+}

@@ -1,0 +1,383 @@
+//! Shard rebalancer (§3.4).
+//!
+//! Moves co-located shard groups between workers until the placement is
+//! balanced — by shard count (default), by data size, or by a custom policy
+//! (cost / capacity / constraint functions). A shard move mirrors the
+//! logical-replication choreography: create, initial copy while writes
+//! continue, then a brief write-locked catch-up applying the WAL delta
+//! before the metadata switch (the "minimal write downtime" property).
+
+use crate::cluster::Cluster;
+use crate::metadata::{NodeId, ShardId};
+use pgmini::error::{PgError, PgResult};
+use pgmini::lock::{LockKey, LockMode};
+use pgmini::txn::INVALID_XID;
+use pgmini::wal::WalRecord;
+use sqlparse::ast::TableConstraint;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Balancing policy.
+pub enum RebalanceStrategy {
+    /// Equal shard counts per worker (the default).
+    ByShardCount,
+    /// Equal total live rows per worker.
+    ByDiskSize,
+    /// Custom policy: shard cost, node capacity, and a placement constraint.
+    Custom {
+        cost: Box<dyn Fn(&crate::metadata::Shard, u64) -> f64 + Send + Sync>,
+        capacity: Box<dyn Fn(NodeId) -> f64 + Send + Sync>,
+        constraint: Box<dyn Fn(&crate::metadata::Shard, NodeId) -> bool + Send + Sync>,
+    },
+}
+
+/// Outcome of one shard-group move.
+#[derive(Debug, Clone)]
+pub struct MoveReport {
+    pub bucket: usize,
+    pub from: NodeId,
+    pub to: NodeId,
+    pub shards_moved: usize,
+    pub rows_moved: u64,
+    /// Rows applied during the write-locked catch-up window.
+    pub catchup_rows: u64,
+}
+
+/// Live row count of a shard on its placement.
+fn shard_rows(cluster: &Arc<Cluster>, shard: &crate::metadata::Shard) -> u64 {
+    let Some(&node) = shard.placements.first() else { return 0 };
+    let Ok(n) = cluster.node(node) else { return 0 };
+    let engine = n.engine();
+    engine
+        .table_meta(&shard.physical_name())
+        .and_then(|m| engine.store(m.id))
+        .map(|s| s.live_estimate())
+        .unwrap_or(0)
+}
+
+/// Rebalance all colocation groups. Returns the number of group moves made.
+pub fn rebalance(cluster: &Arc<Cluster>, strategy: &RebalanceStrategy) -> PgResult<u64> {
+    let workers = cluster.worker_ids();
+    if workers.len() < 2 {
+        return Ok(0);
+    }
+    let mut moves = 0u64;
+    // iterate until no improving move exists (bounded for safety)
+    for _ in 0..1024 {
+        let Some((bucket, table, from, to)) = pick_move(cluster, strategy, &workers)? else {
+            break;
+        };
+        move_shard_group(cluster, &table, bucket, from, to)?;
+        moves += 1;
+    }
+    Ok(moves)
+}
+
+/// Pick the next improving move: shard group from the most-loaded node to
+/// the least-loaded node.
+fn pick_move(
+    cluster: &Arc<Cluster>,
+    strategy: &RebalanceStrategy,
+    workers: &[NodeId],
+) -> PgResult<Option<(usize, String, NodeId, NodeId)>> {
+    let meta = cluster.metadata.read_recursive();
+    // load per node and shard-group inventory: (table, bucket) → node, cost
+    let mut load: HashMap<NodeId, f64> = workers.iter().map(|w| (*w, 0.0)).collect();
+    let mut groups: Vec<(String, usize, NodeId, f64)> = Vec::new();
+    // take one anchor table per colocation group; moving it moves the group
+    let mut seen_groups: std::collections::HashSet<u32> = Default::default();
+    let mut anchors: Vec<crate::metadata::DistTable> = Vec::new();
+    for t in meta.tables() {
+        if t.is_reference() {
+            continue;
+        }
+        if seen_groups.insert(t.colocation_id) {
+            anchors.push(t.clone());
+        }
+    }
+    for anchor in &anchors {
+        // group cost = sum over co-located tables of this bucket's cost
+        let group_tables = meta.colocated_tables(anchor.colocation_id);
+        let tables: Vec<String> = group_tables.iter().map(|t| t.name.clone()).collect();
+        for (bucket, sid) in anchor.shards.iter().enumerate() {
+            let shard = meta.shard(*sid)?;
+            let Some(&node) = shard.placements.first() else { continue };
+            let mut cost = 0.0;
+            for tname in &tables {
+                let t = meta.require_table(tname)?;
+                let s = meta.shard(t.shards[bucket])?;
+                cost += match strategy {
+                    RebalanceStrategy::ByShardCount => 1.0,
+                    RebalanceStrategy::ByDiskSize => shard_rows(cluster, s) as f64,
+                    RebalanceStrategy::Custom { cost, .. } => {
+                        cost(s, shard_rows(cluster, s))
+                    }
+                };
+            }
+            *load.entry(node).or_insert(0.0) += cost;
+            groups.push((anchor.name.clone(), bucket, node, cost));
+        }
+    }
+    if groups.is_empty() {
+        return Ok(None);
+    }
+    let capacity = |n: NodeId| -> f64 {
+        match strategy {
+            RebalanceStrategy::Custom { capacity, .. } => capacity(n),
+            _ => 1.0,
+        }
+    };
+    // normalised load = load / capacity
+    let norm = |n: NodeId, load: &HashMap<NodeId, f64>| load[&n] / capacity(n).max(1e-9);
+    let busiest = *workers
+        .iter()
+        .max_by(|a, b| norm(**a, &load).partial_cmp(&norm(**b, &load)).unwrap())
+        .expect("workers non-empty");
+    let idlest = *workers
+        .iter()
+        .min_by(|a, b| norm(**a, &load).partial_cmp(&norm(**b, &load)).unwrap())
+        .expect("workers non-empty");
+    if busiest == idlest {
+        return Ok(None);
+    }
+    // smallest group on the busiest node that actually improves balance
+    let mut candidates: Vec<&(String, usize, NodeId, f64)> =
+        groups.iter().filter(|(_, _, n, _)| *n == busiest).collect();
+    candidates.sort_by(|a, b| a.3.partial_cmp(&b.3).unwrap());
+    for (table, bucket, _, cost) in candidates {
+        // placement constraint for custom policies
+        if let RebalanceStrategy::Custom { constraint, .. } = strategy {
+            let t = meta.require_table(table)?;
+            let s = meta.shard(t.shards[*bucket])?;
+            if !constraint(s, idlest) {
+                continue;
+            }
+        }
+        let gap = norm(busiest, &load) - norm(idlest, &load);
+        let moved_gap = (load[&busiest] - cost) / capacity(busiest).max(1e-9)
+            - (load[&idlest] + cost) / capacity(idlest).max(1e-9);
+        if moved_gap.abs() < gap {
+            return Ok(Some((*bucket, table.clone(), busiest, idlest)));
+        }
+    }
+    Ok(None)
+}
+
+/// Move one co-located shard group from `from` to `to`.
+pub fn move_shard_group(
+    cluster: &Arc<Cluster>,
+    anchor_table: &str,
+    bucket: usize,
+    from: NodeId,
+    to: NodeId,
+) -> PgResult<MoveReport> {
+    let (tables, shard_ids): (Vec<String>, Vec<ShardId>) = {
+        let meta = cluster.metadata.read_recursive();
+        let anchor = meta.require_table(anchor_table)?;
+        let group = meta.colocated_tables(anchor.colocation_id);
+        let names: Vec<String> = group.iter().map(|t| t.name.clone()).collect();
+        let sids: Vec<ShardId> =
+            group.iter().map(|t| t.shards[bucket]).collect();
+        (names, sids)
+    };
+    let src_engine = cluster.node(from)?.engine();
+    let dst = cluster.node(to)?;
+    if !dst.is_active() {
+        return Err(PgError::new(
+            pgmini::error::ErrorCode::ConnectionFailure,
+            "target node is down",
+        ));
+    }
+    let dst_engine = dst.engine();
+
+    let mut rows_moved = 0u64;
+    let mut catchup_rows = 0u64;
+    // phase 1+2: create target tables and do the initial copy while writes
+    // continue on the source
+    let lsn_start = src_engine.wal.lsn();
+    let mut row_maps: Vec<HashMap<u64, u64>> = Vec::new();
+    let mut table_ids = Vec::new();
+    for (tname, sid) in tables.iter().zip(&shard_ids) {
+        let physical = {
+            let meta = cluster.metadata.read_recursive();
+            meta.shard(*sid)?.physical_name()
+        };
+        let src_meta = src_engine.table_meta(&physical)?;
+        // recreate schema (no FKs during load; added after)
+        let create = sqlparse::ast::CreateTable {
+            name: physical.clone(),
+            if_not_exists: false,
+            columns: src_meta
+                .columns
+                .iter()
+                .map(|c| sqlparse::ast::ColumnDef {
+                    name: c.name.clone(),
+                    ty: c.ty,
+                    not_null: c.not_null,
+                    primary_key: false,
+                    unique: false,
+                    default: c.default.clone(),
+                    references: None,
+                })
+                .collect(),
+            constraints: src_meta
+                .primary_key
+                .as_ref()
+                .map(|pk| {
+                    vec![TableConstraint::PrimaryKey(
+                        pk.iter().map(|&i| src_meta.columns[i].name.clone()).collect(),
+                    )]
+                })
+                .unwrap_or_default(),
+        };
+        dst_engine.ddl_create_table(&create)?;
+        // initial copy (logical replication snapshot)
+        let snap = src_engine.txns.snapshot(INVALID_XID);
+        let src_store = src_engine.store(src_meta.id)?;
+        let dst_meta = dst_engine.table_meta(&physical)?;
+        let dst_store = dst_engine.store(dst_meta.id)?;
+        let mut map = HashMap::new();
+        let mut batch: Vec<(u64, pgmini::types::Row)> = Vec::new();
+        src_store
+            .heap()?
+            .scan_visible(&src_engine.txns, &snap, |t| batch.push((t.row_id, t.data.clone())));
+        let xid = dst_engine.txns.begin();
+        for (src_rid, row) in batch {
+            let new_rid = dst_store.heap()?.insert(xid, row.clone());
+            dst_engine.index_insert_row(&dst_meta, new_rid, &row)?;
+            dst_engine.wal.append(WalRecord::Insert {
+                xid,
+                table: dst_meta.id,
+                row_id: new_rid,
+                row,
+            });
+            map.insert(src_rid, new_rid);
+            rows_moved += 1;
+        }
+        dst_engine.txns.commit(xid);
+        dst_engine.wal.append(WalRecord::Commit { xid });
+        row_maps.push(map);
+        table_ids.push((src_meta.id, dst_meta.id, physical));
+        let _ = tname;
+    }
+
+    // phase 3: write-locked catch-up — block writers on the source shards,
+    // apply the WAL delta, switch metadata
+    let lock_xid = src_engine.txns.begin();
+    for (src_id, _, _) in &table_ids {
+        src_engine.locks.acquire(lock_xid, LockKey::Table(*src_id), LockMode::Exclusive)?;
+    }
+    let delta = src_engine.wal.range(lsn_start, src_engine.wal.lsn());
+    // only apply effects of committed transactions within the delta
+    let committed: std::collections::HashSet<u64> = delta
+        .iter()
+        .filter_map(|r| match r {
+            WalRecord::Commit { xid } => Some(*xid),
+            _ => None,
+        })
+        .collect();
+    for rec in &delta {
+        let (xid, src_table, apply): (u64, pgmini::catalog::TableId, u8) = match rec {
+            WalRecord::Insert { xid, table, .. } => (*xid, *table, 1),
+            WalRecord::Update { xid, table, .. } => (*xid, *table, 2),
+            WalRecord::Delete { xid, table, .. } => (*xid, *table, 3),
+            _ => continue,
+        };
+        if !committed.contains(&xid)
+            && src_engine.txns.status(xid) != pgmini::txn::TxStatus::Committed
+        {
+            continue;
+        }
+        let Some(pos) = table_ids.iter().position(|(sid, _, _)| *sid == src_table) else {
+            continue;
+        };
+        let (_, dst_id, _) = table_ids[pos];
+        let dst_meta = dst_engine.table_meta_by_id(dst_id)?;
+        let dst_store = dst_engine.store(dst_id)?;
+        let apply_xid = dst_engine.txns.begin();
+        match (apply, rec) {
+            (1, WalRecord::Insert { row_id, row, .. }) => {
+                let new_rid = dst_store.heap()?.insert(apply_xid, row.clone());
+                dst_engine.index_insert_row(&dst_meta, new_rid, row)?;
+                row_maps[pos].insert(*row_id, new_rid);
+                catchup_rows += 1;
+            }
+            (2, WalRecord::Update { row_id, new_row, .. }) => {
+                if let Some(&dst_rid) = row_maps[pos].get(row_id) {
+                    let snap = dst_engine.txns.snapshot(apply_xid);
+                    let _ = dst_store.heap()?.expire(
+                        &dst_engine.txns,
+                        &snap,
+                        dst_rid,
+                        apply_xid,
+                    )?;
+                    dst_store.heap()?.insert_version(dst_rid, apply_xid, new_row.clone());
+                    dst_engine.index_insert_row(&dst_meta, dst_rid, new_row)?;
+                    catchup_rows += 1;
+                }
+            }
+            (3, WalRecord::Delete { row_id, .. }) => {
+                if let Some(&dst_rid) = row_maps[pos].get(row_id) {
+                    let snap = dst_engine.txns.snapshot(apply_xid);
+                    let _ = dst_store.heap()?.expire(
+                        &dst_engine.txns,
+                        &snap,
+                        dst_rid,
+                        apply_xid,
+                    )?;
+                    dst_store.heap()?.adjust_live(-1);
+                    catchup_rows += 1;
+                }
+            }
+            _ => {}
+        }
+        dst_engine.txns.commit(apply_xid);
+    }
+
+    // metadata switch: new queries go to the target node
+    {
+        let mut meta = cluster.metadata.write();
+        for sid in &shard_ids {
+            let shard = meta.shard_mut(*sid)?;
+            shard.placements = vec![to];
+        }
+    }
+    // release the write locks (end of downtime window) and drop the source
+    src_engine.locks.release_all(lock_xid);
+    src_engine.txns.commit(lock_xid);
+    for (_, _, physical) in &table_ids {
+        let _ = src_engine.ddl_drop_table(physical, true);
+    }
+    Ok(MoveReport {
+        bucket,
+        from,
+        to,
+        shards_moved: shard_ids.len(),
+        rows_moved,
+        catchup_rows,
+    })
+}
+
+/// Shard counts per worker (test/diagnostic helper).
+pub fn placement_counts(cluster: &Arc<Cluster>) -> HashMap<NodeId, usize> {
+    let meta = cluster.metadata.read_recursive();
+    meta.placement_counts(&cluster.worker_ids())
+}
+
+/// Drop-in helper used by `Statement` tests: move the group containing the
+/// given distribution value.
+pub fn isolate_tenant(
+    cluster: &Arc<Cluster>,
+    table: &str,
+    value: &pgmini::types::Datum,
+    to: NodeId,
+) -> PgResult<MoveReport> {
+    let (bucket, from) = {
+        let meta = cluster.metadata.read_recursive();
+        let bucket = meta.shard_index_for_value(table, value)?;
+        let dt = meta.require_table(table)?;
+        let shard = meta.shard(dt.shards[bucket])?;
+        (bucket, *shard.placements.first().ok_or_else(|| PgError::internal("no placement"))?)
+    };
+    move_shard_group(cluster, table, bucket, from, to)
+}

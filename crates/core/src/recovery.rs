@@ -1,0 +1,83 @@
+//! 2PC transaction recovery (§3.7.2).
+//!
+//! The maintenance daemon periodically compares the prepared transactions on
+//! each worker against the coordinator's commit records: a prepared `gid`
+//! with a visible commit record must COMMIT PREPARED (the coordinator
+//! committed); one without, whose originating transaction has ended, must
+//! ROLLBACK PREPARED. In-flight transactions are left alone.
+
+use crate::cluster::Cluster;
+use crate::extension::{parse_gid_number, parse_gid_origin, COMMIT_RECORDS_TABLE};
+use crate::metadata::NodeId;
+use pgmini::error::PgResult;
+use std::sync::Arc;
+
+/// Outcome of one recovery pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    pub committed: u64,
+    pub rolled_back: u64,
+    pub skipped_in_flight: u64,
+}
+
+/// Does a commit record for `gid` exist on the origin coordinator?
+fn commit_record_exists(cluster: &Arc<Cluster>, origin: NodeId, gid: &str) -> PgResult<bool> {
+    let engine = cluster.node(origin)?.engine();
+    let mut session = engine.session()?;
+    let stmt = sqlparse::parse(&format!(
+        "SELECT count(*) FROM {COMMIT_RECORDS_TABLE} WHERE gid = '{gid}'"
+    ))?;
+    let r = session.execute_local(&stmt)?;
+    Ok(r.scalar().and_then(|d| d.as_i64().ok()).unwrap_or(0) > 0)
+}
+
+fn delete_commit_record(cluster: &Arc<Cluster>, origin: NodeId, gid: &str) -> PgResult<()> {
+    let engine = cluster.node(origin)?.engine();
+    let mut session = engine.session()?;
+    let stmt = sqlparse::parse(&format!(
+        "DELETE FROM {COMMIT_RECORDS_TABLE} WHERE gid = '{gid}'"
+    ))?;
+    session.execute_local(&stmt)?;
+    Ok(())
+}
+
+/// One recovery pass over the whole cluster.
+pub fn recover_once(cluster: &Arc<Cluster>) -> PgResult<RecoveryStats> {
+    let mut stats = RecoveryStats::default();
+    for node in cluster.nodes() {
+        if !node.is_active() {
+            continue;
+        }
+        let engine = node.engine();
+        for gid in engine.txns.prepared_gids() {
+            let Some(origin) = parse_gid_origin(&gid) else { continue };
+            let origin = NodeId(origin);
+            let Some(number) = parse_gid_number(&gid) else { continue };
+            // in-flight transactions are still being driven by their
+            // coordinator; leave them alone
+            let in_flight = cluster
+                .extension(origin)
+                .map(|e| e.active_txn_numbers().contains(&number))
+                .unwrap_or(false);
+            if in_flight {
+                stats.skipped_in_flight += 1;
+                continue;
+            }
+            let committed = commit_record_exists(cluster, origin, &gid)?;
+            let mut session = engine.session()?;
+            if committed {
+                let stmt = sqlparse::ast::Statement::CommitPrepared(gid.clone());
+                if session.execute_stmt(&stmt).is_ok() {
+                    stats.committed += 1;
+                    let _ = delete_commit_record(cluster, origin, &gid);
+                }
+            } else {
+                let stmt = sqlparse::ast::Statement::RollbackPrepared(gid.clone());
+                if session.execute_stmt(&stmt).is_ok() {
+                    stats.rolled_back += 1;
+                }
+            }
+        }
+    }
+    Ok(stats)
+}

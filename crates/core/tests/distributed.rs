@@ -1,0 +1,771 @@
+//! End-to-end tests of the distributed layer: a real multi-engine cluster
+//! exercising every §3 mechanism of the paper.
+
+use citrus::cluster::{Cluster, ClusterConfig};
+use citrus::metadata::NodeId;
+use citrus::planner::PlannerKind;
+use pgmini::error::ErrorCode;
+use pgmini::types::Datum;
+use std::sync::Arc;
+
+fn small_cluster(workers: u32) -> Arc<Cluster> {
+    let mut cfg = ClusterConfig::default();
+    cfg.shard_count = 8;
+    let c = Cluster::new(cfg);
+    for _ in 0..workers {
+        c.add_worker().unwrap();
+    }
+    c
+}
+
+/// Standard two-table co-located schema + a reference table.
+fn saas_cluster() -> Arc<Cluster> {
+    let c = small_cluster(3);
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE tenants (tenant_id bigint PRIMARY KEY, name text)").unwrap();
+    s.execute("SELECT create_distributed_table('tenants', 'tenant_id')").unwrap();
+    s.execute(
+        "CREATE TABLE orders (order_id bigint, tenant_id bigint, amount float, \
+         PRIMARY KEY (tenant_id, order_id))",
+    )
+    .unwrap();
+    s.execute("SELECT create_distributed_table('orders', 'tenant_id', 'tenants')").unwrap();
+    s.execute("CREATE TABLE plans (plan_id bigint PRIMARY KEY, label text)").unwrap();
+    s.execute("SELECT create_reference_table('plans')").unwrap();
+    for t in 1..=20i64 {
+        s.execute(&format!("INSERT INTO tenants VALUES ({t}, 'tenant-{t}')")).unwrap();
+        for o in 1..=5i64 {
+            s.execute(&format!(
+                "INSERT INTO orders VALUES ({o}, {t}, {})",
+                (t * 10 + o) as f64
+            ))
+            .unwrap();
+        }
+    }
+    s.execute("INSERT INTO plans VALUES (1, 'free'), (2, 'pro')").unwrap();
+    c
+}
+
+fn planner_of(c: &Arc<Cluster>, session: &mut citrus::cluster::ClientSession) -> PlannerKind {
+    let ext = c.extension(session.node()).unwrap();
+    ext.last_planner_kind(session.session_mut().id()).unwrap()
+}
+
+#[test]
+fn shards_spread_over_workers() {
+    let c = saas_cluster();
+    let counts = citrus::rebalancer::placement_counts(&c);
+    assert_eq!(counts.len(), 3);
+    // 8 buckets × 2 distributed tables, round robin over 3 workers
+    let total: usize = counts.values().sum();
+    assert_eq!(total, 16);
+    for (_, n) in counts {
+        assert!(n > 0, "every worker holds shards");
+    }
+    // the coordinator holds shell tables but no shard data
+    let coordinator = c.coordinator().engine();
+    assert!(coordinator.table_meta("tenants").is_ok());
+    let shell = coordinator.table_meta("tenants").unwrap();
+    assert_eq!(coordinator.store(shell.id).unwrap().live_estimate(), 0);
+}
+
+#[test]
+fn fast_path_single_key_crud() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    let r = s.execute("SELECT name FROM tenants WHERE tenant_id = 7").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::from_text("tenant-7"));
+    assert_eq!(planner_of(&c, &mut s), PlannerKind::FastPath);
+    // update + delete via fast path
+    s.execute("UPDATE tenants SET name = 'renamed' WHERE tenant_id = 7").unwrap();
+    assert_eq!(planner_of(&c, &mut s), PlannerKind::FastPath);
+    let r = s.execute("SELECT name FROM tenants WHERE tenant_id = 7").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::from_text("renamed"));
+    let r = s.execute("DELETE FROM orders WHERE tenant_id = 7 AND order_id = 1").unwrap();
+    assert_eq!(r.affected(), 1);
+}
+
+#[test]
+fn router_handles_colocated_joins() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    let r = s
+        .execute(
+            "SELECT t.name, sum(o.amount) FROM tenants t \
+             JOIN orders o ON t.tenant_id = o.tenant_id \
+             WHERE t.tenant_id = 3 GROUP BY t.name",
+        )
+        .unwrap();
+    assert_eq!(r.rows().len(), 1);
+    assert_eq!(planner_of(&c, &mut s), PlannerKind::Router);
+    // joins with reference tables stay routable
+    let r = s
+        .execute(
+            "SELECT count(*) FROM orders o JOIN plans p ON p.plan_id = 1 \
+             WHERE o.tenant_id = 3",
+        )
+        .unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(5));
+    assert_eq!(planner_of(&c, &mut s), PlannerKind::Router);
+}
+
+#[test]
+fn pushdown_aggregates_across_shards() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    let r = s.execute("SELECT count(*), sum(amount), avg(amount), min(amount), max(amount) FROM orders").unwrap();
+    assert_eq!(planner_of(&c, &mut s), PlannerKind::Pushdown);
+    assert_eq!(r.rows()[0][0], Datum::Int(100));
+    let sum = r.rows()[0][1].as_f64().unwrap();
+    let avg = r.rows()[0][2].as_f64().unwrap();
+    assert!((sum / 100.0 - avg).abs() < 1e-9, "avg must recompose exactly");
+    assert_eq!(r.rows()[0][3], Datum::Float(11.0));
+    assert_eq!(r.rows()[0][4], Datum::Float(205.0));
+}
+
+#[test]
+fn pushdown_group_by_with_order_limit() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    // group by the distribution column: full pushdown, coordinator re-sort
+    let r = s
+        .execute(
+            "SELECT tenant_id, sum(amount) AS total FROM orders \
+             GROUP BY tenant_id ORDER BY total DESC LIMIT 3",
+        )
+        .unwrap();
+    assert_eq!(r.rows().len(), 3);
+    assert_eq!(r.rows()[0][0], Datum::Int(20), "tenant 20 has the largest total");
+    // group by a non-distribution expression: split aggregation
+    let r = s
+        .execute(
+            "SELECT order_id, count(*), avg(amount) FROM orders GROUP BY order_id ORDER BY 1",
+        )
+        .unwrap();
+    assert_eq!(r.rows().len(), 5);
+    assert_eq!(r.rows()[0][1], Datum::Int(20));
+}
+
+#[test]
+fn distributed_results_match_single_node() {
+    // the same data on a 1-node "cluster" (plain local tables) vs distributed
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    let local = pgmini::engine::Engine::new_default();
+    let mut ls = local.session().unwrap();
+    ls.execute("CREATE TABLE orders (order_id bigint, tenant_id bigint, amount float)").unwrap();
+    for t in 1..=20i64 {
+        for o in 1..=5i64 {
+            ls.execute(&format!(
+                "INSERT INTO orders VALUES ({o}, {t}, {})",
+                (t * 10 + o) as f64
+            ))
+            .unwrap();
+        }
+    }
+    for q in [
+        "SELECT count(*) FROM orders",
+        "SELECT sum(amount) FROM orders WHERE order_id > 2",
+        "SELECT tenant_id, count(*) FROM orders GROUP BY tenant_id ORDER BY 1 LIMIT 5",
+        "SELECT order_id, avg(amount) FROM orders GROUP BY order_id ORDER BY 2 DESC",
+        "SELECT max(amount) - min(amount) FROM orders",
+    ] {
+        let dist = s.execute(q).unwrap();
+        let loc = ls.execute(q).unwrap();
+        assert_eq!(dist.rows(), loc.rows(), "results diverge for {q}");
+    }
+}
+
+#[test]
+fn venice_db_nested_subquery_pushdown() {
+    // §5: inner subquery groups by the distribution column → pushes down;
+    // outer aggregation merges partials on the coordinator
+    let c = small_cluster(4);
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE reports (deviceid bigint, build text, metric float)").unwrap();
+    s.execute("SELECT create_distributed_table('reports', 'deviceid')").unwrap();
+    for d in 1..=40i64 {
+        for r in 0..3 {
+            s.execute(&format!(
+                "INSERT INTO reports VALUES ({d}, 'build-{}', {})",
+                d % 2,
+                (d * 100 + r) as f64
+            ))
+            .unwrap();
+        }
+    }
+    let r = s
+        .execute(
+            "SELECT build, avg(device_avg) FROM \
+               (SELECT deviceid, build, avg(metric) AS device_avg \
+                FROM reports GROUP BY deviceid, build) AS subq \
+             GROUP BY build ORDER BY build",
+        )
+        .unwrap();
+    assert_eq!(planner_of(&c, &mut s), PlannerKind::Pushdown);
+    assert_eq!(r.rows().len(), 2);
+    // device averages weigh by device, not report count: device d has
+    // avg = d*100 + 1; builds split devices by parity
+    let b0 = r.rows()[0][1].as_f64().unwrap();
+    let expected: f64 =
+        (1..=40).filter(|d| d % 2 == 0).map(|d| (d * 100 + 1) as f64).sum::<f64>() / 20.0;
+    assert!((b0 - expected).abs() < 1e-6, "{b0} vs {expected}");
+}
+
+#[test]
+fn multi_shard_dml_and_subplans() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    // multi-shard UPDATE (no dist filter) with 2PC in autocommit
+    let r = s.execute("UPDATE orders SET amount = amount + 1 WHERE order_id = 1").unwrap();
+    assert_eq!(r.affected(), 20);
+    // subplan: IN (distributed subquery)
+    let r = s
+        .execute(
+            "SELECT count(*) FROM orders WHERE tenant_id IN \
+             (SELECT tenant_id FROM tenants WHERE name = 'tenant-3')",
+        )
+        .unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(5));
+}
+
+#[test]
+fn explicit_transaction_commit_and_rollback() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    s.execute("BEGIN").unwrap();
+    s.execute("UPDATE orders SET amount = 0 WHERE tenant_id = 1").unwrap();
+    s.execute("UPDATE orders SET amount = 0 WHERE tenant_id = 2").unwrap();
+    // a concurrent session must not see uncommitted remote writes
+    let mut other = c.session().unwrap();
+    let r = other
+        .execute("SELECT sum(amount) FROM orders WHERE tenant_id = 1")
+        .unwrap();
+    assert!(r.rows()[0][1 - 1].as_f64().unwrap() > 0.0);
+    s.execute("COMMIT").unwrap();
+    let r = other
+        .execute("SELECT sum(amount) FROM orders WHERE tenant_id = 1")
+        .unwrap();
+    assert_eq!(r.rows()[0][0].as_f64().unwrap(), 0.0);
+    // rollback path
+    s.execute("BEGIN").unwrap();
+    s.execute("DELETE FROM orders WHERE tenant_id = 3").unwrap();
+    s.execute("ROLLBACK").unwrap();
+    let r = other.execute("SELECT count(*) FROM orders WHERE tenant_id = 3").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(5));
+}
+
+#[test]
+fn two_pc_writes_commit_records() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    s.execute("BEGIN").unwrap();
+    // force writes on (almost surely) different nodes
+    s.execute("UPDATE orders SET amount = 1 WHERE tenant_id = 1").unwrap();
+    s.execute("UPDATE orders SET amount = 1 WHERE tenant_id = 2").unwrap();
+    s.execute("UPDATE orders SET amount = 1 WHERE tenant_id = 3").unwrap();
+    s.execute("UPDATE orders SET amount = 1 WHERE tenant_id = 4").unwrap();
+    s.execute("COMMIT").unwrap();
+    // after a healthy 2PC, no prepared transactions linger anywhere
+    for node in c.nodes() {
+        assert!(node.engine().txns.prepared_gids().is_empty());
+    }
+    // and the commit records were consumed
+    let mut cs = c.session().unwrap();
+    let r = cs.execute("SELECT count(*) FROM pg_dist_transaction").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(0));
+}
+
+#[test]
+fn single_node_transactions_skip_2pc() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    s.execute("BEGIN").unwrap();
+    s.execute("UPDATE orders SET amount = 2 WHERE tenant_id = 5").unwrap();
+    s.execute("UPDATE tenants SET name = 'five' WHERE tenant_id = 5").unwrap();
+    s.execute("COMMIT").unwrap();
+    // co-located single-tenant txn: delegation, no prepared txns ever
+    for node in c.nodes() {
+        assert!(node.engine().txns.prepared_gids().is_empty());
+    }
+    let r = s.execute("SELECT name FROM tenants WHERE tenant_id = 5").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::from_text("five"));
+}
+
+#[test]
+fn reference_table_writes_replicate_everywhere() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    s.execute("INSERT INTO plans VALUES (3, 'enterprise')").unwrap();
+    // check each node's replica directly
+    let physical = {
+        let meta = c.metadata.read();
+        let dt = meta.table("plans").unwrap();
+        meta.shard(dt.shards[0]).unwrap().physical_name()
+    };
+    for node in c.nodes() {
+        let engine = node.engine();
+        let mut ns = engine.session().unwrap();
+        let r = ns
+            .execute(&format!("SELECT count(*) FROM {physical}"))
+            .unwrap();
+        assert_eq!(r.rows()[0][0], Datum::Int(3), "node {} replica", node.name);
+    }
+    s.execute("UPDATE plans SET label = 'biz' WHERE plan_id = 3").unwrap();
+    s.execute("DELETE FROM plans WHERE plan_id = 1").unwrap();
+    let r = s.execute("SELECT count(*) FROM plans").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(2));
+}
+
+#[test]
+fn distributed_copy_routes_rows() {
+    let c = small_cluster(2);
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE events (key bigint, payload text)").unwrap();
+    s.execute("SELECT create_distributed_table('events', 'key')").unwrap();
+    let rows: Vec<Vec<Datum>> = (0..500)
+        .map(|i| vec![Datum::Int(i), Datum::Text(format!("payload-{i}"))])
+        .collect();
+    let n = s.copy("events", &[], rows).unwrap();
+    assert_eq!(n, 500);
+    let r = s.execute("SELECT count(*) FROM events").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(500));
+    // rows actually landed on shards across both workers
+    let counts = citrus::rebalancer::placement_counts(&c);
+    assert_eq!(counts.len(), 2);
+    let r = s.execute("SELECT payload FROM events WHERE key = 123").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::from_text("payload-123"));
+}
+
+#[test]
+fn insert_select_strategies() {
+    let c = small_cluster(2);
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE raw (device bigint, minute bigint, v float)").unwrap();
+    s.execute("SELECT create_distributed_table('raw', 'device')").unwrap();
+    s.execute("CREATE TABLE rollup (device bigint, minute bigint, total float)").unwrap();
+    s.execute("SELECT create_distributed_table('rollup', 'device', 'raw')").unwrap();
+    for d in 0..10i64 {
+        for m in 0..4i64 {
+            s.execute(&format!("INSERT INTO raw VALUES ({d}, {m}, 1.5)")).unwrap();
+        }
+    }
+    // co-located: group by the distribution column → pushdown strategy
+    let r = s
+        .execute(
+            "INSERT INTO rollup (device, minute, total) \
+             SELECT device, minute, sum(v) FROM raw GROUP BY device, minute",
+        )
+        .unwrap();
+    assert_eq!(r.affected(), 40);
+    let ext = c.extension(NodeId(0)).unwrap();
+    assert_eq!(
+        ext.last_insert_select_strategy(s.session_mut().id()),
+        Some(citrus::insert_select::InsertSelectStrategy::ColocatedPushdown)
+    );
+    // non-dist-column grouping → pull to coordinator
+    s.execute("CREATE TABLE by_minute (minute bigint, total float)").unwrap();
+    s.execute("SELECT create_distributed_table('by_minute', 'minute')").unwrap();
+    let r = s
+        .execute(
+            "INSERT INTO by_minute (minute, total) \
+             SELECT minute, sum(v) FROM raw GROUP BY minute",
+        )
+        .unwrap();
+    assert_eq!(r.affected(), 4);
+    assert_eq!(
+        ext.last_insert_select_strategy(s.session_mut().id()),
+        Some(citrus::insert_select::InsertSelectStrategy::PullToCoordinator)
+    );
+    let r = s.execute("SELECT sum(total) FROM by_minute").unwrap();
+    assert_eq!(r.rows()[0][0].as_f64().unwrap(), 60.0);
+}
+
+#[test]
+fn ddl_propagates_to_shards() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    s.execute("CREATE INDEX orders_amount ON orders (amount)").unwrap();
+    // every shard on every worker got the index
+    let meta = c.metadata.read();
+    let dt = meta.table("orders").unwrap().clone();
+    for sid in &dt.shards {
+        let shard = meta.shard(*sid).unwrap();
+        let node = c.node(shard.placements[0]).unwrap();
+        let engine = node.engine();
+        let m = engine.table_meta(&shard.physical_name()).unwrap();
+        // pk index + the new one
+        assert!(m.indexes.len() >= 2, "shard {} missing index", sid.0);
+    }
+    drop(meta);
+    // TRUNCATE propagates
+    s.execute("TRUNCATE orders").unwrap();
+    let r = s.execute("SELECT count(*) FROM orders").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(0));
+    // DROP removes shards and metadata
+    s.execute("DROP TABLE orders").unwrap();
+    assert!(!c.metadata.read().is_citrus_table("orders"));
+    assert!(s.execute("SELECT * FROM orders").is_err());
+}
+
+#[test]
+fn explain_shows_distributed_plan() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    let r = s.execute("EXPLAIN SELECT count(*) FROM orders").unwrap();
+    let text = format!("{:?}", r.rows());
+    assert!(text.contains("Citrus Adaptive"), "{text}");
+    assert!(text.contains("Task Count: 8"), "{text}");
+    assert!(text.contains("Logical Pushdown"), "{text}");
+    let r = s.execute("EXPLAIN SELECT * FROM orders WHERE tenant_id = 3").unwrap();
+    let text = format!("{:?}", r.rows());
+    assert!(text.contains("Fast Path"), "{text}");
+    assert!(text.contains("Task Count: 1"), "{text}");
+}
+
+#[test]
+fn non_colocated_join_broadcasts() {
+    let c = small_cluster(2);
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE big (k bigint, v bigint)").unwrap();
+    s.execute("SELECT create_distributed_table('big', 'k')").unwrap();
+    s.execute("CREATE TABLE small_t (v bigint, label text)").unwrap();
+    // distribute small on v — joining big.v = small_t.v is NOT co-located
+    // (different colocation groups via explicit option)
+    s.execute("SELECT create_distributed_table('small_t', 'v', 'none')").unwrap();
+    for i in 0..50i64 {
+        s.execute(&format!("INSERT INTO big VALUES ({i}, {})", i % 5)).unwrap();
+    }
+    for v in 0..5i64 {
+        s.execute(&format!("INSERT INTO small_t VALUES ({v}, 'label-{v}')")).unwrap();
+    }
+    let r = s
+        .execute(
+            "SELECT s.label, count(*) FROM big b JOIN small_t s ON b.v = s.v \
+             GROUP BY s.label ORDER BY 1",
+        )
+        .unwrap();
+    assert_eq!(planner_of(&c, &mut s), PlannerKind::JoinOrder);
+    assert_eq!(r.rows().len(), 5);
+    assert_eq!(r.rows()[0][1], Datum::Int(10));
+    // temp tables cleaned up afterwards
+    for node in c.nodes() {
+        let names = node.engine().catalog.read().table_names();
+        assert!(
+            !names.iter().any(|n| n.starts_with("citrus_bcast")),
+            "leftover temp tables: {names:?}"
+        );
+    }
+}
+
+#[test]
+fn distributed_deadlock_detected_and_cancelled() {
+    let c = saas_cluster();
+    // find two tenants on different nodes
+    let (t1, t2) = {
+        let meta = c.metadata.read();
+        let mut found = None;
+        'outer: for a in 1..=20i64 {
+            for b in 1..=20i64 {
+                if a == b {
+                    continue;
+                }
+                let ba = meta.shard_index_for_value("orders", &Datum::Int(a)).unwrap();
+                let bb = meta.shard_index_for_value("orders", &Datum::Int(b)).unwrap();
+                let dt = meta.table("orders").unwrap();
+                let na = meta.shard(dt.shards[ba]).unwrap().placements[0];
+                let nb = meta.shard(dt.shards[bb]).unwrap().placements[0];
+                if na != nb {
+                    found = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        found.expect("two tenants on different nodes")
+    };
+    let c1 = c.clone();
+    let c2 = c.clone();
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let (b1, b2) = (barrier.clone(), barrier.clone());
+    let h1 = std::thread::spawn(move || {
+        let mut s = c1.session().unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute(&format!("UPDATE orders SET amount = 1 WHERE tenant_id = {t1}")).unwrap();
+        b1.wait();
+        let r = s.execute(&format!("UPDATE orders SET amount = 1 WHERE tenant_id = {t2}"));
+        let _ = s.execute("COMMIT");
+        r.map(|_| ())
+    });
+    let h2 = std::thread::spawn(move || {
+        let mut s = c2.session().unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute(&format!("UPDATE orders SET amount = 2 WHERE tenant_id = {t2}")).unwrap();
+        b2.wait();
+        let r = s.execute(&format!("UPDATE orders SET amount = 2 WHERE tenant_id = {t1}"));
+        let _ = s.execute("COMMIT");
+        r.map(|_| ())
+    });
+    // run the detector until it fires (the daemon's poll loop)
+    let mut victim = None;
+    for _ in 0..100 {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        if let Some(v) = citrus::deadlock::detect_once(&c).unwrap() {
+            victim = Some(v);
+            break;
+        }
+        if h1.is_finished() && h2.is_finished() {
+            break;
+        }
+    }
+    let r1 = h1.join().unwrap();
+    let r2 = h2.join().unwrap();
+    assert!(victim.is_some(), "the distributed deadlock must be detected");
+    let failures = [&r1, &r2].iter().filter(|r| r.is_err()).count();
+    assert_eq!(failures, 1, "exactly one victim: {r1:?} {r2:?}");
+    let err = if r1.is_err() { r1.unwrap_err() } else { r2.unwrap_err() };
+    assert_eq!(err.code, ErrorCode::DeadlockDetected);
+}
+
+#[test]
+fn recovery_commits_in_doubt_transactions() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    s.execute("BEGIN").unwrap();
+    s.execute("UPDATE orders SET amount = 99 WHERE tenant_id = 1").unwrap();
+    s.execute("UPDATE orders SET amount = 99 WHERE tenant_id = 2").unwrap();
+    s.execute("UPDATE orders SET amount = 99 WHERE tenant_id = 3").unwrap();
+    s.execute("UPDATE orders SET amount = 99 WHERE tenant_id = 4").unwrap();
+    // simulate a coordinator crash between phase 1 and phase 2: run only
+    // pre-commit by making every node unreachable for phase 2... instead,
+    // manufacture the in-doubt state directly: prepare on workers + commit
+    // record, then "lose" the session
+    // (drive the same state through the public pieces)
+    s.execute("COMMIT").unwrap();
+
+    // now create a genuinely in-doubt prepared transaction by hand
+    let meta = c.metadata.read();
+    let dt = meta.table("orders").unwrap().clone();
+    let shard = meta.shard(dt.shards[0]).unwrap().clone();
+    drop(meta);
+    let node = c.node(shard.placements[0]).unwrap();
+    let engine = node.engine();
+    let mut ws = engine.session().unwrap();
+    ws.execute("BEGIN").unwrap();
+    ws.execute(&format!(
+        "UPDATE {} SET amount = 123 WHERE order_id = 2",
+        shard.physical_name()
+    ))
+    .unwrap();
+    ws.execute("PREPARE TRANSACTION 'citrus_0_999999_0'").unwrap();
+    drop(ws);
+    // with a commit record present, recovery must COMMIT PREPARED
+    let mut cs = c.session().unwrap();
+    cs.execute("INSERT INTO pg_dist_transaction (gid) VALUES ('citrus_0_999999_0')").unwrap();
+    let stats = citrus::recovery::recover_once(&c).unwrap();
+    assert_eq!(stats.committed, 1, "{stats:?}");
+    assert!(engine.txns.prepared_gids().is_empty());
+
+    // and without a record, recovery rolls back
+    let mut ws = engine.session().unwrap();
+    ws.execute("BEGIN").unwrap();
+    ws.execute(&format!(
+        "UPDATE {} SET amount = 456 WHERE order_id = 2",
+        shard.physical_name()
+    ))
+    .unwrap();
+    ws.execute("PREPARE TRANSACTION 'citrus_0_999998_0'").unwrap();
+    drop(ws);
+    let stats = citrus::recovery::recover_once(&c).unwrap();
+    assert_eq!(stats.rolled_back, 1, "{stats:?}");
+}
+
+#[test]
+fn rebalancer_moves_shards_to_new_worker() {
+    let c = small_cluster(2);
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE t (k bigint, v text)").unwrap();
+    s.execute("SELECT create_distributed_table('t', 'k')").unwrap();
+    for i in 0..200i64 {
+        s.execute(&format!("INSERT INTO t VALUES ({i}, 'v-{i}')")).unwrap();
+    }
+    let before = s.execute("SELECT count(*) FROM t").unwrap();
+    // grow the cluster; the new worker has nothing
+    c.add_worker().unwrap();
+    let counts = citrus::rebalancer::placement_counts(&c);
+    assert_eq!(counts[&NodeId(3)], 0);
+    let moves = citrus::rebalancer::rebalance(
+        &c,
+        &citrus::rebalancer::RebalanceStrategy::ByShardCount,
+    )
+    .unwrap();
+    assert!(moves > 0);
+    let counts = citrus::rebalancer::placement_counts(&c);
+    assert!(counts[&NodeId(3)] >= 2, "new worker got shards: {counts:?}");
+    // no rows were lost and queries still work
+    let after = s.execute("SELECT count(*) FROM t").unwrap();
+    assert_eq!(before.rows(), after.rows());
+    let r = s.execute("SELECT v FROM t WHERE k = 123").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::from_text("v-123"));
+}
+
+#[test]
+fn rebalancer_catchup_applies_concurrent_writes() {
+    let c = small_cluster(2);
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE t (k bigint PRIMARY KEY, v bigint)").unwrap();
+    s.execute("SELECT create_distributed_table('t', 'k')").unwrap();
+    for i in 0..50i64 {
+        s.execute(&format!("INSERT INTO t VALUES ({i}, 0)")).unwrap();
+    }
+    // find the bucket of k=7 and move it while writing to it in between
+    let (bucket, from) = {
+        let meta = c.metadata.read();
+        let b = meta.shard_index_for_value("t", &Datum::Int(7)).unwrap();
+        let dt = meta.table("t").unwrap();
+        (b, meta.shard(dt.shards[b]).unwrap().placements[0])
+    };
+    let to = c.worker_ids().into_iter().find(|n| *n != from).unwrap();
+    // write after the "initial copy" would have started: rely on move's own
+    // delta application by writing immediately before the move
+    s.execute("UPDATE t SET v = 42 WHERE k = 7").unwrap();
+    let report = citrus::rebalancer::move_shard_group(&c, "t", bucket, from, to).unwrap();
+    assert!(report.rows_moved > 0);
+    let r = s.execute("SELECT v FROM t WHERE k = 7").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(42));
+    // the shard now lives on the target
+    let meta = c.metadata.read();
+    let dt = meta.table("t").unwrap();
+    assert_eq!(meta.shard(dt.shards[bucket]).unwrap().placements, vec![to]);
+}
+
+#[test]
+fn ha_failover_preserves_committed_data() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    s.execute("UPDATE orders SET amount = 777 WHERE tenant_id = 1").unwrap();
+    // crash the node holding tenant 1
+    let victim = {
+        let meta = c.metadata.read();
+        let b = meta.shard_index_for_value("orders", &Datum::Int(1)).unwrap();
+        let dt = meta.table("orders").unwrap();
+        meta.shard(dt.shards[b]).unwrap().placements[0]
+    };
+    citrus::ha::crash_node(&c, victim).unwrap();
+    // queries to that tenant fail while the node is down
+    let err = s.execute("SELECT * FROM orders WHERE tenant_id = 1").unwrap_err();
+    assert_eq!(err.code, ErrorCode::ConnectionFailure);
+    // promote the standby
+    let report = citrus::ha::promote_standby(&c, victim).unwrap();
+    assert_eq!(report.node, victim);
+    let mut s2 = c.session().unwrap();
+    let r = s2
+        .execute("SELECT amount FROM orders WHERE tenant_id = 1 AND order_id = 1")
+        .unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Float(777.0));
+}
+
+#[test]
+fn consistent_restore_point_backup() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    s.execute("UPDATE orders SET amount = 111 WHERE tenant_id = 1").unwrap();
+    s.execute("SELECT citus_create_restore_point('backup-1')").unwrap();
+    // writes after the restore point must not appear in the restored cluster
+    s.execute("UPDATE orders SET amount = 222 WHERE tenant_id = 1").unwrap();
+    let backup = citrus::backup::archive(&c);
+    let restored = citrus::backup::restore_cluster(&backup, "backup-1").unwrap();
+    let mut rs = restored.session().unwrap();
+    let r = rs
+        .execute("SELECT amount FROM orders WHERE tenant_id = 1 AND order_id = 1")
+        .unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Float(111.0));
+    let r = rs.execute("SELECT count(*) FROM orders").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(100));
+}
+
+#[test]
+fn mx_mode_any_node_coordinates() {
+    let c = saas_cluster();
+    // without MX, clients cannot use workers as coordinators
+    c.enable_mx();
+    let mut ws = c.session_on(NodeId(1)).unwrap();
+    let r = ws.execute("SELECT count(*) FROM orders").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(100));
+    let r = ws.execute("SELECT name FROM tenants WHERE tenant_id = 9").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::from_text("tenant-9"));
+    ws.execute("UPDATE tenants SET name = 'via-worker' WHERE tenant_id = 9").unwrap();
+    let mut cs = c.session().unwrap();
+    let r = cs.execute("SELECT name FROM tenants WHERE tenant_id = 9").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::from_text("via-worker"));
+}
+
+#[test]
+fn delegated_procedures_run_on_owning_node() {
+    let c = saas_cluster();
+    citrus::procedures::register_delegated_procedure(
+        &c,
+        "add_order",
+        "orders",
+        0, // first argument is the tenant id
+        Arc::new(|session, args| {
+            let tenant = args[0].as_i64()?;
+            let order = args[1].as_i64()?;
+            let amount = args[2].as_f64()?;
+            session.execute(&format!(
+                "INSERT INTO orders VALUES ({order}, {tenant}, {amount})"
+            ))?;
+            Ok(Datum::Int(order))
+        }),
+    )
+    .unwrap();
+    let mut s = c.session().unwrap();
+    let r = s.execute("SELECT add_order(3, 99, 12.5)").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(99));
+    let r = s
+        .execute("SELECT amount FROM orders WHERE tenant_id = 3 AND order_id = 99")
+        .unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Float(12.5));
+}
+
+#[test]
+fn local_tables_coexist_but_cannot_join() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE local_notes (id bigint, note text)").unwrap();
+    s.execute("INSERT INTO local_notes VALUES (1, 'hi')").unwrap();
+    let r = s.execute("SELECT note FROM local_notes").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::from_text("hi"));
+    let err = s
+        .execute("SELECT * FROM local_notes l JOIN tenants t ON l.id = t.tenant_id")
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::FeatureNotSupported);
+}
+
+#[test]
+fn correlated_subqueries_unsupported_like_citus_95() {
+    let c = saas_cluster();
+    let mut s = c.session().unwrap();
+    let err = s
+        .execute(
+            "SELECT name FROM tenants t WHERE tenant_id IN \
+             (SELECT o.tenant_id FROM orders o WHERE o.amount > t.tenant_id)",
+        )
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::FeatureNotSupported);
+}
+
+#[test]
+fn zero_plus_one_cluster_works() {
+    // the smallest Citus cluster: coordinator doubles as the only worker
+    let mut cfg = ClusterConfig::default();
+    cfg.shard_count = 4;
+    let c = Cluster::new(cfg);
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE t (k bigint, v text)").unwrap();
+    s.execute("SELECT create_distributed_table('t', 'k')").unwrap();
+    s.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')").unwrap();
+    let r = s.execute("SELECT count(*) FROM t").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(3));
+    let r = s.execute("SELECT v FROM t WHERE k = 2").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::from_text("b"));
+}

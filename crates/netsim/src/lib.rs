@@ -1,0 +1,17 @@
+//! netsim: simulated cluster fabric for the citrus reproduction.
+//!
+//! Provides the pieces of "a cluster of Azure VMs" that the paper's
+//! evaluation depends on but that have no place inside a database engine:
+//!
+//! * [`clock`] — a shared logical clock (distributed transaction timestamps);
+//! * [`makespan`] — parallel elapsed-time math for fan-out query execution;
+//! * [`mva`] — an exact Mean Value Analysis solver for closed queueing
+//!   networks, which converts measured per-transaction resource demands into
+//!   multi-client throughput/latency curves (Figures 6, 9, 10).
+
+pub mod clock;
+pub mod makespan;
+pub mod mva;
+
+pub use clock::VirtualClock;
+pub use mva::{solve, sweep, MvaResult, Station, StationKind};

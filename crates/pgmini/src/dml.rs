@@ -1,0 +1,717 @@
+//! DML execution: INSERT (with ON CONFLICT), UPDATE, DELETE, COPY.
+//!
+//! Writers follow PostgreSQL's read-committed protocol: target rows are found
+//! under the statement snapshot, locked, then re-checked against the latest
+//! committed version before modification (the EvalPlanQual dance).
+
+use crate::catalog::{IndexMethod, TableMeta};
+use crate::error::{ErrorCode, PgError, PgResult};
+use crate::exec::{execute_select, scan_with_rowids, ExecCtx};
+use crate::expr::{bind, eval, BExpr, ColumnRef, RowScope};
+use crate::index::IndexStore;
+use crate::lock::{LockKey, LockMode};
+use crate::plan::{choose_access_paths, split_conjuncts, conjoin, PlanNode};
+use crate::storage::{ExpireOutcome, TableStore};
+use crate::types::{Datum, Row};
+use crate::txn::INVALID_XID;
+use crate::wal::WalRecord;
+use sqlparse::ast::{Assignment, ConflictAction, Expr, Insert, InsertSource};
+
+/// Scope of a table's own columns (unqualified + optionally aliased).
+fn table_scope(meta: &TableMeta, alias: Option<&str>) -> RowScope {
+    let q = alias.unwrap_or(&meta.name);
+    RowScope {
+        cols: meta.columns.iter().map(|c| ColumnRef::new(Some(q), &c.name)).collect(),
+    }
+}
+
+/// Charge the simulated cost of writing one row (heap write + WAL + per-index
+/// maintenance; trigram GIN entries dominate ingest cost, which is exactly
+/// the effect Figure 7(a) measures).
+fn charge_write(ctx: &mut ExecCtx, meta: &TableMeta, row: &Row) -> PgResult<()> {
+    let model = ctx.engine.config.cost;
+    ctx.cost.add_tuples(&model, 1);
+    ctx.cost.add_cpu(model.cpu_tuple_ms); // WAL record
+    for iid in &meta.indexes {
+        let imeta = ctx.engine.index_meta(*iid)?;
+        match imeta.method {
+            IndexMethod::BTree => ctx.cost.add_cpu(model.index_descend_ms * 0.5),
+            IndexMethod::Gin => {
+                // one posting insertion per trigram of the indexed text
+                let (keys, _) = ctx.engine.bound_index(&imeta, meta)?;
+                let v = eval(&keys[0], row, &ctx.eval_ctx)?;
+                if !v.is_null() {
+                    let grams = crate::types::text_ops::trigrams(&v.to_text()).len();
+                    ctx.cost.add_cpu(model.cpu_operator_ms * 4.0 * grams as f64);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check all unique indexes for a conflicting live row. `exclude` skips the
+/// row being updated.
+fn check_unique(
+    ctx: &ExecCtx,
+    meta: &TableMeta,
+    row: &Row,
+    exclude: Option<u64>,
+) -> PgResult<()> {
+    let store = ctx.engine.store(meta.id)?;
+    let TableStore::Heap(heap) = &*store else { return Ok(()) };
+    for iid in &meta.indexes {
+        let imeta = ctx.engine.index_meta(*iid)?;
+        if !imeta.unique {
+            continue;
+        }
+        let (keys, _) = ctx.engine.bound_index(&imeta, meta)?;
+        let key: Vec<Datum> =
+            keys.iter().map(|k| eval(k, row, &ctx.eval_ctx)).collect::<PgResult<_>>()?;
+        if key.iter().any(Datum::is_null) {
+            continue; // SQL: NULLs never conflict
+        }
+        let istore = ctx.engine.index_store(*iid)?;
+        let IndexStore::BTree(b) = &*istore else { continue };
+        for rid in b.get_eq(&key) {
+            if Some(rid) == exclude {
+                continue;
+            }
+            for version in heap.live_or_pending_versions(&ctx.engine.txns, rid) {
+                // re-check key equality (index entries can be stale)
+                let vkey: Vec<Datum> = keys
+                    .iter()
+                    .map(|k| eval(k, &version, &ctx.eval_ctx))
+                    .collect::<PgResult<_>>()?;
+                if vkey
+                    .iter()
+                    .zip(&key)
+                    .all(|(a, b)| a.sql_cmp(b) == Some(std::cmp::Ordering::Equal))
+                {
+                    return Err(PgError::new(
+                        ErrorCode::UniqueViolation,
+                        format!(
+                            "duplicate key value violates unique constraint \"{}\"",
+                            imeta.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Foreign keys: every referenced row must exist (insert/update path).
+fn check_fk_outbound(ctx: &mut ExecCtx, meta: &TableMeta, row: &Row) -> PgResult<()> {
+    for fk in meta.foreign_keys.clone() {
+        let values: Vec<Datum> = fk.columns.iter().map(|&c| row[c].clone()).collect();
+        if values.iter().any(Datum::is_null) {
+            continue;
+        }
+        let ref_meta = ctx.engine.table_meta_by_id(fk.ref_table)?;
+        if !row_exists_with(ctx, &ref_meta, &fk.ref_columns, &values)? {
+            return Err(PgError::new(
+                ErrorCode::ForeignKeyViolation,
+                format!(
+                    "insert or update on table \"{}\" violates foreign key to \"{}\"",
+                    meta.name, ref_meta.name
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Foreign keys: nothing may reference a row being deleted.
+fn check_fk_inbound(ctx: &mut ExecCtx, meta: &TableMeta, row: &Row) -> PgResult<()> {
+    let refs = ctx.engine.catalog.read().referencing_tables(meta.id);
+    for (child_id, fk) in refs {
+        let values: Vec<Datum> = fk.ref_columns.iter().map(|&c| row[c].clone()).collect();
+        if values.iter().any(Datum::is_null) {
+            continue;
+        }
+        let child_meta = ctx.engine.table_meta_by_id(child_id)?;
+        if row_exists_with(ctx, &child_meta, &fk.columns, &values)? {
+            return Err(PgError::new(
+                ErrorCode::ForeignKeyViolation,
+                format!(
+                    "update or delete on table \"{}\" violates foreign key on \"{}\"",
+                    meta.name, child_meta.name
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Does a visible row exist in `meta` with `cols = values`? Uses an index
+/// with a matching column prefix when available.
+fn row_exists_with(
+    ctx: &mut ExecCtx,
+    meta: &TableMeta,
+    cols: &[usize],
+    values: &[Datum],
+) -> PgResult<bool> {
+    let store = ctx.engine.store(meta.id)?;
+    let TableStore::Heap(heap) = &*store else {
+        return Err(PgError::unsupported("foreign keys on columnar tables"));
+    };
+    // find a b-tree index whose leading columns are exactly `cols`
+    for iid in &meta.indexes {
+        let imeta = ctx.engine.index_meta(*iid)?;
+        if imeta.method != IndexMethod::BTree {
+            continue;
+        }
+        let index_cols: Option<Vec<usize>> = imeta
+            .exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Column { name, .. } => meta.column_index(name),
+                _ => None,
+            })
+            .collect();
+        let Some(index_cols) = index_cols else { continue };
+        if index_cols.len() < cols.len() || index_cols[..cols.len()] != *cols {
+            continue;
+        }
+        let istore = ctx.engine.index_store(*iid)?;
+        let IndexStore::BTree(b) = &*istore else { continue };
+        let rids = if index_cols.len() == cols.len() {
+            b.get_eq(values)
+        } else {
+            b.get_prefix(values)
+        };
+        ctx.cost.add_cpu(ctx.engine.config.cost.index_descend_ms);
+        for rid in rids {
+            if let Some(v) = heap.visible_version(&ctx.engine.txns, &ctx.snap, rid) {
+                if cols
+                    .iter()
+                    .zip(values)
+                    .all(|(&c, val)| v[c].sql_cmp(val) == Some(std::cmp::Ordering::Equal))
+                {
+                    return Ok(true);
+                }
+            }
+        }
+        return Ok(false);
+    }
+    // no usable index: sequential existence scan
+    let mut found = false;
+    heap.scan_visible(&ctx.engine.txns, &ctx.snap, |t| {
+        if !found
+            && cols
+                .iter()
+                .zip(values)
+                .all(|(&c, val)| t.data[c].sql_cmp(val) == Some(std::cmp::Ordering::Equal))
+        {
+            found = true;
+        }
+    });
+    ctx.cost.add_tuples(&ctx.engine.config.cost, heap.live_estimate());
+    Ok(found)
+}
+
+/// Build one full row from a partial column list, applying defaults, casts,
+/// and NOT NULL checks.
+fn complete_row(
+    ctx: &ExecCtx,
+    meta: &TableMeta,
+    target_cols: &[usize],
+    values: Vec<Datum>,
+) -> PgResult<Row> {
+    if values.len() != target_cols.len() {
+        return Err(PgError::new(
+            ErrorCode::Syntax,
+            format!("INSERT has {} expressions but {} target columns", values.len(), target_cols.len()),
+        ));
+    }
+    let mut row: Row = vec![Datum::Null; meta.columns.len()];
+    let mut provided = vec![false; meta.columns.len()];
+    for (&c, v) in target_cols.iter().zip(values) {
+        row[c] = v;
+        provided[c] = true;
+    }
+    for (i, col) in meta.columns.iter().enumerate() {
+        if !provided[i] {
+            if let Some(d) = &col.default {
+                let b = bind(d, &RowScope::default(), &[])?;
+                row[i] = eval(&b, &vec![], &ctx.eval_ctx)?;
+            }
+        }
+        if !row[i].is_null() {
+            row[i] = row[i].cast_to(col.ty)?;
+        } else if col.not_null {
+            return Err(PgError::new(
+                ErrorCode::NotNullViolation,
+                format!("null value in column \"{}\" violates not-null constraint", col.name),
+            ));
+        }
+    }
+    Ok(row)
+}
+
+fn require_xid(ctx: &ExecCtx) -> PgResult<()> {
+    if ctx.xid == INVALID_XID {
+        return Err(PgError::internal("DML requires an active transaction"));
+    }
+    Ok(())
+}
+
+/// Execute INSERT. Returns the number of rows inserted (ON CONFLICT DO
+/// NOTHING rows are not counted; DO UPDATE rows are).
+pub fn exec_insert(ctx: &mut ExecCtx, ins: &Insert, params: &[Datum]) -> PgResult<u64> {
+    require_xid(ctx)?;
+    let meta = ctx.engine.table_meta(&ins.table)?;
+    ctx.engine.locks.acquire(ctx.xid, LockKey::Table(meta.id), LockMode::Shared)?;
+    let target_cols: Vec<usize> = if ins.columns.is_empty() {
+        (0..meta.columns.len()).collect()
+    } else {
+        ins.columns
+            .iter()
+            .map(|n| meta.column_index(n).ok_or_else(|| PgError::undefined_column(n)))
+            .collect::<PgResult<_>>()?
+    };
+    // materialise source rows first (so INSERT INTO t SELECT FROM t is sane)
+    let source_rows: Vec<Row> = match &ins.source {
+        InsertSource::Values(rows) => {
+            let scope = RowScope::default();
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows {
+                let row: Row = r
+                    .iter()
+                    .map(|e| {
+                        let b = bind(e, &scope, params)?;
+                        eval(&b, &vec![], &ctx.eval_ctx)
+                    })
+                    .collect::<PgResult<_>>()?;
+                out.push(row);
+            }
+            out
+        }
+        InsertSource::Query(sel) => execute_select(ctx, sel, params)?.1,
+    };
+
+    let store = ctx.engine.store(meta.id)?;
+    match &*store {
+        TableStore::Columnar(col) => {
+            if ins.on_conflict.is_some() {
+                return Err(PgError::unsupported("ON CONFLICT on columnar tables"));
+            }
+            let mut batch = Vec::with_capacity(source_rows.len());
+            for values in source_rows {
+                let row = complete_row(ctx, &meta, &target_cols, values)?;
+                charge_write(ctx, &meta, &row)?;
+                batch.push(row);
+            }
+            let n = batch.len() as u64;
+            col.append(ctx.xid, batch, meta.columns.len())?;
+            Ok(n)
+        }
+        TableStore::Heap(heap) => {
+            let mut count = 0u64;
+            for values in source_rows {
+                let row = complete_row(ctx, &meta, &target_cols, values)?;
+                // ON CONFLICT: look for an existing live row on the target key
+                if let Some(oc) = &ins.on_conflict {
+                    if let Some((existing_rid, existing_row)) =
+                        find_conflict(ctx, &meta, &oc.target, &row)?
+                    {
+                        match &oc.action {
+                            ConflictAction::Nothing => continue,
+                            ConflictAction::Update(assignments) => {
+                                apply_conflict_update(
+                                    ctx,
+                                    &meta,
+                                    existing_rid,
+                                    &existing_row,
+                                    &row,
+                                    assignments,
+                                    params,
+                                )?;
+                                count += 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
+                check_unique(ctx, &meta, &row, None)?;
+                check_fk_outbound(ctx, &meta, &row)?;
+                let row_id = heap.insert(ctx.xid, row.clone());
+                ctx.engine.index_insert_row(&meta, row_id, &row)?;
+                ctx.engine.wal.append(WalRecord::Insert {
+                    xid: ctx.xid,
+                    table: meta.id,
+                    row_id,
+                    row: row.clone(),
+                });
+                charge_write(ctx, &meta, &row)?;
+                count += 1;
+            }
+            Ok(count)
+        }
+    }
+}
+
+/// Find a live row conflicting with `row` on the ON CONFLICT target columns.
+fn find_conflict(
+    ctx: &mut ExecCtx,
+    meta: &TableMeta,
+    target: &[String],
+    row: &Row,
+) -> PgResult<Option<(u64, Row)>> {
+    let cols: Vec<usize> = if target.is_empty() {
+        meta.primary_key.clone().ok_or_else(|| {
+            PgError::new(ErrorCode::InvalidParameter, "ON CONFLICT requires a primary key")
+        })?
+    } else {
+        target
+            .iter()
+            .map(|n| meta.column_index(n).ok_or_else(|| PgError::undefined_column(n)))
+            .collect::<PgResult<_>>()?
+    };
+    let values: Vec<Datum> = cols.iter().map(|&c| row[c].clone()).collect();
+    if values.iter().any(Datum::is_null) {
+        return Ok(None);
+    }
+    let store = ctx.engine.store(meta.id)?;
+    let heap = store.heap()?;
+    // find rows via any index with that prefix, else scan
+    for iid in &meta.indexes {
+        let imeta = ctx.engine.index_meta(*iid)?;
+        let index_cols: Option<Vec<usize>> = imeta
+            .exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Column { name, .. } => meta.column_index(name),
+                _ => None,
+            })
+            .collect();
+        let Some(index_cols) = index_cols else { continue };
+        if index_cols[..] != cols[..] {
+            continue;
+        }
+        let istore = ctx.engine.index_store(*iid)?;
+        let IndexStore::BTree(b) = &*istore else { continue };
+        for rid in b.get_eq(&values) {
+            if let Some(v) = heap.visible_version(&ctx.engine.txns, &ctx.snap, rid) {
+                if cols
+                    .iter()
+                    .zip(&values)
+                    .all(|(&c, val)| v[c].sql_cmp(val) == Some(std::cmp::Ordering::Equal))
+                {
+                    return Ok(Some((rid, v)));
+                }
+            }
+        }
+        return Ok(None);
+    }
+    let mut found = None;
+    heap.scan_visible(&ctx.engine.txns, &ctx.snap, |t| {
+        if found.is_none()
+            && cols
+                .iter()
+                .zip(&values)
+                .all(|(&c, val)| t.data[c].sql_cmp(val) == Some(std::cmp::Ordering::Equal))
+        {
+            found = Some((t.row_id, t.data.clone()));
+        }
+    });
+    Ok(found)
+}
+
+/// ON CONFLICT DO UPDATE: assignments may reference the table and
+/// `excluded.*` (the proposed row).
+fn apply_conflict_update(
+    ctx: &mut ExecCtx,
+    meta: &TableMeta,
+    row_id: u64,
+    _existing: &Row,
+    proposed: &Row,
+    assignments: &[Assignment],
+    params: &[Datum],
+) -> PgResult<()> {
+    ctx.engine.locks.acquire(ctx.xid, LockKey::Row(meta.id, row_id), LockMode::Exclusive)?;
+    let fresh = ctx.engine.txns.snapshot(ctx.xid);
+    let store = ctx.engine.store(meta.id)?;
+    let heap = store.heap()?;
+    let Some(current) = heap.visible_version(&ctx.engine.txns, &fresh, row_id) else {
+        return Ok(()); // row vanished; PostgreSQL would retry, we no-op
+    };
+    // scope: table columns then excluded.*
+    let mut scope = table_scope(meta, None);
+    scope
+        .cols
+        .extend(meta.columns.iter().map(|c| ColumnRef::new(Some("excluded"), &c.name)));
+    let mut eval_row = current.clone();
+    eval_row.extend(proposed.iter().cloned());
+    let mut new_row = current.clone();
+    for a in assignments {
+        let c = meta
+            .column_index(&a.column)
+            .ok_or_else(|| PgError::undefined_column(&a.column))?;
+        let b = bind(&a.value, &scope, params)?;
+        let v = eval(&b, &eval_row, &ctx.eval_ctx)?;
+        new_row[c] = if v.is_null() { v } else { v.cast_to(meta.columns[c].ty)? };
+        if new_row[c].is_null() && meta.columns[c].not_null {
+            return Err(PgError::new(
+                ErrorCode::NotNullViolation,
+                format!("null value in column \"{}\"", a.column),
+            ));
+        }
+    }
+    check_unique(ctx, meta, &new_row, Some(row_id))?;
+    check_fk_outbound(ctx, meta, &new_row)?;
+    let outcome = heap.expire(&ctx.engine.txns, &fresh, row_id, ctx.xid)?;
+    if outcome != ExpireOutcome::Expired {
+        return Ok(());
+    }
+    heap.insert_version(row_id, ctx.xid, new_row.clone());
+    ctx.engine.index_insert_row(meta, row_id, &new_row)?;
+    ctx.engine.wal.append(WalRecord::Update {
+        xid: ctx.xid,
+        table: meta.id,
+        row_id,
+        new_row: new_row.clone(),
+    });
+    charge_write(ctx, meta, &new_row)?;
+    Ok(())
+}
+
+/// Collect (row_id, row) targets of an UPDATE/DELETE using index access
+/// paths when possible.
+fn collect_targets(
+    ctx: &mut ExecCtx,
+    meta: &TableMeta,
+    alias: Option<&str>,
+    where_clause: &Option<Expr>,
+    params: &[Datum],
+) -> PgResult<Vec<(u64, Row)>> {
+    let scope = table_scope(meta, alias);
+    let mut node = PlanNode::SeqScan { table: meta.id, filter: None };
+    if let Some(w) = where_clause {
+        // subqueries in DML WHERE: execute them via the select path
+        let mut subq = CtxSubquery { ctx, params: params.to_vec() };
+        let flat = crate::plan::flatten_for_dml(w, &mut subq)?;
+        let conjuncts = split_conjuncts(&flat);
+        let mut residual = Vec::new();
+        for c in conjuncts {
+            let b = bind(&c, &scope, params)?;
+            match &mut node {
+                PlanNode::SeqScan { filter, .. } => match filter {
+                    Some(f) => {
+                        *filter = Some(BExpr::Binary {
+                            op: sqlparse::ast::BinaryOp::And,
+                            left: Box::new(f.clone()),
+                            right: Box::new(b),
+                        })
+                    }
+                    None => *filter = Some(b),
+                },
+                _ => residual.push(c),
+            }
+        }
+        let _ = conjoin(residual);
+    }
+    let engine = ctx.engine.clone();
+    let view = crate::exec::EngineCatalogView { engine: &engine };
+    choose_access_paths(&mut node, &view, &|id| engine.table_meta_by_id(id))?;
+    match node {
+        PlanNode::SeqScan { table, filter } => scan_with_rowids(ctx, table, None, &filter),
+        PlanNode::IndexScan { table, index, probe, filter } => {
+            scan_with_rowids(ctx, table, Some((index, &probe)), &filter)
+        }
+        _ => Err(PgError::internal("unexpected DML target plan")),
+    }
+}
+
+/// Adapter so DML WHERE clauses can run subqueries through the select path.
+struct CtxSubquery<'a, 'e> {
+    ctx: &'a mut ExecCtx<'e>,
+    params: Vec<Datum>,
+}
+
+impl crate::plan::SubqueryExecutor for CtxSubquery<'_, '_> {
+    fn run_subquery(&mut self, sub: &sqlparse::ast::Select) -> PgResult<Vec<Row>> {
+        execute_select(self.ctx, sub, &self.params).map(|(_, rows)| rows)
+    }
+}
+
+/// Execute UPDATE. Returns rows updated.
+pub fn exec_update(
+    ctx: &mut ExecCtx,
+    upd: &sqlparse::ast::Update,
+    params: &[Datum],
+) -> PgResult<u64> {
+    require_xid(ctx)?;
+    let meta = ctx.engine.table_meta(&upd.table)?;
+    ctx.engine.locks.acquire(ctx.xid, LockKey::Table(meta.id), LockMode::Shared)?;
+    let scope = table_scope(&meta, upd.alias.as_deref());
+    let assignments: Vec<(usize, BExpr)> = upd
+        .assignments
+        .iter()
+        .map(|a| {
+            let c = meta
+                .column_index(&a.column)
+                .ok_or_else(|| PgError::undefined_column(&a.column))?;
+            Ok((c, bind(&a.value, &scope, params)?))
+        })
+        .collect::<PgResult<_>>()?;
+    let filter_bound = upd
+        .where_clause
+        .as_ref()
+        .map(|w| {
+            let mut subq = CtxSubquery { ctx, params: params.to_vec() };
+            let flat = crate::plan::flatten_for_dml(w, &mut subq)?;
+            bind(&flat, &scope, params)
+        })
+        .transpose()?;
+    let targets =
+        collect_targets(ctx, &meta, upd.alias.as_deref(), &upd.where_clause, params)?;
+    let store = ctx.engine.store(meta.id)?;
+    let heap = store.heap()?;
+    let mut count = 0u64;
+    for (row_id, _seen) in targets {
+        ctx.engine.locks.acquire(ctx.xid, LockKey::Row(meta.id, row_id), LockMode::Exclusive)?;
+        let fresh = ctx.engine.txns.snapshot(ctx.xid);
+        let Some(current) = heap.visible_version(&ctx.engine.txns, &fresh, row_id) else {
+            continue; // deleted meanwhile
+        };
+        // EvalPlanQual: predicate must still hold on the latest version
+        if let Some(f) = &filter_bound {
+            if !matches!(eval(f, &current, &ctx.eval_ctx)?, Datum::Bool(true)) {
+                continue;
+            }
+        }
+        let mut new_row = current.clone();
+        for (c, b) in &assignments {
+            let v = eval(b, &current, &ctx.eval_ctx)?;
+            new_row[*c] = if v.is_null() { v } else { v.cast_to(meta.columns[*c].ty)? };
+            if new_row[*c].is_null() && meta.columns[*c].not_null {
+                return Err(PgError::new(
+                    ErrorCode::NotNullViolation,
+                    format!("null value in column \"{}\"", meta.columns[*c].name),
+                ));
+            }
+        }
+        check_unique(ctx, &meta, &new_row, Some(row_id))?;
+        check_fk_outbound(ctx, &meta, &new_row)?;
+        match heap.expire(&ctx.engine.txns, &fresh, row_id, ctx.xid)? {
+            ExpireOutcome::Expired => {}
+            _ => continue,
+        }
+        heap.insert_version(row_id, ctx.xid, new_row.clone());
+        ctx.engine.index_insert_row(&meta, row_id, &new_row)?;
+        ctx.engine.wal.append(WalRecord::Update {
+            xid: ctx.xid,
+            table: meta.id,
+            row_id,
+            new_row: new_row.clone(),
+        });
+        charge_write(ctx, &meta, &new_row)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Execute DELETE. Returns rows deleted.
+pub fn exec_delete(
+    ctx: &mut ExecCtx,
+    del: &sqlparse::ast::Delete,
+    params: &[Datum],
+) -> PgResult<u64> {
+    require_xid(ctx)?;
+    let meta = ctx.engine.table_meta(&del.table)?;
+    ctx.engine.locks.acquire(ctx.xid, LockKey::Table(meta.id), LockMode::Shared)?;
+    let scope = table_scope(&meta, del.alias.as_deref());
+    let filter_bound = del
+        .where_clause
+        .as_ref()
+        .map(|w| {
+            let mut subq = CtxSubquery { ctx, params: params.to_vec() };
+            let flat = crate::plan::flatten_for_dml(w, &mut subq)?;
+            bind(&flat, &scope, params)
+        })
+        .transpose()?;
+    let targets =
+        collect_targets(ctx, &meta, del.alias.as_deref(), &del.where_clause, params)?;
+    let store = ctx.engine.store(meta.id)?;
+    let heap = store.heap()?;
+    let mut count = 0u64;
+    for (row_id, _seen) in targets {
+        ctx.engine.locks.acquire(ctx.xid, LockKey::Row(meta.id, row_id), LockMode::Exclusive)?;
+        let fresh = ctx.engine.txns.snapshot(ctx.xid);
+        let Some(current) = heap.visible_version(&ctx.engine.txns, &fresh, row_id) else {
+            continue;
+        };
+        if let Some(f) = &filter_bound {
+            if !matches!(eval(f, &current, &ctx.eval_ctx)?, Datum::Bool(true)) {
+                continue;
+            }
+        }
+        check_fk_inbound(ctx, &meta, &current)?;
+        match heap.expire(&ctx.engine.txns, &fresh, row_id, ctx.xid)? {
+            ExpireOutcome::Expired => {}
+            _ => continue,
+        }
+        heap.adjust_live(-1);
+        ctx.engine.wal.append(WalRecord::Delete { xid: ctx.xid, table: meta.id, row_id });
+        ctx.cost.add_tuples(&ctx.engine.config.cost, 1);
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// COPY FROM: bulk-append pre-parsed rows. The fast ingest path: no planning,
+/// single table lock, batched constraint checks.
+pub fn exec_copy(
+    ctx: &mut ExecCtx,
+    table: &str,
+    columns: &[String],
+    rows: Vec<Row>,
+) -> PgResult<u64> {
+    require_xid(ctx)?;
+    let meta = ctx.engine.table_meta(table)?;
+    ctx.engine.locks.acquire(ctx.xid, LockKey::Table(meta.id), LockMode::Shared)?;
+    let target_cols: Vec<usize> = if columns.is_empty() {
+        (0..meta.columns.len()).collect()
+    } else {
+        columns
+            .iter()
+            .map(|n| meta.column_index(n).ok_or_else(|| PgError::undefined_column(n)))
+            .collect::<PgResult<_>>()?
+    };
+    let store = ctx.engine.store(meta.id)?;
+    match &*store {
+        TableStore::Columnar(col) => {
+            let mut batch = Vec::with_capacity(rows.len());
+            for values in rows {
+                let row = complete_row(ctx, &meta, &target_cols, values)?;
+                charge_write(ctx, &meta, &row)?;
+                batch.push(row);
+            }
+            let n = batch.len() as u64;
+            col.append(ctx.xid, batch, meta.columns.len())?;
+            Ok(n)
+        }
+        TableStore::Heap(heap) => {
+            let mut count = 0u64;
+            for values in rows {
+                let row = complete_row(ctx, &meta, &target_cols, values)?;
+                check_unique(ctx, &meta, &row, None)?;
+                check_fk_outbound(ctx, &meta, &row)?;
+                let row_id = heap.insert(ctx.xid, row.clone());
+                ctx.engine.index_insert_row(&meta, row_id, &row)?;
+                ctx.engine.wal.append(WalRecord::Insert {
+                    xid: ctx.xid,
+                    table: meta.id,
+                    row_id,
+                    row: row.clone(),
+                });
+                charge_write(ctx, &meta, &row)?;
+                count += 1;
+            }
+            Ok(count)
+        }
+    }
+}

@@ -1,0 +1,760 @@
+//! The engine: catalog + stores + transaction machinery for one "server".
+//!
+//! One `Engine` models one PostgreSQL server (a node in the cluster fabric).
+//! Sessions are its connections; the distributed layer installs an
+//! [`crate::hooks::Extension`] and registers UDFs to take control, exactly
+//! like the extension API the paper describes.
+
+use crate::buffer::{BufferKey, BufferPool};
+use crate::catalog::{Catalog, IndexId, IndexMeta, IndexMethod, Storage, TableId, TableMeta};
+use crate::cost::CostModel;
+use crate::error::{ErrorCode, PgError, PgResult};
+use crate::expr::{bind, eval, BExpr, ColumnRef, EvalCtx, RowScope};
+use crate::hooks::Hooks;
+use crate::index::{BTreeIndex, GinIndex, IndexStore};
+use crate::lock::LockManager;
+use crate::session::Session;
+use crate::storage::{HeapStore, TableStore};
+use crate::txn::{TxnManager, Xid, INVALID_XID};
+use crate::types::{Datum, Row};
+use crate::wal::{Wal, WalRecord};
+use parking_lot::RwLock;
+use sqlparse::ast::{CreateIndex, CreateTable, Statement};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A user-defined function callable as `SELECT fname(args)`. This is the
+/// extension RPC mechanism: the distributed layer registers its metadata
+/// functions (`create_distributed_table`, `assign_distributed_transaction_id`,
+/// ...) here on every node.
+pub type Udf = Arc<dyn Fn(&mut Session, &[Datum]) -> PgResult<Datum> + Send + Sync>;
+
+/// Static engine configuration (one simulated server).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Node name for diagnostics ("coordinator", "worker-1", ...).
+    pub name: String,
+    /// Simulated CPU cores (parallel task streams the node can run at
+    /// full speed). The paper's VMs have 16 vcpus.
+    pub cores: u32,
+    /// Simulated memory in bytes (buffer-pool capacity). Paper: 64 GB.
+    pub mem_bytes: u64,
+    /// Maximum concurrent sessions (PostgreSQL's process-per-connection cap).
+    pub max_connections: u32,
+    pub cost: CostModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            name: "pg".to_string(),
+            cores: 16,
+            mem_bytes: 64 * 1024 * 1024 * 1024,
+            max_connections: 500,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// One simulated PostgreSQL server.
+pub struct Engine {
+    pub config: EngineConfig,
+    pub catalog: RwLock<Catalog>,
+    stores: RwLock<HashMap<TableId, Arc<TableStore>>>,
+    index_stores: RwLock<HashMap<IndexId, Arc<IndexStore>>>,
+    /// Cache of bound index expressions: (key exprs, partial predicate).
+    bound_index_exprs: RwLock<HashMap<IndexId, (Vec<BExpr>, Option<BExpr>)>>,
+    pub txns: TxnManager,
+    pub locks: LockManager,
+    pub wal: Wal,
+    pub buffer: BufferPool,
+    pub hooks: Hooks,
+    udfs: RwLock<HashMap<String, Udf>>,
+    conn_count: AtomicU32,
+    pub(crate) session_seq: AtomicU64,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Arc<Engine> {
+        let capacity_pages = config.mem_bytes / crate::cost::PAGE_SIZE;
+        Arc::new(Engine {
+            catalog: RwLock::new(Catalog::default()),
+            stores: RwLock::new(HashMap::new()),
+            index_stores: RwLock::new(HashMap::new()),
+            bound_index_exprs: RwLock::new(HashMap::new()),
+            config,
+            txns: TxnManager::default(),
+            locks: LockManager::default(),
+            wal: Wal::default(),
+            buffer: BufferPool::new(capacity_pages),
+            hooks: Hooks::default(),
+            udfs: RwLock::new(HashMap::new()),
+            conn_count: AtomicU32::new(0),
+            session_seq: AtomicU64::new(1),
+        })
+    }
+
+    /// Default-configured engine (16 cores, 64 GB, defaults everywhere).
+    pub fn new_default() -> Arc<Engine> {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// Open a session (connection). Fails with `TooManyConnections` at the
+    /// configured cap — the PostgreSQL connection-scalability limit §2.3
+    /// complains about.
+    pub fn session(self: &Arc<Self>) -> PgResult<Session> {
+        let prev = self.conn_count.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.config.max_connections {
+            self.conn_count.fetch_sub(1, Ordering::SeqCst);
+            return Err(PgError::new(
+                ErrorCode::TooManyConnections,
+                format!(
+                    "sorry, too many clients already ({} max)",
+                    self.config.max_connections
+                ),
+            ));
+        }
+        Ok(Session::new(self.clone()))
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.conn_count.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub fn connection_count(&self) -> u32 {
+        self.conn_count.load(Ordering::SeqCst)
+    }
+
+    // ---------------- catalog & stores ----------------
+
+    pub fn store(&self, id: TableId) -> PgResult<Arc<TableStore>> {
+        self.stores
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| PgError::internal(format!("no store for table {id:?}")))
+    }
+
+    pub fn index_store(&self, id: IndexId) -> PgResult<Arc<IndexStore>> {
+        self.index_stores
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| PgError::internal(format!("no store for index {id:?}")))
+    }
+
+    pub fn table_meta(&self, name: &str) -> PgResult<TableMeta> {
+        self.catalog.read().table_by_name(name).cloned()
+    }
+
+    pub fn table_meta_by_id(&self, id: TableId) -> PgResult<TableMeta> {
+        self.catalog.read().table(id).cloned()
+    }
+
+    pub fn index_meta(&self, id: IndexId) -> PgResult<IndexMeta> {
+        self.catalog.read().index(id).cloned()
+    }
+
+    /// Override a table's simulated row width (benchmarks size datasets to
+    /// the paper's scale this way).
+    pub fn set_sim_row_width(&self, table: &str, width: u32) -> PgResult<()> {
+        let mut cat = self.catalog.write();
+        let id = cat.table_id(table)?;
+        cat.table_mut(id)?.sim_row_width = width;
+        Ok(())
+    }
+
+    /// Switch a table to columnar storage (must be empty).
+    pub fn set_columnar(&self, table: &str) -> PgResult<()> {
+        let mut cat = self.catalog.write();
+        let id = cat.table_id(table)?;
+        if self.store(id)?.live_estimate() > 0 {
+            return Err(PgError::unsupported(
+                "converting a non-empty table to columnar storage",
+            ));
+        }
+        cat.table_mut(id)?.storage = Storage::Columnar;
+        self.stores
+            .write()
+            .insert(id, Arc::new(TableStore::Columnar(Default::default())));
+        Ok(())
+    }
+
+    /// Simulated heap pages of a table right now (live + dead versions).
+    pub fn table_pages(&self, meta: &TableMeta) -> u64 {
+        let Ok(store) = self.store(meta.id) else { return 0 };
+        let rows = match &*store {
+            TableStore::Heap(h) => h.slot_count(),
+            TableStore::Columnar(c) => c.live_estimate(),
+        };
+        meta.pages(rows)
+    }
+
+    // ---------------- UDFs ----------------
+
+    pub fn register_udf(
+        &self,
+        name: &str,
+        f: impl Fn(&mut Session, &[Datum]) -> PgResult<Datum> + Send + Sync + 'static,
+    ) {
+        self.udfs.write().insert(name.to_string(), Arc::new(f));
+    }
+
+    pub fn udf(&self, name: &str) -> Option<Udf> {
+        self.udfs.read().get(name).cloned()
+    }
+
+    // ---------------- DDL ----------------
+
+    /// CREATE TABLE: catalog entry, store, primary-key/unique indexes,
+    /// foreign keys. Logged to the WAL so standbys can replay schema.
+    pub fn ddl_create_table(&self, stmt: &CreateTable) -> PgResult<()> {
+        let mut cat = self.catalog.write();
+        let Some(id) = cat.create_table(stmt)? else { return Ok(()) };
+        self.stores.write().insert(id, Arc::new(TableStore::Heap(HeapStore::default())));
+        // primary key index
+        if let Some(pk) = cat.table(id)?.primary_key.clone() {
+            let iid = cat.create_pkey_index(id, &pk);
+            self.index_stores
+                .write()
+                .insert(iid, Arc::new(IndexStore::BTree(BTreeIndex::default())));
+        }
+        // unique columns get their own unique indexes
+        let uniques: Vec<usize> = stmt
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.unique && !c.primary_key)
+            .map(|(i, _)| i)
+            .collect();
+        for u in uniques {
+            let iid = cat.create_pkey_index(id, &[u]);
+            self.index_stores
+                .write()
+                .insert(iid, Arc::new(IndexStore::BTree(BTreeIndex::default())));
+        }
+        // foreign keys: inline REFERENCES and table constraints
+        for c in &stmt.columns {
+            if let Some((ref_table, ref_col)) = &c.references {
+                let ref_cols =
+                    if ref_col.is_empty() { vec![] } else { vec![ref_col.clone()] };
+                cat.add_foreign_key(id, &[c.name.clone()], ref_table, &ref_cols)?;
+            }
+        }
+        for con in &stmt.constraints {
+            if let sqlparse::ast::TableConstraint::ForeignKey { columns, ref_table, ref_columns } =
+                con
+            {
+                cat.add_foreign_key(id, columns, ref_table, ref_columns)?;
+            }
+        }
+        drop(cat);
+        self.wal.append(WalRecord::Ddl {
+            sql: sqlparse::deparse(&Statement::CreateTable(Box::new(stmt.clone()))),
+        });
+        Ok(())
+    }
+
+    /// CREATE INDEX: catalog entry, store, and backfill from visible rows.
+    pub fn ddl_create_index(&self, stmt: &CreateIndex) -> PgResult<()> {
+        let mut cat = self.catalog.write();
+        let Some(iid) = cat.create_index(stmt)? else { return Ok(()) };
+        let imeta = cat.index(iid)?.clone();
+        let tmeta = cat.table(imeta.table)?.clone();
+        drop(cat);
+        let store: Arc<IndexStore> = match imeta.method {
+            IndexMethod::BTree => Arc::new(IndexStore::BTree(BTreeIndex::default())),
+            IndexMethod::Gin => Arc::new(IndexStore::Gin(GinIndex::default())),
+        };
+        self.index_stores.write().insert(iid, store.clone());
+        // backfill all visible rows
+        let snap = self.txns.snapshot(INVALID_XID);
+        let table_store = self.store(imeta.table)?;
+        let heap = table_store.heap()?;
+        let mut rows: Vec<(u64, Row)> = Vec::new();
+        heap.scan_visible(&self.txns, &snap, |t| rows.push((t.row_id, t.data.clone())));
+        for (row_id, row) in rows {
+            self.index_insert_row_one(&tmeta, &imeta, &store, row_id, &row)?;
+        }
+        self.wal.append(WalRecord::Ddl {
+            sql: sqlparse::deparse(&Statement::CreateIndex(Box::new(stmt.clone()))),
+        });
+        Ok(())
+    }
+
+    pub fn ddl_drop_table(&self, name: &str, if_exists: bool) -> PgResult<()> {
+        let mut cat = self.catalog.write();
+        if cat.table_id(name).is_err() && if_exists {
+            return Ok(());
+        }
+        let meta = cat.drop_table(name)?;
+        drop(cat);
+        self.stores.write().remove(&meta.id);
+        self.buffer.forget(BufferKey::Table(meta.id.0));
+        let mut istores = self.index_stores.write();
+        for iid in &meta.indexes {
+            istores.remove(iid);
+            self.buffer.forget(BufferKey::Index(iid.0));
+            self.bound_index_exprs.write().remove(iid);
+        }
+        drop(istores);
+        self.wal.append(WalRecord::Ddl {
+            sql: format!("DROP TABLE {}", sqlparse::quote_ident(name)),
+        });
+        Ok(())
+    }
+
+    /// TRUNCATE (non-MVCC, caller holds the exclusive table lock).
+    pub fn truncate_table(&self, name: &str) -> PgResult<()> {
+        let meta = self.table_meta(name)?;
+        self.store(meta.id)?.truncate();
+        for iid in &meta.indexes {
+            let fresh: Arc<IndexStore> = match self.index_meta(*iid)?.method {
+                IndexMethod::BTree => Arc::new(IndexStore::BTree(BTreeIndex::default())),
+                IndexMethod::Gin => Arc::new(IndexStore::Gin(GinIndex::default())),
+            };
+            self.index_stores.write().insert(*iid, fresh);
+        }
+        self.buffer.forget(BufferKey::Table(meta.id.0));
+        self.wal
+            .append(WalRecord::Ddl { sql: format!("TRUNCATE {}", sqlparse::quote_ident(name)) });
+        Ok(())
+    }
+
+    // ---------------- index maintenance ----------------
+
+    /// Bound key expressions + predicate for an index, cached.
+    pub fn bound_index(&self, imeta: &IndexMeta, tmeta: &TableMeta) -> PgResult<(Vec<BExpr>, Option<BExpr>)> {
+        if let Some(found) = self.bound_index_exprs.read().get(&imeta.id) {
+            return Ok(found.clone());
+        }
+        let scope = RowScope {
+            cols: tmeta.columns.iter().map(|c| ColumnRef::new(None, &c.name)).collect(),
+        };
+        let keys: Vec<BExpr> =
+            imeta.exprs.iter().map(|e| bind(e, &scope, &[])).collect::<PgResult<_>>()?;
+        let pred = imeta.predicate.as_ref().map(|p| bind(p, &scope, &[])).transpose()?;
+        let entry = (keys, pred);
+        self.bound_index_exprs.write().insert(imeta.id, entry.clone());
+        Ok(entry)
+    }
+
+    fn index_insert_row_one(
+        &self,
+        tmeta: &TableMeta,
+        imeta: &IndexMeta,
+        store: &IndexStore,
+        row_id: u64,
+        row: &Row,
+    ) -> PgResult<()> {
+        let (keys, pred) = self.bound_index(imeta, tmeta)?;
+        let ctx = EvalCtx::default();
+        if let Some(p) = &pred {
+            if !matches!(eval(p, row, &ctx)?, Datum::Bool(true)) {
+                return Ok(());
+            }
+        }
+        match store {
+            IndexStore::BTree(b) => {
+                let key: Vec<Datum> =
+                    keys.iter().map(|k| eval(k, row, &ctx)).collect::<PgResult<_>>()?;
+                b.insert(key, row_id);
+            }
+            IndexStore::Gin(g) => {
+                let v = eval(&keys[0], row, &ctx)?;
+                if !v.is_null() {
+                    g.insert(&v.to_text(), row_id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Add `row` to every index of its table.
+    pub fn index_insert_row(&self, tmeta: &TableMeta, row_id: u64, row: &Row) -> PgResult<()> {
+        for iid in &tmeta.indexes {
+            let imeta = self.index_meta(*iid)?;
+            let store = self.index_store(*iid)?;
+            self.index_insert_row_one(tmeta, &imeta, &store, row_id, row)?;
+        }
+        Ok(())
+    }
+
+    /// Remove `row`'s entries from every index (vacuum path).
+    pub fn index_remove_row(&self, tmeta: &TableMeta, row_id: u64, row: &Row) -> PgResult<()> {
+        let ctx = EvalCtx::default();
+        for iid in &tmeta.indexes {
+            let imeta = self.index_meta(*iid)?;
+            let store = self.index_store(*iid)?;
+            let (keys, pred) = self.bound_index(&imeta, tmeta)?;
+            if let Some(p) = &pred {
+                if !matches!(eval(p, row, &ctx)?, Datum::Bool(true)) {
+                    continue;
+                }
+            }
+            match &*store {
+                IndexStore::BTree(b) => {
+                    let key: Vec<Datum> =
+                        keys.iter().map(|k| eval(k, row, &ctx)).collect::<PgResult<_>>()?;
+                    b.remove(&key, row_id);
+                }
+                IndexStore::Gin(g) => {
+                    let v = eval(&keys[0], row, &ctx)?;
+                    if !v.is_null() {
+                        g.remove(&v.to_text(), row_id);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------- vacuum ----------------
+
+    /// VACUUM one table: reclaim dead versions and their index entries.
+    /// Returns the number of versions reclaimed.
+    pub fn vacuum_table(&self, name: &str) -> PgResult<u64> {
+        let meta = self.table_meta(name)?;
+        let store = self.store(meta.id)?;
+        let TableStore::Heap(heap) = &*store else { return Ok(0) };
+        let horizon = self.txns.oldest_active_xid();
+        let reclaimed = heap.vacuum(&self.txns, horizon);
+        for (row_id, row) in &reclaimed {
+            self.index_remove_row(&meta, *row_id, row)?;
+        }
+        Ok(reclaimed.len() as u64)
+    }
+
+    pub fn vacuum_all(&self) -> PgResult<u64> {
+        let names = self.catalog.read().table_names();
+        let mut total = 0;
+        for n in names {
+            total += self.vacuum_table(&n)?;
+        }
+        Ok(total)
+    }
+
+    // ---------------- replication / recovery ----------------
+
+    /// Rebuild an engine from a WAL stream, stopping after `upto` records
+    /// (None = full log). Prepared-but-undecided transactions are recreated
+    /// as prepared, so 2PC recovery can finish them — the property the
+    /// paper's consistent-restore-point backups rely on (§3.9).
+    pub fn restore_from_wal(records: &[WalRecord], upto: Option<u64>) -> PgResult<Arc<Engine>> {
+        let engine = Engine::new_default();
+        let upto = upto.map(|u| u as usize).unwrap_or(records.len()).min(records.len());
+        let slice = &records[..upto];
+        // outcome per original xid
+        #[derive(Clone)]
+        enum Fate {
+            Committed,
+            Aborted,
+            Prepared(String),
+        }
+        let mut fate: HashMap<Xid, Fate> = HashMap::new();
+        let mut gid_to_xid: HashMap<String, Xid> = HashMap::new();
+        for rec in slice {
+            match rec {
+                WalRecord::Commit { xid } => {
+                    fate.insert(*xid, Fate::Committed);
+                }
+                WalRecord::Abort { xid } => {
+                    fate.insert(*xid, Fate::Aborted);
+                }
+                WalRecord::Prepare { xid, gid } => {
+                    fate.insert(*xid, Fate::Prepared(gid.clone()));
+                    gid_to_xid.insert(gid.clone(), *xid);
+                }
+                WalRecord::CommitPrepared { gid } => {
+                    if let Some(x) = gid_to_xid.get(gid) {
+                        fate.insert(*x, Fate::Committed);
+                    }
+                }
+                WalRecord::AbortPrepared { gid } => {
+                    if let Some(x) = gid_to_xid.get(gid) {
+                        fate.insert(*x, Fate::Aborted);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // apply schema + data. Committed transactions' new xids are marked
+        // committed *up front*, so replayed updates can expire the versions
+        // earlier records inserted (visibility checks see them as committed).
+        let mut xid_map: HashMap<Xid, Xid> = HashMap::new();
+        for (orig, f) in &fate {
+            if matches!(f, Fate::Committed) {
+                let new_xid = engine.txns.begin();
+                engine.txns.commit(new_xid);
+                xid_map.insert(*orig, new_xid);
+            }
+        }
+        for rec in slice {
+            match rec {
+                WalRecord::Ddl { sql } => {
+                    match sqlparse::parse(sql)? {
+                        Statement::CreateTable(ct) => engine.ddl_create_table(&ct)?,
+                        Statement::CreateIndex(ci) => engine.ddl_create_index(&ci)?,
+                        Statement::DropTable { names, if_exists } => {
+                            for n in names {
+                                engine.ddl_drop_table(&n, if_exists)?;
+                            }
+                        }
+                        Statement::Truncate { tables } => {
+                            for t in tables {
+                                engine.truncate_table(&t)?;
+                            }
+                        }
+                        other => {
+                            return Err(PgError::internal(format!(
+                                "unexpected DDL in WAL: {other:?}"
+                            )))
+                        }
+                    }
+                }
+                WalRecord::Insert { xid, table, row_id, row } => {
+                    if !matches!(fate.get(xid), Some(Fate::Committed | Fate::Prepared(_))) {
+                        continue;
+                    }
+                    let new_xid = *xid_map
+                        .entry(*xid)
+                        .or_insert_with(|| engine.txns.begin());
+                    let meta = engine.table_meta_by_id(*table)?;
+                    let store = engine.store(*table)?;
+                    store.heap()?.insert_version(*row_id, new_xid, row.clone());
+                    store.heap()?.adjust_live(1);
+                    engine.index_insert_row(&meta, *row_id, row)?;
+                }
+                WalRecord::Update { xid, table, row_id, new_row } => {
+                    if !matches!(fate.get(xid), Some(Fate::Committed | Fate::Prepared(_))) {
+                        continue;
+                    }
+                    let new_xid = *xid_map
+                        .entry(*xid)
+                        .or_insert_with(|| engine.txns.begin());
+                    let meta = engine.table_meta_by_id(*table)?;
+                    let store = engine.store(*table)?;
+                    let heap = store.heap()?;
+                    let snap = engine.txns.snapshot(new_xid);
+                    let _ = heap.expire(&engine.txns, &snap, *row_id, new_xid)?;
+                    heap.insert_version(*row_id, new_xid, new_row.clone());
+                    engine.index_insert_row(&meta, *row_id, new_row)?;
+                }
+                WalRecord::Delete { xid, table, row_id } => {
+                    if !matches!(fate.get(xid), Some(Fate::Committed | Fate::Prepared(_))) {
+                        continue;
+                    }
+                    let new_xid = *xid_map
+                        .entry(*xid)
+                        .or_insert_with(|| engine.txns.begin());
+                    let store = engine.store(*table)?;
+                    let heap = store.heap()?;
+                    let snap = engine.txns.snapshot(new_xid);
+                    let _ = heap.expire(&engine.txns, &snap, *row_id, new_xid)?;
+                    heap.adjust_live(-1);
+                }
+                _ => {}
+            }
+        }
+        // settle remaining (prepared / unknown) transaction outcomes
+        for (orig, new_xid) in &xid_map {
+            match fate.get(orig) {
+                Some(Fate::Committed) => {} // committed up front
+                Some(Fate::Prepared(gid)) => engine.txns.prepare(*new_xid, gid)?,
+                _ => engine.txns.abort(*new_xid),
+            }
+        }
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlparse::parse;
+
+    fn create(engine: &Engine, sql: &str) {
+        match parse(sql).unwrap() {
+            Statement::CreateTable(ct) => engine.ddl_create_table(&ct).unwrap(),
+            Statement::CreateIndex(ci) => engine.ddl_create_index(&ci).unwrap(),
+            _ => panic!("not DDL"),
+        }
+    }
+
+    #[test]
+    fn ddl_creates_store_and_pk_index() {
+        let e = Engine::new_default();
+        create(&e, "CREATE TABLE t (id bigint PRIMARY KEY, v text)");
+        let meta = e.table_meta("t").unwrap();
+        assert!(e.store(meta.id).is_ok());
+        assert_eq!(meta.indexes.len(), 1);
+        assert!(e.index_store(meta.indexes[0]).is_ok());
+    }
+
+    #[test]
+    fn connection_cap() {
+        let mut cfg = EngineConfig::default();
+        cfg.max_connections = 2;
+        let e = Engine::new(cfg);
+        let s1 = e.session().unwrap();
+        let _s2 = e.session().unwrap();
+        assert_eq!(e.session().map(|_| ()).unwrap_err().code, ErrorCode::TooManyConnections);
+        drop(s1);
+        assert!(e.session().is_ok());
+    }
+
+    #[test]
+    fn index_backfill_on_create() {
+        let e = Engine::new_default();
+        create(&e, "CREATE TABLE t (id bigint PRIMARY KEY, v text)");
+        let meta = e.table_meta("t").unwrap();
+        // insert rows directly through the heap
+        let xid = e.txns.begin();
+        let store = e.store(meta.id).unwrap();
+        let rid = store.heap().unwrap().insert(
+            xid,
+            vec![Datum::Int(1), Datum::from_text("fix postgres bug")],
+        );
+        e.index_insert_row(&meta, rid, &vec![Datum::Int(1), Datum::from_text("fix postgres bug")])
+            .unwrap();
+        e.txns.commit(xid);
+        create(&e, "CREATE INDEX gi ON t USING gin (v)");
+        let meta = e.table_meta("t").unwrap();
+        let gin = e.index_store(*meta.indexes.last().unwrap()).unwrap();
+        let IndexStore::Gin(g) = &*gin else { panic!() };
+        assert_eq!(g.candidates_for_like("%postgres%").unwrap(), vec![rid]);
+    }
+
+    #[test]
+    fn drop_table_cleans_up() {
+        let e = Engine::new_default();
+        create(&e, "CREATE TABLE t (id bigint PRIMARY KEY)");
+        let meta = e.table_meta("t").unwrap();
+        e.ddl_drop_table("t", false).unwrap();
+        assert!(e.table_meta("t").is_err());
+        assert!(e.store(meta.id).is_err());
+        // idempotent with IF EXISTS
+        e.ddl_drop_table("t", true).unwrap();
+        assert!(e.ddl_drop_table("t", false).is_err());
+    }
+
+    #[test]
+    fn restore_from_wal_replays_schema_and_data() {
+        let e = Engine::new_default();
+        create(&e, "CREATE TABLE t (id bigint PRIMARY KEY, v text)");
+        let meta = e.table_meta("t").unwrap();
+        let xid = e.txns.begin();
+        e.wal.append(WalRecord::Begin { xid });
+        let store = e.store(meta.id).unwrap();
+        let rid = store.heap().unwrap().insert(xid, vec![Datum::Int(1), Datum::from_text("a")]);
+        e.wal.append(WalRecord::Insert {
+            xid,
+            table: meta.id,
+            row_id: rid,
+            row: vec![Datum::Int(1), Datum::from_text("a")],
+        });
+        e.txns.commit(xid);
+        e.wal.append(WalRecord::Commit { xid });
+        // an aborted txn's insert must not replay
+        let xid2 = e.txns.begin();
+        e.wal.append(WalRecord::Begin { xid: xid2 });
+        e.wal.append(WalRecord::Insert {
+            xid: xid2,
+            table: meta.id,
+            row_id: 999,
+            row: vec![Datum::Int(2), Datum::from_text("b")],
+        });
+        e.txns.abort(xid2);
+        e.wal.append(WalRecord::Abort { xid: xid2 });
+
+        let standby = Engine::restore_from_wal(&e.wal.all(), None).unwrap();
+        let meta2 = standby.table_meta("t").unwrap();
+        let snap = standby.txns.snapshot(INVALID_XID);
+        let mut rows = Vec::new();
+        standby
+            .store(meta2.id)
+            .unwrap()
+            .heap()
+            .unwrap()
+            .scan_visible(&standby.txns, &snap, |t| rows.push(t.data.clone()));
+        assert_eq!(rows, vec![vec![Datum::Int(1), Datum::from_text("a")]]);
+    }
+
+    #[test]
+    fn restore_recreates_prepared_transactions() {
+        let e = Engine::new_default();
+        create(&e, "CREATE TABLE t (id bigint PRIMARY KEY)");
+        let meta = e.table_meta("t").unwrap();
+        let xid = e.txns.begin();
+        e.wal.append(WalRecord::Begin { xid });
+        let rid = e.store(meta.id).unwrap().heap().unwrap().insert(xid, vec![Datum::Int(7)]);
+        e.wal.append(WalRecord::Insert { xid, table: meta.id, row_id: rid, row: vec![Datum::Int(7)] });
+        e.txns.prepare(xid, "gid_7").unwrap();
+        e.wal.append(WalRecord::Prepare { xid, gid: "gid_7".into() });
+
+        let standby = Engine::restore_from_wal(&e.wal.all(), None).unwrap();
+        assert_eq!(standby.txns.prepared_gids(), vec!["gid_7".to_string()]);
+        // invisible until commit prepared
+        let snap = standby.txns.snapshot(INVALID_XID);
+        let meta2 = standby.table_meta("t").unwrap();
+        let mut n = 0;
+        standby
+            .store(meta2.id)
+            .unwrap()
+            .heap()
+            .unwrap()
+            .scan_visible(&standby.txns, &snap, |_| n += 1);
+        assert_eq!(n, 0);
+        let xid2 = standby.txns.finish_prepared("gid_7", true).unwrap();
+        standby.locks.release_all(xid2);
+        let snap = standby.txns.snapshot(INVALID_XID);
+        let mut n = 0;
+        standby
+            .store(meta2.id)
+            .unwrap()
+            .heap()
+            .unwrap()
+            .scan_visible(&standby.txns, &snap, |_| n += 1);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn restore_point_cuts_the_stream() {
+        let e = Engine::new_default();
+        create(&e, "CREATE TABLE t (id bigint PRIMARY KEY)");
+        let meta = e.table_meta("t").unwrap();
+        let mk = |v: i64| {
+            let xid = e.txns.begin();
+            let rid = e.store(meta.id).unwrap().heap().unwrap().insert(xid, vec![Datum::Int(v)]);
+            e.wal.append(WalRecord::Insert { xid, table: meta.id, row_id: rid, row: vec![Datum::Int(v)] });
+            e.txns.commit(xid);
+            e.wal.append(WalRecord::Commit { xid });
+        };
+        mk(1);
+        e.wal.append(WalRecord::RestorePoint { name: "rp".into() });
+        mk(2);
+        let upto = e.wal.restore_point("rp").unwrap();
+        let standby = Engine::restore_from_wal(&e.wal.all(), Some(upto)).unwrap();
+        let meta2 = standby.table_meta("t").unwrap();
+        let snap = standby.txns.snapshot(INVALID_XID);
+        let mut n = 0;
+        standby
+            .store(meta2.id)
+            .unwrap()
+            .heap()
+            .unwrap()
+            .scan_visible(&standby.txns, &snap, |_| n += 1);
+        assert_eq!(n, 1, "row written after the restore point must not appear");
+    }
+
+    #[test]
+    fn columnar_conversion() {
+        let e = Engine::new_default();
+        create(&e, "CREATE TABLE t (id bigint, v float)");
+        e.set_columnar("t").unwrap();
+        let meta = e.table_meta("t").unwrap();
+        assert_eq!(meta.storage, Storage::Columnar);
+        assert!(e.store(meta.id).unwrap().heap().is_err());
+    }
+}

@@ -1,0 +1,1300 @@
+//! Local (single-node) query planning.
+//!
+//! Produces a [`SelectPlan`] from a parsed SELECT: a FROM/WHERE tree with
+//! index access paths chosen per table, an optional aggregation stage, and
+//! bound projection/ordering stages. Uncorrelated subqueries are flattened
+//! into constants by executing them first (correlated subqueries raise
+//! `FeatureNotSupported`, matching the Citus 9.5 limitation the paper
+//! reports for 4 of the 22 TPC-H queries).
+//!
+//! Like PostgreSQL, most of the engine is single-threaded per query; the
+//! paper's parallelism comes from the distributed layer fanning out over
+//! shards, not from this planner.
+
+use crate::catalog::{IndexId, IndexMethod, TableId, TableMeta};
+use crate::error::{ErrorCode, PgError, PgResult};
+use crate::expr::{bind, BExpr, ColumnRef, RowScope};
+use crate::types::Datum;
+use sqlparse::ast::{
+    BinaryOp, Expr, FuncCall, JoinKind, Literal, Select, SelectItem, TableRef,
+};
+use sqlparse::deparse_expr;
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    CountStar,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggKind {
+    pub fn resolve(name: &str, star: bool) -> Option<AggKind> {
+        Some(match (name, star) {
+            ("count", true) => AggKind::CountStar,
+            ("count", false) => AggKind::Count,
+            ("sum", false) => AggKind::Sum,
+            ("avg", false) => AggKind::Avg,
+            ("min", false) => AggKind::Min,
+            ("max", false) => AggKind::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// One aggregate call, with its argument bound over the raw input scope.
+#[derive(Debug, Clone)]
+pub struct AggCall {
+    pub kind: AggKind,
+    pub arg: Option<BExpr>,
+    pub distinct: bool,
+}
+
+/// How an index is probed.
+#[derive(Debug, Clone)]
+pub enum IndexProbe {
+    /// Equality on a key prefix.
+    EqPrefix(Vec<BExpr>),
+    /// Range on the first key column: (low, incl), (high, incl).
+    Range { low: Option<(BExpr, bool)>, high: Option<(BExpr, bool)> },
+    /// Trigram candidates for a LIKE/ILIKE pattern.
+    LikePattern { pattern: BExpr, case_insensitive: bool },
+}
+
+/// A FROM-tree node with access paths selected.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    SeqScan {
+        table: TableId,
+        /// Residual filter over this table's scope (after index conditions).
+        filter: Option<BExpr>,
+    },
+    IndexScan {
+        table: TableId,
+        index: IndexId,
+        probe: IndexProbe,
+        /// Residual filter, including a re-check of the probe condition.
+        filter: Option<BExpr>,
+    },
+    /// Pre-materialised rows (derived tables / flattened subqueries).
+    Materialized { rows: Vec<crate::types::Row>, arity: usize },
+    Join {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        kind: JoinKind,
+        /// Equi-join keys when a hash join applies.
+        hash_keys: Option<(Vec<BExpr>, Vec<BExpr>)>,
+        /// Full join condition (bound over left ++ right scope).
+        on: Option<BExpr>,
+        left_arity: usize,
+        right_arity: usize,
+    },
+    /// Filter applied above a node (non-pushable conjuncts).
+    Filter { input: Box<PlanNode>, pred: BExpr },
+}
+
+impl PlanNode {
+    /// Short structural description for EXPLAIN output.
+    pub fn describe(&self, catalog: &crate::catalog::Catalog, out: &mut Vec<String>, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PlanNode::SeqScan { table, filter } => {
+                let name =
+                    catalog.table(*table).map(|t| t.name.clone()).unwrap_or_default();
+                let f = if filter.is_some() { " (filtered)" } else { "" };
+                out.push(format!("{pad}Seq Scan on {name}{f}"));
+            }
+            PlanNode::IndexScan { table, index, probe, .. } => {
+                let name =
+                    catalog.table(*table).map(|t| t.name.clone()).unwrap_or_default();
+                let iname = catalog.index(*index).map(|i| i.name.clone()).unwrap_or_default();
+                let kind = match probe {
+                    IndexProbe::EqPrefix(_) => "eq",
+                    IndexProbe::Range { .. } => "range",
+                    IndexProbe::LikePattern { .. } => "trigram",
+                };
+                out.push(format!("{pad}Index Scan ({kind}) using {iname} on {name}"));
+            }
+            PlanNode::Materialized { rows, .. } => {
+                out.push(format!("{pad}Materialized ({} rows)", rows.len()));
+            }
+            PlanNode::Join { left, right, kind, hash_keys, .. } => {
+                let strat = if hash_keys.is_some() { "Hash" } else { "Nested Loop" };
+                out.push(format!("{pad}{strat} {kind:?} Join"));
+                left.describe(catalog, out, depth + 1);
+                right.describe(catalog, out, depth + 1);
+            }
+            PlanNode::Filter { input, .. } => {
+                out.push(format!("{pad}Filter"));
+                input.describe(catalog, out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Aggregation stage.
+#[derive(Debug, Clone)]
+pub struct AggStage {
+    /// Group-key expressions, bound over the raw scope.
+    pub group: Vec<BExpr>,
+    pub calls: Vec<AggCall>,
+}
+
+/// A fully-planned SELECT.
+#[derive(Debug, Clone)]
+pub struct SelectPlan {
+    pub input: PlanNode,
+    pub raw_scope: RowScope,
+    pub agg: Option<AggStage>,
+    /// Bound over post-agg scope when `agg` is set, else raw scope.
+    pub having: Option<BExpr>,
+    /// Output expressions (same scope rule as `having`). Hidden trailing
+    /// entries may exist for ORDER BY; `visible` is the real output arity.
+    pub projection: Vec<BExpr>,
+    pub names: Vec<String>,
+    pub visible: usize,
+    pub distinct: bool,
+    /// (projection index, descending)
+    pub order_by: Vec<(usize, bool)>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+    /// FOR UPDATE: lock the returned rows of this single table.
+    pub for_update: Option<TableId>,
+}
+
+/// Planner services that require execution (subquery flattening). The session
+/// supplies this, breaking the plan↔exec cycle.
+pub trait SubqueryExecutor {
+    /// Execute an uncorrelated subquery, returning its rows.
+    fn run_subquery(&mut self, sub: &Select) -> PgResult<Vec<crate::types::Row>>;
+}
+
+/// Catalog + statistics view the planner needs.
+pub trait PlannerCatalog {
+    fn table_meta(&self, name: &str) -> PgResult<TableMeta>;
+    fn index_meta(&self, id: IndexId) -> PgResult<crate::catalog::IndexMeta>;
+    fn row_estimate(&self, table: TableId) -> u64;
+}
+
+/// Plan a SELECT. `params` supplies `$n` values.
+pub fn plan_select(
+    sel: &Select,
+    cat: &dyn PlannerCatalog,
+    subq: &mut dyn SubqueryExecutor,
+    params: &[Datum],
+) -> PgResult<SelectPlan> {
+    // 1. resolve FROM into (node, scope), left-deep across comma items
+    let mut from_parts: Vec<(PlanNode, RowScope)> = Vec::new();
+    for item in &sel.from {
+        from_parts.push(plan_table_ref(item, cat, subq, params)?);
+    }
+    let (mut node, mut scope) = match from_parts.len() {
+        0 => (
+            PlanNode::Materialized { rows: vec![vec![]], arity: 0 },
+            RowScope::default(),
+        ),
+        _ => {
+            let mut it = from_parts.into_iter();
+            let first = it.next().expect("non-empty");
+            it.fold(first, |(lnode, lscope), (rnode, rscope)| {
+                let joined = PlanNode::Join {
+                    left_arity: lscope.len(),
+                    right_arity: rscope.len(),
+                    left: Box::new(lnode),
+                    right: Box::new(rnode),
+                    kind: JoinKind::Cross,
+                    hash_keys: None,
+                    on: None,
+                };
+                (joined, lscope.join(&rscope))
+            })
+        }
+    };
+
+    // 2. WHERE: flatten subqueries, split conjuncts, push down to scans
+    if let Some(where_clause) = &sel.where_clause {
+        let flat = flatten_subqueries(where_clause, subq, &scope)?;
+        let conjuncts = split_conjuncts(&flat);
+        let mut residual: Vec<Expr> = Vec::new();
+        for c in conjuncts {
+            if !push_conjunct(&mut node, &scope, &c, params)? {
+                residual.push(c);
+            }
+        }
+        if let Some(pred) = conjoin(residual) {
+            let bound = bind(&pred, &scope, params)?;
+            node = PlanNode::Filter { input: Box::new(node), pred: bound };
+        }
+    }
+
+    // 2b. convert cross joins with usable equi-conditions into hash joins is
+    // handled inside push_conjunct via join-condition placement.
+
+    // 3. aggregate extraction
+    let has_agg = sel.projection.iter().any(|p| match p {
+        SelectItem::Expr { expr, .. } => contains_agg(expr),
+        _ => false,
+    }) || sel.having.as_ref().is_some_and(contains_agg)
+        || !sel.group_by.is_empty();
+
+    // resolve GROUP BY ordinals
+    let mut group_exprs: Vec<Expr> = Vec::new();
+    for g in &sel.group_by {
+        match g {
+            Expr::Literal(Literal::Int(n)) => {
+                let idx = (*n as usize).checked_sub(1).ok_or_else(|| {
+                    PgError::new(ErrorCode::Syntax, "GROUP BY position must be >= 1")
+                })?;
+                match sel.projection.get(idx) {
+                    Some(SelectItem::Expr { expr, .. }) => group_exprs.push(expr.clone()),
+                    _ => {
+                        return Err(PgError::new(
+                            ErrorCode::Syntax,
+                            format!("GROUP BY position {n} is not in the select list"),
+                        ))
+                    }
+                }
+            }
+            other => group_exprs.push(other.clone()),
+        }
+    }
+
+    // 4. build projection + names (and order-by hidden columns)
+    let mut out_exprs: Vec<Expr> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for item in &sel.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, c) in scope.cols.iter().enumerate() {
+                    out_exprs.push(Expr::Column {
+                        table: c.qualifier.clone(),
+                        name: c.name.clone(),
+                    });
+                    let _ = i;
+                    names.push(c.name.clone());
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let mut found = false;
+                for c in &scope.cols {
+                    if c.qualifier.as_deref() == Some(q.as_str()) {
+                        out_exprs.push(Expr::Column {
+                            table: c.qualifier.clone(),
+                            name: c.name.clone(),
+                        });
+                        names.push(c.name.clone());
+                        found = true;
+                    }
+                }
+                if !found {
+                    return Err(PgError::undefined_table(q));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let flat = flatten_subqueries(expr, subq, &scope)?;
+                names.push(alias.clone().unwrap_or_else(|| default_name(&flat)));
+                out_exprs.push(flat);
+            }
+        }
+    }
+    let visible = out_exprs.len();
+
+    // ORDER BY: resolve ordinals/aliases, add hidden projection columns
+    let mut order_by: Vec<(usize, bool)> = Vec::new();
+    for ob in &sel.order_by {
+        let idx = match &ob.expr {
+            Expr::Literal(Literal::Int(n)) => {
+                let i = (*n as usize).checked_sub(1).filter(|i| *i < visible).ok_or_else(
+                    || {
+                        PgError::new(
+                            ErrorCode::Syntax,
+                            format!("ORDER BY position {n} is not in the select list"),
+                        )
+                    },
+                )?;
+                i
+            }
+            Expr::Column { table: None, name } if names.contains(name) => {
+                names.iter().position(|n| n == name).expect("contains checked")
+            }
+            other => {
+                let flat = flatten_subqueries(other, subq, &scope)?;
+                // reuse an identical projection expression when present
+                if let Some(i) = out_exprs.iter().position(|e| exprs_equal(e, &flat)) {
+                    i
+                } else {
+                    out_exprs.push(flat);
+                    names.push("?order?".to_string());
+                    out_exprs.len() - 1
+                }
+            }
+        };
+        order_by.push((idx, ob.desc));
+    }
+
+    // 5. bind projection/having, splitting around aggregation
+    let (agg, projection, having) = if has_agg {
+        let mut calls: Vec<AggCall> = Vec::new();
+        let mut call_keys: Vec<String> = Vec::new();
+        // rewrite each output expr: aggs → __agg.N, group exprs → __grp.N
+        let group_keys: Vec<String> = group_exprs.iter().map(normal_key).collect();
+        let rewritten: Vec<Expr> = out_exprs
+            .iter()
+            .map(|e| rewrite_agg(e, &group_keys, &mut calls, &mut call_keys, &scope, params))
+            .collect::<PgResult<_>>()?;
+        let having_rewritten = match &sel.having {
+            Some(h) => {
+                let flat = flatten_subqueries(h, subq, &scope)?;
+                Some(rewrite_agg(&flat, &group_keys, &mut calls, &mut call_keys, &scope, params)?)
+            }
+            None => None,
+        };
+        // post-agg scope: __grp.g0..  then __agg.a0..
+        let mut post_cols: Vec<ColumnRef> = (0..group_exprs.len())
+            .map(|i| ColumnRef::new(Some("__grp"), &format!("g{i}")))
+            .collect();
+        post_cols
+            .extend((0..calls.len()).map(|i| ColumnRef::new(Some("__agg"), &format!("a{i}"))));
+        let post_scope = RowScope { cols: post_cols };
+        let projection: Vec<BExpr> = rewritten
+            .iter()
+            .map(|e| {
+                bind(e, &post_scope, params).map_err(|err| {
+                    if err.code == ErrorCode::UndefinedColumn {
+                        PgError::new(
+                            ErrorCode::Syntax,
+                            format!(
+                                "column must appear in the GROUP BY clause or be used in \
+                                 an aggregate function ({})",
+                                err.message
+                            ),
+                        )
+                    } else {
+                        err
+                    }
+                })
+            })
+            .collect::<PgResult<_>>()?;
+        let having = having_rewritten.map(|h| bind(&h, &post_scope, params)).transpose()?;
+        let group: Vec<BExpr> =
+            group_exprs.iter().map(|g| bind(g, &scope, params)).collect::<PgResult<_>>()?;
+        (Some(AggStage { group, calls }), projection, having)
+    } else {
+        if sel.having.is_some() {
+            return Err(PgError::new(ErrorCode::Syntax, "HAVING requires aggregation"));
+        }
+        let projection: Vec<BExpr> =
+            out_exprs.iter().map(|e| bind(e, &scope, params)).collect::<PgResult<_>>()?;
+        (None, projection, None)
+    };
+
+    // 6. FOR UPDATE target
+    let for_update = if sel.for_update {
+        match &sel.from[..] {
+            [TableRef::Table { name, .. }] => Some(cat.table_meta(name)?.id),
+            _ => {
+                return Err(PgError::unsupported(
+                    "SELECT .. FOR UPDATE is supported on a single table only",
+                ))
+            }
+        }
+    } else {
+        None
+    };
+
+    let limit = sel.limit.as_ref().map(|e| const_u64(e, params)).transpose()?;
+    let offset = sel.offset.as_ref().map(|e| const_u64(e, params)).transpose()?;
+
+    // ORDER BY in aggregate queries must not leave group scope — the binding
+    // above already errors in that case because hidden columns were rewritten.
+    scope_rollup(&mut scope);
+    Ok(SelectPlan {
+        input: node,
+        raw_scope: scope,
+        agg,
+        having,
+        projection,
+        names,
+        visible,
+        distinct: sel.distinct,
+        order_by,
+        limit,
+        offset,
+        for_update,
+    })
+}
+
+/// no-op hook point kept for symmetry; scopes are already final.
+fn scope_rollup(_scope: &mut RowScope) {}
+
+fn const_u64(e: &Expr, params: &[Datum]) -> PgResult<u64> {
+    let b = bind(e, &RowScope::default(), params)?;
+    let v = crate::expr::eval(&b, &vec![], &crate::expr::EvalCtx::default())?;
+    Ok(v.as_i64()?.max(0) as u64)
+}
+
+fn default_name(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Func(f) => f.name.clone(),
+        Expr::Cast { expr, .. } => default_name(expr),
+        _ => "?column?".to_string(),
+    }
+}
+
+/// Structural equality via normalised deparse text.
+fn exprs_equal(a: &Expr, b: &Expr) -> bool {
+    a == b || normal_key(a) == normal_key(b)
+}
+
+/// Normalised key for matching group-by expressions (ignores qualifiers so
+/// `t.a` and `a` match when unambiguous).
+fn normal_key(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => format!("col:{name}"),
+        other => deparse_expr(other),
+    }
+}
+
+fn contains_agg(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if let Expr::Func(f) = x {
+            if AggKind::resolve(&f.name, f.star).is_some() {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Replace aggregate calls and group-key subtrees with references into the
+/// post-aggregation scope, collecting the aggregate calls.
+fn rewrite_agg(
+    e: &Expr,
+    group_keys: &[String],
+    calls: &mut Vec<AggCall>,
+    call_keys: &mut Vec<String>,
+    raw_scope: &RowScope,
+    params: &[Datum],
+) -> PgResult<Expr> {
+    // whole expression is a group key?
+    if let Some(i) = group_keys.iter().position(|k| k == &normal_key(e)) {
+        return Ok(Expr::Column { table: Some("__grp".into()), name: format!("g{i}") });
+    }
+    if let Expr::Func(f) = e {
+        if let Some(kind) = AggKind::resolve(&f.name, f.star) {
+            let key = deparse_expr(e);
+            let idx = if let Some(i) = call_keys.iter().position(|k| k == &key) {
+                i
+            } else {
+                let arg = match kind {
+                    AggKind::CountStar => None,
+                    _ => {
+                        let a = f.args.first().ok_or_else(|| {
+                            PgError::new(ErrorCode::Syntax, "aggregate needs an argument")
+                        })?;
+                        Some(bind(a, raw_scope, params)?)
+                    }
+                };
+                calls.push(AggCall { kind, arg, distinct: f.distinct });
+                call_keys.push(key);
+                calls.len() - 1
+            };
+            return Ok(Expr::Column { table: Some("__agg".into()), name: format!("a{idx}") });
+        }
+    }
+    // otherwise recurse structurally
+    Ok(match e {
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_agg(expr, group_keys, calls, call_keys, raw_scope, params)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(rewrite_agg(left, group_keys, calls, call_keys, raw_scope, params)?),
+            op: *op,
+            right: Box::new(rewrite_agg(right, group_keys, calls, call_keys, raw_scope, params)?),
+        },
+        Expr::Cast { expr, ty } => Expr::Cast {
+            expr: Box::new(rewrite_agg(expr, group_keys, calls, call_keys, raw_scope, params)?),
+            ty: *ty,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_agg(expr, group_keys, calls, call_keys, raw_scope, params)?),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated, case_insensitive } => Expr::Like {
+            expr: Box::new(rewrite_agg(expr, group_keys, calls, call_keys, raw_scope, params)?),
+            pattern: Box::new(rewrite_agg(
+                pattern, group_keys, calls, call_keys, raw_scope, params,
+            )?),
+            negated: *negated,
+            case_insensitive: *case_insensitive,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(rewrite_agg(expr, group_keys, calls, call_keys, raw_scope, params)?),
+            low: Box::new(rewrite_agg(low, group_keys, calls, call_keys, raw_scope, params)?),
+            high: Box::new(rewrite_agg(high, group_keys, calls, call_keys, raw_scope, params)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(rewrite_agg(expr, group_keys, calls, call_keys, raw_scope, params)?),
+            list: list
+                .iter()
+                .map(|x| rewrite_agg(x, group_keys, calls, call_keys, raw_scope, params))
+                .collect::<PgResult<_>>()?,
+            negated: *negated,
+        },
+        Expr::Case { operand, branches, else_result } => Expr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| {
+                    rewrite_agg(o, group_keys, calls, call_keys, raw_scope, params).map(Box::new)
+                })
+                .transpose()?,
+            branches: branches
+                .iter()
+                .map(|(w, t)| {
+                    Ok((
+                        rewrite_agg(w, group_keys, calls, call_keys, raw_scope, params)?,
+                        rewrite_agg(t, group_keys, calls, call_keys, raw_scope, params)?,
+                    ))
+                })
+                .collect::<PgResult<_>>()?,
+            else_result: else_result
+                .as_ref()
+                .map(|x| {
+                    rewrite_agg(x, group_keys, calls, call_keys, raw_scope, params).map(Box::new)
+                })
+                .transpose()?,
+        },
+        Expr::Func(f) => Expr::Func(FuncCall {
+            name: f.name.clone(),
+            args: f
+                .args
+                .iter()
+                .map(|a| rewrite_agg(a, group_keys, calls, call_keys, raw_scope, params))
+                .collect::<PgResult<_>>()?,
+            distinct: f.distinct,
+            star: f.star,
+        }),
+        // leaves
+        other => other.clone(),
+    })
+}
+
+/// Execute and inline uncorrelated subqueries inside an expression.
+fn flatten_subqueries(
+    e: &Expr,
+    subq: &mut dyn SubqueryExecutor,
+    _outer_scope: &RowScope,
+) -> PgResult<Expr> {
+    Ok(match e {
+        Expr::ScalarSubquery(sel) => {
+            let rows = run_uncorrelated(sel, subq)?;
+            match rows.len() {
+                0 => Expr::Literal(Literal::Null),
+                1 => {
+                    let row = &rows[0];
+                    if row.len() != 1 {
+                        return Err(PgError::new(
+                            ErrorCode::Syntax,
+                            "subquery must return a single column",
+                        ));
+                    }
+                    datum_to_literal_expr(&row[0])
+                }
+                _ => {
+                    return Err(PgError::new(
+                        ErrorCode::Syntax,
+                        "more than one row returned by a subquery used as an expression",
+                    ))
+                }
+            }
+        }
+        Expr::InSubquery { expr, subquery, negated } => {
+            let rows = run_uncorrelated(subquery, subq)?;
+            let list: Vec<Expr> = rows
+                .iter()
+                .map(|r| {
+                    if r.len() != 1 {
+                        return Err(PgError::new(
+                            ErrorCode::Syntax,
+                            "subquery in IN must return a single column",
+                        ));
+                    }
+                    Ok(datum_to_literal_expr(&r[0]))
+                })
+                .collect::<PgResult<_>>()?;
+            let inner = flatten_subqueries(expr, subq, _outer_scope)?;
+            if list.is_empty() {
+                // x IN () is false; x NOT IN () is true (no NULL involved)
+                Expr::Literal(Literal::Bool(*negated))
+            } else {
+                Expr::InList { expr: Box::new(inner), list, negated: *negated }
+            }
+        }
+        Expr::Exists { subquery, negated } => {
+            let rows = run_uncorrelated(subquery, subq)?;
+            Expr::Literal(Literal::Bool((!rows.is_empty()) != *negated))
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(flatten_subqueries(expr, subq, _outer_scope)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(flatten_subqueries(left, subq, _outer_scope)?),
+            op: *op,
+            right: Box::new(flatten_subqueries(right, subq, _outer_scope)?),
+        },
+        Expr::Cast { expr, ty } => {
+            Expr::Cast { expr: Box::new(flatten_subqueries(expr, subq, _outer_scope)?), ty: *ty }
+        }
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(flatten_subqueries(expr, subq, _outer_scope)?),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated, case_insensitive } => Expr::Like {
+            expr: Box::new(flatten_subqueries(expr, subq, _outer_scope)?),
+            pattern: Box::new(flatten_subqueries(pattern, subq, _outer_scope)?),
+            negated: *negated,
+            case_insensitive: *case_insensitive,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(flatten_subqueries(expr, subq, _outer_scope)?),
+            low: Box::new(flatten_subqueries(low, subq, _outer_scope)?),
+            high: Box::new(flatten_subqueries(high, subq, _outer_scope)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(flatten_subqueries(expr, subq, _outer_scope)?),
+            list: list
+                .iter()
+                .map(|x| flatten_subqueries(x, subq, _outer_scope))
+                .collect::<PgResult<_>>()?,
+            negated: *negated,
+        },
+        Expr::Case { operand, branches, else_result } => Expr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| flatten_subqueries(o, subq, _outer_scope).map(Box::new))
+                .transpose()?,
+            branches: branches
+                .iter()
+                .map(|(w, t)| {
+                    Ok((
+                        flatten_subqueries(w, subq, _outer_scope)?,
+                        flatten_subqueries(t, subq, _outer_scope)?,
+                    ))
+                })
+                .collect::<PgResult<_>>()?,
+            else_result: else_result
+                .as_ref()
+                .map(|x| flatten_subqueries(x, subq, _outer_scope).map(Box::new))
+                .transpose()?,
+        },
+        Expr::Func(f) => Expr::Func(FuncCall {
+            name: f.name.clone(),
+            args: f
+                .args
+                .iter()
+                .map(|a| flatten_subqueries(a, subq, _outer_scope))
+                .collect::<PgResult<_>>()?,
+            distinct: f.distinct,
+            star: f.star,
+        }),
+        leaf => leaf.clone(),
+    })
+}
+
+/// Public wrapper used by DML: flatten subqueries in a WHERE clause.
+pub fn flatten_for_dml(e: &Expr, subq: &mut dyn SubqueryExecutor) -> PgResult<Expr> {
+    flatten_subqueries(e, subq, &RowScope::default())
+}
+
+fn run_uncorrelated(
+    sel: &Select,
+    subq: &mut dyn SubqueryExecutor,
+) -> PgResult<Vec<crate::types::Row>> {
+    subq.run_subquery(sel).map_err(|e| {
+        if e.code == ErrorCode::UndefinedColumn {
+            PgError::unsupported(format!(
+                "correlated subqueries are not supported ({})",
+                e.message
+            ))
+        } else {
+            e
+        }
+    })
+}
+
+fn datum_to_literal_expr(d: &Datum) -> Expr {
+    match d {
+        Datum::Null => Expr::Literal(Literal::Null),
+        Datum::Bool(b) => Expr::Literal(Literal::Bool(*b)),
+        Datum::Int(v) => Expr::Literal(Literal::Int(*v)),
+        Datum::Float(v) => Expr::Literal(Literal::Float(*v)),
+        Datum::Text(s) => Expr::Literal(Literal::String(s.clone())),
+        Datum::Timestamp(_) | Datum::Json(_) => Expr::Cast {
+            expr: Box::new(Expr::Literal(Literal::String(d.to_text()))),
+            ty: match d {
+                Datum::Timestamp(_) => sqlparse::ast::TypeName::Timestamp,
+                _ => sqlparse::ast::TypeName::Json,
+            },
+        },
+    }
+}
+
+/// Split an expression into top-level AND conjuncts.
+pub fn split_conjuncts(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Binary { left, op: BinaryOp::And, right } => {
+            let mut v = split_conjuncts(left);
+            v.extend(split_conjuncts(right));
+            v
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// AND a list of conjuncts back together.
+pub fn conjoin(mut v: Vec<Expr>) -> Option<Expr> {
+    let first = if v.is_empty() { return None } else { v.remove(0) };
+    Some(v.into_iter().fold(first, |acc, e| Expr::bin(acc, BinaryOp::And, e)))
+}
+
+/// The set of table qualifiers an expression references.
+fn referenced_qualifiers(e: &Expr, scope: &RowScope) -> PgResult<Vec<String>> {
+    let mut quals: Vec<String> = Vec::new();
+    let mut err: Option<PgError> = None;
+    e.walk(&mut |x| {
+        if let Expr::Column { table, name } = x {
+            match scope.resolve(table.as_deref(), name) {
+                Ok(i) => {
+                    if let Some(q) = &scope.cols[i].qualifier {
+                        if !quals.contains(q) {
+                            quals.push(q.clone());
+                        }
+                    }
+                }
+                Err(e2) => {
+                    if err.is_none() {
+                        err = Some(e2);
+                    }
+                }
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(quals),
+    }
+}
+
+/// Try to push one WHERE conjunct down into the plan tree: onto a scan that
+/// covers all its referenced tables, or as a hash-join condition at the join
+/// whose two sides split its references. Returns false when it must stay as
+/// a residual filter.
+fn push_conjunct(
+    node: &mut PlanNode,
+    scope: &RowScope,
+    conjunct: &Expr,
+    params: &[Datum],
+) -> PgResult<bool> {
+    let quals = referenced_qualifiers(conjunct, scope)?;
+    push_conjunct_inner(node, scope, conjunct, &quals, params, 0).map(|r| r.is_some())
+}
+
+/// Returns Some(()) if pushed. `offset` is this node's starting column in the
+/// overall scope.
+fn push_conjunct_inner(
+    node: &mut PlanNode,
+    scope: &RowScope,
+    conjunct: &Expr,
+    quals: &[String],
+    params: &[Datum],
+    offset: usize,
+) -> PgResult<Option<()>> {
+    match node {
+        PlanNode::Join { left, right, kind, hash_keys, on, left_arity, right_arity } => {
+            let left_quals = node_qualifiers(scope, offset, *left_arity);
+            let right_quals = node_qualifiers(scope, offset + *left_arity, *right_arity);
+            let in_left = quals.iter().all(|q| left_quals.contains(q));
+            let in_right = quals.iter().all(|q| right_quals.contains(q));
+            // outer joins: pushing filters below the null-producing side
+            // changes semantics; keep it simple and only push into inner/cross
+            if in_left && !matches!(kind, JoinKind::Right | JoinKind::Full) {
+                if let Some(()) =
+                    push_conjunct_inner(left, scope, conjunct, quals, params, offset)?
+                {
+                    return Ok(Some(()));
+                }
+            }
+            if in_right && !matches!(kind, JoinKind::Left | JoinKind::Full) {
+                if let Some(()) = push_conjunct_inner(
+                    right,
+                    scope,
+                    conjunct,
+                    quals,
+                    params,
+                    offset + *left_arity,
+                )? {
+                    return Ok(Some(()));
+                }
+            }
+            // join condition? only for inner/cross joins
+            if matches!(kind, JoinKind::Inner | JoinKind::Cross)
+                && quals.iter().any(|q| left_quals.contains(q))
+                && quals.iter().any(|q| right_quals.contains(q))
+            {
+                let sub_scope = RowScope {
+                    cols: scope.cols[offset..offset + *left_arity + *right_arity].to_vec(),
+                };
+                let bound = bind_with_offset(conjunct, &sub_scope, params)?;
+                *kind = JoinKind::Inner;
+                // equi-condition? extract hash keys
+                if let Expr::Binary { left: cl, op: BinaryOp::Eq, right: cr } = conjunct {
+                    let lq = referenced_qualifiers(cl, scope)?;
+                    let rq = referenced_qualifiers(cr, scope)?;
+                    let (lkey, rkey) = if lq.iter().all(|q| left_quals.contains(q))
+                        && rq.iter().all(|q| right_quals.contains(q))
+                    {
+                        (cl.as_ref(), cr.as_ref())
+                    } else if rq.iter().all(|q| left_quals.contains(q))
+                        && lq.iter().all(|q| right_quals.contains(q))
+                    {
+                        (cr.as_ref(), cl.as_ref())
+                    } else {
+                        // mixed-side expressions: plain condition
+                        append_on(on, bound);
+                        return Ok(Some(()));
+                    };
+                    let lscope =
+                        RowScope { cols: scope.cols[offset..offset + *left_arity].to_vec() };
+                    let rscope = RowScope {
+                        cols: scope.cols
+                            [offset + *left_arity..offset + *left_arity + *right_arity]
+                            .to_vec(),
+                    };
+                    let lb = bind(lkey, &lscope, params)?;
+                    let rb = bind(rkey, &rscope, params)?;
+                    match hash_keys {
+                        Some((ls, rs)) => {
+                            ls.push(lb);
+                            rs.push(rb);
+                        }
+                        None => *hash_keys = Some((vec![lb], vec![rb])),
+                    }
+                    return Ok(Some(()));
+                }
+                append_on(on, bound);
+                return Ok(Some(()));
+            }
+            Ok(None)
+        }
+        PlanNode::SeqScan { filter, .. } | PlanNode::IndexScan { filter, .. } => {
+            // does this conjunct reference only this node's columns?
+            let my_quals = node_qualifiers(scope, offset, node_arity_at(scope, offset));
+            if !quals.iter().all(|q| my_quals.contains(q)) {
+                return Ok(None);
+            }
+            let sub_scope =
+                RowScope { cols: scope.cols[offset..].to_vec() };
+            // restrict to just this table's columns: for leaf nodes the
+            // remaining scope *starts* with this table; binding may still see
+            // later tables' columns, so re-check quals first (done above).
+            let bound = bind(conjunct, &sub_scope, params)?;
+            match filter {
+                Some(f) => {
+                    *filter = Some(BExpr::Binary {
+                        op: BinaryOp::And,
+                        left: Box::new(f.clone()),
+                        right: Box::new(bound),
+                    })
+                }
+                None => *filter = Some(bound),
+            }
+            Ok(Some(()))
+        }
+        PlanNode::Materialized { .. } => Ok(None),
+        PlanNode::Filter { input, .. } => {
+            push_conjunct_inner(input, scope, conjunct, quals, params, offset)
+        }
+    }
+}
+
+fn append_on(on: &mut Option<BExpr>, extra: BExpr) {
+    match on {
+        Some(existing) => {
+            *on = Some(BExpr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(existing.clone()),
+                right: Box::new(extra),
+            })
+        }
+        None => *on = Some(extra),
+    }
+}
+
+fn bind_with_offset(e: &Expr, scope: &RowScope, params: &[Datum]) -> PgResult<BExpr> {
+    bind(e, scope, params)
+}
+
+/// Qualifiers covering `arity` columns starting at `offset` in the scope.
+fn node_qualifiers(scope: &RowScope, offset: usize, arity: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for c in scope.cols.iter().skip(offset).take(arity) {
+        if let Some(q) = &c.qualifier {
+            if !out.contains(q) {
+                out.push(q.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Arity of the leaf at `offset`: columns sharing the qualifier of the first.
+fn node_arity_at(scope: &RowScope, offset: usize) -> usize {
+    let Some(first) = scope.cols.get(offset) else { return 0 };
+    scope.cols[offset..]
+        .iter()
+        .take_while(|c| c.qualifier == first.qualifier)
+        .count()
+}
+
+/// Plan one FROM item (recursing into joins and derived tables).
+fn plan_table_ref(
+    item: &TableRef,
+    cat: &dyn PlannerCatalog,
+    subq: &mut dyn SubqueryExecutor,
+    params: &[Datum],
+) -> PgResult<(PlanNode, RowScope)> {
+    match item {
+        TableRef::Table { name, alias } => {
+            let meta = cat.table_meta(name)?;
+            let qualifier = alias.as_deref().unwrap_or(name);
+            let scope = RowScope::of_table(qualifier, &meta.column_names());
+            Ok((PlanNode::SeqScan { table: meta.id, filter: None }, scope))
+        }
+        TableRef::Subquery { query, alias } => {
+            let rows = subq.run_subquery(query)?;
+            let names = derive_output_names(query);
+            let scope = RowScope::of_table(alias, &names);
+            let arity = scope.len();
+            Ok((PlanNode::Materialized { rows, arity }, scope))
+        }
+        TableRef::Join { left, right, kind, on } => {
+            let (lnode, lscope) = plan_table_ref(left, cat, subq, params)?;
+            let (rnode, rscope) = plan_table_ref(right, cat, subq, params)?;
+            let scope = lscope.join(&rscope);
+            let mut node = PlanNode::Join {
+                left_arity: lscope.len(),
+                right_arity: rscope.len(),
+                left: Box::new(lnode),
+                right: Box::new(rnode),
+                kind: *kind,
+                hash_keys: None,
+                on: None,
+            };
+            if let Some(cond) = on {
+                let flat = flatten_subqueries(cond, subq, &scope)?;
+                // try to split the ON condition into hash keys + residual
+                let conjuncts = split_conjuncts(&flat);
+                let mut residual = Vec::new();
+                for c in conjuncts {
+                    let pushed = if matches!(kind, JoinKind::Inner) {
+                        push_conjunct(&mut node, &scope, &c, params)?
+                    } else {
+                        try_outer_join_keys(&mut node, &scope, &c, params)?
+                    };
+                    if !pushed {
+                        residual.push(c);
+                    }
+                }
+                if let Some(resid) = conjoin(residual) {
+                    let bound = bind(&resid, &scope, params)?;
+                    if let PlanNode::Join { on, .. } = &mut node {
+                        append_on(on, bound);
+                    }
+                }
+            }
+            Ok((node, scope))
+        }
+    }
+}
+
+/// For outer joins the ON condition must stay at the join (it controls null
+/// extension), but equi-conditions can still drive a hash join.
+fn try_outer_join_keys(
+    node: &mut PlanNode,
+    scope: &RowScope,
+    conjunct: &Expr,
+    params: &[Datum],
+) -> PgResult<bool> {
+    let PlanNode::Join { kind, hash_keys, on, left_arity, right_arity, .. } = node else {
+        return Ok(false);
+    };
+    if !matches!(kind, JoinKind::Left | JoinKind::Right | JoinKind::Full) {
+        return Ok(false);
+    }
+    if let Expr::Binary { left: cl, op: BinaryOp::Eq, right: cr } = conjunct {
+        let left_quals = node_qualifiers(scope, 0, *left_arity);
+        let right_quals = node_qualifiers(scope, *left_arity, *right_arity);
+        let lq = referenced_qualifiers(cl, scope)?;
+        let rq = referenced_qualifiers(cr, scope)?;
+        let (lkey, rkey) = if lq.iter().all(|q| left_quals.contains(q))
+            && rq.iter().all(|q| right_quals.contains(q))
+        {
+            (cl.as_ref(), cr.as_ref())
+        } else if rq.iter().all(|q| left_quals.contains(q))
+            && lq.iter().all(|q| right_quals.contains(q))
+        {
+            (cr.as_ref(), cl.as_ref())
+        } else {
+            return Ok(false);
+        };
+        let lscope = RowScope { cols: scope.cols[..*left_arity].to_vec() };
+        let rscope = RowScope { cols: scope.cols[*left_arity..].to_vec() };
+        let lb = bind(lkey, &lscope, params)?;
+        let rb = bind(rkey, &rscope, params)?;
+        match hash_keys {
+            Some((ls, rs)) => {
+                ls.push(lb);
+                rs.push(rb);
+            }
+            None => *hash_keys = Some((vec![lb], vec![rb])),
+        }
+        return Ok(true);
+    }
+    let bound = bind(conjunct, scope, params)?;
+    append_on(on, bound);
+    Ok(true)
+}
+
+/// Output column names of a subquery (for derived-table scopes).
+pub fn derive_output_names(sel: &Select) -> Vec<String> {
+    let mut names = Vec::new();
+    for item in &sel.projection {
+        match item {
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                // wildcard inside a derived table: names resolved at execution;
+                // use positional placeholders (callers reference by alias.col
+                // rarely in that case)
+                names.push(format!("?col{}?", names.len()));
+            }
+            SelectItem::Expr { expr, alias } => {
+                names.push(alias.clone().unwrap_or_else(|| default_name(expr)));
+            }
+        }
+    }
+    names
+}
+
+/// After WHERE pushdown, upgrade eligible seq scans to index scans using the
+/// table's indexes. Called by the executor with catalog access.
+pub fn choose_access_paths(
+    node: &mut PlanNode,
+    cat: &dyn PlannerCatalog,
+    catalog_tables: &dyn Fn(TableId) -> PgResult<TableMeta>,
+) -> PgResult<()> {
+    match node {
+        PlanNode::SeqScan { table, filter } => {
+            let Some(f) = filter.clone() else { return Ok(()) };
+            let meta = catalog_tables(*table)?;
+            if let Some((index, probe)) = pick_index(&meta, &f, cat)? {
+                *node = PlanNode::IndexScan { table: *table, index, probe, filter: Some(f) };
+            }
+            Ok(())
+        }
+        PlanNode::Join { left, right, .. } => {
+            choose_access_paths(left, cat, catalog_tables)?;
+            choose_access_paths(right, cat, catalog_tables)
+        }
+        PlanNode::Filter { input, .. } => choose_access_paths(input, cat, catalog_tables),
+        _ => Ok(()),
+    }
+}
+
+/// Extract (col_position → const BExpr) equality pairs and range/LIKE atoms
+/// from a bound filter's conjuncts.
+fn bound_conjuncts(f: &BExpr) -> Vec<&BExpr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a BExpr, out: &mut Vec<&'a BExpr>) {
+        if let BExpr::Binary { op: BinaryOp::And, left, right } = e {
+            walk(left, out);
+            walk(right, out);
+        } else {
+            out.push(e);
+        }
+    }
+    walk(f, &mut out);
+    out
+}
+
+fn pick_index(
+    meta: &TableMeta,
+    filter: &BExpr,
+    cat: &dyn PlannerCatalog,
+) -> PgResult<Option<(IndexId, IndexProbe)>> {
+    let conjuncts = bound_conjuncts(filter);
+    // equality atoms: Col(i) = const
+    let mut eq: Vec<(usize, BExpr)> = Vec::new();
+    // range atoms on a column: (col, low, high)
+    let mut ranges: Vec<(usize, Option<(BExpr, bool)>, Option<(BExpr, bool)>)> = Vec::new();
+    // LIKE atoms: textual index-expression key → pattern
+    let mut likes: Vec<(String, BExpr, bool)> = Vec::new();
+    for c in &conjuncts {
+        match c {
+            BExpr::Binary { op, left, right } if op.is_comparison() => {
+                let (col, konst, flipped) = match (left.as_ref(), right.as_ref()) {
+                    (BExpr::Col(i), k) if k.is_const() => (*i, k.clone(), false),
+                    (k, BExpr::Col(i)) if k.is_const() => (*i, k.clone(), true),
+                    _ => continue,
+                };
+                let op = if flipped { flip_op(*op) } else { *op };
+                match op {
+                    BinaryOp::Eq => eq.push((col, konst)),
+                    BinaryOp::Gt => ranges.push((col, Some((konst, false)), None)),
+                    BinaryOp::Ge => ranges.push((col, Some((konst, true)), None)),
+                    BinaryOp::Lt => ranges.push((col, None, Some((konst, false)))),
+                    BinaryOp::Le => ranges.push((col, None, Some((konst, true)))),
+                    _ => {}
+                }
+            }
+            BExpr::Between { expr, low, high, negated: false } => {
+                if let BExpr::Col(i) = expr.as_ref() {
+                    if low.is_const() && high.is_const() {
+                        ranges.push((
+                            *i,
+                            Some(((**low).clone(), true)),
+                            Some(((**high).clone(), true)),
+                        ));
+                    }
+                }
+            }
+            BExpr::Like { expr, pattern, negated: false, case_insensitive } => {
+                if pattern.is_const() {
+                    likes.push((
+                        bexpr_key(expr),
+                        (**pattern).clone(),
+                        *case_insensitive,
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut best: Option<(IndexId, IndexProbe, usize)> = None; // score = prefix len
+    for &iid in &meta.indexes {
+        let imeta = cat.index_meta(iid)?;
+        match imeta.method {
+            IndexMethod::BTree => {
+                // map index expressions to column positions (plain columns only)
+                let mut cols = Vec::new();
+                let mut plain = true;
+                for e in &imeta.exprs {
+                    match e {
+                        Expr::Column { name, .. } => match meta.column_index(name) {
+                            Some(i) => cols.push(i),
+                            None => {
+                                plain = false;
+                                break;
+                            }
+                        },
+                        _ => {
+                            plain = false;
+                            break;
+                        }
+                    }
+                }
+                if !plain || cols.is_empty() {
+                    continue;
+                }
+                // longest equality prefix
+                let mut probe_vals = Vec::new();
+                for &c in &cols {
+                    match eq.iter().find(|(ec, _)| *ec == c) {
+                        Some((_, k)) => probe_vals.push(k.clone()),
+                        None => break,
+                    }
+                }
+                if !probe_vals.is_empty() {
+                    let score = probe_vals.len() * 2 + 1;
+                    if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
+                        best = Some((iid, IndexProbe::EqPrefix(probe_vals), score));
+                    }
+                    continue;
+                }
+                // range on first column
+                if let Some((_, lo, hi)) =
+                    ranges.iter().find(|(rc, _, _)| *rc == cols[0])
+                {
+                    let score = 1;
+                    if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
+                        best = Some((
+                            iid,
+                            IndexProbe::Range { low: lo.clone(), high: hi.clone() },
+                            score,
+                        ));
+                    }
+                }
+            }
+            IndexMethod::Gin => {
+                // match a LIKE whose argument equals the indexed expression
+                let Some(iexpr) = imeta.exprs.first() else { continue };
+                let ikey = expr_key_for_index(iexpr, meta);
+                if let Some((_, pattern, ci)) = likes.iter().find(|(k, _, _)| *k == ikey) {
+                    let score = 2;
+                    if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
+                        best = Some((
+                            iid,
+                            IndexProbe::LikePattern {
+                                pattern: pattern.clone(),
+                                case_insensitive: *ci,
+                            },
+                            score,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(best.map(|(i, p, _)| (i, p)))
+}
+
+fn flip_op(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Le => BinaryOp::Ge,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Ge => BinaryOp::Le,
+        other => other,
+    }
+}
+
+/// Canonical key of a bound expression for matching GIN index expressions.
+fn bexpr_key(e: &BExpr) -> String {
+    format!("{e:?}")
+}
+
+/// Key of an index expression, bound over the table's own scope.
+fn expr_key_for_index(e: &Expr, meta: &TableMeta) -> String {
+    let scope = RowScope {
+        cols: meta.columns.iter().map(|c| ColumnRef::new(None, &c.name)).collect(),
+    };
+    match bind(e, &scope, &[]) {
+        Ok(b) => bexpr_key(&b),
+        Err(_) => String::from("<unbindable>"),
+    }
+}
+
+/// Compute the key of a bound scan-filter expression for GIN matching. The
+/// executor uses the same binding scope (table columns in order), so keys
+/// line up with `expr_key_for_index`.
+pub fn gin_match_key(e: &BExpr) -> String {
+    bexpr_key(e)
+}

@@ -1,0 +1,796 @@
+//! Sessions: the connection + statement dispatch layer.
+//!
+//! A `Session` models one backend (connection) of the engine. It owns the
+//! transaction state, routes statements through the extension hooks (the
+//! interception points of §3.1), and accounts simulated cost per statement.
+
+use crate::cost::SimCost;
+use crate::dml;
+use crate::engine::Engine;
+use crate::error::{ErrorCode, PgError, PgResult};
+use crate::exec::{self, ExecCtx};
+use crate::expr::{bind, eval, RowScope};
+use crate::lock::{CancelFlag, DistTxnId, LockKey, LockMode, CANCEL_NONE};
+use crate::txn::{Xid, INVALID_XID};
+use crate::types::{Datum, Row};
+use crate::wal::WalRecord;
+use sqlparse::ast::{Expr, SelectItem, Statement};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// SELECT output.
+    Rows { columns: Vec<String>, rows: Vec<Row> },
+    /// INSERT/UPDATE/DELETE/COPY row count.
+    Affected(u64),
+    /// DDL, SET, transaction control.
+    Empty,
+}
+
+impl QueryResult {
+    pub fn rows(&self) -> &[Row] {
+        match self {
+            QueryResult::Rows { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    pub fn into_rows(self) -> Vec<Row> {
+        match self {
+            QueryResult::Rows { rows, .. } => rows,
+            _ => Vec::new(),
+        }
+    }
+
+    pub fn columns(&self) -> &[String] {
+        match self {
+            QueryResult::Rows { columns, .. } => columns,
+            _ => &[],
+        }
+    }
+
+    pub fn affected(&self) -> u64 {
+        match self {
+            QueryResult::Affected(n) => *n,
+            _ => 0,
+        }
+    }
+
+    /// First column of the first row (convenience for scalar queries).
+    pub fn scalar(&self) -> Option<&Datum> {
+        self.rows().first().and_then(|r| r.first())
+    }
+}
+
+/// One backend connection to an engine.
+pub struct Session {
+    engine: Arc<Engine>,
+    id: u64,
+    xid: Option<Xid>,
+    /// Inside an explicit BEGIN..COMMIT block?
+    explicit_txn: bool,
+    /// A statement in the current explicit transaction failed; everything
+    /// until ROLLBACK errors with "current transaction is aborted".
+    txn_failed: bool,
+    cancel: CancelFlag,
+    dist_id: Option<DistTxnId>,
+    settings: HashMap<String, Datum>,
+    last_cost: SimCost,
+    total_cost: SimCost,
+    stmt_counter: u64,
+}
+
+impl Session {
+    pub(crate) fn new(engine: Arc<Engine>) -> Session {
+        let id = engine.session_seq.fetch_add(1, Ordering::Relaxed);
+        Session {
+            engine,
+            id,
+            xid: None,
+            explicit_txn: false,
+            txn_failed: false,
+            cancel: Arc::new(AtomicU8::new(CANCEL_NONE)),
+            dist_id: None,
+            settings: HashMap::new(),
+            last_cost: SimCost::ZERO,
+            total_cost: SimCost::ZERO,
+            stmt_counter: 0,
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Simulated cost of the last statement.
+    pub fn last_cost(&self) -> SimCost {
+        self.last_cost
+    }
+
+    /// Simulated cost accumulated over the session; `take` resets it.
+    pub fn take_total_cost(&mut self) -> SimCost {
+        std::mem::replace(&mut self.total_cost, SimCost::ZERO)
+    }
+
+    /// Add externally-incurred cost (the distributed layer charges network
+    /// time to the session this way).
+    pub fn add_cost(&mut self, cost: &SimCost) {
+        self.last_cost.add(cost);
+        self.total_cost.add(cost);
+    }
+
+    pub fn in_transaction(&self) -> bool {
+        self.xid.is_some()
+    }
+
+    pub fn in_explicit_transaction(&self) -> bool {
+        self.explicit_txn
+    }
+
+    pub fn transaction_failed(&self) -> bool {
+        self.txn_failed
+    }
+
+    pub fn current_xid(&self) -> Option<Xid> {
+        self.xid
+    }
+
+    pub fn setting(&self, name: &str) -> Option<&Datum> {
+        self.settings.get(name)
+    }
+
+    pub fn set_setting(&mut self, name: &str, value: Datum) {
+        self.settings.insert(name.to_string(), value);
+    }
+
+    /// Attach a distributed transaction id (Citus's
+    /// `assign_distributed_transaction_id`); lock-graph nodes on this engine
+    /// are merged across the cluster through it.
+    pub fn assign_dist_txn_id(&mut self, dist: DistTxnId) {
+        self.dist_id = Some(dist);
+        if let Some(xid) = self.xid {
+            self.engine.locks.assign_dist_id(xid, dist);
+        }
+    }
+
+    pub fn dist_txn_id(&self) -> Option<DistTxnId> {
+        self.dist_id
+    }
+
+    // ---------------- statement execution ----------------
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, sql: &str) -> PgResult<QueryResult> {
+        let stmt = sqlparse::parse(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Parse and execute a multi-statement script; returns the last result.
+    pub fn execute_script(&mut self, sql: &str) -> PgResult<QueryResult> {
+        let stmts = sqlparse::parse_many(sql)?;
+        let mut last = QueryResult::Empty;
+        for s in &stmts {
+            last = self.execute_stmt(s)?;
+        }
+        Ok(last)
+    }
+
+    /// Execute with `$n` parameters.
+    pub fn execute_with_params(&mut self, sql: &str, params: &[Datum]) -> PgResult<QueryResult> {
+        let stmt = sqlparse::parse(sql)?;
+        self.dispatch(&stmt, params, true)
+    }
+
+    /// Execute a parsed statement (through hooks).
+    pub fn execute_stmt(&mut self, stmt: &Statement) -> PgResult<QueryResult> {
+        self.dispatch(stmt, &[], true)
+    }
+
+    /// Execute bypassing extension hooks (the extension's own "local
+    /// execution" path; also prevents hook recursion).
+    pub fn execute_local(&mut self, stmt: &Statement) -> PgResult<QueryResult> {
+        self.dispatch(stmt, &[], false)
+    }
+
+    /// Convenience: run a query and return its rows.
+    pub fn query(&mut self, sql: &str) -> PgResult<Vec<Row>> {
+        Ok(self.execute(sql)?.into_rows())
+    }
+
+    /// Convenience: single-value query.
+    pub fn query_scalar(&mut self, sql: &str) -> PgResult<Datum> {
+        self.execute(sql)?
+            .scalar()
+            .cloned()
+            .ok_or_else(|| PgError::internal("query returned no rows"))
+    }
+
+    fn dispatch(
+        &mut self,
+        stmt: &Statement,
+        params: &[Datum],
+        use_hooks: bool,
+    ) -> PgResult<QueryResult> {
+        // cancellation that arrived between statements: it dooms the current
+        // transaction, but COMMIT/ROLLBACK must still run so the transaction
+        // (here and on any node that shares its fate) can clean up — exactly
+        // like PostgreSQL processing a pending cancel interrupt
+        if self.cancel.load(Ordering::SeqCst) != CANCEL_NONE {
+            self.cancel.store(CANCEL_NONE, Ordering::SeqCst);
+            if matches!(stmt, Statement::Commit | Statement::Rollback) {
+                if self.explicit_txn && self.xid.is_some() {
+                    self.txn_failed = true;
+                }
+            } else {
+                self.fail_txn();
+                return Err(PgError::new(
+                    ErrorCode::QueryCanceled,
+                    "canceling statement due to cancel request",
+                ));
+            }
+        }
+        // failed transaction block accepts only COMMIT/ROLLBACK
+        if self.txn_failed
+            && !matches!(stmt, Statement::Commit | Statement::Rollback)
+        {
+            return Err(PgError::new(
+                ErrorCode::InvalidTransactionState,
+                "current transaction is aborted, commands ignored until end of transaction block",
+            ));
+        }
+        self.stmt_counter += 1;
+        self.last_cost = SimCost::ZERO;
+        let result = self.dispatch_inner(stmt, params, use_hooks);
+        if result.is_err() && self.explicit_txn {
+            self.fail_txn();
+        }
+        result
+    }
+
+    fn fail_txn(&mut self) {
+        if self.explicit_txn && self.xid.is_some() {
+            self.txn_failed = true;
+        } else if let Some(_xid) = self.xid {
+            // implicit transaction: roll it back immediately
+            self.rollback_current();
+        }
+    }
+
+    fn dispatch_inner(
+        &mut self,
+        stmt: &Statement,
+        params: &[Datum],
+        use_hooks: bool,
+    ) -> PgResult<QueryResult> {
+        match stmt {
+            Statement::Begin => {
+                if self.explicit_txn {
+                    return Ok(QueryResult::Empty); // WARNING in PG; no-op here
+                }
+                self.ensure_xid()?;
+                self.explicit_txn = true;
+                Ok(QueryResult::Empty)
+            }
+            Statement::Commit => {
+                if self.txn_failed {
+                    self.rollback_current();
+                    return Ok(QueryResult::Empty); // PG reports ROLLBACK
+                }
+                self.commit_current()?;
+                Ok(QueryResult::Empty)
+            }
+            Statement::Rollback => {
+                self.rollback_current();
+                Ok(QueryResult::Empty)
+            }
+            Statement::PrepareTransaction(gid) => {
+                self.prepare_transaction(gid)?;
+                Ok(QueryResult::Empty)
+            }
+            Statement::CommitPrepared(gid) => {
+                self.finish_prepared(gid, true)?;
+                Ok(QueryResult::Empty)
+            }
+            Statement::RollbackPrepared(gid) => {
+                self.finish_prepared(gid, false)?;
+                Ok(QueryResult::Empty)
+            }
+            Statement::Set { name, value } => {
+                if use_hooks {
+                    if let Some(ext) = self.engine.hooks.installed() {
+                        if let Some(r) = ext.utility_hook(self, stmt) {
+                            return r;
+                        }
+                    }
+                }
+                self.settings.insert(name.clone(), crate::expr::literal_datum(value));
+                Ok(QueryResult::Empty)
+            }
+            Statement::Vacuum { table } => {
+                if use_hooks {
+                    if let Some(ext) = self.engine.hooks.installed() {
+                        if let Some(r) = ext.utility_hook(self, stmt) {
+                            return r;
+                        }
+                    }
+                }
+                let n = match table {
+                    Some(t) => self.engine.vacuum_table(t)?,
+                    None => self.engine.vacuum_all()?,
+                };
+                Ok(QueryResult::Affected(n))
+            }
+            Statement::CreateTable(_)
+            | Statement::CreateIndex(_)
+            | Statement::DropTable { .. }
+            | Statement::Truncate { .. }
+            | Statement::Copy(_) => {
+                if use_hooks {
+                    if let Some(ext) = self.engine.hooks.installed() {
+                        if let Some(r) = ext.utility_hook(self, stmt) {
+                            return r;
+                        }
+                    }
+                }
+                self.run_utility(stmt)
+            }
+            Statement::Explain(inner) => {
+                if use_hooks {
+                    if let Some(ext) = self.engine.hooks.installed() {
+                        if let Some(r) = ext.utility_hook(self, stmt) {
+                            return r;
+                        }
+                    }
+                }
+                self.run_explain(inner, params)
+            }
+            Statement::Select(sel) => {
+                if use_hooks {
+                    if let Some(ext) = self.engine.hooks.installed() {
+                        if let Some(r) = ext.planner_hook(self, stmt) {
+                            return r;
+                        }
+                    }
+                }
+                // UDF call path: FROM-less SELECT invoking registered UDFs
+                if sel.from.is_empty() {
+                    if let Some(r) = self.try_udf_select(sel, params)? {
+                        return Ok(r);
+                    }
+                }
+                self.run_select(sel, params)
+            }
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {
+                if use_hooks {
+                    if let Some(ext) = self.engine.hooks.installed() {
+                        if let Some(r) = ext.planner_hook(self, stmt) {
+                            return r;
+                        }
+                    }
+                }
+                self.run_dml(stmt, params)
+            }
+        }
+    }
+
+    // ---------------- transaction control ----------------
+
+    /// Allocate an xid for the current statement/transaction if none yet.
+    pub fn ensure_xid(&mut self) -> PgResult<Xid> {
+        if let Some(xid) = self.xid {
+            return Ok(xid);
+        }
+        let xid = self.engine.txns.begin();
+        self.engine.locks.register_txn(xid, self.cancel.clone(), self.dist_id);
+        self.engine.wal.append(WalRecord::Begin { xid });
+        self.xid = Some(xid);
+        Ok(xid)
+    }
+
+    /// Commit the current transaction (runs extension callbacks).
+    pub fn commit_current(&mut self) -> PgResult<()> {
+        let Some(xid) = self.xid else {
+            self.explicit_txn = false;
+            return Ok(());
+        };
+        if let Some(ext) = self.engine.hooks.installed() {
+            if let Err(e) = ext.pre_commit(self) {
+                self.rollback_current();
+                return Err(e);
+            }
+        }
+        self.engine.txns.commit(xid);
+        self.engine.wal.append(WalRecord::Commit { xid });
+        self.engine.locks.release_all(xid);
+        self.xid = None;
+        self.explicit_txn = false;
+        self.txn_failed = false;
+        self.dist_id = None;
+        if let Some(ext) = self.engine.hooks.installed() {
+            ext.post_commit(self);
+        }
+        Ok(())
+    }
+
+    /// Abort the current transaction.
+    pub fn rollback_current(&mut self) {
+        // aborting consumes any pending cancellation
+        self.cancel.store(CANCEL_NONE, Ordering::SeqCst);
+        if let Some(xid) = self.xid.take() {
+            self.engine.txns.abort(xid);
+            self.engine.wal.append(WalRecord::Abort { xid });
+            self.engine.locks.release_all(xid);
+        }
+        self.explicit_txn = false;
+        self.txn_failed = false;
+        self.dist_id = None;
+        if let Some(ext) = self.engine.hooks.installed() {
+            ext.post_abort(self);
+        }
+    }
+
+    /// First phase of 2PC: make the transaction's fate externally decidable.
+    pub fn prepare_transaction(&mut self, gid: &str) -> PgResult<()> {
+        let Some(xid) = self.xid else {
+            return Err(PgError::new(
+                ErrorCode::InvalidTransactionState,
+                "PREPARE TRANSACTION requires an active transaction",
+            ));
+        };
+        self.engine.txns.prepare(xid, gid)?;
+        self.engine.wal.append(WalRecord::Prepare { xid, gid: gid.to_string() });
+        // locks stay held by the prepared xid; the session moves on
+        self.engine.locks.detach_session(xid);
+        self.xid = None;
+        self.explicit_txn = false;
+        self.txn_failed = false;
+        self.dist_id = None;
+        Ok(())
+    }
+
+    fn finish_prepared(&mut self, gid: &str, commit: bool) -> PgResult<()> {
+        let xid = self.engine.txns.finish_prepared(gid, commit)?;
+        self.engine.wal.append(if commit {
+            WalRecord::CommitPrepared { gid: gid.to_string() }
+        } else {
+            WalRecord::AbortPrepared { gid: gid.to_string() }
+        });
+        self.engine.locks.release_all(xid);
+        Ok(())
+    }
+
+    // ---------------- statement bodies ----------------
+
+    fn make_ctx(&mut self) -> ExecCtx<'_> {
+        let xid = self.xid.unwrap_or(INVALID_XID);
+        let snap = self.engine.txns.snapshot(xid);
+        let seed = self.id.wrapping_mul(0x9E37_79B9).wrapping_add(self.stmt_counter);
+        let mut ctx = ExecCtx::new(&self.engine, snap, xid, seed);
+        ctx.cost.add_cpu(self.engine.config.cost.base_plan_ms);
+        ctx
+    }
+
+    fn finish_ctx(&mut self, cost: SimCost) {
+        self.last_cost.add(&cost);
+        self.total_cost.add(&cost);
+    }
+
+    fn run_select(
+        &mut self,
+        sel: &sqlparse::ast::Select,
+        params: &[Datum],
+    ) -> PgResult<QueryResult> {
+        let implicit = self.xid.is_none() && sel.for_update;
+        if sel.for_update {
+            self.ensure_xid()?;
+        }
+        let mut ctx = self.make_ctx();
+        let result = exec::execute_select(&mut ctx, sel, params);
+        let cost = ctx.cost;
+        self.finish_ctx(cost);
+        match result {
+            Ok((columns, rows)) => {
+                if implicit {
+                    self.commit_current()?;
+                }
+                Ok(QueryResult::Rows { columns, rows })
+            }
+            Err(e) => {
+                if implicit {
+                    self.rollback_current();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn run_dml(&mut self, stmt: &Statement, params: &[Datum]) -> PgResult<QueryResult> {
+        let implicit = self.xid.is_none();
+        self.ensure_xid()?;
+        let mut ctx = self.make_ctx();
+        let result = match stmt {
+            Statement::Insert(ins) => dml::exec_insert(&mut ctx, ins, params),
+            Statement::Update(upd) => dml::exec_update(&mut ctx, upd, params),
+            Statement::Delete(del) => dml::exec_delete(&mut ctx, del, params),
+            _ => Err(PgError::internal("run_dml on non-DML")),
+        };
+        let cost = ctx.cost;
+        self.finish_ctx(cost);
+        match result {
+            Ok(n) => {
+                if implicit {
+                    self.commit_current()?;
+                }
+                Ok(QueryResult::Affected(n))
+            }
+            Err(e) => {
+                if implicit {
+                    self.rollback_current();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn run_utility(&mut self, stmt: &Statement) -> PgResult<QueryResult> {
+        match stmt {
+            Statement::CreateTable(ct) => {
+                self.engine.ddl_create_table(ct)?;
+                Ok(QueryResult::Empty)
+            }
+            Statement::CreateIndex(ci) => {
+                self.engine.ddl_create_index(ci)?;
+                Ok(QueryResult::Empty)
+            }
+            Statement::DropTable { names, if_exists } => {
+                for n in names {
+                    // exclusive lock: wait out readers/writers
+                    if let Ok(meta) = self.engine.table_meta(n) {
+                        let implicit = self.xid.is_none();
+                        let xid = self.ensure_xid()?;
+                        self.engine.locks.acquire(
+                            xid,
+                            LockKey::Table(meta.id),
+                            LockMode::Exclusive,
+                        )?;
+                        self.engine.ddl_drop_table(n, *if_exists)?;
+                        if implicit {
+                            self.commit_current()?;
+                        }
+                    } else {
+                        self.engine.ddl_drop_table(n, *if_exists)?;
+                    }
+                }
+                Ok(QueryResult::Empty)
+            }
+            Statement::Truncate { tables } => {
+                let implicit = self.xid.is_none();
+                let xid = self.ensure_xid()?;
+                for t in tables {
+                    let meta = self.engine.table_meta(t)?;
+                    self.engine.locks.acquire(xid, LockKey::Table(meta.id), LockMode::Exclusive)?;
+                    self.engine.truncate_table(t)?;
+                }
+                if implicit {
+                    self.commit_current()?;
+                }
+                Ok(QueryResult::Empty)
+            }
+            Statement::Copy(_) => Err(PgError::unsupported(
+                "COPY FROM STDIN via execute(); use Session::copy_rows / copy_text",
+            )),
+            other => Err(PgError::internal(format!("unexpected utility statement {other:?}"))),
+        }
+    }
+
+    fn run_explain(&mut self, inner: &Statement, params: &[Datum]) -> PgResult<QueryResult> {
+        let Statement::Select(sel) = inner else {
+            return Err(PgError::unsupported("EXPLAIN is supported for SELECT only"));
+        };
+        let mut ctx = self.make_ctx();
+        let plan = exec::build_select_plan(&mut ctx, sel, params)?;
+        let mut lines = Vec::new();
+        {
+            let cat = self.engine.catalog.read();
+            plan.input.describe(&cat, &mut lines, 0);
+        }
+        if plan.agg.is_some() {
+            lines.insert(0, "HashAggregate".to_string());
+        }
+        if !plan.order_by.is_empty() {
+            lines.insert(0, "Sort".to_string());
+        }
+        Ok(QueryResult::Rows {
+            columns: vec!["QUERY PLAN".to_string()],
+            rows: lines.into_iter().map(|l| vec![Datum::Text(l)]).collect(),
+        })
+    }
+
+    /// FROM-less SELECT whose projection calls registered UDFs.
+    fn try_udf_select(
+        &mut self,
+        sel: &sqlparse::ast::Select,
+        params: &[Datum],
+    ) -> PgResult<Option<QueryResult>> {
+        let has_udf = sel.projection.iter().any(|item| {
+            matches!(item, SelectItem::Expr { expr: Expr::Func(f), .. }
+                if self.engine.udf(&f.name).is_some())
+        });
+        if !has_udf {
+            return Ok(None);
+        }
+        let mut columns = Vec::new();
+        let mut row = Vec::new();
+        let scope = RowScope::default();
+        let ectx = crate::expr::EvalCtx::default();
+        for item in &sel.projection {
+            let SelectItem::Expr { expr, alias } = item else {
+                return Err(PgError::unsupported("wildcard in UDF select"));
+            };
+            match expr {
+                Expr::Func(f) if self.engine.udf(&f.name).is_some() => {
+                    let udf = self.engine.udf(&f.name).expect("checked");
+                    let args: Vec<Datum> = f
+                        .args
+                        .iter()
+                        .map(|a| {
+                            let b = bind(a, &scope, params)?;
+                            eval(&b, &vec![], &ectx)
+                        })
+                        .collect::<PgResult<_>>()?;
+                    columns.push(alias.clone().unwrap_or_else(|| f.name.clone()));
+                    row.push(udf(self, &args)?);
+                }
+                other => {
+                    let b = bind(other, &scope, params)?;
+                    columns.push(alias.clone().unwrap_or_else(|| "?column?".to_string()));
+                    row.push(eval(&b, &vec![], &ectx)?);
+                }
+            }
+        }
+        Ok(Some(QueryResult::Rows { columns, rows: vec![row] }))
+    }
+
+    // ---------------- COPY API ----------------
+
+    /// Bulk-load rows (the `COPY .. FROM STDIN` data path). Operates on this
+    /// engine's tables directly; the distributed layer provides its own COPY
+    /// entry point that fans rows out to shards before calling this.
+    pub fn copy_rows(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        rows: Vec<Row>,
+    ) -> PgResult<u64> {
+        self.copy_rows_local(table, columns, rows)
+    }
+
+    /// Bulk-load rows bypassing extension hooks (shard-level COPY).
+    pub fn copy_rows_local(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        rows: Vec<Row>,
+    ) -> PgResult<u64> {
+        let implicit = self.xid.is_none();
+        self.ensure_xid()?;
+        let mut ctx = self.make_ctx();
+        let result = dml::exec_copy(&mut ctx, table, columns, rows);
+        let cost = ctx.cost;
+        self.finish_ctx(cost);
+        match result {
+            Ok(n) => {
+                if implicit {
+                    self.commit_current()?;
+                }
+                Ok(n)
+            }
+            Err(e) => {
+                if implicit {
+                    self.rollback_current();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Parse CSV text (comma-separated, `\N` = NULL) and bulk-load it.
+    pub fn copy_text(&mut self, table: &str, columns: &[String], data: &str) -> PgResult<u64> {
+        let meta = self.engine.table_meta(table)?;
+        let target: Vec<usize> = if columns.is_empty() {
+            (0..meta.columns.len()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|n| meta.column_index(n).ok_or_else(|| PgError::undefined_column(n)))
+                .collect::<PgResult<_>>()?
+        };
+        let mut rows = Vec::new();
+        for line in data.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields = split_csv(line);
+            if fields.len() != target.len() {
+                return Err(PgError::new(
+                    ErrorCode::InvalidText,
+                    format!("COPY expected {} fields, found {}", target.len(), fields.len()),
+                ));
+            }
+            let row: Row = fields
+                .into_iter()
+                .map(|f| match f {
+                    None => Datum::Null,
+                    Some(text) => Datum::Text(text),
+                })
+                .collect();
+            rows.push(row);
+        }
+        self.copy_rows(table, columns, rows)
+    }
+
+    /// Cancel flag shared with the lock manager (tests & the distributed
+    /// deadlock detector use this).
+    pub fn cancel_flag(&self) -> CancelFlag {
+        self.cancel.clone()
+    }
+}
+
+/// Split one CSV line; `\N` is NULL, `""` quoting supported.
+fn split_csv(line: &str) -> Vec<Option<String>> {
+    let mut out = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    let mut quoted = false;
+    loop {
+        match chars.next() {
+            None => {
+                out.push(finish_field(field, quoted));
+                break;
+            }
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            Some('"') if field.is_empty() && !quoted => {
+                in_quotes = true;
+                quoted = true;
+            }
+            Some(',') if !in_quotes => {
+                out.push(finish_field(std::mem::take(&mut field), quoted));
+                quoted = false;
+            }
+            Some(c) => field.push(c),
+        }
+    }
+    out
+}
+
+fn finish_field(field: String, quoted: bool) -> Option<String> {
+    if !quoted && field == "\\N" {
+        None
+    } else {
+        Some(field)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if self.xid.is_some() {
+            self.rollback_current();
+        }
+        self.engine.connection_closed();
+    }
+}

@@ -1,0 +1,317 @@
+//! Transaction manager: xid allocation, commit/abort status, MVCC snapshots,
+//! and prepared transactions (`PREPARE TRANSACTION` / `COMMIT PREPARED`) —
+//! the primitives the distributed layer's two-phase commit is built on.
+
+use crate::error::{ErrorCode, PgError, PgResult};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Transaction id. 0 is "invalid" (no transaction), like PostgreSQL.
+pub type Xid = u64;
+
+pub const INVALID_XID: Xid = 0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    InProgress,
+    Committed,
+    Aborted,
+    /// First phase of 2PC done: effects durable, locks held, outcome pending.
+    Prepared,
+}
+
+/// An MVCC snapshot: which transactions' effects are visible.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Every xid < xmin is finished.
+    pub xmin: Xid,
+    /// Every xid >= xmax had not started.
+    pub xmax: Xid,
+    /// In-progress xids in `[xmin, xmax)` at snapshot time (sorted).
+    pub active: Vec<Xid>,
+    /// The observing transaction's own xid (0 when read-only/implicit).
+    pub my_xid: Xid,
+}
+
+impl Snapshot {
+    /// Would a change made by `xid` be visible, given it ultimately committed?
+    /// Own-transaction changes are always visible.
+    pub fn considers_running(&self, xid: Xid) -> bool {
+        if xid >= self.xmax {
+            return true;
+        }
+        if xid < self.xmin {
+            return false;
+        }
+        self.active.binary_search(&xid).is_ok()
+    }
+}
+
+#[derive(Debug, Default)]
+struct TxnTable {
+    status: HashMap<Xid, TxStatus>,
+    active: BTreeSet<Xid>,
+    /// gid → xid for prepared transactions.
+    prepared: HashMap<String, Xid>,
+}
+
+/// Engine-wide transaction state.
+#[derive(Debug)]
+pub struct TxnManager {
+    next_xid: AtomicU64,
+    inner: Mutex<TxnTable>,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        TxnManager { next_xid: AtomicU64::new(1), inner: Mutex::new(TxnTable::default()) }
+    }
+}
+
+impl TxnManager {
+    /// Start a transaction: allocate an xid and mark it in progress.
+    pub fn begin(&self) -> Xid {
+        let xid = self.next_xid.fetch_add(1, Ordering::Relaxed);
+        let mut t = self.inner.lock();
+        t.status.insert(xid, TxStatus::InProgress);
+        t.active.insert(xid);
+        xid
+    }
+
+    /// Take an MVCC snapshot for `my_xid` (pass [`INVALID_XID`] when outside a
+    /// transaction).
+    pub fn snapshot(&self, my_xid: Xid) -> Snapshot {
+        let t = self.inner.lock();
+        let xmax = self.next_xid.load(Ordering::Relaxed);
+        let active: Vec<Xid> = t.active.iter().copied().filter(|&x| x != my_xid).collect();
+        let xmin = active.first().copied().unwrap_or(xmax).min(if my_xid != INVALID_XID {
+            my_xid
+        } else {
+            xmax
+        });
+        Snapshot { xmin, xmax, active, my_xid }
+    }
+
+    pub fn status(&self, xid: Xid) -> TxStatus {
+        if xid == INVALID_XID {
+            return TxStatus::Aborted;
+        }
+        self.inner
+            .lock()
+            .status
+            .get(&xid)
+            .copied()
+            // unknown old xids were truncated away after commit
+            .unwrap_or(TxStatus::Committed)
+    }
+
+    pub fn commit(&self, xid: Xid) {
+        let mut t = self.inner.lock();
+        t.status.insert(xid, TxStatus::Committed);
+        t.active.remove(&xid);
+    }
+
+    pub fn abort(&self, xid: Xid) {
+        let mut t = self.inner.lock();
+        t.status.insert(xid, TxStatus::Aborted);
+        t.active.remove(&xid);
+    }
+
+    /// Phase one of 2PC: transition `xid` to prepared under `gid`. The xid
+    /// stays in the active set so concurrent snapshots keep treating it as
+    /// running (its outcome is undecided).
+    pub fn prepare(&self, xid: Xid, gid: &str) -> PgResult<()> {
+        let mut t = self.inner.lock();
+        if t.prepared.contains_key(gid) {
+            return Err(PgError::new(
+                ErrorCode::InvalidTransactionState,
+                format!("transaction identifier \"{gid}\" is already in use"),
+            ));
+        }
+        t.status.insert(xid, TxStatus::Prepared);
+        t.prepared.insert(gid.to_string(), xid);
+        Ok(())
+    }
+
+    /// Finish a prepared transaction. Returns its xid so the caller can
+    /// release its locks.
+    pub fn finish_prepared(&self, gid: &str, commit: bool) -> PgResult<Xid> {
+        let mut t = self.inner.lock();
+        let xid = t.prepared.remove(gid).ok_or_else(|| {
+            PgError::new(
+                ErrorCode::InvalidTransactionState,
+                format!("prepared transaction with identifier \"{gid}\" does not exist"),
+            )
+        })?;
+        t.status.insert(xid, if commit { TxStatus::Committed } else { TxStatus::Aborted });
+        t.active.remove(&xid);
+        Ok(xid)
+    }
+
+    /// Gids of all currently prepared transactions (the recovery daemon's
+    /// `pg_prepared_xacts` view).
+    pub fn prepared_gids(&self) -> Vec<String> {
+        let t = self.inner.lock();
+        let mut v: Vec<String> = t.prepared.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    pub fn prepared_xid(&self, gid: &str) -> Option<Xid> {
+        self.inner.lock().prepared.get(gid).copied()
+    }
+
+    /// Oldest xid any active snapshot could still need (vacuum horizon).
+    pub fn oldest_active_xid(&self) -> Xid {
+        let t = self.inner.lock();
+        t.active.iter().next().copied().unwrap_or_else(|| self.next_xid.load(Ordering::Relaxed))
+    }
+
+    /// Number of in-progress (incl. prepared) transactions.
+    pub fn active_count(&self) -> usize {
+        self.inner.lock().active.len()
+    }
+}
+
+/// MVCC visibility: is a tuple with the given `xmin`/`xmax` visible to `snap`?
+pub fn tuple_visible(txns: &TxnManager, snap: &Snapshot, xmin: Xid, xmax: Xid) -> bool {
+    // Inserted by me? visible unless I also deleted it.
+    let inserted_visible = if xmin == snap.my_xid && xmin != INVALID_XID {
+        true
+    } else if snap.considers_running(xmin) {
+        false
+    } else {
+        txns.status(xmin) == TxStatus::Committed
+    };
+    if !inserted_visible {
+        return false;
+    }
+    if xmax == INVALID_XID {
+        return true;
+    }
+    // Deleted by me? gone.
+    if xmax == snap.my_xid && xmax != INVALID_XID {
+        return false;
+    }
+    // Deleter still running (or prepared) at snapshot time → still visible.
+    if snap.considers_running(xmax) {
+        return true;
+    }
+    match txns.status(xmax) {
+        TxStatus::Committed => false,
+        // prepared deleter: outcome unknown, row stays visible
+        TxStatus::Prepared | TxStatus::InProgress => true,
+        TxStatus::Aborted => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_isolation_basics() {
+        let tm = TxnManager::default();
+        let t1 = tm.begin();
+        let snap_before = tm.snapshot(INVALID_XID);
+        assert!(snap_before.considers_running(t1));
+        tm.commit(t1);
+        // old snapshot still treats t1 as running (repeatable within stmt)
+        assert!(snap_before.considers_running(t1));
+        let snap_after = tm.snapshot(INVALID_XID);
+        assert!(!snap_after.considers_running(t1));
+        assert_eq!(tm.status(t1), TxStatus::Committed);
+    }
+
+    #[test]
+    fn visibility_rules() {
+        let tm = TxnManager::default();
+        let writer = tm.begin();
+        let reader_snap = tm.snapshot(INVALID_XID);
+        // uncommitted insert invisible to others
+        assert!(!tuple_visible(&tm, &reader_snap, writer, INVALID_XID));
+        // ...but visible to itself
+        let own_snap = tm.snapshot(writer);
+        assert!(tuple_visible(&tm, &own_snap, writer, INVALID_XID));
+        tm.commit(writer);
+        let fresh = tm.snapshot(INVALID_XID);
+        assert!(tuple_visible(&tm, &fresh, writer, INVALID_XID));
+    }
+
+    #[test]
+    fn delete_visibility() {
+        let tm = TxnManager::default();
+        let inserter = tm.begin();
+        tm.commit(inserter);
+        let deleter = tm.begin();
+        let concurrent = tm.snapshot(INVALID_XID);
+        // deleter in progress: row still visible to others
+        assert!(tuple_visible(&tm, &concurrent, inserter, deleter));
+        // deleter sees its own delete
+        let own = tm.snapshot(deleter);
+        assert!(!tuple_visible(&tm, &own, inserter, deleter));
+        tm.commit(deleter);
+        let after = tm.snapshot(INVALID_XID);
+        assert!(!tuple_visible(&tm, &after, inserter, deleter));
+        // old snapshot taken during delete still sees the row
+        assert!(tuple_visible(&tm, &concurrent, inserter, deleter));
+    }
+
+    #[test]
+    fn aborted_delete_leaves_row_visible() {
+        let tm = TxnManager::default();
+        let inserter = tm.begin();
+        tm.commit(inserter);
+        let deleter = tm.begin();
+        tm.abort(deleter);
+        let snap = tm.snapshot(INVALID_XID);
+        assert!(tuple_visible(&tm, &snap, inserter, deleter));
+    }
+
+    #[test]
+    fn prepared_transactions_lifecycle() {
+        let tm = TxnManager::default();
+        let xid = tm.begin();
+        tm.prepare(xid, "gid_1").unwrap();
+        assert_eq!(tm.status(xid), TxStatus::Prepared);
+        assert_eq!(tm.prepared_gids(), vec!["gid_1".to_string()]);
+        // prepared writer's rows are not yet visible
+        let snap = tm.snapshot(INVALID_XID);
+        assert!(!tuple_visible(&tm, &snap, xid, INVALID_XID));
+        // duplicate gid rejected
+        let other = tm.begin();
+        assert!(tm.prepare(other, "gid_1").is_err());
+        assert_eq!(tm.finish_prepared("gid_1", true).unwrap(), xid);
+        assert_eq!(tm.status(xid), TxStatus::Committed);
+        assert!(tm.finish_prepared("gid_1", true).is_err());
+        let fresh = tm.snapshot(INVALID_XID);
+        assert!(tuple_visible(&tm, &fresh, xid, INVALID_XID));
+    }
+
+    #[test]
+    fn prepared_deleter_keeps_row_visible() {
+        let tm = TxnManager::default();
+        let ins = tm.begin();
+        tm.commit(ins);
+        let del = tm.begin();
+        tm.prepare(del, "g").unwrap();
+        let snap = tm.snapshot(INVALID_XID);
+        assert!(tuple_visible(&tm, &snap, ins, del));
+        tm.finish_prepared("g", true).unwrap();
+        let snap2 = tm.snapshot(INVALID_XID);
+        assert!(!tuple_visible(&tm, &snap2, ins, del));
+    }
+
+    #[test]
+    fn vacuum_horizon() {
+        let tm = TxnManager::default();
+        let a = tm.begin();
+        let b = tm.begin();
+        assert_eq!(tm.oldest_active_xid(), a);
+        tm.commit(a);
+        assert_eq!(tm.oldest_active_xid(), b);
+        tm.commit(b);
+        assert!(tm.oldest_active_xid() > b);
+    }
+}

@@ -1,0 +1,472 @@
+//! Minimal JSONB value type: parser, serialiser, and the jsonpath subset the
+//! real-time analytics benchmarks use (`$.payload.commits[*].message`).
+//!
+//! Implemented in-repo rather than via serde_json because the jsonb datatype
+//! (with its operators and GIN-indexability) is part of the substrate the
+//! paper's workloads depend on.
+
+use crate::error::{ErrorCode, PgError, PgResult};
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order but compare key-wise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse JSON text.
+    pub fn parse(text: &str) -> PgResult<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(text, bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(bad_json("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup (the `->` operator on objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup (the `->` operator on arrays).
+    pub fn get_index(&self, idx: usize) -> Option<&Json> {
+        match self {
+            Json::Array(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// The `->>` operator: member as text (strings unquoted).
+    pub fn get_text(&self, key: &str) -> Option<String> {
+        self.get(key).map(Json::as_text)
+    }
+
+    /// Render as text the way `->>` and casts do: strings bare, rest as JSON.
+    pub fn as_text(&self) -> String {
+        match self {
+            Json::String(s) => s.clone(),
+            other => other.to_string(),
+        }
+    }
+
+    pub fn array_len(&self) -> Option<usize> {
+        match self {
+            Json::Array(items) => Some(items.len()),
+            _ => None,
+        }
+    }
+
+    /// Evaluate a jsonpath like `$.payload.commits[*].message`, returning all
+    /// matches (the behaviour of `jsonb_path_query_array`).
+    pub fn path_query(&self, path: &str) -> PgResult<Vec<&Json>> {
+        let steps = parse_path(path)?;
+        let mut current = vec![self];
+        for step in &steps {
+            let mut next = Vec::new();
+            for v in current {
+                match step {
+                    PathStep::Member(name) => {
+                        if let Some(child) = v.get(name) {
+                            next.push(child);
+                        }
+                    }
+                    PathStep::AllElements => {
+                        if let Json::Array(items) = v {
+                            next.extend(items.iter());
+                        }
+                    }
+                    PathStep::Element(i) => {
+                        if let Some(child) = v.get_index(*i) {
+                            next.push(child);
+                        }
+                    }
+                }
+            }
+            current = next;
+        }
+        Ok(current)
+    }
+
+    /// Shorthand for building an object.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub fn str(s: &str) -> Json {
+        Json::String(s.to_string())
+    }
+
+    /// Canonical bytes for hashing: stable across logically equal values.
+    pub fn hash_repr(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push('n'),
+            Json::Bool(b) => out.push(if *b { 't' } else { 'f' }),
+            Json::Number(n) => {
+                let _ = write!(out, "N{n}");
+            }
+            Json::String(s) => {
+                let _ = write!(out, "S{}:{s}", s.len());
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for i in items {
+                    i.hash_repr(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                // sort keys so field order does not affect the hash
+                let mut sorted: Vec<&(String, Json)> = fields.iter().collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                out.push('{');
+                for (k, v) in sorted {
+                    let _ = write!(out, "K{}:{k}", k.len());
+                    v.hash_repr(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(true) => f.write_str("true"),
+            Json::Bool(false) => f.write_str("false"),
+            Json::Number(n) => {
+                if n.fract() == 0.0 && n.is_finite() && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::String(s) => write_json_string(f, s),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write_json_string(f, k)?;
+                    write!(f, ": {v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn bad_json(msg: &str) -> PgError {
+    PgError::new(ErrorCode::InvalidText, format!("invalid input syntax for type json: {msg}"))
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\r' | b'\n') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(text: &str, b: &[u8], pos: &mut usize) -> PgResult<Json> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(bad_json("unexpected end of input")),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(text, b, pos)? {
+                    Json::String(s) => s,
+                    _ => return Err(bad_json("object key must be a string")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(bad_json("expected ':' in object"));
+                }
+                *pos += 1;
+                let value = parse_value(text, b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        break;
+                    }
+                    _ => return Err(bad_json("expected ',' or '}' in object")),
+                }
+            }
+            Ok(Json::Object(fields))
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(text, b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        break;
+                    }
+                    _ => return Err(bad_json("expected ',' or ']' in array")),
+                }
+            }
+            Ok(Json::Array(items))
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err(bad_json("unterminated string")),
+                    Some(b'"') => {
+                        *pos += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = text
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or_else(|| bad_json("bad \\u escape"))?;
+                                let cp = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| bad_json("bad \\u escape"))?;
+                                s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            _ => return Err(bad_json("bad escape")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        let ch_start = *pos;
+                        let mut end = ch_start + 1;
+                        while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                            end += 1;
+                        }
+                        s.push_str(&text[ch_start..end]);
+                        *pos = end;
+                    }
+                }
+            }
+            Ok(Json::String(s))
+        }
+        Some(b't') if text[*pos..].starts_with("true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if text[*pos..].starts_with("false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if text[*pos..].starts_with("null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < b.len()
+                && (b[*pos].is_ascii_digit()
+                    || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                *pos += 1;
+            }
+            text[start..*pos]
+                .parse::<f64>()
+                .map(Json::Number)
+                .map_err(|_| bad_json("invalid number"))
+        }
+        Some(_) => Err(bad_json("unexpected character")),
+    }
+}
+
+/// One step of the supported jsonpath subset.
+#[derive(Debug, Clone, PartialEq)]
+enum PathStep {
+    Member(String),
+    AllElements,
+    Element(usize),
+}
+
+fn parse_path(path: &str) -> PgResult<Vec<PathStep>> {
+    let bad = |m: &str| PgError::new(ErrorCode::InvalidParameter, format!("invalid jsonpath: {m}"));
+    let rest = path.strip_prefix('$').ok_or_else(|| bad("must start with '$'"))?;
+    let mut steps = Vec::new();
+    let b = rest.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'.' => {
+                i += 1;
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(bad("expected member name after '.'"));
+                }
+                steps.push(PathStep::Member(rest[start..i].to_string()));
+            }
+            b'[' => {
+                i += 1;
+                if b.get(i) == Some(&b'*') {
+                    i += 1;
+                    steps.push(PathStep::AllElements);
+                } else {
+                    let start = i;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let n: usize =
+                        rest[start..i].parse().map_err(|_| bad("expected index or '*'"))?;
+                    steps.push(PathStep::Element(n));
+                }
+                if b.get(i) != Some(&b']') {
+                    return Err(bad("expected ']'"));
+                }
+                i += 1;
+            }
+            _ => return Err(bad("unexpected character")),
+        }
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-2.5e2").unwrap(), Json::Number(-250.0));
+        assert_eq!(Json::parse("\"hi\\nthere\"").unwrap(), Json::String("hi\nthere".into()));
+    }
+
+    #[test]
+    fn parses_nested() {
+        let v = Json::parse(r#"{"a": [1, {"b": "x"}], "c": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().array_len(), Some(2));
+        assert_eq!(
+            v.get("a").unwrap().get_index(1).unwrap().get_text("b"),
+            Some("x".to_string())
+        );
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let src = r#"{"msg": "say \"hi\"", "n": 4.5, "xs": [1, 2], "e": {}}"#;
+        let v = Json::parse(src).unwrap();
+        let again = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = Json::parse(r#""é""#).unwrap();
+        assert_eq!(v, Json::String("é".into()));
+        let v = Json::parse("\"caf\u{00e9}\"").unwrap();
+        assert_eq!(v, Json::String("café".into()));
+    }
+
+    #[test]
+    fn path_query_commits_messages() {
+        let v = Json::parse(
+            r#"{"payload": {"commits": [{"message": "fix postgres bug"}, {"message": "docs"}]}}"#,
+        )
+        .unwrap();
+        let out = v.path_query("$.payload.commits[*].message").unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], &Json::String("fix postgres bug".into()));
+    }
+
+    #[test]
+    fn path_query_index_and_missing() {
+        let v = Json::parse(r#"{"xs": [10, 20, 30]}"#).unwrap();
+        let out = v.path_query("$.xs[1]").unwrap();
+        assert_eq!(out, vec![&Json::Number(20.0)]);
+        assert!(v.path_query("$.nope.deeper").unwrap().is_empty());
+        assert!(v.path_query("bad").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("12 34").is_err());
+    }
+
+    #[test]
+    fn hash_repr_ignores_field_order() {
+        let a = Json::parse(r#"{"x": 1, "y": 2}"#).unwrap();
+        let b = Json::parse(r#"{"y": 2, "x": 1}"#).unwrap();
+        let (mut ra, mut rb) = (String::new(), String::new());
+        a.hash_repr(&mut ra);
+        b.hash_repr(&mut rb);
+        assert_eq!(ra, rb);
+    }
+}

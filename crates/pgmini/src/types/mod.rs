@@ -1,0 +1,9 @@
+//! Value types: datums, JSON, text operators, and civil time math.
+
+pub mod datum;
+pub mod json;
+pub mod text_ops;
+pub mod time;
+
+pub use datum::{hash_bytes, hash_row, splitmix64, Datum, Row, SortKey};
+pub use json::Json;

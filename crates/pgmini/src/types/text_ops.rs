@@ -1,0 +1,159 @@
+//! Text operators: SQL LIKE/ILIKE matching and trigram extraction for the
+//! GIN index (the pg_trgm stand-in used by the real-time analytics benchmark).
+
+/// Match `text` against a SQL LIKE pattern (`%` any run, `_` any one char).
+pub fn like_match(text: &str, pattern: &str, case_insensitive: bool) -> bool {
+    if case_insensitive {
+        let t = text.to_lowercase();
+        let p = pattern.to_lowercase();
+        like_inner(&t.chars().collect::<Vec<_>>(), &p.chars().collect::<Vec<_>>())
+    } else {
+        like_inner(&text.chars().collect::<Vec<_>>(), &pattern.chars().collect::<Vec<_>>())
+    }
+}
+
+/// Iterative two-pointer LIKE matcher (linear for patterns with one `%` run,
+/// no pathological backtracking).
+fn like_inner(text: &[char], pat: &[char]) -> bool {
+    let (mut t, mut p) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while t < text.len() {
+        if p < pat.len() && (pat[p] == '_' || (pat[p] != '%' && pat[p] == text[t])) {
+            t += 1;
+            p += 1;
+        } else if p < pat.len() && pat[p] == '%' {
+            star_p = p;
+            star_t = t;
+            p += 1;
+        } else if star_p != usize::MAX {
+            // backtrack: let the last % absorb one more character
+            p = star_p + 1;
+            star_t += 1;
+            t = star_t;
+        } else {
+            return false;
+        }
+    }
+    while p < pat.len() && pat[p] == '%' {
+        p += 1;
+    }
+    p == pat.len()
+}
+
+/// Extract pg_trgm-style trigrams: the string is lowercased and padded with
+/// two leading and one trailing space, then every 3-char window is emitted.
+pub fn trigrams(text: &str) -> Vec<[char; 3]> {
+    let mut out = Vec::new();
+    let lower = text.to_lowercase();
+    // pg_trgm splits on non-alphanumerics and pads each word
+    for word in lower.split(|c: char| !c.is_alphanumeric()) {
+        if word.is_empty() {
+            continue;
+        }
+        let padded: Vec<char> =
+            std::iter::repeat_n(' ', 2).chain(word.chars()).chain(std::iter::once(' ')).collect();
+        for w in padded.windows(3) {
+            out.push([w[0], w[1], w[2]]);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Trigrams that any string matching `%substr%` must contain. Only trigrams
+/// fully inside the substring are required (boundary trigrams depend on the
+/// surrounding text). Returns `None` when the pattern is too short to prune
+/// with (fewer than 3 consecutive literal characters).
+pub fn required_trigrams_for_like(pattern: &str) -> Option<Vec<[char; 3]>> {
+    // extract the longest literal run (no % or _)
+    let lower = pattern.to_lowercase();
+    let mut best: &str = "";
+    for run in lower.split(['%', '_']) {
+        if run.len() > best.len() {
+            best = run;
+        }
+    }
+    let chars: Vec<char> = best.chars().filter(|c| c.is_alphanumeric()).collect();
+    if chars.len() < 3 {
+        return None;
+    }
+    let mut out: Vec<[char; 3]> =
+        chars.windows(3).map(|w| [w[0], w[1], w[2]]).collect();
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_basics() {
+        assert!(like_match("hello", "hello", false));
+        assert!(like_match("hello", "h%", false));
+        assert!(like_match("hello", "%llo", false));
+        assert!(like_match("hello", "%ell%", false));
+        assert!(like_match("hello", "h_llo", false));
+        assert!(!like_match("hello", "h_lo", false));
+        assert!(!like_match("hello", "hello!", false));
+        assert!(like_match("", "%", false));
+        assert!(!like_match("", "_", false));
+    }
+
+    #[test]
+    fn like_multiple_wildcards() {
+        assert!(like_match("abcXdefYghi", "abc%def%ghi", false));
+        assert!(!like_match("abcXdefYghi", "abc%xyz%ghi", false));
+        assert!(like_match("aaa", "%a%a%", false));
+    }
+
+    #[test]
+    fn ilike_folds_case() {
+        assert!(like_match("PostgreSQL", "%postgres%", true));
+        assert!(!like_match("PostgreSQL", "%postgres%", false));
+    }
+
+    #[test]
+    fn trigram_extraction() {
+        let t = trigrams("cat");
+        // "  cat " → "  c", " ca", "cat", "at "
+        assert_eq!(t.len(), 4);
+        assert!(t.contains(&[' ', ' ', 'c']));
+        assert!(t.contains(&['c', 'a', 't']));
+        assert!(t.contains(&['a', 't', ' ']));
+    }
+
+    #[test]
+    fn trigrams_split_words_and_dedup() {
+        let t = trigrams("cat cat!dog");
+        let just_cat = trigrams("cat");
+        let just_dog = trigrams("dog");
+        for g in &just_cat {
+            assert!(t.contains(g));
+        }
+        for g in &just_dog {
+            assert!(t.contains(g));
+        }
+        assert_eq!(t.len(), just_cat.len() + just_dog.len());
+    }
+
+    #[test]
+    fn required_trigrams_prune_correctly() {
+        let req = required_trigrams_for_like("%postgres%").unwrap();
+        // every required trigram must occur in a matching document's trigrams
+        let doc = trigrams("I love postgres databases");
+        for g in &req {
+            assert!(doc.contains(g), "missing {g:?}");
+        }
+        assert!(required_trigrams_for_like("%ab%").is_none());
+        assert!(required_trigrams_for_like("%").is_none());
+    }
+
+    #[test]
+    fn required_trigrams_pick_longest_run() {
+        let req = required_trigrams_for_like("%ab%longer%").unwrap();
+        assert!(req.contains(&['l', 'o', 'n']));
+    }
+}

@@ -1,0 +1,608 @@
+//! AST → SQL text.
+//!
+//! The distributed layer rewrites table names in a parsed statement to shard
+//! names (`orders` → `orders_102008`) and then *deparses* the statement back
+//! to SQL to send to a worker — the same mechanism Citus uses to stay on the
+//! plain PostgreSQL wire protocol. Deparse output must therefore re-parse to
+//! an equivalent tree (checked by property tests).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a statement as SQL text.
+pub fn deparse(stmt: &Statement) -> String {
+    let mut s = String::with_capacity(128);
+    write_statement(&mut s, stmt);
+    s
+}
+
+/// Render an expression as SQL text.
+pub fn deparse_expr(expr: &Expr) -> String {
+    let mut s = String::with_capacity(32);
+    write_expr(&mut s, expr, 0);
+    s
+}
+
+/// Quote an identifier when it needs quoting (mixed case, reserved, symbols).
+pub fn quote_ident(name: &str) -> String {
+    let simple = !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+    if simple {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+/// Quote a string literal with `''` escaping.
+pub fn quote_literal(value: &str) -> String {
+    format!("'{}'", value.replace('\'', "''"))
+}
+
+fn write_statement(s: &mut String, stmt: &Statement) {
+    match stmt {
+        Statement::Select(q) => write_select(s, q),
+        Statement::Insert(ins) => write_insert(s, ins),
+        Statement::Update(u) => {
+            s.push_str("UPDATE ");
+            s.push_str(&quote_ident(&u.table));
+            if let Some(a) = &u.alias {
+                s.push(' ');
+                s.push_str(&quote_ident(a));
+            }
+            s.push_str(" SET ");
+            write_assignments(s, &u.assignments);
+            if let Some(w) = &u.where_clause {
+                s.push_str(" WHERE ");
+                write_expr(s, w, 0);
+            }
+        }
+        Statement::Delete(d) => {
+            s.push_str("DELETE FROM ");
+            s.push_str(&quote_ident(&d.table));
+            if let Some(a) = &d.alias {
+                s.push(' ');
+                s.push_str(&quote_ident(a));
+            }
+            if let Some(w) = &d.where_clause {
+                s.push_str(" WHERE ");
+                write_expr(s, w, 0);
+            }
+        }
+        Statement::CreateTable(ct) => write_create_table(s, ct),
+        Statement::CreateIndex(ci) => write_create_index(s, ci),
+        Statement::DropTable { names, if_exists } => {
+            s.push_str("DROP TABLE ");
+            if *if_exists {
+                s.push_str("IF EXISTS ");
+            }
+            join_names(s, names);
+        }
+        Statement::Truncate { tables } => {
+            s.push_str("TRUNCATE ");
+            join_names(s, tables);
+        }
+        Statement::Copy(c) => {
+            s.push_str("COPY ");
+            s.push_str(&quote_ident(&c.table));
+            if !c.columns.is_empty() {
+                s.push_str(" (");
+                join_names(s, &c.columns);
+                s.push(')');
+            }
+            s.push_str(" FROM STDIN");
+        }
+        Statement::Begin => s.push_str("BEGIN"),
+        Statement::Commit => s.push_str("COMMIT"),
+        Statement::Rollback => s.push_str("ROLLBACK"),
+        Statement::PrepareTransaction(gid) => {
+            s.push_str("PREPARE TRANSACTION ");
+            s.push_str(&quote_literal(gid));
+        }
+        Statement::CommitPrepared(gid) => {
+            s.push_str("COMMIT PREPARED ");
+            s.push_str(&quote_literal(gid));
+        }
+        Statement::RollbackPrepared(gid) => {
+            s.push_str("ROLLBACK PREPARED ");
+            s.push_str(&quote_literal(gid));
+        }
+        Statement::Vacuum { table } => {
+            s.push_str("VACUUM");
+            if let Some(t) = table {
+                s.push(' ');
+                s.push_str(&quote_ident(t));
+            }
+        }
+        Statement::Set { name, value } => {
+            s.push_str("SET ");
+            s.push_str(&quote_ident(name));
+            s.push_str(" = ");
+            write_literal(s, value);
+        }
+        Statement::Explain(inner) => {
+            s.push_str("EXPLAIN ");
+            write_statement(s, inner);
+        }
+    }
+}
+
+fn join_names(s: &mut String, names: &[String]) {
+    for (i, n) in names.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&quote_ident(n));
+    }
+}
+
+fn write_assignments(s: &mut String, assignments: &[Assignment]) {
+    for (i, a) in assignments.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&quote_ident(&a.column));
+        s.push_str(" = ");
+        write_expr(s, &a.value, 0);
+    }
+}
+
+fn write_insert(s: &mut String, ins: &Insert) {
+    s.push_str("INSERT INTO ");
+    s.push_str(&quote_ident(&ins.table));
+    if !ins.columns.is_empty() {
+        s.push_str(" (");
+        join_names(s, &ins.columns);
+        s.push(')');
+    }
+    match &ins.source {
+        InsertSource::Values(rows) => {
+            s.push_str(" VALUES ");
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push('(');
+                for (j, e) in row.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    write_expr(s, e, 0);
+                }
+                s.push(')');
+            }
+        }
+        InsertSource::Query(q) => {
+            s.push(' ');
+            write_select(s, q);
+        }
+    }
+    if let Some(oc) = &ins.on_conflict {
+        s.push_str(" ON CONFLICT");
+        if !oc.target.is_empty() {
+            s.push_str(" (");
+            join_names(s, &oc.target);
+            s.push(')');
+        }
+        match &oc.action {
+            ConflictAction::Nothing => s.push_str(" DO NOTHING"),
+            ConflictAction::Update(assignments) => {
+                s.push_str(" DO UPDATE SET ");
+                write_assignments(s, assignments);
+            }
+        }
+    }
+}
+
+fn write_create_table(s: &mut String, ct: &CreateTable) {
+    s.push_str("CREATE TABLE ");
+    if ct.if_not_exists {
+        s.push_str("IF NOT EXISTS ");
+    }
+    s.push_str(&quote_ident(&ct.name));
+    s.push_str(" (");
+    let mut first = true;
+    for c in &ct.columns {
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        s.push_str(&quote_ident(&c.name));
+        s.push(' ');
+        s.push_str(c.ty.as_str());
+        if c.primary_key {
+            s.push_str(" PRIMARY KEY");
+        } else if c.not_null {
+            s.push_str(" NOT NULL");
+        }
+        if c.unique {
+            s.push_str(" UNIQUE");
+        }
+        if let Some(d) = &c.default {
+            s.push_str(" DEFAULT ");
+            write_expr(s, d, 0);
+        }
+        if let Some((t, col)) = &c.references {
+            s.push_str(" REFERENCES ");
+            s.push_str(&quote_ident(t));
+            if !col.is_empty() {
+                let _ = write!(s, "({})", quote_ident(col));
+            }
+        }
+    }
+    for con in &ct.constraints {
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        match con {
+            TableConstraint::PrimaryKey(cols) => {
+                s.push_str("PRIMARY KEY (");
+                join_names(s, cols);
+                s.push(')');
+            }
+            TableConstraint::Unique(cols) => {
+                s.push_str("UNIQUE (");
+                join_names(s, cols);
+                s.push(')');
+            }
+            TableConstraint::ForeignKey { columns, ref_table, ref_columns } => {
+                s.push_str("FOREIGN KEY (");
+                join_names(s, columns);
+                s.push_str(") REFERENCES ");
+                s.push_str(&quote_ident(ref_table));
+                if !ref_columns.is_empty() {
+                    s.push_str(" (");
+                    join_names(s, ref_columns);
+                    s.push(')');
+                }
+            }
+        }
+    }
+    s.push(')');
+}
+
+fn write_create_index(s: &mut String, ci: &CreateIndex) {
+    s.push_str("CREATE ");
+    if ci.unique {
+        s.push_str("UNIQUE ");
+    }
+    s.push_str("INDEX ");
+    if ci.if_not_exists {
+        s.push_str("IF NOT EXISTS ");
+    }
+    s.push_str(&quote_ident(&ci.name));
+    s.push_str(" ON ");
+    s.push_str(&quote_ident(&ci.table));
+    if let Some(m) = &ci.method {
+        s.push_str(" USING ");
+        s.push_str(m);
+    }
+    s.push_str(" (");
+    for (i, e) in ci.columns.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        // expression index entries need extra parens to re-parse
+        if matches!(e, Expr::Column { .. }) {
+            write_expr(s, e, 0);
+        } else {
+            s.push('(');
+            write_expr(s, e, 0);
+            s.push(')');
+        }
+    }
+    s.push(')');
+    if let Some(w) = &ci.where_clause {
+        s.push_str(" WHERE ");
+        write_expr(s, w, 0);
+    }
+}
+
+fn write_select(s: &mut String, q: &Select) {
+    s.push_str("SELECT ");
+    if q.distinct {
+        s.push_str("DISTINCT ");
+    }
+    for (i, item) in q.projection.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => s.push('*'),
+            SelectItem::QualifiedWildcard(t) => {
+                s.push_str(&quote_ident(t));
+                s.push_str(".*");
+            }
+            SelectItem::Expr { expr, alias } => {
+                write_expr(s, expr, 0);
+                if let Some(a) = alias {
+                    s.push_str(" AS ");
+                    s.push_str(&quote_ident(a));
+                }
+            }
+        }
+    }
+    if !q.from.is_empty() {
+        s.push_str(" FROM ");
+        for (i, f) in q.from.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write_table_ref(s, f);
+        }
+    }
+    if let Some(w) = &q.where_clause {
+        s.push_str(" WHERE ");
+        write_expr(s, w, 0);
+    }
+    if !q.group_by.is_empty() {
+        s.push_str(" GROUP BY ");
+        for (i, e) in q.group_by.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write_expr(s, e, 0);
+        }
+    }
+    if let Some(h) = &q.having {
+        s.push_str(" HAVING ");
+        write_expr(s, h, 0);
+    }
+    if !q.order_by.is_empty() {
+        s.push_str(" ORDER BY ");
+        for (i, o) in q.order_by.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write_expr(s, &o.expr, 0);
+            if o.desc {
+                s.push_str(" DESC");
+            }
+        }
+    }
+    if let Some(l) = &q.limit {
+        s.push_str(" LIMIT ");
+        write_expr(s, l, 0);
+    }
+    if let Some(o) = &q.offset {
+        s.push_str(" OFFSET ");
+        write_expr(s, o, 0);
+    }
+    if q.for_update {
+        s.push_str(" FOR UPDATE");
+    }
+}
+
+fn write_table_ref(s: &mut String, t: &TableRef) {
+    match t {
+        TableRef::Table { name, alias } => {
+            s.push_str(&quote_ident(name));
+            if let Some(a) = alias {
+                s.push(' ');
+                s.push_str(&quote_ident(a));
+            }
+        }
+        TableRef::Subquery { query, alias } => {
+            s.push('(');
+            write_select(s, query);
+            s.push_str(") AS ");
+            s.push_str(&quote_ident(alias));
+        }
+        TableRef::Join { left, right, kind, on } => {
+            write_table_ref(s, left);
+            s.push_str(match kind {
+                JoinKind::Inner => " JOIN ",
+                JoinKind::Left => " LEFT JOIN ",
+                JoinKind::Right => " RIGHT JOIN ",
+                JoinKind::Full => " FULL JOIN ",
+                JoinKind::Cross => " CROSS JOIN ",
+            });
+            // right side of a join must be parenthesised if itself a join
+            if matches!(**right, TableRef::Join { .. }) {
+                s.push('(');
+                write_table_ref(s, right);
+                s.push(')');
+            } else {
+                write_table_ref(s, right);
+            }
+            if let Some(cond) = on {
+                s.push_str(" ON ");
+                write_expr(s, cond, 0);
+            }
+        }
+    }
+}
+
+fn write_literal(s: &mut String, lit: &Literal) {
+    match lit {
+        Literal::Null => s.push_str("NULL"),
+        Literal::Bool(true) => s.push_str("TRUE"),
+        Literal::Bool(false) => s.push_str("FALSE"),
+        Literal::Int(v) => {
+            let _ = write!(s, "{v}");
+        }
+        Literal::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                let _ = write!(s, "{v:.1}");
+            } else {
+                let _ = write!(s, "{v}");
+            }
+        }
+        Literal::String(v) => s.push_str(&quote_literal(v)),
+    }
+}
+
+/// `parent_prec` is the precedence of the enclosing operator: we parenthesise
+/// whenever this node binds less tightly.
+fn write_expr(s: &mut String, e: &Expr, parent_prec: u8) {
+    match e {
+        Expr::Literal(l) => write_literal(s, l),
+        Expr::Param(n) => {
+            let _ = write!(s, "${n}");
+        }
+        Expr::Column { table, name } => {
+            if let Some(t) = table {
+                s.push_str(&quote_ident(t));
+                s.push('.');
+            }
+            s.push_str(&quote_ident(name));
+        }
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Neg => {
+                s.push_str("(- ");
+                write_expr(s, expr, 8);
+                s.push(')');
+            }
+            UnaryOp::Not => {
+                s.push_str("(NOT ");
+                write_expr(s, expr, 3);
+                s.push(')');
+            }
+        },
+        Expr::Binary { left, op, right } => {
+            let prec = op.precedence();
+            let needs_parens = prec < parent_prec;
+            if needs_parens {
+                s.push('(');
+            }
+            // a negative numeric literal on the left of `->`/`->>` would
+            // re-parse as negation of the whole access (arrows bind tighter
+            // than unary minus), so force parentheses
+            let neg_left_of_arrow = matches!(op, BinaryOp::JsonGet | BinaryOp::JsonGetText)
+                && matches!(
+                    **left,
+                    Expr::Literal(Literal::Int(v)) if v < 0
+                )
+                || matches!(op, BinaryOp::JsonGet | BinaryOp::JsonGetText)
+                    && matches!(
+                        **left,
+                        Expr::Literal(Literal::Float(v)) if v < 0.0
+                    );
+            if neg_left_of_arrow {
+                s.push('(');
+                write_expr(s, left, 0);
+                s.push(')');
+            } else {
+                write_expr(s, left, prec);
+            }
+            if matches!(op, BinaryOp::JsonGet | BinaryOp::JsonGetText) {
+                s.push_str(op.as_str());
+            } else {
+                s.push(' ');
+                s.push_str(op.as_str());
+                s.push(' ');
+            }
+            // +1 on the right side keeps left-associativity on re-parse
+            write_expr(s, right, prec + 1);
+            if needs_parens {
+                s.push(')');
+            }
+        }
+        Expr::Like { expr, pattern, negated, case_insensitive } => {
+            s.push('(');
+            write_expr(s, expr, 5);
+            s.push_str(if *negated { " NOT " } else { " " });
+            s.push_str(if *case_insensitive { "ILIKE " } else { "LIKE " });
+            write_expr(s, pattern, 5);
+            s.push(')');
+        }
+        Expr::Between { expr, low, high, negated } => {
+            s.push('(');
+            write_expr(s, expr, 5);
+            if *negated {
+                s.push_str(" NOT");
+            }
+            s.push_str(" BETWEEN ");
+            write_expr(s, low, 5);
+            s.push_str(" AND ");
+            write_expr(s, high, 5);
+            s.push(')');
+        }
+        Expr::InList { expr, list, negated } => {
+            s.push('(');
+            write_expr(s, expr, 5);
+            s.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            for (i, item) in list.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write_expr(s, item, 0);
+            }
+            s.push_str("))");
+        }
+        Expr::InSubquery { expr, subquery, negated } => {
+            s.push('(');
+            write_expr(s, expr, 5);
+            s.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            write_select(s, subquery);
+            s.push_str("))");
+        }
+        Expr::Exists { subquery, negated } => {
+            if *negated {
+                s.push_str("(NOT ");
+            }
+            s.push_str("EXISTS (");
+            write_select(s, subquery);
+            s.push(')');
+            if *negated {
+                s.push(')');
+            }
+        }
+        Expr::ScalarSubquery(q) => {
+            s.push('(');
+            write_select(s, q);
+            s.push(')');
+        }
+        Expr::Case { operand, branches, else_result } => {
+            s.push_str("CASE");
+            if let Some(o) = operand {
+                s.push(' ');
+                write_expr(s, o, 0);
+            }
+            for (w, t) in branches {
+                s.push_str(" WHEN ");
+                write_expr(s, w, 0);
+                s.push_str(" THEN ");
+                write_expr(s, t, 0);
+            }
+            if let Some(els) = else_result {
+                s.push_str(" ELSE ");
+                write_expr(s, els, 0);
+            }
+            s.push_str(" END");
+        }
+        Expr::Cast { expr, ty } => {
+            s.push_str("CAST(");
+            write_expr(s, expr, 0);
+            s.push_str(" AS ");
+            s.push_str(ty.as_str());
+            s.push(')');
+        }
+        Expr::Func(fc) => {
+            s.push_str(&fc.name);
+            s.push('(');
+            if fc.star {
+                s.push('*');
+            } else {
+                if fc.distinct {
+                    s.push_str("DISTINCT ");
+                }
+                for (i, a) in fc.args.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    write_expr(s, a, 0);
+                }
+            }
+            s.push(')');
+        }
+        Expr::IsNull { expr, negated } => {
+            s.push('(');
+            write_expr(s, expr, 5);
+            s.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+            s.push(')');
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Parse error type.
+
+use std::fmt;
+
+/// Error produced by the lexer or parser, with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn at(offset: usize, message: impl Into<String>) -> Self {
+        ParseError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

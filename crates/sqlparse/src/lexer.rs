@@ -1,0 +1,396 @@
+//! SQL lexer.
+//!
+//! Produces a flat token stream for the recursive-descent parser. Keywords are
+//! recognised case-insensitively and normalised to uppercase; identifiers keep
+//! their (lowercased) spelling, matching PostgreSQL's case-folding rules.
+//! Double-quoted identifiers preserve case.
+
+use crate::error::ParseError;
+
+/// A single lexical token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the source text.
+    pub offset: usize,
+}
+
+/// The kinds of tokens the parser consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Unquoted keyword or identifier, lowercased (`select`, `my_table`).
+    Ident(String),
+    /// Double-quoted identifier, case preserved.
+    QuotedIdent(String),
+    /// Single-quoted string literal, with escapes resolved.
+    String(String),
+    /// Numeric literal, kept as text (the parser decides int vs float).
+    Number(String),
+    /// `$1`-style parameter placeholder (1-based index).
+    Param(usize),
+    /// Single- or multi-character operator or punctuation.
+    Op(Op),
+    /// End of input.
+    Eof,
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Dot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    Neq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    DoubleColon,
+    Concat,
+    /// `->` jsonb field access returning json.
+    Arrow,
+    /// `->>` jsonb field access returning text.
+    LongArrow,
+    LBracket,
+    RBracket,
+}
+
+impl Op {
+    /// The SQL spelling of the operator, used by error messages and deparse.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::LParen => "(",
+            Op::RParen => ")",
+            Op::Comma => ",",
+            Op::Semicolon => ";",
+            Op::Dot => ".",
+            Op::Plus => "+",
+            Op::Minus => "-",
+            Op::Star => "*",
+            Op::Slash => "/",
+            Op::Percent => "%",
+            Op::Eq => "=",
+            Op::Neq => "<>",
+            Op::Lt => "<",
+            Op::Gt => ">",
+            Op::Le => "<=",
+            Op::Ge => ">=",
+            Op::DoubleColon => "::",
+            Op::Concat => "||",
+            Op::Arrow => "->",
+            Op::LongArrow => "->>",
+            Op::LBracket => "[",
+            Op::RBracket => "]",
+        }
+    }
+}
+
+/// Tokenise `sql` into a vector ending with [`TokenKind::Eof`].
+pub fn lex(sql: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::with_capacity(sql.len() / 4 + 4);
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                let mut depth = 1;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(ParseError::at(start, "unterminated block comment"));
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ParseError::at(start, "unterminated string literal")),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // copy one UTF-8 char
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&sql[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::String(s), offset: start });
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ParseError::at(start, "unterminated quoted identifier")),
+                        Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&sql[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::QuotedIdent(s), offset: start });
+            }
+            b'$' => {
+                let start = i;
+                i += 1;
+                let ds = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i == ds {
+                    return Err(ParseError::at(start, "expected parameter number after '$'"));
+                }
+                let n: usize = sql[ds..i]
+                    .parse()
+                    .map_err(|_| ParseError::at(start, "parameter number out of range"))?;
+                if n == 0 {
+                    return Err(ParseError::at(start, "parameter numbers are 1-based"));
+                }
+                tokens.push(Token { kind: TokenKind::Param(n), offset: start });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // exponent
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(sql[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(sql[start..i].to_ascii_lowercase()),
+                    offset: start,
+                });
+            }
+            _ => {
+                let start = i;
+                let two = if i + 1 < bytes.len() { &bytes[i..i + 2] } else { &bytes[i..i + 1] };
+                let three =
+                    if i + 2 < bytes.len() { &bytes[i..i + 3] } else { two };
+                let (op, len) = if three == b"->>" {
+                    (Op::LongArrow, 3)
+                } else if two == b"->" {
+                    (Op::Arrow, 2)
+                } else if two == b"::" {
+                    (Op::DoubleColon, 2)
+                } else if two == b"||" {
+                    (Op::Concat, 2)
+                } else if two == b"<>" || two == b"!=" {
+                    (Op::Neq, 2)
+                } else if two == b"<=" {
+                    (Op::Le, 2)
+                } else if two == b">=" {
+                    (Op::Ge, 2)
+                } else {
+                    let op = match c {
+                        b'(' => Op::LParen,
+                        b')' => Op::RParen,
+                        b',' => Op::Comma,
+                        b';' => Op::Semicolon,
+                        b'.' => Op::Dot,
+                        b'+' => Op::Plus,
+                        b'-' => Op::Minus,
+                        b'*' => Op::Star,
+                        b'/' => Op::Slash,
+                        b'%' => Op::Percent,
+                        b'=' => Op::Eq,
+                        b'<' => Op::Lt,
+                        b'>' => Op::Gt,
+                        b'[' => Op::LBracket,
+                        b']' => Op::RBracket,
+                        other => {
+                            return Err(ParseError::at(
+                                start,
+                                format!("unexpected character {:?}", other as char),
+                            ))
+                        }
+                    };
+                    (op, 1)
+                };
+                i += len;
+                tokens.push(Token { kind: TokenKind::Op(op), offset: start });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: sql.len() });
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first >> 5 == 0b110 {
+        2
+    } else if first >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let k = kinds("SELECT a, 1 FROM t;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Op(Op::Comma),
+                TokenKind::Number("1".into()),
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Op(Op::Semicolon),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_double_quote_rule() {
+        let k = kinds("'it''s'");
+        assert_eq!(k[0], TokenKind::String("it's".into()));
+    }
+
+    #[test]
+    fn quoted_identifier_preserves_case() {
+        let k = kinds("\"MiXeD\"");
+        assert_eq!(k[0], TokenKind::QuotedIdent("MiXeD".into()));
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        assert_eq!(kinds("42")[0], TokenKind::Number("42".into()));
+        assert_eq!(kinds("4.25")[0], TokenKind::Number("4.25".into()));
+        assert_eq!(kinds("1e6")[0], TokenKind::Number("1e6".into()));
+        assert_eq!(kinds("2.5e-3")[0], TokenKind::Number("2.5e-3".into()));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(kinds("->>")[0], TokenKind::Op(Op::LongArrow));
+        assert_eq!(kinds("->")[0], TokenKind::Op(Op::Arrow));
+        assert_eq!(kinds("::")[0], TokenKind::Op(Op::DoubleColon));
+        assert_eq!(kinds("||")[0], TokenKind::Op(Op::Concat));
+        assert_eq!(kinds("!=")[0], TokenKind::Op(Op::Neq));
+        assert_eq!(kinds("<>")[0], TokenKind::Op(Op::Neq));
+        assert_eq!(kinds("<=")[0], TokenKind::Op(Op::Le));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("select -- hi\n 1 /* multi\nline */ + /* nested /* ok */ */ 2");
+        assert!(k.contains(&TokenKind::Number("1".into())));
+        assert!(k.contains(&TokenKind::Number("2".into())));
+        assert_eq!(k.iter().filter(|t| matches!(t, TokenKind::Ident(_))).count(), 1);
+    }
+
+    #[test]
+    fn params_are_one_based() {
+        assert_eq!(kinds("$3")[0], TokenKind::Param(3));
+        assert!(lex("$0").is_err());
+        assert!(lex("$").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'abc").is_err());
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+    }
+
+    #[test]
+    fn identifiers_fold_to_lowercase() {
+        assert_eq!(kinds("MyTable")[0], TokenKind::Ident("mytable".into()));
+    }
+
+    #[test]
+    fn dot_after_number_stays_number_then_dot() {
+        // `1.` followed by identifier must not eat the dot as a float part
+        let k = kinds("t1.col");
+        assert_eq!(k[0], TokenKind::Ident("t1".into()));
+        assert_eq!(k[1], TokenKind::Op(Op::Dot));
+        assert_eq!(k[2], TokenKind::Ident("col".into()));
+    }
+}

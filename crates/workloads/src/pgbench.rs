@@ -1,0 +1,123 @@
+//! The §4.1.1 distributed-transaction microbenchmark: two pgbench-style
+//! tables, distributed and co-located by key, and a two-update transaction
+//! that either stays on one shard group (same key → 1PC delegation) or
+//! spans two (different keys → 2PC when they land on different nodes).
+
+use crate::runner::SqlRunner;
+use pgmini::error::PgResult;
+use pgmini::types::{Datum, Row};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+#[derive(Debug, Clone)]
+pub struct PgbenchConfig {
+    pub rows_per_table: u64,
+    /// Use the same random key for both updates (the 1PC arm) or different
+    /// keys (the 2PC arm).
+    pub same_key: bool,
+}
+
+impl Default for PgbenchConfig {
+    fn default() -> Self {
+        PgbenchConfig { rows_per_table: 10_000, same_key: true }
+    }
+}
+
+pub fn schema_statements() -> Vec<String> {
+    vec![
+        "CREATE TABLE a1 (key bigint PRIMARY KEY, v bigint)".into(),
+        "CREATE TABLE a2 (key bigint PRIMARY KEY, v bigint)".into(),
+    ]
+}
+
+pub fn distribution_statements() -> Vec<String> {
+    vec![
+        "SELECT create_distributed_table('a1', 'key')".into(),
+        "SELECT create_distributed_table('a2', 'key', 'a1')".into(),
+    ]
+}
+
+/// The paper's tables are 50 GB each (pgbench-generated).
+pub const SIM_ROW_WIDTH: u32 = 5000;
+
+pub fn load(r: &mut dyn SqlRunner, cfg: &PgbenchConfig) -> PgResult<()> {
+    for table in ["a1", "a2"] {
+        let mut batch: Vec<Row> = Vec::with_capacity(1000);
+        for k in 0..cfg.rows_per_table as i64 {
+            batch.push(vec![Datum::Int(k), Datum::Int(0)]);
+            if batch.len() == 1000 {
+                r.copy(table, &[], std::mem::take(&mut batch))?;
+            }
+        }
+        if !batch.is_empty() {
+            r.copy(table, &[], batch)?;
+        }
+    }
+    Ok(())
+}
+
+/// One client of the two-update transaction.
+pub struct PgbenchDriver {
+    pub cfg: PgbenchConfig,
+    rng: StdRng,
+    pub txns: u64,
+}
+
+impl PgbenchDriver {
+    pub fn new(cfg: PgbenchConfig, seed: u64) -> Self {
+        PgbenchDriver { cfg, rng: StdRng::seed_from_u64(seed), txns: 0 }
+    }
+
+    /// Run one transaction; returns (key1, key2).
+    pub fn run(&mut self, r: &mut dyn SqlRunner) -> PgResult<(i64, i64)> {
+        let key1 = self.rng.random_range(0..self.cfg.rows_per_table as i64);
+        let key2 = if self.cfg.same_key {
+            key1
+        } else {
+            self.rng.random_range(0..self.cfg.rows_per_table as i64)
+        };
+        let delta = self.rng.random_range(1..100i64);
+        r.run("BEGIN")?;
+        let body: PgResult<()> = (|| {
+            r.run(&format!("UPDATE a1 SET v = v + {delta} WHERE key = {key1}"))?;
+            r.run(&format!("UPDATE a2 SET v = v - {delta} WHERE key = {key2}"))?;
+            Ok(())
+        })();
+        match body {
+            Ok(()) => {
+                r.run("COMMIT")?;
+                self.txns += 1;
+                Ok((key1, key2))
+            }
+            Err(e) => {
+                let _ = r.run("ROLLBACK");
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_mode_repeats_key() {
+        let mut d = PgbenchDriver::new(PgbenchConfig { same_key: true, ..Default::default() }, 1);
+        let key1 = d.rng.random_range(0..10_000i64);
+        let _ = key1;
+        // structural check: config controls the mode
+        assert!(d.cfg.same_key);
+        let mut d2 =
+            PgbenchDriver::new(PgbenchConfig { same_key: false, ..Default::default() }, 1);
+        assert!(!d2.cfg.same_key);
+        let _ = &mut d2;
+    }
+
+    #[test]
+    fn statements_parse() {
+        for s in schema_statements().iter().chain(distribution_statements().iter()) {
+            sqlparse::parse(s).unwrap();
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Workload drivers run against "a database connection" — either a plain
+//! pgmini session (the PostgreSQL baseline) or a citrus client session (the
+//! distributed cluster). This trait is the seam.
+
+use pgmini::cost::SimCost;
+use pgmini::error::PgResult;
+use pgmini::session::QueryResult;
+use pgmini::types::Row;
+
+/// One database connection a workload can drive.
+pub trait SqlRunner {
+    fn run(&mut self, sql: &str) -> PgResult<QueryResult>;
+    fn copy(&mut self, table: &str, columns: &[String], rows: Vec<Row>) -> PgResult<u64>;
+    /// Simulated resource cost of the last statement, aggregated across the
+    /// cluster: (cpu_ms per node id, io_ms per node id, elapsed_ms).
+    fn last_cost(&mut self) -> RunCost;
+}
+
+/// Per-statement simulated cost in a node-indexed form the benchmark
+/// harness feeds into the MVA solver.
+#[derive(Debug, Clone, Default)]
+pub struct RunCost {
+    /// (node id, cpu_ms, io_ms) triples; node id 0 = coordinator/single node.
+    pub per_node: Vec<(u32, f64, f64)>,
+    pub net_ms: f64,
+    pub elapsed_ms: f64,
+}
+
+impl RunCost {
+    pub fn add(&mut self, other: &RunCost) {
+        for &(n, cpu, io) in &other.per_node {
+            match self.per_node.iter_mut().find(|(m, _, _)| *m == n) {
+                Some(slot) => {
+                    slot.1 += cpu;
+                    slot.2 += io;
+                }
+                None => self.per_node.push((n, cpu, io)),
+            }
+        }
+        self.net_ms += other.net_ms;
+        self.elapsed_ms += other.elapsed_ms;
+    }
+
+    pub fn total_cpu(&self) -> f64 {
+        self.per_node.iter().map(|(_, c, _)| c).sum()
+    }
+
+    pub fn total_io(&self) -> f64 {
+        self.per_node.iter().map(|(_, _, i)| i).sum()
+    }
+}
+
+/// Plain single-node PostgreSQL stand-in.
+pub struct LocalRunner {
+    pub session: pgmini::session::Session,
+}
+
+impl SqlRunner for LocalRunner {
+    fn run(&mut self, sql: &str) -> PgResult<QueryResult> {
+        self.session.execute(sql)
+    }
+
+    fn copy(&mut self, table: &str, columns: &[String], rows: Vec<Row>) -> PgResult<u64> {
+        self.session.copy_rows(table, columns, rows)
+    }
+
+    fn last_cost(&mut self) -> RunCost {
+        let c: SimCost = self.session.last_cost();
+        RunCost {
+            per_node: vec![(0, c.cpu_ms, c.io_ms)],
+            net_ms: c.net_ms,
+            elapsed_ms: c.total_ms(),
+        }
+    }
+}
+
+/// Citrus cluster connection.
+pub struct ClusterRunner {
+    pub session: citrus::cluster::ClientSession,
+}
+
+impl SqlRunner for ClusterRunner {
+    fn run(&mut self, sql: &str) -> PgResult<QueryResult> {
+        self.session.execute(sql)
+    }
+
+    fn copy(&mut self, table: &str, columns: &[String], rows: Vec<Row>) -> PgResult<u64> {
+        self.session.copy(table, columns, rows)
+    }
+
+    fn last_cost(&mut self) -> RunCost {
+        let d = self.session.last_dist_cost();
+        let mut per_node: Vec<(u32, f64, f64)> = d
+            .per_node
+            .iter()
+            .map(|(n, c)| (n.0, c.cpu_ms, c.io_ms))
+            .collect();
+        // coordinator work books to node 0
+        if d.coordinator.cpu_ms > 0.0 || d.coordinator.io_ms > 0.0 {
+            match per_node.iter_mut().find(|(n, _, _)| *n == 0) {
+                Some(slot) => {
+                    slot.1 += d.coordinator.cpu_ms;
+                    slot.2 += d.coordinator.io_ms;
+                }
+                None => per_node.push((0, d.coordinator.cpu_ms, d.coordinator.io_ms)),
+            }
+        }
+        per_node.sort_by_key(|(n, _, _)| *n);
+        RunCost { per_node, net_ms: d.net_ms, elapsed_ms: d.elapsed_ms }
+    }
+}

@@ -1,0 +1,45 @@
+//! High-performance CRUD (§2.3): a YCSB-style key-value workload where every
+//! node acts as a coordinator (metadata syncing / MX mode), clients load-
+//! balance across nodes, and point operations route with minimal overhead.
+
+use citrus::cluster::Cluster;
+use workloads::runner::{ClusterRunner, SqlRunner};
+use workloads::ycsb::{self, YcsbConfig, YcsbDriver};
+
+fn main() -> Result<(), pgmini::error::PgError> {
+    let cluster = Cluster::new_default();
+    for _ in 0..3 {
+        cluster.add_worker()?;
+    }
+    let mut runner = ClusterRunner { session: cluster.session()? };
+    runner.run(&ycsb::schema_statement())?;
+    runner.run(&ycsb::distribution_statement())?;
+
+    let cfg = YcsbConfig { record_count: 2_000, ..Default::default() };
+    ycsb::load(&mut runner, &cfg, 11)?;
+    println!("loaded {} records", cfg.record_count);
+
+    // MX mode: every node can coordinate, so clients spread connections
+    cluster.enable_mx();
+    let mut total_ops = 0u64;
+    for (i, node) in cluster.node_ids().into_iter().enumerate() {
+        let mut worker_runner = ClusterRunner { session: cluster.session_on(node)? };
+        let mut driver = YcsbDriver::new(cfg.clone(), 100 + i as u64);
+        for _ in 0..50 {
+            driver.run(&mut worker_runner)?;
+        }
+        total_ops += driver.ops;
+        println!("client via node {}: {} ops", node.0, driver.ops);
+    }
+    println!("total: {total_ops} ops across {} coordinators", cluster.node_ids().len());
+
+    // a point read shows the fast-path route
+    let rows = runner.run(&format!(
+        "EXPLAIN SELECT * FROM usertable WHERE ycsb_key = '{}'",
+        ycsb::key_name(42)
+    ))?;
+    for line in rows.rows() {
+        println!("{}", line[0].to_text());
+    }
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the Citus (SIGMOD 2021) reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+
+pub use citrus;
+pub use netsim;
+pub use pgmini;
+pub use sqlparse;
+pub use workloads;
