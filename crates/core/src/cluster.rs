@@ -8,6 +8,7 @@
 
 use crate::extension::CitrusExtension;
 use crate::metadata::{Metadata, NodeId};
+use netsim::fault::{FaultDecision, FaultInjector, FaultOp, FaultPhase, FaultPlan};
 use netsim::VirtualClock;
 use parking_lot::{Mutex, RwLock};
 use pgmini::cost::SimCost;
@@ -36,6 +37,13 @@ pub struct ClusterConfig {
     pub deadlock_detection_interval: std::time::Duration,
     /// Real-time interval of the 2PC recovery daemon.
     pub recovery_interval: std::time::Duration,
+    /// Times the executor re-attempts an idempotent read task after a
+    /// connection failure (writes are never retried).
+    pub task_retries: u32,
+    /// First retry backoff in virtual ms; doubles per attempt.
+    pub retry_backoff_ms: f64,
+    /// Cap on the exponential retry backoff, in virtual ms.
+    pub retry_backoff_cap_ms: f64,
 }
 
 impl Default for ClusterConfig {
@@ -48,6 +56,9 @@ impl Default for ClusterConfig {
             // the paper polls every 2s; tests shrink this
             deadlock_detection_interval: std::time::Duration::from_millis(100),
             recovery_interval: std::time::Duration::from_millis(200),
+            task_retries: 2,
+            retry_backoff_ms: 10.0,
+            retry_backoff_cap_ms: 80.0,
         }
     }
 }
@@ -100,6 +111,11 @@ pub struct Cluster {
     pub commit_record_lock: Mutex<()>,
     /// Extension instance per node (index = NodeId).
     extensions: RwLock<Vec<Arc<CitrusExtension>>>,
+    /// Fault injector consulted at every fabric choke point; swapped in by
+    /// [`Cluster::install_faults`], inert by default.
+    faults: RwLock<Arc<FaultInjector>>,
+    /// Total read-task retries performed by the adaptive executor.
+    task_retries: AtomicU64,
 }
 
 impl Cluster {
@@ -116,6 +132,8 @@ impl Cluster {
             mx_enabled: AtomicBool::new(false),
             commit_record_lock: Mutex::new(()),
             extensions: RwLock::new(Vec::new()),
+            faults: RwLock::new(Arc::new(FaultInjector::none())),
+            task_retries: AtomicU64::new(0),
         });
         cluster.add_node_internal("coordinator");
         cluster
@@ -272,10 +290,58 @@ impl Cluster {
         }
     }
 
+    /// Arm a deterministic fault schedule: every fabric operation from now
+    /// on consults `plan` (see [`netsim::fault`]). The returned injector is
+    /// also reachable via [`Cluster::faults`] for event-log inspection.
+    pub fn install_faults(&self, plan: FaultPlan, seed: u64) -> Arc<FaultInjector> {
+        let inj = Arc::new(FaultInjector::new(plan, seed));
+        *self.faults.write() = inj.clone();
+        inj
+    }
+
+    /// Disarm fault injection.
+    pub fn clear_faults(&self) {
+        *self.faults.write() = Arc::new(FaultInjector::none());
+    }
+
+    /// The active fault injector (inert unless `install_faults` was called).
+    pub fn faults(&self) -> Arc<FaultInjector> {
+        self.faults.read().clone()
+    }
+
+    /// Honour one fault decision against `node`: charge latency to the
+    /// virtual clock, crash the node if asked, and surface the failure.
+    fn apply_fault(&self, node: &Arc<Node>, d: &FaultDecision, what: &str) -> PgResult<()> {
+        if d.latency_ms > 0.0 {
+            self.clock.advance_micros((d.latency_ms * 1000.0) as u64);
+        }
+        if d.crash {
+            node.set_active(false);
+        }
+        if d.disrupts() {
+            return Err(PgError::new(
+                ErrorCode::ConnectionFailure,
+                format!("injected fault: {what} to node {} failed", node.name),
+            ));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn note_task_retries(&self, n: u64) {
+        self.task_retries.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Total read-task retries the adaptive executor has performed.
+    pub fn task_retry_count(&self) -> u64 {
+        self.task_retries.load(Ordering::SeqCst)
+    }
+
     /// Open an internal connection to a node (workers talk to each other and
     /// to the coordinator over the same path).
     pub fn connect(self: &Arc<Self>, to: NodeId) -> PgResult<WorkerConn> {
         let node = self.node(to)?;
+        let d = self.faults().decide(to.0, FaultOp::Connect, "connect", FaultPhase::Before);
+        self.apply_fault(&node, &d, "connect")?;
         if !node.is_active() {
             return Err(PgError::new(
                 ErrorCode::ConnectionFailure,
@@ -327,13 +393,63 @@ pub struct WorkerConn {
     pub assigned_groups: Vec<u32>,
 }
 
+/// Stable tag naming a statement's kind, used to address fault-injection
+/// rules at specific protocol steps (`"prepare_transaction"`, …).
+pub fn stmt_tag(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Select(_) => "select",
+        Statement::Insert(_) => "insert",
+        Statement::Update(_) => "update",
+        Statement::Delete(_) => "delete",
+        Statement::CreateTable(_) => "create_table",
+        Statement::CreateIndex(_) => "create_index",
+        Statement::DropTable { .. } => "drop_table",
+        Statement::Truncate { .. } => "truncate",
+        Statement::Copy(_) => "copy",
+        Statement::Begin => "begin",
+        Statement::Commit => "commit",
+        Statement::Rollback => "rollback",
+        Statement::PrepareTransaction(_) => "prepare_transaction",
+        Statement::CommitPrepared(_) => "commit_prepared",
+        Statement::RollbackPrepared(_) => "rollback_prepared",
+        Statement::Vacuum { .. } => "vacuum",
+        Statement::Set { .. } => "set",
+        Statement::Explain(_) => "explain",
+    }
+}
+
 impl WorkerConn {
     /// Execute a statement remotely. Returns the result and the *remote*
     /// service cost (the RTT is returned separately in `net_ms`).
+    ///
+    /// Fault interception happens here, in two windows: a *before* fault
+    /// means the request never reached the node; an *after* fault means the
+    /// node executed the statement but the reply was lost — the caller sees
+    /// a connection failure either way and cannot tell which (the 2PC
+    /// in-doubt window of §3.7.2).
     pub fn execute_stmt(&mut self, stmt: &Statement) -> PgResult<(QueryResult, SimCost)> {
+        let tag = stmt_tag(stmt);
+        self.intercept(tag, FaultPhase::Before)?;
         self.check_alive()?;
         let result = self.session.execute_stmt(stmt)?;
-        Ok((result, self.session.last_cost()))
+        let cost = self.session.last_cost();
+        self.intercept(tag, FaultPhase::After)?;
+        Ok((result, cost))
+    }
+
+    /// Consult the fault injector for one window of this connection's
+    /// current operation.
+    fn intercept(&self, tag: &str, phase: FaultPhase) -> PgResult<()> {
+        let d = self.cluster.faults().decide(self.node.0, FaultOp::Statement, tag, phase);
+        if d == FaultDecision::default() {
+            return Ok(());
+        }
+        let node = self.cluster.node(self.node)?;
+        let what = match phase {
+            FaultPhase::Before => format!("sending {tag}"),
+            FaultPhase::After => format!("reply for {tag}"),
+        };
+        self.cluster.apply_fault(&node, &d, &what)
     }
 
     fn check_alive(&self) -> PgResult<()> {
@@ -361,9 +477,12 @@ impl WorkerConn {
         columns: &[String],
         rows: Vec<Row>,
     ) -> PgResult<(u64, SimCost)> {
+        self.intercept("copy", FaultPhase::Before)?;
         self.check_alive()?;
         let n = self.session.copy_rows_local(table, columns, rows)?;
-        Ok((n, self.session.last_cost()))
+        let cost = self.session.last_cost();
+        self.intercept("copy", FaultPhase::After)?;
+        Ok((n, cost))
     }
 
     /// Direct access to the remote session (transaction control, UDFs).

@@ -15,6 +15,13 @@ use pgmini::types::Row;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Name the failing shard and node in a COPY error so a multi-gigabyte load
+/// that dies mid-stream is diagnosable (the error code is preserved — the
+/// caller still distinguishes connection failures from constraint errors).
+fn copy_error(shard: &str, node: NodeId, e: PgError) -> PgError {
+    PgError::new(e.code, format!("COPY to shard {shard} on node {}: {}", node.0, e.message))
+}
+
 /// COPY rows into a citrus table, fanning out per shard. Returns rows loaded.
 pub fn distributed_copy(
     cluster: &Arc<Cluster>,
@@ -46,8 +53,10 @@ pub fn distributed_copy(
             drop(meta);
             let mut node_times = Vec::new();
             for node in placements {
-                let mut conn = cluster.connect(node)?;
-                let (_, cost) = conn.copy_rows(&physical, columns, rows.clone())?;
+                let mut conn = cluster.connect(node).map_err(|e| copy_error(&physical, node, e))?;
+                let (_, cost) = conn
+                    .copy_rows(&physical, columns, rows.clone())
+                    .map_err(|e| copy_error(&physical, node, e))?;
                 dist.add_node(node, &cost);
                 node_times.push(cost.total_ms());
                 dist.net_ms += conn.rtt_ms() + rows.len() as f64 * model.net_tuple_ms;
@@ -102,8 +111,10 @@ pub fn distributed_copy(
             drop(meta);
             for (node, physical, batch) in batches {
                 let n = batch.len();
-                let mut conn = cluster.connect(node)?;
-                let (_, cost) = conn.copy_rows(&physical, columns, batch)?;
+                let mut conn = cluster.connect(node).map_err(|e| copy_error(&physical, node, e))?;
+                let (_, cost) = conn
+                    .copy_rows(&physical, columns, batch)
+                    .map_err(|e| copy_error(&physical, node, e))?;
                 dist.add_node(node, &cost);
                 per_node_costs.entry(node).or_default().push(cost.total_ms());
                 dist.net_ms += n as f64 * model.net_tuple_ms;

@@ -64,10 +64,11 @@ pub fn detect_once(cluster: &Arc<Cluster>) -> PgResult<Option<DistTxnId>> {
         // purely local cycle: each engine's own detector resolves it
         return Ok(None);
     };
+    // cancel on every engine, including currently-partitioned ones: their
+    // lock tables are intact and would otherwise still hold the victim's
+    // locks when the node is healed back into the cluster
     for node in cluster.nodes() {
-        if node.is_active() {
-            node.engine().locks.cancel_dist_txn(victim);
-        }
+        node.engine().locks.cancel_dist_txn(victim);
     }
     Ok(Some(victim))
 }

@@ -32,6 +32,9 @@ pub struct ExecutorOutput {
     pub cost: DistCost,
     /// Peak virtual connections used on any single node (slow-start stats).
     pub peak_connections: usize,
+    /// Read-task attempts that failed with a connection error and were
+    /// re-tried (on the same node or a surviving placement).
+    pub retries: u64,
 }
 
 /// Per-(node, slot) key of a pooled connection.
@@ -225,49 +228,80 @@ pub fn execute_plan(
         session.assign_dist_txn_id(d);
     }
 
-    // 3. run tasks, recording per-node durations for the virtual schedule
+    // 3. run tasks, recording per-node durations for the virtual schedule.
+    // Idempotent read tasks outside a transaction block survive connection
+    // failures: they re-try with capped exponential backoff on the virtual
+    // clock, failing over to a surviving placement when the target node is
+    // down. Writes and in-transaction reads never re-try — a lost reply
+    // leaves the remote effect in doubt, which only 2PC recovery may settle.
     let mut per_node_durations: HashMap<NodeId, Vec<f64>> = HashMap::new();
     let mut results: Vec<QueryResult> = Vec::with_capacity(plan.tasks.len());
     let full_rtt = cluster.config.engine.cost.net_rtt_ms;
     let mut any_remote = false;
+    let mut retries_total = 0u64;
     for task in &plan.tasks {
+        let retryable = !task.is_write && !in_txn;
+        let max_attempts = 1 + if retryable { cluster.config.task_retries } else { 0 };
+        let mut target = task.node;
+        let mut attempt = 0u32;
+        let bind_group = if in_txn { task.group } else { None };
+        let (result, remote_cost) = loop {
+            attempt += 1;
+            let err = match task_conn(
+                cluster, state, target, task.group, in_txn, state.dist_txn, &mut cost,
+            ) {
+                Ok((key, mut conn, _fresh)) => {
+                    let outcome = conn.execute_stmt(&task.stmt);
+                    if task.is_write {
+                        conn.used_for_writes = true;
+                    }
+                    match outcome {
+                        Ok(ok) => {
+                            state.checkin(key, conn, bind_group);
+                            break ok;
+                        }
+                        Err(e) => {
+                            if is_connection_failure(&e) {
+                                // a broken connection never recovers: drop it
+                                // (and any affinity pointing at it) so the next
+                                // attempt dials a fresh one — like discarding a
+                                // broken socket
+                                state.affinity.retain(|_, k| *k != key);
+                                drop(conn);
+                            } else {
+                                state.checkin(key, conn, bind_group);
+                            }
+                            e
+                        }
+                    }
+                }
+                Err(e) => e,
+            };
+            if !is_connection_failure(&err) || attempt >= max_attempts {
+                cluster.note_task_retries(retries_total);
+                return Err(err);
+            }
+            retries_total += 1;
+            let backoff_ms = (cluster.config.retry_backoff_ms
+                * (1u64 << (attempt - 1).min(16)) as f64)
+                .min(cluster.config.retry_backoff_cap_ms);
+            cluster.clock.advance_micros((backoff_ms * 1000.0) as u64);
+            cost.net_ms += backoff_ms;
+            if let Some(alt) = surviving_placement(cluster, task, target) {
+                target = alt;
+            }
+        };
         // local execution (§3.2.1): tasks on the coordinating node itself
         // skip the network round trip
-        let rtt = if task.node == self_node { 0.0 } else { full_rtt };
-        if task.node != self_node {
+        let rtt = if target == self_node { 0.0 } else { full_rtt };
+        if target != self_node {
             any_remote = true;
         }
-        let (key, mut conn, _fresh) =
-            task_conn(cluster, state, task.node, task.group, in_txn, state.dist_txn, &mut cost)?;
-        let outcome = conn.execute_stmt(&task.stmt);
-        if task.is_write {
-            conn.used_for_writes = true;
-        }
-        let bind_group = if in_txn { task.group } else { None };
-        match outcome {
-            Ok((result, remote_cost)) => {
-                state.checkin(key, conn, bind_group);
-                cost.add_node(task.node, &remote_cost);
-                per_node_durations
-                    .entry(task.node)
-                    .or_default()
-                    .push(remote_cost.total_ms() + rtt);
-                results.push(result);
-            }
-            Err(e) => {
-                if is_connection_failure(&e) {
-                    // a broken connection never recovers: drop it (and any
-                    // affinity pointing at it) so the next statement dials a
-                    // fresh one — like discarding a broken socket
-                    state.affinity.retain(|_, k| *k != key);
-                    drop(conn);
-                } else {
-                    state.checkin(key, conn, bind_group);
-                }
-                return Err(e);
-            }
-        }
+        cost.add_node(target, &remote_cost);
+        per_node_durations.entry(target).or_default().push(remote_cost.total_ms() + rtt);
+        results.push(result);
     }
+    cluster.note_task_retries(retries_total);
 
     // 4. virtual elapsed time: slow-start schedule per node
     let cores = cluster.config.engine.cores;
@@ -383,7 +417,35 @@ pub fn execute_plan(
         affected: output.2,
         cost,
         peak_connections: peak,
+        retries: retries_total,
     })
+}
+
+/// Another active node holding every shard this task touches, if the current
+/// target is down. Only replicated shards (reference tables) have one; hash
+/// shards are single-placement, so their reads re-try the original node and
+/// surface the failure once attempts run out.
+fn surviving_placement(
+    cluster: &Arc<Cluster>,
+    task: &crate::planner::Task,
+    current: NodeId,
+) -> Option<NodeId> {
+    let node_up =
+        |n: NodeId| cluster.node(n).map(|nd| nd.is_active()).unwrap_or(false);
+    if node_up(current) || task.shards.is_empty() {
+        // a transient fault on a live node: re-trying in place is right
+        return None;
+    }
+    let meta = cluster.metadata.read_recursive();
+    let mut candidates: Option<Vec<NodeId>> = None;
+    for sid in &task.shards {
+        let placements = meta.shard(*sid).ok()?.placements.clone();
+        candidates = Some(match candidates {
+            None => placements,
+            Some(prev) => prev.into_iter().filter(|n| placements.contains(n)).collect(),
+        });
+    }
+    candidates?.into_iter().find(|n| *n != current && node_up(*n))
 }
 
 /// Drop all temp tables recorded in the session state.

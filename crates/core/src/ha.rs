@@ -32,6 +32,16 @@ pub fn crash_node(cluster: &Arc<Cluster>, node: NodeId) -> PgResult<()> {
     Ok(())
 }
 
+/// Reconnect a node that was only *partitioned*, not crashed: its engine
+/// state (including any prepared transactions) is intact, so no WAL replay
+/// or promotion is needed — the fabric simply resumes routing to it. Pairs
+/// with fault-injection crashes, which model partitions this way; a real
+/// process crash goes through [`promote_standby`] instead.
+pub fn heal_node(cluster: &Arc<Cluster>, node: NodeId) -> PgResult<()> {
+    cluster.node(node)?.set_active(true);
+    Ok(())
+}
+
 /// Promote a standby for a crashed node: replay the WAL into a fresh engine,
 /// reinstall the extension, swap it in, and run 2PC recovery. The paper's
 /// 20–30 s failover window collapses to the replay time here.

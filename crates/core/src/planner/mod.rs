@@ -175,6 +175,25 @@ pub fn plan_statement(
     ))
 }
 
+/// Plan with one specific tier instead of the usual lowest-overhead-first
+/// iteration. Returns `None` when that tier cannot handle the statement.
+/// Used by tests asserting that every tier able to plan a query agrees on
+/// its results, and by EXPLAIN diagnostics.
+pub fn plan_with_tier(
+    stmt: &Statement,
+    meta: &Metadata,
+    self_node: NodeId,
+    tier: PlannerKind,
+    subplans: &mut dyn SubplanExecutor,
+) -> PgResult<Option<DistPlan>> {
+    match tier {
+        PlannerKind::FastPath => try_fast_path(stmt, meta),
+        PlannerKind::Router => try_router(stmt, meta),
+        PlannerKind::Pushdown => pushdown::try_pushdown(stmt, meta, self_node, subplans),
+        PlannerKind::JoinOrder => join_order::try_join_order(stmt, meta, subplans),
+    }
+}
+
 /// Map (table → shard physical name) for one bucket.
 pub fn bucket_name_map<'a>(
     meta: &'a Metadata,
@@ -449,9 +468,11 @@ pub(crate) fn reference_read_plan(
     let tables = rewrite::collect_tables(stmt);
     // every reference table must have a common placement; prefer self
     let mut candidates: Option<Vec<NodeId>> = None;
+    let mut shards: Vec<ShardId> = Vec::new();
     for t in &tables {
         let dt = meta.require_table(t)?;
         let shard = meta.shard(dt.shards[0])?;
+        shards.push(shard.id);
         let placements = shard.placements.clone();
         candidates = Some(match candidates {
             None => placements,
@@ -474,7 +495,7 @@ pub(crate) fn reference_read_plan(
     let rewritten = rewrite::rewrite_statement(stmt, &map);
     Ok(DistPlan {
         kind: PlannerKind::Router,
-        tasks: vec![Task { node, group: None, stmt: rewritten, is_write: false, shards: vec![] }],
+        tasks: vec![Task { node, group: None, stmt: rewritten, is_write: false, shards }],
         merge: Merge::PassThrough,
         is_write: false,
         used_subplans: false,

@@ -18,6 +18,9 @@ pub struct RecoveryStats {
     pub committed: u64,
     pub rolled_back: u64,
     pub skipped_in_flight: u64,
+    /// Nodes that were down during the pass; their prepared transactions (if
+    /// any) wait for a later pass, after restore or promotion.
+    pub unreachable_nodes: u64,
 }
 
 /// Does a commit record for `gid` exist on the origin coordinator?
@@ -46,6 +49,7 @@ pub fn recover_once(cluster: &Arc<Cluster>) -> PgResult<RecoveryStats> {
     let mut stats = RecoveryStats::default();
     for node in cluster.nodes() {
         if !node.is_active() {
+            stats.unreachable_nodes += 1;
             continue;
         }
         let engine = node.engine();

@@ -1,0 +1,340 @@
+//! Fault-injection tests: deterministic failure schedules driven through the
+//! cluster fabric (netsim::fault), exercising the adaptive executor's
+//! retry/backoff path and 2PC recovery's handling of in-doubt transactions.
+
+use citrus::cluster::{Cluster, ClusterConfig};
+use citrus::metadata::NodeId;
+use netsim::fault::{FaultKind, FaultOp, FaultPlan, FaultRule};
+use pgmini::error::ErrorCode;
+use pgmini::types::Datum;
+use std::sync::Arc;
+
+fn cluster_with(workers: u32) -> Arc<Cluster> {
+    let mut cfg = ClusterConfig::default();
+    cfg.shard_count = 8;
+    let c = Cluster::new(cfg);
+    for _ in 0..workers {
+        c.add_worker().unwrap();
+    }
+    c
+}
+
+/// `t(k bigint, v bigint)` distributed on `k`, rows k = 0..40 with v = 1.
+fn dist_table_cluster(workers: u32) -> Arc<Cluster> {
+    let c = cluster_with(workers);
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE t (k bigint PRIMARY KEY, v bigint)").unwrap();
+    s.execute("SELECT create_distributed_table('t', 'k')").unwrap();
+    for k in 0..40i64 {
+        s.execute(&format!("INSERT INTO t VALUES ({k}, 1)")).unwrap();
+    }
+    c
+}
+
+/// The worker holding the shard for `t.k = key`.
+fn node_of_key(c: &Arc<Cluster>, key: i64) -> NodeId {
+    let meta = c.metadata.read();
+    let b = meta.shard_index_for_value("t", &Datum::Int(key)).unwrap();
+    let dt = meta.table("t").unwrap();
+    meta.shard(dt.shards[b]).unwrap().placements[0]
+}
+
+/// A key from 0..40 whose shard lives on `node`.
+fn key_on_node(c: &Arc<Cluster>, node: NodeId) -> i64 {
+    (0..40).find(|k| node_of_key(c, *k) == node).expect("some key maps to the node")
+}
+
+fn v_of(s: &mut citrus::cluster::ClientSession, k: i64) -> i64 {
+    let r = s.execute(&format!("SELECT v FROM t WHERE k = {k}")).unwrap();
+    r.rows()[0][0].as_i64().unwrap()
+}
+
+fn commit_records(s: &mut citrus::cluster::ClientSession) -> i64 {
+    let r = s.execute("SELECT count(*) FROM pg_dist_transaction").unwrap();
+    r.rows()[0][0].as_i64().unwrap()
+}
+
+// ---------------- 2PC in-doubt windows ----------------
+
+/// The coordinator's COMMIT PREPARED to one worker is lost after the commit
+/// record became durable: the prepared transaction is in doubt, and
+/// `recover_once` must COMMIT it (record present) on every placement.
+#[test]
+fn lost_commit_prepared_reply_recovers_to_commit() {
+    let c = dist_table_cluster(2);
+    let (w1, w2) = (NodeId(1), NodeId(2));
+    let (k1, k2) = (key_on_node(&c, w1), key_on_node(&c, w2));
+    let mut s = c.session().unwrap();
+
+    let inj = c.install_faults(
+        FaultPlan::new().with(FaultRule::stmt_error(w1.0, "commit_prepared")),
+        0,
+    );
+    s.execute("BEGIN").unwrap();
+    s.execute(&format!("UPDATE t SET v = 100 WHERE k = {k1}")).unwrap();
+    s.execute(&format!("UPDATE t SET v = 100 WHERE k = {k2}")).unwrap();
+    // the commit itself succeeds: the second phase is best-effort
+    s.execute("COMMIT").unwrap();
+    assert_eq!(inj.fired(), 1, "exactly the scripted fault fired");
+
+    // w1 is in doubt: prepared transaction parked, commit record retained
+    assert_eq!(c.node(w1).unwrap().engine().txns.prepared_gids().len(), 1);
+    assert!(c.node(w2).unwrap().engine().txns.prepared_gids().is_empty());
+    assert_eq!(commit_records(&mut s), 1);
+
+    let stats = citrus::recovery::recover_once(&c).unwrap();
+    assert_eq!(stats.committed, 1, "commit record present: recovery commits");
+    assert_eq!(stats.rolled_back, 0);
+    assert!(c.node(w1).unwrap().engine().txns.prepared_gids().is_empty());
+    assert_eq!(commit_records(&mut s), 0, "record deleted once settled");
+
+    // atomicity: both placements show the committed value
+    assert_eq!(v_of(&mut s, k1), 100);
+    assert_eq!(v_of(&mut s, k2), 100);
+}
+
+/// A worker crashes between PREPARE and COMMIT PREPARED — after its PREPARE
+/// succeeded but before the coordinator wrote a commit record. The commit
+/// fails, and once the worker is back `recover_once` must ROLL BACK the
+/// orphaned prepared transaction (no record), leaving no
+/// committed-on-one/aborted-on-another outcome.
+#[test]
+fn crash_between_prepare_and_commit_prepared_rolls_back() {
+    let c = dist_table_cluster(2);
+    let (w1, w2) = (NodeId(1), NodeId(2));
+    let (k1, k2) = (key_on_node(&c, w1), key_on_node(&c, w2));
+    let mut s = c.session().unwrap();
+
+    // w1 sorts first in the prepare round, so its PREPARE executes, the
+    // node dies, and the coordinator never reaches the commit-record write
+    let inj = c.install_faults(
+        FaultPlan::new().with(FaultRule::crash_after(w1.0, "prepare_transaction")),
+        0,
+    );
+    s.execute("BEGIN").unwrap();
+    s.execute(&format!("UPDATE t SET v = 200 WHERE k = {k1}")).unwrap();
+    s.execute(&format!("UPDATE t SET v = 200 WHERE k = {k2}")).unwrap();
+    let err = s.execute("COMMIT").unwrap_err();
+    assert_eq!(err.code, ErrorCode::ConnectionFailure);
+    assert_eq!(inj.fired(), 1);
+    assert!(!c.node(w1).unwrap().is_active(), "fault crashed the worker");
+
+    // the prepared transaction is parked on the dead worker; no record exists
+    assert_eq!(c.node(w1).unwrap().engine().txns.prepared_gids().len(), 1);
+    assert_eq!(commit_records(&mut s), 0);
+
+    // recovery cannot reach the dead node yet
+    let stats = citrus::recovery::recover_once(&c).unwrap();
+    assert_eq!(stats.rolled_back, 0);
+    assert_eq!(stats.unreachable_nodes, 1);
+
+    // heal the partition (engine state intact) and recover for real
+    citrus::ha::heal_node(&c, w1).unwrap();
+    let stats = citrus::recovery::recover_once(&c).unwrap();
+    assert_eq!(stats.rolled_back, 1, "no commit record: recovery aborts");
+    assert!(c.node(w1).unwrap().engine().txns.prepared_gids().is_empty());
+
+    // atomicity: neither placement kept the aborted write
+    assert_eq!(v_of(&mut s, k1), 1);
+    assert_eq!(v_of(&mut s, k2), 1);
+}
+
+// ---------------- executor retry / backoff ----------------
+
+/// A one-shot statement error on a read task is absorbed by a retry, with
+/// the backoff charged to the virtual clock.
+#[test]
+fn read_task_retries_after_one_shot_stmt_error() {
+    let c = dist_table_cluster(2);
+    let mut s = c.session().unwrap();
+    let inj = c.install_faults(
+        FaultPlan::new().with(FaultRule::stmt_error(1, "select")),
+        0,
+    );
+    let before = c.clock.now_micros();
+    let r = s.execute("SELECT count(*) FROM t").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(40), "the retried query is correct");
+    assert_eq!(inj.fired(), 1);
+    assert_eq!(c.task_retry_count(), 1);
+    // one retry at the base backoff (10 ms on the virtual clock)
+    assert_eq!(c.clock.now_micros() - before, 10_000);
+}
+
+/// A one-shot refused connection on a read is equally retryable.
+#[test]
+fn read_task_retries_after_refused_connect() {
+    let c = dist_table_cluster(2);
+    let inj = c.install_faults(
+        FaultPlan::new().with(FaultRule::refuse_connect(1)),
+        0,
+    );
+    let mut s = c.session().unwrap();
+    let r = s.execute("SELECT count(*) FROM t").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(40));
+    assert_eq!(inj.fired(), 1);
+    assert_eq!(c.task_retry_count(), 1);
+}
+
+/// `after(n)`: the first n matching operations pass untouched, the n+1-th
+/// fails — and still recovers via retry.
+#[test]
+fn one_shot_error_after_n_messages() {
+    let c = dist_table_cluster(2);
+    let inj = c.install_faults(
+        FaultPlan::new().with(FaultRule::stmt_error(1, "select").after(2)),
+        0,
+    );
+    let mut s = c.session().unwrap();
+    for _ in 0..3 {
+        let r = s.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.rows()[0][0], Datum::Int(40));
+    }
+    assert_eq!(inj.fired(), 1);
+    assert_eq!(c.task_retry_count(), 1);
+}
+
+/// Write tasks are never retried: a lost write request surfaces a clean
+/// connection error and leaves no effect behind.
+#[test]
+fn write_task_failure_is_clean_and_not_retried() {
+    let c = dist_table_cluster(2);
+    let mut s = c.session().unwrap();
+    let target = node_of_key(&c, 99);
+    c.install_faults(
+        FaultPlan::new().with(FaultRule::stmt_error(target.0, "insert")),
+        0,
+    );
+    let err = s.execute("INSERT INTO t VALUES (99, 7)").unwrap_err();
+    assert_eq!(err.code, ErrorCode::ConnectionFailure);
+    assert_eq!(c.task_retry_count(), 0, "writes must not be re-attempted");
+    // no duplicate / partial effect: the row does not exist
+    let r = s.execute("SELECT count(*) FROM t WHERE k = 99").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(0));
+    // and the next attempt (fault exhausted) succeeds exactly once
+    s.execute("INSERT INTO t VALUES (99, 7)").unwrap();
+    let r = s.execute("SELECT count(*) FROM t WHERE k = 99").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(1));
+}
+
+/// When the node serving a replicated (reference) shard dies mid-read, the
+/// executor retries on a surviving placement instead of erroring. Reference
+/// shards live on every node and reads prefer the local replica, so the
+/// fault crashes that replica under the read's feet.
+#[test]
+fn reference_read_fails_over_to_surviving_placement() {
+    let c = cluster_with(3);
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE r (id bigint PRIMARY KEY, label text)").unwrap();
+    s.execute("SELECT create_reference_table('r')").unwrap();
+    s.execute("INSERT INTO r VALUES (1, 'a'), (2, 'b'), (3, 'c')").unwrap();
+
+    let before = s.execute("SELECT count(*) FROM r").unwrap();
+    let inj = c.install_faults(
+        FaultPlan::new().with(
+            FaultRule::new(FaultOp::Statement, FaultKind::Crash)
+                .on_node(0)
+                .with_tag("select"),
+        ),
+        0,
+    );
+    let after = s.execute("SELECT count(*) FROM r").unwrap();
+    assert_eq!(before.rows(), after.rows(), "failover answered identically");
+    assert_eq!(inj.fired(), 1);
+    assert!(c.task_retry_count() >= 1, "the dead placement cost a retry");
+    assert!(!c.node(NodeId(0)).unwrap().is_active(), "local replica is down");
+
+    c.clear_faults();
+    citrus::ha::heal_node(&c, NodeId(0)).unwrap();
+    let healed = s.execute("SELECT count(*) FROM r").unwrap();
+    assert_eq!(before.rows(), healed.rows());
+}
+
+/// Hash shards are single-placement: when their node stays down, retries run
+/// out and the failure surfaces as a clean connection error.
+#[test]
+fn unreplicated_read_surfaces_connection_failure() {
+    let c = dist_table_cluster(2);
+    let mut s = c.session().unwrap();
+    citrus::ha::crash_node(&c, NodeId(1)).unwrap();
+    let err = s.execute("SELECT count(*) FROM t").unwrap_err();
+    assert_eq!(err.code, ErrorCode::ConnectionFailure);
+    assert_eq!(c.task_retry_count(), c.config.task_retries as u64);
+}
+
+/// Latency faults charge the virtual clock without failing anything.
+#[test]
+fn latency_fault_advances_virtual_clock() {
+    let c = dist_table_cluster(2);
+    let mut s = c.session().unwrap();
+    c.install_faults(
+        FaultPlan::new().with(
+            FaultRule::new(FaultOp::Statement, FaultKind::Latency(5.0))
+                .on_node(1)
+                .with_tag("select")
+                .times(3),
+        ),
+        0,
+    );
+    let before = c.clock.now_micros();
+    for _ in 0..4 {
+        s.execute("SELECT count(*) FROM t").unwrap();
+    }
+    assert_eq!(c.task_retry_count(), 0, "latency does not fail operations");
+    assert_eq!(c.clock.now_micros() - before, 15_000, "3 × 5 ms, then exhausted");
+}
+
+// ---------------- determinism ----------------
+
+/// One full scenario: a probabilistic fault plan over a mixed workload plus
+/// a scripted mid-2PC crash and recovery. Returns everything observable.
+fn faulty_scenario(seed: u64) -> (Vec<String>, u64, u64, usize, String) {
+    let c = dist_table_cluster(2);
+    let (w1, w2) = (NodeId(1), NodeId(2));
+    let (k1, k2) = (key_on_node(&c, w1), key_on_node(&c, w2));
+    let inj = c.install_faults(
+        FaultPlan::new()
+            .with(
+                FaultRule::new(FaultOp::Statement, FaultKind::Error)
+                    .with_tag("select")
+                    .always()
+                    .with_probability(0.3),
+            )
+            .with(FaultRule::crash_after(w1.0, "prepare_transaction")),
+        seed,
+    );
+    let mut s = c.session().unwrap();
+    let mut outcomes = Vec::new();
+    for i in 0..30 {
+        let out = match s.execute(&format!("SELECT count(*) FROM t WHERE k >= {}", i % 5)) {
+            Ok(r) => format!("ok:{:?}", r.rows()),
+            Err(e) => format!("err:{:?}:{}", e.code, e.message),
+        };
+        outcomes.push(out);
+    }
+    // scripted mid-2PC crash, then heal + recover
+    s.execute("BEGIN").unwrap();
+    let txn = s
+        .execute(&format!("UPDATE t SET v = 9 WHERE k = {k1}"))
+        .and_then(|_| s.execute(&format!("UPDATE t SET v = 9 WHERE k = {k2}")))
+        .and_then(|_| s.execute("COMMIT"));
+    outcomes.push(format!("txn:{:?}", txn.as_ref().map(|_| ()).map_err(|e| e.code)));
+    if txn.is_err() {
+        let _ = s.execute("ROLLBACK");
+    }
+    citrus::ha::heal_node(&c, w1).unwrap();
+    let stats = citrus::recovery::recover_once(&c).unwrap();
+    let events = inj.events();
+    (outcomes, inj.fingerprint(), c.task_retry_count(), events.len(), format!("{stats:?}"))
+}
+
+/// The acceptance bar: a fault schedule is fully determined by
+/// `(FaultPlan, seed)` — the same scenario twice yields byte-identical
+/// results, fired-fault logs, retry counts, and recovery stats.
+#[test]
+fn same_plan_and_seed_replays_byte_identically() {
+    let a = faulty_scenario(42);
+    let b = faulty_scenario(42);
+    assert_eq!(a, b, "identical (plan, seed) must replay identically");
+    let c = faulty_scenario(43);
+    assert_ne!(a.1, c.1, "a different seed draws a different schedule");
+}

@@ -1,0 +1,112 @@
+//! Property test: every planner tier able to plan a single-shard query must
+//! return exactly the same results. The fast-path and router planners are
+//! pure routing optimisations over logical pushdown — agreement across the
+//! tiers is the invariant that makes tier selection a pure performance
+//! decision (§3.5).
+
+use citrus::cluster::Cluster;
+use citrus::executor::{execute_plan, SessionState};
+use citrus::metadata::NodeId;
+use citrus::planner::{plan_with_tier, PlannerKind, SubplanExecutor};
+use pgmini::error::{PgError, PgResult};
+use pgmini::types::Row;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// The generated queries contain no subqueries, so no tier may ask for one.
+struct NoSubplans;
+
+impl SubplanExecutor for NoSubplans {
+    fn run_distributed_subquery(
+        &mut self,
+        _sel: &sqlparse::ast::Select,
+    ) -> PgResult<Vec<Row>> {
+        Err(PgError::internal("generated queries have no subqueries"))
+    }
+}
+
+/// One shared cluster: `t(k, v, grp)` distributed on `k`, three rows per key
+/// so result sets have real multiplicity.
+fn cluster() -> &'static Arc<Cluster> {
+    static CLUSTER: OnceLock<Arc<Cluster>> = OnceLock::new();
+    CLUSTER.get_or_init(|| {
+        let mut cfg = citrus::cluster::ClusterConfig::default();
+        cfg.shard_count = 8;
+        let c = Cluster::new(cfg);
+        c.add_worker().unwrap();
+        c.add_worker().unwrap();
+        let mut s = c.session().unwrap();
+        s.execute("CREATE TABLE t (k bigint, v bigint, grp bigint)").unwrap();
+        s.execute("SELECT create_distributed_table('t', 'k')").unwrap();
+        for k in 0..30i64 {
+            for j in 0..3i64 {
+                s.execute(&format!("INSERT INTO t VALUES ({k}, {}, {})", k * 3 + j, j))
+                    .unwrap();
+            }
+        }
+        c
+    })
+}
+
+/// Plan `sql` with exactly `tier` and execute it. `None` when the tier
+/// cannot plan this statement; otherwise the result rows, order-normalised.
+fn run_tier(c: &Arc<Cluster>, sql: &str, tier: PlannerKind) -> Option<Result<Vec<String>, String>> {
+    let stmt = sqlparse::parse(sql).expect("generated SQL parses");
+    let plan = {
+        let meta = c.metadata.read();
+        match plan_with_tier(&stmt, &meta, NodeId(0), tier, &mut NoSubplans) {
+            Ok(Some(p)) => p,
+            Ok(None) => return None,
+            Err(e) => return Some(Err(format!("plan: {}", e.message))),
+        }
+    };
+    let engine = c.coordinator().engine();
+    let mut session = engine.session().expect("session");
+    let mut state = SessionState::default();
+    let out = execute_plan(c, &mut session, &mut state, &plan, NodeId(0));
+    Some(out.map(|o| {
+        let mut rows: Vec<String> = o.rows.iter().map(|r| format!("{r:?}")).collect();
+        rows.sort();
+        rows
+    })
+    .map_err(|e| e.message))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fast path, router, and pushdown agree on every single-shard query.
+    #[test]
+    fn tiers_agree_on_single_shard_queries(
+        key in 0..40i64,
+        threshold in prop::option::of(0..100i64),
+        proj in prop::sample::select(vec![
+            "*",
+            "k, v",
+            "v",
+            "count(*)",
+            "sum(v)",
+        ]),
+    ) {
+        let extra = match threshold {
+            Some(t) => format!(" AND v >= {t}"),
+            None => String::new(),
+        };
+        let sql = format!("SELECT {proj} FROM t WHERE k = {key}{extra}");
+        let c = cluster();
+
+        let fast = run_tier(c, &sql, PlannerKind::FastPath);
+        let router = run_tier(c, &sql, PlannerKind::Router);
+        let pushdown = run_tier(c, &sql, PlannerKind::Pushdown);
+
+        // the generated shape is exactly the fast-path contract, and every
+        // higher tier subsumes the lower ones
+        prop_assert!(fast.is_some(), "fast path must plan {sql}");
+        prop_assert!(router.is_some(), "router must plan {sql}");
+        prop_assert!(pushdown.is_some(), "pushdown must plan {sql}");
+
+        let fast = fast.unwrap();
+        prop_assert_eq!(&fast, &router.unwrap(), "fast path vs router on {}", sql);
+        prop_assert_eq!(&fast, &pushdown.unwrap(), "fast path vs pushdown on {}", sql);
+    }
+}

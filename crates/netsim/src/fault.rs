@@ -1,0 +1,457 @@
+//! Deterministic fault injection for the simulated cluster fabric.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultRule`]s; a [`FaultInjector`]
+//! built from a plan and a seed decides, at every interception point the
+//! fabric offers (`connect`, each remote statement, COPY streams), whether a
+//! fault fires there. Rules can be *scripted* — fire on the Nth matching
+//! operation (`after`), a bounded number of times (`times`) — or
+//! *probabilistic*, drawing from a seeded RNG. Either way the full fault
+//! schedule is a pure function of `(FaultPlan, seed)` and the sequence of
+//! intercepted operations, so any failing run replays exactly.
+//!
+//! The injector knows nothing about databases: operations are identified by
+//! a node id, a [`FaultOp`], and a string tag (the fabric passes statement
+//! kinds such as `"prepare_transaction"` or `"commit_prepared"`). This keeps
+//! netsim generic and lets the engine layer define its own vocabulary.
+//!
+//! Every fired fault is appended to an event log; [`FaultInjector::events`]
+//! and [`FaultInjector::fingerprint`] let tests assert that two runs of the
+//! same scenario produced byte-identical schedules.
+
+use std::sync::Mutex;
+
+/// The kind of fabric operation being intercepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Opening a connection to a node.
+    Connect,
+    /// Executing a statement (or COPY stream) over an open connection.
+    Statement,
+}
+
+/// When the fault lands relative to the intercepted operation.
+///
+/// `Before` faults stop the operation from reaching the node at all (a
+/// refused connection, a request lost on the wire). `After` faults let the
+/// node execute the operation and then lose the *reply* — the classic 2PC
+/// failure window: a `PREPARE TRANSACTION` that succeeded remotely but whose
+/// acknowledgement never arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPhase {
+    Before,
+    After,
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The operation fails with a connection error (node stays up).
+    Error,
+    /// The target node crashes: this operation fails (before) or its reply
+    /// is lost (after), and every later operation against the node fails
+    /// until it is restored.
+    Crash,
+    /// Add round-trip latency (virtual milliseconds) without failing.
+    Latency(f64),
+}
+
+/// One trigger: filters on (node, op, tag), a firing schedule, and a kind.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Shown in the event log; defaults to a description of the rule.
+    pub label: String,
+    /// Restrict to one node; `None` matches any node.
+    pub node: Option<u32>,
+    pub op: FaultOp,
+    /// Exact tag match for [`FaultOp::Statement`]; `None` matches any tag.
+    pub tag: Option<String>,
+    pub phase: FaultPhase,
+    pub kind: FaultKind,
+    /// Let the first `skip` matching operations through unharmed
+    /// ("fail after N messages").
+    pub skip: u64,
+    /// Fire at most this many times; the default 1 makes rules one-shot.
+    pub fires: u64,
+    /// Fire with this probability per matching operation (drawn from the
+    /// injector's seeded RNG). 1.0 — the default — is fully scripted.
+    pub probability: f64,
+}
+
+impl FaultRule {
+    pub fn new(op: FaultOp, kind: FaultKind) -> FaultRule {
+        FaultRule {
+            label: String::new(),
+            node: None,
+            op,
+            tag: None,
+            phase: FaultPhase::Before,
+            kind,
+            skip: 0,
+            fires: 1,
+            probability: 1.0,
+        }
+    }
+
+    /// One-shot connection refusal against `node`.
+    pub fn refuse_connect(node: u32) -> FaultRule {
+        FaultRule::new(FaultOp::Connect, FaultKind::Error).on_node(node)
+    }
+
+    /// One-shot statement error: the request for `tag` never reaches `node`.
+    pub fn stmt_error(node: u32, tag: &str) -> FaultRule {
+        FaultRule::new(FaultOp::Statement, FaultKind::Error).on_node(node).with_tag(tag)
+    }
+
+    /// Crash `node` right after it executes a `tag` statement (the reply is
+    /// lost — e.g. crash between `PREPARE` and `COMMIT PREPARED`).
+    pub fn crash_after(node: u32, tag: &str) -> FaultRule {
+        FaultRule::new(FaultOp::Statement, FaultKind::Crash)
+            .on_node(node)
+            .with_tag(tag)
+            .at(FaultPhase::After)
+    }
+
+    /// Add `ms` of round-trip latency to every statement against `node`.
+    pub fn latency(node: u32, ms: f64) -> FaultRule {
+        FaultRule::new(FaultOp::Statement, FaultKind::Latency(ms)).on_node(node).always()
+    }
+
+    pub fn on_node(mut self, node: u32) -> FaultRule {
+        self.node = Some(node);
+        self
+    }
+
+    pub fn with_tag(mut self, tag: &str) -> FaultRule {
+        self.tag = Some(tag.to_string());
+        self
+    }
+
+    pub fn at(mut self, phase: FaultPhase) -> FaultRule {
+        self.phase = phase;
+        self
+    }
+
+    /// Skip the first `n` matching operations before firing.
+    pub fn after(mut self, n: u64) -> FaultRule {
+        self.skip = n;
+        self
+    }
+
+    /// Fire at most `n` times (1 = one-shot, the default).
+    pub fn times(mut self, n: u64) -> FaultRule {
+        self.fires = n;
+        self
+    }
+
+    /// Never stop firing.
+    pub fn always(mut self) -> FaultRule {
+        self.fires = u64::MAX;
+        self
+    }
+
+    /// Fire with probability `p` per matching operation (seeded RNG).
+    pub fn with_probability(mut self, p: f64) -> FaultRule {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.probability = p;
+        self
+    }
+
+    pub fn labeled(mut self, label: &str) -> FaultRule {
+        self.label = label.to_string();
+        self
+    }
+
+    fn matches(&self, node: u32, op: FaultOp, tag: &str, phase: FaultPhase) -> bool {
+        self.op == op
+            && self.phase == phase
+            && self.node.map(|n| n == node).unwrap_or(true)
+            && self.tag.as_deref().map(|t| t == tag).unwrap_or(true)
+    }
+
+    fn describe(&self) -> String {
+        if !self.label.is_empty() {
+            return self.label.clone();
+        }
+        format!(
+            "{:?}/{:?} node={:?} tag={:?} {:?}",
+            self.op, self.phase, self.node, self.tag, self.kind
+        )
+    }
+}
+
+/// An ordered set of fault rules. Order matters only for the event log;
+/// every matching rule is consulted for every operation.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    pub fn with(mut self, rule: FaultRule) -> FaultPlan {
+        self.rules.push(rule);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// The merged outcome of all rules that fired on one operation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultDecision {
+    /// Fail the operation with a connection error.
+    pub fail: bool,
+    /// Crash the target node (the fabric marks it down).
+    pub crash: bool,
+    /// Extra virtual latency to charge, in ms.
+    pub latency_ms: f64,
+}
+
+impl FaultDecision {
+    /// Does the intercepted operation (or its reply) fail?
+    pub fn disrupts(&self) -> bool {
+        self.fail || self.crash
+    }
+}
+
+/// One fired fault, recorded for determinism checks and debugging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Global operation sequence number at which the fault fired.
+    pub seq: u64,
+    pub rule: String,
+    pub node: u32,
+    pub op: FaultOp,
+    pub tag: String,
+    pub phase: FaultPhase,
+    pub kind: FaultKind,
+}
+
+struct RuleState {
+    rule: FaultRule,
+    matched: u64,
+    fired: u64,
+}
+
+struct InjectorState {
+    rules: Vec<RuleState>,
+    /// splitmix64 state for probabilistic rules; advanced only when a
+    /// probabilistic rule is consulted, so scripted plans never touch it.
+    rng: u64,
+    seq: u64,
+    log: Vec<FaultEvent>,
+}
+
+/// Decides where faults land. Shared by the whole cluster fabric; all
+/// methods take `&self` and serialise internally.
+pub struct FaultInjector {
+    inner: Mutex<InjectorState>,
+    empty: bool,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan, seed: u64) -> FaultInjector {
+        let empty = plan.is_empty();
+        FaultInjector {
+            inner: Mutex::new(InjectorState {
+                rules: plan
+                    .rules
+                    .into_iter()
+                    .map(|rule| RuleState { rule, matched: 0, fired: 0 })
+                    .collect(),
+                rng: seed,
+                seq: 0,
+                log: Vec::new(),
+            }),
+            empty,
+        }
+    }
+
+    /// An injector that never fires (the fabric's default).
+    pub fn none() -> FaultInjector {
+        FaultInjector::new(FaultPlan::new(), 0)
+    }
+
+    /// Consult the plan for one operation. The fabric must honour the
+    /// returned decision (fail the op, crash the node, charge latency).
+    pub fn decide(&self, node: u32, op: FaultOp, tag: &str, phase: FaultPhase) -> FaultDecision {
+        if self.empty {
+            return FaultDecision::default();
+        }
+        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let InjectorState { rules, rng, seq, log } = &mut *st;
+        *seq += 1;
+        let seq = *seq;
+        let mut decision = FaultDecision::default();
+        let mut fired: Vec<FaultEvent> = Vec::new();
+        for rs in rules {
+            if !rs.rule.matches(node, op, tag, phase) {
+                continue;
+            }
+            rs.matched += 1;
+            if rs.matched <= rs.rule.skip || rs.fired >= rs.rule.fires {
+                continue;
+            }
+            if rs.rule.probability < 1.0 {
+                let u = (splitmix64(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                if u >= rs.rule.probability {
+                    continue;
+                }
+            }
+            rs.fired += 1;
+            match rs.rule.kind {
+                FaultKind::Error => decision.fail = true,
+                FaultKind::Crash => decision.crash = true,
+                FaultKind::Latency(ms) => decision.latency_ms += ms,
+            }
+            fired.push(FaultEvent {
+                seq,
+                rule: rs.rule.describe(),
+                node,
+                op,
+                tag: tag.to_string(),
+                phase,
+                kind: rs.rule.kind,
+            });
+        }
+        log.extend(fired);
+        decision
+    }
+
+    /// Total faults fired so far.
+    pub fn fired(&self) -> u64 {
+        if self.empty {
+            return 0;
+        }
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).log.len() as u64
+    }
+
+    /// The full fired-fault log, in firing order.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        if self.empty {
+            return Vec::new();
+        }
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).log.clone()
+    }
+
+    /// FNV-1a hash over the event log's debug rendering: two runs of the
+    /// same scenario under the same `(plan, seed)` must agree byte for byte.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for e in self.events() {
+            for b in format!("{e:?}").bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_rule_fires_once() {
+        let inj = FaultInjector::new(
+            FaultPlan::new().with(FaultRule::stmt_error(1, "select")),
+            0,
+        );
+        let d = inj.decide(1, FaultOp::Statement, "select", FaultPhase::Before);
+        assert!(d.fail && !d.crash);
+        let d = inj.decide(1, FaultOp::Statement, "select", FaultPhase::Before);
+        assert_eq!(d, FaultDecision::default(), "one-shot: second op unharmed");
+        assert_eq!(inj.fired(), 1);
+    }
+
+    #[test]
+    fn filters_respect_node_tag_and_phase() {
+        let inj = FaultInjector::new(
+            FaultPlan::new().with(FaultRule::crash_after(2, "prepare_transaction")),
+            0,
+        );
+        // wrong node, wrong tag, wrong phase: nothing fires
+        assert!(!inj.decide(1, FaultOp::Statement, "prepare_transaction", FaultPhase::After).crash);
+        assert!(!inj.decide(2, FaultOp::Statement, "commit", FaultPhase::After).crash);
+        assert!(!inj.decide(2, FaultOp::Statement, "prepare_transaction", FaultPhase::Before).crash);
+        assert!(inj.decide(2, FaultOp::Statement, "prepare_transaction", FaultPhase::After).crash);
+    }
+
+    #[test]
+    fn skip_counts_matching_operations() {
+        let inj = FaultInjector::new(
+            FaultPlan::new().with(FaultRule::refuse_connect(1).after(2)),
+            0,
+        );
+        assert!(!inj.decide(1, FaultOp::Connect, "connect", FaultPhase::Before).fail);
+        assert!(!inj.decide(1, FaultOp::Connect, "connect", FaultPhase::Before).fail);
+        assert!(inj.decide(1, FaultOp::Connect, "connect", FaultPhase::Before).fail);
+        assert!(!inj.decide(1, FaultOp::Connect, "connect", FaultPhase::Before).fail);
+    }
+
+    #[test]
+    fn latency_accumulates_across_rules() {
+        let inj = FaultInjector::new(
+            FaultPlan::new()
+                .with(FaultRule::latency(1, 5.0))
+                .with(FaultRule::latency(1, 2.5)),
+            0,
+        );
+        let d = inj.decide(1, FaultOp::Statement, "select", FaultPhase::Before);
+        assert!(!d.disrupts());
+        assert!((d.latency_ms - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilistic_schedule_is_seed_deterministic() {
+        let plan = || {
+            FaultPlan::new()
+                .with(FaultRule::new(FaultOp::Statement, FaultKind::Error)
+                    .always()
+                    .with_probability(0.3))
+        };
+        let run = |seed| {
+            let inj = FaultInjector::new(plan(), seed);
+            let hits: Vec<bool> = (0..200)
+                .map(|i| inj.decide(i % 4, FaultOp::Statement, "select", FaultPhase::Before).fail)
+                .collect();
+            (hits, inj.fingerprint())
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7).0, run(8).0, "different seed, different schedule");
+        let (hits, _) = run(7);
+        let n = hits.iter().filter(|h| **h).count();
+        assert!(n > 20 && n < 120, "p=0.3 of 200 should fire roughly 60 times, got {n}");
+    }
+
+    #[test]
+    fn event_log_records_firing_order() {
+        let inj = FaultInjector::new(
+            FaultPlan::new()
+                .with(FaultRule::stmt_error(1, "select").labeled("first"))
+                .with(FaultRule::refuse_connect(2).labeled("second")),
+            0,
+        );
+        inj.decide(1, FaultOp::Statement, "select", FaultPhase::Before);
+        inj.decide(2, FaultOp::Connect, "connect", FaultPhase::Before);
+        let ev = inj.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].rule, "first");
+        assert_eq!(ev[1].rule, "second");
+        assert!(ev[0].seq < ev[1].seq);
+    }
+}

@@ -4,14 +4,18 @@
 //! evaluation depends on but that have no place inside a database engine:
 //!
 //! * [`clock`] — a shared logical clock (distributed transaction timestamps);
+//! * [`fault`] — deterministic fault injection (crashes, refused
+//!   connections, lost replies, added latency) for the fabric's choke points;
 //! * [`makespan`] — parallel elapsed-time math for fan-out query execution;
 //! * [`mva`] — an exact Mean Value Analysis solver for closed queueing
 //!   networks, which converts measured per-transaction resource demands into
 //!   multi-client throughput/latency curves (Figures 6, 9, 10).
 
 pub mod clock;
+pub mod fault;
 pub mod makespan;
 pub mod mva;
 
 pub use clock::VirtualClock;
+pub use fault::{FaultDecision, FaultInjector, FaultKind, FaultOp, FaultPhase, FaultPlan, FaultRule};
 pub use mva::{solve, sweep, MvaResult, Station, StationKind};

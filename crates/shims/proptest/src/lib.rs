@@ -1,0 +1,195 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the macro-and-strategy surface this workspace's property tests
+//! use — `proptest!`, `prop_oneof!`, `prop_assert*!`, `any::<T>()`, numeric
+//! range strategies, regex-lite string strategies, tuples, and the
+//! `prop::{collection, option, bool}` modules — over a deterministic seeded
+//! RNG. Differences from the real crate: no shrinking (a failing case
+//! reports its generated inputs verbatim) and string strategies support the
+//! character-class subset of regex syntax (`[a-z0-9_]{1,8}`, `\PC`, literal
+//! runs) rather than full regex.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    pub use crate::strategy::collection;
+    pub use crate::strategy::option;
+    pub mod bool {
+        /// Uniform boolean strategy (`prop::bool::ANY`).
+        pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+    }
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// ---------------- assertion macros ----------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {:?} == {:?}: {}",
+                    a,
+                    b,
+                    format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+// ---------------- strategy union macro ----------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+// ---------------- the proptest! macro ----------------
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// runs the body over `Config::cases` generated inputs, deterministically
+/// seeded from the test's full path. As with real proptest, the `#[test]`
+/// attribute is written by the caller and passed through verbatim — the
+/// macro must not add its own, or the function is registered twice.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(
+                cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            while let Some(mut rng) = runner.next_case() {
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                runner.finish_case(result);
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    // no leading config: use the default
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(x in 1..100u32, v in prop::collection::vec(0..10i64, 0..5)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|e| (0..10).contains(e)));
+        }
+
+        #[test]
+        fn strings_match_class(s in "[a-z]{2,4}", t in "x[0-9]y") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert_eq!(t.len(), 3);
+            prop_assert!(t.starts_with('x') && t.ends_with('y'));
+        }
+
+        #[test]
+        fn combinators(v in any::<i32>().prop_map(|x| x as i64),
+                       o in prop::option::of(Just(7u8)),
+                       b in prop::bool::ANY) {
+            prop_assert!(v >= i32::MIN as i64 && v <= i32::MAX as i64);
+            prop_assert!(o.is_none() || o == Some(7));
+            prop_assert!(b || !b);
+        }
+
+        #[test]
+        fn oneof_and_filter(x in prop_oneof![Just(1u8), Just(2u8)],
+                            y in (0..100u32).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert!(x == 1 || x == 2);
+            prop_assert_eq!(y % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::strategy::collection::vec(0..1000i64, 1..20);
+        let mut r1 = crate::test_runner::TestRunner::new(
+            crate::test_runner::Config::with_cases(5),
+            "determinism",
+        );
+        let mut r2 = crate::test_runner::TestRunner::new(
+            crate::test_runner::Config::with_cases(5),
+            "determinism",
+        );
+        while let (Some(mut a), Some(mut b)) = (r1.next_case(), r2.next_case()) {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+            r1.finish_case(Ok(()));
+            r2.finish_case(Ok(()));
+        }
+    }
+}

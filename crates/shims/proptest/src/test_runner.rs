@@ -1,0 +1,120 @@
+//! Test runner: per-test deterministic seeding and case loop.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Mirrors `proptest::test_runner::Config` (the `cases` knob only).
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// RNG handed to strategies: deterministic per (test path, case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Stable 64-bit FNV-1a, so seeds survive across processes and runs.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives the case loop for one `proptest!` test function.
+pub struct TestRunner {
+    name: &'static str,
+    base_seed: u64,
+    cases: u32,
+    next_case: u32,
+    in_flight: bool,
+}
+
+impl TestRunner {
+    pub fn new(config: Config, name: &'static str) -> Self {
+        // PROPTEST_SEED offsets every test's seed stream for soak runs
+        let offset = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRunner {
+            name,
+            base_seed: fnv1a(name) ^ offset,
+            cases: config.cases,
+            next_case: 0,
+            in_flight: false,
+        }
+    }
+
+    /// RNG for the next case, or `None` when all cases have run.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        assert!(!self.in_flight, "finish_case not called");
+        if self.next_case >= self.cases {
+            return None;
+        }
+        self.in_flight = true;
+        let seed = self.base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(
+            self.next_case as u64 + 1,
+        ));
+        Some(TestRng::from_seed(seed))
+    }
+
+    pub fn finish_case(&mut self, result: Result<(), TestCaseError>) {
+        self.in_flight = false;
+        let case = self.next_case;
+        self.next_case += 1;
+        match result {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest {} failed at case {case}/{} (base seed {:#x}): {msg}",
+                self.name, self.cases, self.base_seed
+            ),
+        }
+    }
+}

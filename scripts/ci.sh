@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 CI gate. Mirrors what the driver runs, plus a warnings-as-errors
+# pass over the paper-contribution crate and the fault-injection suite.
+#
+#   1. release build of the whole workspace
+#   2. full test suite (quiet)
+#   3. crates/core must compile warning-free (tests included)
+#   4. deterministic fault-injection suite, run explicitly so a partial
+#      test filter in step 2 can never silently skip it
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> [1/4] cargo build --release"
+cargo build --release
+
+echo "==> [2/4] cargo test -q"
+cargo test -q
+
+echo "==> [3/4] warnings-as-errors check of crates/core"
+RUSTFLAGS="-Dwarnings" cargo check -p citrus --all-targets
+
+echo "==> [4/4] fault-injection suite"
+cargo test -q -p citrus --test faults
+
+echo "==> CI green"
