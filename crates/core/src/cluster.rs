@@ -44,6 +44,26 @@ pub struct ClusterConfig {
     pub retry_backoff_ms: f64,
     /// Cap on the exponential retry backoff, in virtual ms.
     pub retry_backoff_cap_ms: f64,
+    /// Real OS threads the adaptive executor fans independent read tasks
+    /// across (§3.6). `1` keeps the fan-out inline on the session thread;
+    /// results are deterministic and identical at any setting. Defaults to
+    /// `min(available cores, 16)`.
+    pub executor_threads: usize,
+    /// Cache distributed plans by normalized statement shape so repeated
+    /// CRUD skips the planner (Citus's prepared-statement fast path,
+    /// §3.5.1). Invalidation is by metadata generation.
+    pub plan_cache: bool,
+    /// Real microseconds each remote statement blocks the executing thread,
+    /// modelling wire time that parallel fan-out can overlap. `0` (default)
+    /// keeps the fabric purely virtual-time; benches set it to measure
+    /// wall-clock overlap honestly.
+    pub real_rtt_us: u64,
+    /// Virtual ms one full distributed planning pass costs the coordinator
+    /// (table classification, tier cascade, shard pruning, rewrite).
+    pub dist_plan_ms: f64,
+    /// Virtual ms a plan-cache hit costs instead: only the shard-pruning
+    /// step of the cached tier is recomputed (§3.5.1).
+    pub cached_plan_ms: f64,
 }
 
 impl Default for ClusterConfig {
@@ -59,6 +79,16 @@ impl Default for ClusterConfig {
             task_retries: 2,
             retry_backoff_ms: 10.0,
             retry_backoff_cap_ms: 80.0,
+            executor_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16),
+            plan_cache: true,
+            real_rtt_us: 0,
+            // ~4x the local base_plan_ms: distributed planning adds metadata
+            // classification, the tier cascade, and per-shard rewrites
+            dist_plan_ms: 0.2,
+            cached_plan_ms: 0.02,
         }
     }
 }
@@ -339,8 +369,16 @@ impl Cluster {
     /// Open an internal connection to a node (workers talk to each other and
     /// to the coordinator over the same path).
     pub fn connect(self: &Arc<Self>, to: NodeId) -> PgResult<WorkerConn> {
+        self.connect_scoped(to, "")
+    }
+
+    /// Open an internal connection on behalf of a scoped work unit (the
+    /// executor passes each task's shard-set scope so fault rules can target
+    /// one task deterministically; see [`netsim::fault`]).
+    pub fn connect_scoped(self: &Arc<Self>, to: NodeId, scope: &str) -> PgResult<WorkerConn> {
         let node = self.node(to)?;
-        let d = self.faults().decide(to.0, FaultOp::Connect, "connect", FaultPhase::Before);
+        let d =
+            self.faults().decide_scoped(to.0, FaultOp::Connect, "connect", FaultPhase::Before, scope);
         self.apply_fault(&node, &d, "connect")?;
         if !node.is_active() {
             return Err(PgError::new(
@@ -370,6 +408,7 @@ impl Cluster {
             in_txn_block: false,
             used_for_writes: false,
             assigned_groups: Vec::new(),
+            fault_scope: scope.to_string(),
         })
     }
 }
@@ -391,6 +430,10 @@ pub struct WorkerConn {
     /// Co-located shard groups this connection has accessed in the current
     /// transaction (placement-connection affinity, §3.6.1).
     pub assigned_groups: Vec<u32>,
+    /// Scope string passed to the fault injector for operations on this
+    /// connection (the executor sets it to the current task's shard set;
+    /// `""` for unscoped fabric work).
+    pub fault_scope: String,
 }
 
 /// Stable tag naming a statement's kind, used to address fault-injection
@@ -431,16 +474,32 @@ impl WorkerConn {
         let tag = stmt_tag(stmt);
         self.intercept(tag, FaultPhase::Before)?;
         self.check_alive()?;
+        self.wire_delay();
         let result = self.session.execute_stmt(stmt)?;
         let cost = self.session.last_cost();
         self.intercept(tag, FaultPhase::After)?;
         Ok((result, cost))
     }
 
+    /// Block the calling thread for the configured real wire time (off by
+    /// default; benches opt in to measure fan-out overlap in wall-clock).
+    fn wire_delay(&self) {
+        let us = self.cluster.config.real_rtt_us;
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+
     /// Consult the fault injector for one window of this connection's
     /// current operation.
     fn intercept(&self, tag: &str, phase: FaultPhase) -> PgResult<()> {
-        let d = self.cluster.faults().decide(self.node.0, FaultOp::Statement, tag, phase);
+        let d = self.cluster.faults().decide_scoped(
+            self.node.0,
+            FaultOp::Statement,
+            tag,
+            phase,
+            &self.fault_scope,
+        );
         if d == FaultDecision::default() {
             return Ok(());
         }
@@ -479,6 +538,7 @@ impl WorkerConn {
     ) -> PgResult<(u64, SimCost)> {
         self.intercept("copy", FaultPhase::Before)?;
         self.check_alive()?;
+        self.wire_delay();
         let n = self.session.copy_rows_local(table, columns, rows)?;
         let cost = self.session.last_cost();
         self.intercept("copy", FaultPhase::After)?;

@@ -50,9 +50,9 @@ pub fn propagate(
                             tasks.push(Task {
                                 node,
                                 group: None,
-                                stmt: Statement::Truncate {
+                                stmt: std::sync::Arc::new(Statement::Truncate {
                                     tables: vec![shard.physical_name()],
-                                },
+                                }),
                                 is_write: true,
                                 shards: vec![*sid],
                             });
@@ -82,7 +82,9 @@ pub fn propagate(
                         tasks.push(Task {
                             node,
                             group: None,
-                            stmt: Statement::Vacuum { table: Some(shard.physical_name()) },
+                            stmt: std::sync::Arc::new(Statement::Vacuum {
+                                table: Some(shard.physical_name()),
+                            }),
                             is_write: false,
                             shards: vec![*sid],
                         });
@@ -131,7 +133,7 @@ fn propagate_create_index(
                 tasks.push(Task {
                     node,
                     group: None,
-                    stmt: Statement::CreateIndex(Box::new(shard_ci)),
+                    stmt: std::sync::Arc::new(Statement::CreateIndex(Box::new(shard_ci))),
                     is_write: true,
                     shards: vec![*sid],
                 });
@@ -179,10 +181,10 @@ fn drop_tables(
                     tasks.push(Task {
                         node,
                         group: None,
-                        stmt: Statement::DropTable {
+                        stmt: std::sync::Arc::new(Statement::DropTable {
                             names: vec![shard.physical_name()],
                             if_exists: true,
-                        },
+                        }),
                         is_write: true,
                         shards: vec![*sid],
                     });

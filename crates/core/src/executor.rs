@@ -10,6 +10,16 @@
 //! **slow-start scheduler** — the executor may use one connection per worker
 //! immediately and gains one more per 10 ms tick, capped by the shared
 //! connection limit — which yields each statement's elapsed virtual time.
+//!
+//! Independent read tasks outside a transaction additionally fan out over
+//! **real OS threads** ([`ClusterConfig::executor_threads`]): workers pull
+//! tasks from a shared queue, execute them over pooled-or-fresh connections,
+//! and a deterministic post-pass on the session thread folds outcomes back
+//! in *task order* — so rows, costs, retry counts, and virtual-clock
+//! advances are identical at any thread count, and `executor_threads = 1`
+//! is simply the degenerate case of the same code path. Writes and
+//! in-transaction statements stay on the session thread, where placement
+//! affinity and remote transaction blocks live.
 
 use crate::cluster::{Cluster, WorkerConn};
 use crate::cost::DistCost;
@@ -22,7 +32,7 @@ use pgmini::session::QueryResult;
 use pgmini::types::{Row, SortKey};
 use sqlparse::ast::{ColumnDef, CreateTable, Statement, TypeName};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Result of executing a distributed plan.
 pub struct ExecutorOutput {
@@ -239,67 +249,61 @@ pub fn execute_plan(
     let full_rtt = cluster.config.engine.cost.net_rtt_ms;
     let mut any_remote = false;
     let mut retries_total = 0u64;
-    for task in &plan.tasks {
-        let retryable = !task.is_write && !in_txn;
-        let max_attempts = 1 + if retryable { cluster.config.task_retries } else { 0 };
-        let mut target = task.node;
-        let mut attempt = 0u32;
-        let bind_group = if in_txn { task.group } else { None };
-        let (result, remote_cost) = loop {
-            attempt += 1;
-            let err = match task_conn(
-                cluster, state, target, task.group, in_txn, state.dist_txn, &mut cost,
-            ) {
-                Ok((key, mut conn, _fresh)) => {
-                    let outcome = conn.execute_stmt(&task.stmt);
-                    if task.is_write {
-                        conn.used_for_writes = true;
-                    }
-                    match outcome {
-                        Ok(ok) => {
-                            state.checkin(key, conn, bind_group);
-                            break ok;
-                        }
-                        Err(e) => {
-                            if is_connection_failure(&e) {
-                                // a broken connection never recovers: drop it
-                                // (and any affinity pointing at it) so the next
-                                // attempt dials a fresh one — like discarding a
-                                // broken socket
-                                state.affinity.retain(|_, k| *k != key);
-                                drop(conn);
-                            } else {
-                                state.checkin(key, conn, bind_group);
-                            }
-                            e
-                        }
-                    }
-                }
-                Err(e) => e,
-            };
-            if !is_connection_failure(&err) || attempt >= max_attempts {
-                cluster.note_task_retries(retries_total);
-                return Err(err);
+    if !in_txn && !plan.is_write {
+        // read fan-out: threaded when configured, inline otherwise — one
+        // code path, deterministic outcomes either way
+        let per_task = fan_out_read_tasks(cluster, state, &plan.tasks, &mut cost)?;
+        for (result, remote_cost, target, retries) in per_task {
+            let rtt = if target == self_node { 0.0 } else { full_rtt };
+            if target != self_node {
+                any_remote = true;
             }
-            retries_total += 1;
-            let backoff_ms = (cluster.config.retry_backoff_ms
-                * (1u64 << (attempt - 1).min(16)) as f64)
-                .min(cluster.config.retry_backoff_cap_ms);
-            cluster.clock.advance_micros((backoff_ms * 1000.0) as u64);
-            cost.net_ms += backoff_ms;
-            if let Some(alt) = surviving_placement(cluster, task, target) {
-                target = alt;
-            }
-        };
-        // local execution (§3.2.1): tasks on the coordinating node itself
-        // skip the network round trip
-        let rtt = if target == self_node { 0.0 } else { full_rtt };
-        if target != self_node {
-            any_remote = true;
+            retries_total += retries;
+            cost.add_node(target, &remote_cost);
+            per_node_durations.entry(target).or_default().push(remote_cost.total_ms() + rtt);
+            results.push(result);
         }
-        cost.add_node(target, &remote_cost);
-        per_node_durations.entry(target).or_default().push(remote_cost.total_ms() + rtt);
-        results.push(result);
+    } else {
+        // session-thread path: writes and in-transaction statements, where
+        // placement affinity binds shard groups to connections and a lost
+        // reply must surface immediately (never re-tried)
+        for task in &plan.tasks {
+            let target = task.node;
+            let bind_group = if in_txn { task.group } else { None };
+            let (key, mut conn, _fresh) = task_conn(
+                cluster, state, target, task.group, in_txn, state.dist_txn, &mut cost,
+            )?;
+            conn.fault_scope = task_scope(task);
+            let outcome = conn.execute_stmt(&task.stmt);
+            conn.fault_scope.clear();
+            if task.is_write {
+                conn.used_for_writes = true;
+            }
+            let (result, remote_cost) = match outcome {
+                Ok(ok) => {
+                    state.checkin(key, conn, bind_group);
+                    ok
+                }
+                Err(e) => {
+                    if is_connection_failure(&e) {
+                        // a broken connection never recovers: drop it (and
+                        // any affinity pointing at it) like a broken socket
+                        state.affinity.retain(|_, k| *k != key);
+                        drop(conn);
+                    } else {
+                        state.checkin(key, conn, bind_group);
+                    }
+                    return Err(e);
+                }
+            };
+            let rtt = if target == self_node { 0.0 } else { full_rtt };
+            if target != self_node {
+                any_remote = true;
+            }
+            cost.add_node(target, &remote_cost);
+            per_node_durations.entry(target).or_default().push(remote_cost.total_ms() + rtt);
+            results.push(result);
+        }
     }
     cluster.note_task_retries(retries_total);
 
@@ -419,6 +423,241 @@ pub fn execute_plan(
         peak_connections: peak,
         retries: retries_total,
     })
+}
+
+/// Fault-injection scope naming one task: its shard set (`"s102008"`,
+/// `"s102008+s102010"`). Stable across thread counts and retries, so scoped
+/// fault rules pin to a task deterministically under parallelism.
+fn task_scope(task: &Task) -> String {
+    let mut s = String::new();
+    for sid in &task.shards {
+        if !s.is_empty() {
+            s.push('+');
+        }
+        s.push('s');
+        s.push_str(&sid.0.to_string());
+    }
+    s
+}
+
+/// Shared connection pool for one statement's fan-out: per node, a stack of
+/// connections with the session pool key they came from (`None` = freshly
+/// dialled by a fan-out worker).
+type FanOutPool = Mutex<HashMap<NodeId, Vec<(Option<ConnKey>, WorkerConn)>>>;
+
+/// Outcome of one fan-out task, folded back in task order by the post-pass.
+struct TaskOutcome {
+    result: PgResult<(QueryResult, pgmini::cost::SimCost)>,
+    target: NodeId,
+    retries: u64,
+    /// Virtual backoff this task accrued; applied to the clock and cost
+    /// deterministically by the post-pass, not at retry time.
+    backoff_ms: f64,
+}
+
+/// Execute one read task against the shared pool: checkout-or-dial, retry
+/// with capped exponential backoff on connection failures, fail over to a
+/// surviving placement when the target node is down. Runs to completion on
+/// any thread; never touches the virtual clock or shared counters (the
+/// post-pass owns those, in task order).
+fn run_read_task(
+    cluster: &Arc<Cluster>,
+    pool: &FanOutPool,
+    task: &Task,
+    max_attempts: u32,
+) -> TaskOutcome {
+    let scope = task_scope(task);
+    let mut target = task.node;
+    let mut attempt = 0u32;
+    let mut retries = 0u64;
+    let mut backoff_ms = 0.0f64;
+    loop {
+        attempt += 1;
+        let pooled = pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_mut(&target)
+            .and_then(Vec::pop);
+        let acquired = match pooled {
+            Some((origin, conn)) => Ok((origin, conn)),
+            None => cluster.connect_scoped(target, &scope).map(|c| (None, c)),
+        };
+        let err = match acquired {
+            Ok((origin, mut conn)) => {
+                conn.fault_scope = scope.clone();
+                match conn.execute_stmt(&task.stmt) {
+                    Ok(ok) => {
+                        conn.fault_scope.clear();
+                        pool.lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .entry(target)
+                            .or_default()
+                            .push((origin, conn));
+                        return TaskOutcome { result: Ok(ok), target, retries, backoff_ms };
+                    }
+                    Err(e) => {
+                        if is_connection_failure(&e) {
+                            drop(conn); // broken socket: never pool it again
+                        } else {
+                            conn.fault_scope.clear();
+                            pool.lock()
+                                .unwrap_or_else(|x| x.into_inner())
+                                .entry(target)
+                                .or_default()
+                                .push((origin, conn));
+                        }
+                        e
+                    }
+                }
+            }
+            Err(e) => e,
+        };
+        if !is_connection_failure(&err) || attempt >= max_attempts {
+            return TaskOutcome { result: Err(err), target, retries, backoff_ms };
+        }
+        retries += 1;
+        backoff_ms += (cluster.config.retry_backoff_ms * (1u64 << (attempt - 1).min(16)) as f64)
+            .min(cluster.config.retry_backoff_cap_ms);
+        if let Some(alt) = surviving_placement(cluster, task, target) {
+            target = alt;
+        }
+    }
+}
+
+/// Fan independent read tasks out over the configured executor threads.
+///
+/// Determinism contract — identical observable effects at any thread count:
+/// * connection-establishment cost is pre-charged once per distinct node
+///   whose session pool was empty (in task order), instead of per real dial;
+/// * workers run every task to completion without touching shared state;
+/// * a post-pass in task order applies retry counts, backoff (virtual clock
+///   + net cost), and — on failure — reports the lowest-indexed failing
+///   task's error with exactly the retries a sequential run would have seen;
+/// * the session pool is restored to the sequential steady state: original
+///   pooled connections keep their keys, and nodes dialled fresh keep
+///   exactly one new connection.
+fn fan_out_read_tasks(
+    cluster: &Arc<Cluster>,
+    state: &mut SessionState,
+    tasks: &[Task],
+    cost: &mut DistCost,
+) -> PgResult<Vec<(QueryResult, pgmini::cost::SimCost, NodeId, u64)>> {
+    if tasks.is_empty() {
+        return Ok(Vec::new());
+    }
+    let connect_ms = cluster.config.engine.cost.connect_ms;
+    // pre-charge connects: one per distinct node with no pooled connection,
+    // in task order (what a sequential run would have dialled)
+    let mut charged: Vec<NodeId> = Vec::new();
+    for task in tasks {
+        let node = task.node;
+        if !charged.contains(&node) && !state.conns.keys().any(|(n, _)| *n == node) {
+            cost.net_ms += connect_ms;
+            charged.push(node);
+        }
+    }
+
+    // seed the shared pool from the session's idle connections
+    let pool: FanOutPool = Mutex::new(HashMap::new());
+    {
+        let idle: Vec<ConnKey> = state
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.in_txn_block)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut p = pool.lock().unwrap_or_else(|e| e.into_inner());
+        for key in idle {
+            if let Some(conn) = state.conns.remove(&key) {
+                p.entry(key.0).or_default().push((Some(key), conn));
+            }
+        }
+    }
+
+    let max_attempts = 1 + cluster.config.task_retries;
+    let threads = cluster.config.executor_threads.max(1).min(tasks.len());
+    let mut outcomes: Vec<Option<TaskOutcome>> = Vec::with_capacity(tasks.len());
+    if threads <= 1 {
+        for task in tasks {
+            outcomes.push(Some(run_read_task(cluster, &pool, task, max_attempts)));
+        }
+    } else {
+        let slots: Mutex<Vec<Option<TaskOutcome>>> =
+            Mutex::new((0..tasks.len()).map(|_| None).collect());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let outcome = run_read_task(cluster, &pool, &tasks[i], max_attempts);
+                    slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(outcome);
+                });
+            }
+        });
+        outcomes = slots.into_inner().unwrap_or_else(|e| e.into_inner());
+    }
+
+    // restore the session pool to the sequential steady state
+    {
+        let mut p = pool.into_inner().unwrap_or_else(|e| e.into_inner());
+        for (node, conns) in p.drain() {
+            let (keyed, fresh): (Vec<_>, Vec<_>) =
+                conns.into_iter().partition(|(origin, _)| origin.is_some());
+            if !keyed.is_empty() {
+                // original connections return under their keys; fresh extras
+                // drop (and release their slots)
+                for (origin, mut conn) in keyed {
+                    conn.fault_scope.clear();
+                    state.conns.insert(origin.expect("keyed"), conn);
+                }
+            } else if let Some((_, mut conn)) = fresh.into_iter().next() {
+                // a sequential run would have dialled exactly one
+                conn.fault_scope.clear();
+                let key = state.new_key(node);
+                state.conns.insert(key, conn);
+            }
+        }
+    }
+
+    // deterministic post-pass, in task order
+    let first_fail = outcomes
+        .iter()
+        .position(|o| matches!(o, Some(TaskOutcome { result: Err(_), .. }) | None));
+    if let Some(f) = first_fail {
+        // replay the sequential account: tasks before `f` completed (their
+        // retries and backoff count), task `f` failed after its own
+        let mut retries = 0u64;
+        let mut backoff = 0.0f64;
+        for o in outcomes.iter().take(f).flatten() {
+            retries += o.retries;
+            backoff += o.backoff_ms;
+        }
+        let err = match outcomes.into_iter().nth(f).flatten() {
+            Some(o) => {
+                retries += o.retries;
+                backoff += o.backoff_ms;
+                o.result.err().expect("first_fail is Err")
+            }
+            None => PgError::internal("fan-out worker panicked"),
+        };
+        cluster.clock.advance_micros((backoff * 1000.0) as u64);
+        cost.net_ms += backoff;
+        cluster.note_task_retries(retries);
+        return Err(err);
+    }
+    let mut backoff_total = 0.0f64;
+    let mut out = Vec::with_capacity(outcomes.len());
+    for o in outcomes.into_iter().flatten() {
+        backoff_total += o.backoff_ms;
+        let (result, remote_cost) = o.result.expect("no failures past first_fail check");
+        out.push((result, remote_cost, o.target, o.retries));
+    }
+    cluster.clock.advance_micros((backoff_total * 1000.0) as u64);
+    cost.net_ms += backoff_total;
+    Ok(out)
 }
 
 /// Another active node holding every shard this task touches, if the current

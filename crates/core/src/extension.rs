@@ -36,6 +36,9 @@ pub struct CitrusExtension {
     /// Distributed transaction numbers currently in flight from this node
     /// (2PC recovery must not roll back prepared txns that are still active).
     active_txn_numbers: Mutex<std::collections::HashSet<u64>>,
+    /// Distributed plan cache keyed by normalized statement shape (§3.5.1);
+    /// entries are invalidated by metadata generation.
+    plan_cache: planner::cache::PlanCache,
 }
 
 impl CitrusExtension {
@@ -47,6 +50,7 @@ impl CitrusExtension {
             node,
             sessions: Mutex::new(HashMap::new()),
             active_txn_numbers: Mutex::new(std::collections::HashSet::new()),
+            plan_cache: planner::cache::PlanCache::new(),
         });
         engine.hooks.install(ext.clone());
         Self::create_catalogs(engine);
@@ -233,13 +237,56 @@ impl CitrusExtension {
                 }
             }
         }
+        let mut planning_ms = cluster.config.dist_plan_ms;
         let plan = {
             let meta = cluster.metadata.read_recursive();
-            let mut env = PlannerEnv { ext: self, session, state };
-            planner::plan_statement(stmt, &meta, self.node, &mut env)?
+            // plan-cache fast path: a known statement shape re-runs only its
+            // single-shard tier (shard pruning + rewrite), skipping table
+            // classification and the tier cascade (§3.5.1)
+            let cache_key = if cluster.config.plan_cache && cacheable_shape(stmt) {
+                Some(planner::cache::shape_hash(stmt))
+            } else {
+                None
+            };
+            let mut cached = None;
+            if let Some(key) = cache_key {
+                if let Some(tier) = self.plan_cache.lookup(key, meta.generation()) {
+                    cached = match tier {
+                        planner::cache::CachedTier::FastPath => {
+                            planner::try_fast_path(stmt, &meta)?
+                        }
+                        planner::cache::CachedTier::Router => planner::try_router(stmt, &meta)?,
+                    };
+                    if cached.is_some() {
+                        planning_ms = cluster.config.cached_plan_ms;
+                    }
+                }
+            }
+            match cached {
+                Some(p) => Some(p),
+                None => {
+                    let mut env = PlannerEnv { ext: self, session, state };
+                    let p = planner::plan_statement(stmt, &meta, self.node, &mut env)?;
+                    if let (Some(key), Some(pl)) = (cache_key, p.as_ref()) {
+                        if let Some(tier) = cacheable_tier(pl) {
+                            self.plan_cache.insert(key, meta.generation(), tier);
+                        }
+                    }
+                    p
+                }
+            }
         };
         let Some(plan) = plan else { return Ok(None) };
+        // distributed planning is coordinator CPU the statement serially
+        // waits on; a cache hit pays only the pruning recomputation
+        state.stmt_cost.coordinator.add_cpu(planning_ms);
+        state.stmt_cost.elapsed_ms += planning_ms;
         self.execute_plan_with_txn(session, state, &plan).map(Some)
+    }
+
+    /// Plan-cache hit/miss counters and size for this node's extension.
+    pub fn plan_cache_stats(&self) -> planner::cache::PlanCacheStats {
+        self.plan_cache.stats()
     }
 
     /// Execute a plan, wrapping multi-node writes in an (implicit) 2PC
@@ -504,6 +551,36 @@ impl CitrusExtension {
 
 fn find_conn_to(state: &SessionState, node: NodeId) -> Option<executor::ConnKey> {
     state.conns.keys().find(|(n, _)| *n == node).copied()
+}
+
+/// Statement kinds worth hashing for the plan cache: CRUD only (DDL and
+/// utility statements are rare and metadata-mutating).
+fn cacheable_shape(stmt: &Statement) -> bool {
+    matches!(
+        stmt,
+        Statement::Select(_) | Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)
+    )
+}
+
+/// Which tier to record for a freshly-built plan, if any. Only single-task
+/// shard-group plans are cached: the tier re-run on a hit recomputes the
+/// shard bucket from the statement's constants, which is exactly the
+/// per-execution part. Reference-table plans (group `None`) depend on
+/// placement sets, and subplan/prep plans carry per-execution state — both
+/// replan fully every time.
+fn cacheable_tier(plan: &DistPlan) -> Option<planner::cache::CachedTier> {
+    if plan.used_subplans || !plan.prep.is_empty() {
+        return None;
+    }
+    match plan.kind {
+        planner::PlannerKind::FastPath => Some(planner::cache::CachedTier::FastPath),
+        planner::PlannerKind::Router
+            if plan.tasks.len() == 1 && plan.tasks[0].group.is_some() =>
+        {
+            Some(planner::cache::CachedTier::Router)
+        }
+        _ => None,
+    }
 }
 
 /// Extract the txn number from `citrus_{origin}_{number}_{i}`.

@@ -64,9 +64,9 @@ pub fn execute(
                 }));
                 let rewritten = rewrite::rewrite_statement(&stmt, &map);
                 tasks.push(Task {
-                    node: planner::bucket_node(&meta, &ins.table, b)?,
+                    node: planner::bucket_node_of(&meta, &target, b)?,
                     group: Some((target.colocation_id, b)),
-                    stmt: rewritten,
+                    stmt: std::sync::Arc::new(rewritten),
                     is_write: true,
                     shards: vec![target.shards[b]],
                 });

@@ -75,6 +75,10 @@ pub struct Metadata {
     shards: HashMap<ShardId, Shard>,
     next_shard: u64,
     next_colocation: u32,
+    /// Bumped on every placement-visible change (DDL, distribution, shard
+    /// moves). Cached distributed plans carry the generation they were built
+    /// under and are discarded when it no longer matches.
+    generation: u64,
 }
 
 impl Metadata {
@@ -84,7 +88,13 @@ impl Metadata {
             shards: HashMap::new(),
             next_shard: FIRST_SHARD_ID,
             next_colocation: 1,
+            generation: 0,
         }
+    }
+
+    /// Current metadata generation (plan-cache invalidation token).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     pub fn is_citrus_table(&self, name: &str) -> bool {
@@ -108,6 +118,8 @@ impl Metadata {
     }
 
     pub fn shard_mut(&mut self, id: ShardId) -> PgResult<&mut Shard> {
+        // mutable shard access can move placements — invalidate cached plans
+        self.generation += 1;
         self.shards
             .get_mut(&id)
             .ok_or_else(|| PgError::internal(format!("unknown shard {}", id.0)))
@@ -178,6 +190,7 @@ impl Metadata {
                 .collect(),
         };
         let ranges = hash_ranges(shard_count);
+        self.generation += 1;
         let mut ids = Vec::with_capacity(shard_count as usize);
         for (i, (min_hash, max_hash)) in ranges.into_iter().enumerate() {
             let id = ShardId(self.next_shard);
@@ -217,6 +230,7 @@ impl Metadata {
         }
         let id = ShardId(self.next_shard);
         self.next_shard += 1;
+        self.generation += 1;
         self.shards.insert(
             id,
             Shard {
@@ -244,6 +258,7 @@ impl Metadata {
         let meta = self.tables.remove(name).ok_or_else(|| {
             PgError::new(ErrorCode::UndefinedTable, format!("\"{name}\" is not a citrus table"))
         })?;
+        self.generation += 1;
         Ok(meta
             .shards
             .iter()

@@ -13,7 +13,7 @@
 use super::analysis::{level_facts, LevelFacts};
 use super::merge::split_aggregation;
 use super::rewrite;
-use super::{bucket_name_map, bucket_node, DistPlan, Merge, PlannerKind, SubplanExecutor, Task};
+use super::{bucket_name_map, DistPlan, Merge, PlannerKind, SubplanExecutor, Task};
 use crate::metadata::{Metadata, NodeId};
 use pgmini::error::{PgError, PgResult};
 use sqlparse::ast::{
@@ -328,7 +328,7 @@ fn plan_repartition(
         tasks.push(Task {
             node: *node,
             group: None,
-            stmt: Statement::Select(Box::new(rewritten)),
+            stmt: std::sync::Arc::new(Statement::Select(Box::new(rewritten))),
             is_write: false,
             shards: vec![],
         });
@@ -471,9 +471,9 @@ fn finish_fanout_plan(
         let map = bucket_name_map(meta, b);
         let rewritten = rewrite::rewrite_select(&worker_template, &map);
         tasks.push(Task {
-            node: bucket_node(meta, &anchor.name, b)?,
+            node: super::bucket_node_of(meta, anchor, b)?,
             group: Some((anchor.colocation_id, b)),
-            stmt: Statement::Select(Box::new(rewritten)),
+            stmt: std::sync::Arc::new(Statement::Select(Box::new(rewritten))),
             is_write: false,
             shards: vec![anchor.shards[b]],
         });

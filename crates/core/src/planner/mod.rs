@@ -7,6 +7,7 @@
 //! order** (non-co-located joins via broadcast/repartition subplans).
 
 pub mod analysis;
+pub mod cache;
 pub mod join_order;
 pub mod merge;
 pub mod pushdown;
@@ -17,6 +18,7 @@ use analysis::{infer_bucket, BucketInference};
 use merge::MergePlan;
 use pgmini::error::{ErrorCode, PgError, PgResult};
 use sqlparse::ast::{Expr, InsertSource, Statement};
+use std::sync::Arc;
 
 /// Which planner produced a plan (exposed via EXPLAIN and used by the
 /// planner-tier benchmarks).
@@ -47,7 +49,10 @@ pub struct Task {
     /// placement-connection affinity of §3.6.1. `None` for reference-table
     /// tasks.
     pub group: Option<(u32, usize)>,
-    pub stmt: Statement,
+    /// The rewritten statement. Shared — a reference-table write builds one
+    /// task per placement off a single rewritten statement, and the parallel
+    /// fan-out hands tasks to worker threads without deep-copying ASTs.
+    pub stmt: Arc<Statement>,
     pub is_write: bool,
     /// Shards this task touches (diagnostics / EXPLAIN).
     pub shards: Vec<ShardId>,
@@ -211,9 +216,18 @@ pub fn bucket_name_map<'a>(
 
 /// The node hosting bucket `bucket` of `table`'s colocation group.
 pub fn bucket_node(meta: &Metadata, table: &str, bucket: usize) -> PgResult<NodeId> {
-    let dt = meta.require_table(table)?;
+    bucket_node_of(meta, meta.require_table(table)?, bucket)
+}
+
+/// Same, with the table metadata already resolved — lets multi-shard
+/// planners look the table up once instead of once per bucket.
+pub fn bucket_node_of(
+    meta: &Metadata,
+    dt: &crate::metadata::DistTable,
+    bucket: usize,
+) -> PgResult<NodeId> {
     let sid = dt.shards.get(bucket).copied().ok_or_else(|| {
-        PgError::internal(format!("bucket {bucket} out of range for {table}"))
+        PgError::internal(format!("bucket {bucket} out of range for {}", dt.name))
     })?;
     let shard = meta.shard(sid)?;
     shard
@@ -305,7 +319,7 @@ pub fn try_fast_path(stmt: &Statement, meta: &Metadata) -> PgResult<Option<DistP
         tasks: vec![Task {
             node,
             group: Some((dt.colocation_id, bucket)),
-            stmt: rewritten,
+            stmt: Arc::new(rewritten),
             is_write,
             shards: vec![dt.shards[bucket]],
         }],
@@ -391,7 +405,7 @@ pub fn try_router(stmt: &Statement, meta: &Metadata) -> PgResult<Option<DistPlan
         tasks: vec![Task {
             node,
             group: Some((anchor.colocation_id, bucket)),
-            stmt: rewritten,
+            stmt: Arc::new(rewritten),
             is_write,
             shards,
         }],
@@ -436,14 +450,15 @@ fn try_reference_write(stmt: &Statement, meta: &Metadata) -> PgResult<Option<Dis
         })
     };
     let _ = &physical;
-    let rewritten = rewrite::rewrite_statement(stmt, &map);
+    // one rewritten AST shared across all placements (no per-placement clone)
+    let rewritten = Arc::new(rewrite::rewrite_statement(stmt, &map));
     let tasks: Vec<Task> = shard
         .placements
         .iter()
         .map(|&node| Task {
             node,
             group: None,
-            stmt: rewritten.clone(),
+            stmt: Arc::clone(&rewritten),
             is_write: true,
             shards: vec![shard.id],
         })
@@ -492,7 +507,7 @@ pub(crate) fn reference_read_plan(
         meta.table(n)
             .map(|t| meta.shard(t.shards[0]).expect("reference shard").physical_name())
     };
-    let rewritten = rewrite::rewrite_statement(stmt, &map);
+    let rewritten = Arc::new(rewrite::rewrite_statement(stmt, &map));
     Ok(DistPlan {
         kind: PlannerKind::Router,
         tasks: vec![Task { node, group: None, stmt: rewritten, is_write: false, shards }],

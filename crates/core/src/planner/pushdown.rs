@@ -14,7 +14,7 @@
 use super::analysis::{level_buckets, level_facts, LevelFacts};
 use super::merge::split_aggregation;
 use super::rewrite;
-use super::{bucket_name_map, bucket_node, DistPlan, Merge, PlannerKind, SubplanExecutor, Task};
+use super::{bucket_name_map, DistPlan, Merge, PlannerKind, SubplanExecutor, Task};
 use crate::metadata::{Metadata, NodeId};
 use pgmini::error::{ErrorCode, PgError, PgResult};
 use pgmini::types::Datum;
@@ -537,11 +537,11 @@ fn build_tasks(
     for &b in buckets {
         let map = bucket_name_map(meta, b);
         let rewritten = rewrite::rewrite_select(worker, &map);
-        let node = bucket_node(meta, &anchor.name, b)?;
+        let node = super::bucket_node_of(meta, anchor, b)?;
         tasks.push(Task {
             node,
             group: Some((anchor.colocation_id, b)),
-            stmt: Statement::Select(Box::new(rewritten)),
+            stmt: std::sync::Arc::new(Statement::Select(Box::new(rewritten))),
             is_write,
             shards: vec![anchor.shards[b]],
         });
@@ -588,9 +588,9 @@ fn plan_multi_shard_dml(
         let map = bucket_name_map(meta, b);
         let rewritten = rewrite::rewrite_statement(stmt, &map);
         tasks.push(Task {
-            node: bucket_node(meta, table, b)?,
+            node: super::bucket_node_of(meta, &dt, b)?,
             group: Some((dt.colocation_id, b)),
-            stmt: rewritten,
+            stmt: std::sync::Arc::new(rewritten),
             is_write: true,
             shards: vec![dt.shards[b]],
         });
@@ -652,9 +652,9 @@ fn plan_multi_row_insert(
         }));
         let rewritten = rewrite::rewrite_statement(&stmt, &map);
         tasks.push(Task {
-            node: bucket_node(meta, &ins.table, b)?,
+            node: super::bucket_node_of(meta, &dt, b)?,
             group: Some((dt.colocation_id, b)),
-            stmt: rewritten,
+            stmt: std::sync::Arc::new(rewritten),
             is_write: true,
             shards: vec![dt.shards[b]],
         });

@@ -5,23 +5,44 @@
 //! fabric offers (`connect`, each remote statement, COPY streams), whether a
 //! fault fires there. Rules can be *scripted* — fire on the Nth matching
 //! operation (`after`), a bounded number of times (`times`) — or
-//! *probabilistic*, drawing from a seeded RNG. Either way the full fault
-//! schedule is a pure function of `(FaultPlan, seed)` and the sequence of
-//! intercepted operations, so any failing run replays exactly.
+//! *probabilistic*, drawing from a seeded hash.
 //!
 //! The injector knows nothing about databases: operations are identified by
-//! a node id, a [`FaultOp`], and a string tag (the fabric passes statement
-//! kinds such as `"prepare_transaction"` or `"commit_prepared"`). This keeps
-//! netsim generic and lets the engine layer define its own vocabulary.
+//! a node id, a [`FaultOp`], a string tag (the fabric passes statement kinds
+//! such as `"prepare_transaction"` or `"commit_prepared"`), and a *scope*
+//! string naming the work unit (the executor passes each task's shard set,
+//! e.g. `"s102008"`; non-task operations pass `""`). This keeps netsim
+//! generic and lets the engine layer define its own vocabulary.
+//!
+//! # Determinism under parallelism
+//!
+//! The fabric may consult the injector from many threads at once (the
+//! parallel shard fan-out of the adaptive executor), so decisions must not
+//! depend on global arrival order:
+//!
+//! * **Probabilistic rules** draw a pure hash of
+//!   `(seed, rule, node, tag, scope, phase, occurrence)`, where `occurrence`
+//!   counts matching consultations *per key* rather than globally. Whether a
+//!   given task's Nth attempt is hit is therefore a pure function of
+//!   `(plan, seed)` and the task's identity — identical on 1 thread or N.
+//! * **Scripted rules** (`probability == 1.0`) keep global `skip`/`fires`
+//!   budgets, so aggregate counts (`fired`, total retries, total latency)
+//!   stay exact under parallelism, but *which* concurrent operation consumes
+//!   a budget slot is arrival-ordered. Scope a scripted rule with
+//!   [`FaultRule::scoped_to`] to pin it to one task deterministically.
+//! * [`FaultInjector::fingerprint`] hashes the fired-event *multiset*
+//!   (excluding the arrival sequence number and the victim scope), so equal
+//!   schedules produce equal fingerprints regardless of thread interleaving.
 //!
 //! Every fired fault is appended to an event log; [`FaultInjector::events`]
 //! and [`FaultInjector::fingerprint`] let tests assert that two runs of the
-//! same scenario produced byte-identical schedules.
+//! same scenario produced identical schedules.
 
+use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// The kind of fabric operation being intercepted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultOp {
     /// Opening a connection to a node.
     Connect,
@@ -36,7 +57,7 @@ pub enum FaultOp {
 /// node execute the operation and then lose the *reply* — the classic 2PC
 /// failure window: a `PREPARE TRANSACTION` that succeeded remotely but whose
 /// acknowledgement never arrived.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultPhase {
     Before,
     After,
@@ -55,7 +76,8 @@ pub enum FaultKind {
     Latency(f64),
 }
 
-/// One trigger: filters on (node, op, tag), a firing schedule, and a kind.
+/// One trigger: filters on (node, op, tag, scope), a firing schedule, and a
+/// kind.
 #[derive(Debug, Clone)]
 pub struct FaultRule {
     /// Shown in the event log; defaults to a description of the rule.
@@ -65,6 +87,10 @@ pub struct FaultRule {
     pub op: FaultOp,
     /// Exact tag match for [`FaultOp::Statement`]; `None` matches any tag.
     pub tag: Option<String>,
+    /// Exact scope match (the executor scopes tasks by shard set, e.g.
+    /// `"s102008"`); `None` matches any scope. Scoping a scripted rule pins
+    /// it to one task, making the victim deterministic under parallelism.
+    pub scope: Option<String>,
     pub phase: FaultPhase,
     pub kind: FaultKind,
     /// Let the first `skip` matching operations through unharmed
@@ -72,8 +98,8 @@ pub struct FaultRule {
     pub skip: u64,
     /// Fire at most this many times; the default 1 makes rules one-shot.
     pub fires: u64,
-    /// Fire with this probability per matching operation (drawn from the
-    /// injector's seeded RNG). 1.0 — the default — is fully scripted.
+    /// Fire with this probability per matching operation (drawn from a
+    /// seeded, occurrence-keyed hash). 1.0 — the default — is fully scripted.
     pub probability: f64,
 }
 
@@ -84,6 +110,7 @@ impl FaultRule {
             node: None,
             op,
             tag: None,
+            scope: None,
             phase: FaultPhase::Before,
             kind,
             skip: 0,
@@ -126,6 +153,13 @@ impl FaultRule {
         self
     }
 
+    /// Restrict to operations carrying this scope string (the executor
+    /// passes each task's shard set, e.g. `"s102008"`).
+    pub fn scoped_to(mut self, scope: &str) -> FaultRule {
+        self.scope = Some(scope.to_string());
+        self
+    }
+
     pub fn at(mut self, phase: FaultPhase) -> FaultRule {
         self.phase = phase;
         self
@@ -149,7 +183,7 @@ impl FaultRule {
         self
     }
 
-    /// Fire with probability `p` per matching operation (seeded RNG).
+    /// Fire with probability `p` per matching operation (seeded hash).
     pub fn with_probability(mut self, p: f64) -> FaultRule {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.probability = p;
@@ -161,11 +195,12 @@ impl FaultRule {
         self
     }
 
-    fn matches(&self, node: u32, op: FaultOp, tag: &str, phase: FaultPhase) -> bool {
+    fn matches(&self, node: u32, op: FaultOp, tag: &str, phase: FaultPhase, scope: &str) -> bool {
         self.op == op
             && self.phase == phase
             && self.node.map(|n| n == node).unwrap_or(true)
             && self.tag.as_deref().map(|t| t == tag).unwrap_or(true)
+            && self.scope.as_deref().map(|s| s == scope).unwrap_or(true)
     }
 
     fn describe(&self) -> String {
@@ -173,8 +208,8 @@ impl FaultRule {
             return self.label.clone();
         }
         format!(
-            "{:?}/{:?} node={:?} tag={:?} {:?}",
-            self.op, self.phase, self.node, self.tag, self.kind
+            "{:?}/{:?} node={:?} tag={:?} scope={:?} {:?}",
+            self.op, self.phase, self.node, self.tag, self.scope, self.kind
         )
     }
 }
@@ -222,12 +257,18 @@ impl FaultDecision {
 /// One fired fault, recorded for determinism checks and debugging.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {
-    /// Global operation sequence number at which the fault fired.
+    /// Global operation sequence number at which the fault fired. Arrival-
+    /// ordered, so it varies across thread interleavings; excluded from
+    /// [`FaultInjector::fingerprint`].
     pub seq: u64,
     pub rule: String,
     pub node: u32,
     pub op: FaultOp,
     pub tag: String,
+    /// Scope of the victim operation (a task's shard set, or `""`). Recorded
+    /// for debugging; excluded from the fingerprint because an unscoped
+    /// scripted budget may land on a different concurrent victim per run.
+    pub scope: String,
     pub phase: FaultPhase,
     pub kind: FaultKind,
 }
@@ -238,11 +279,15 @@ struct RuleState {
     fired: u64,
 }
 
+/// Per-key occurrence counter key for probabilistic draws:
+/// (rule index, node, tag, scope, phase).
+type OccKey = (usize, u32, String, String, FaultPhase);
+
 struct InjectorState {
     rules: Vec<RuleState>,
-    /// splitmix64 state for probabilistic rules; advanced only when a
-    /// probabilistic rule is consulted, so scripted plans never touch it.
-    rng: u64,
+    /// Matching-consultation counts per (rule, node, tag, scope, phase) key;
+    /// indexes the pure probabilistic draw so it is arrival-order-free.
+    occurrences: HashMap<OccKey, u64>,
     seq: u64,
     log: Vec<FaultEvent>,
 }
@@ -251,6 +296,7 @@ struct InjectorState {
 /// methods take `&self` and serialise internally.
 pub struct FaultInjector {
     inner: Mutex<InjectorState>,
+    seed: u64,
     empty: bool,
 }
 
@@ -260,6 +306,17 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl FaultInjector {
@@ -272,10 +329,11 @@ impl FaultInjector {
                     .into_iter()
                     .map(|rule| RuleState { rule, matched: 0, fired: 0 })
                     .collect(),
-                rng: seed,
+                occurrences: HashMap::new(),
                 seq: 0,
                 log: Vec::new(),
             }),
+            seed,
             empty,
         }
     }
@@ -285,20 +343,35 @@ impl FaultInjector {
         FaultInjector::new(FaultPlan::new(), 0)
     }
 
-    /// Consult the plan for one operation. The fabric must honour the
-    /// returned decision (fail the op, crash the node, charge latency).
+    /// Consult the plan for one operation with no scope (non-task fabric
+    /// work: 2PC, recovery, maintenance connections).
     pub fn decide(&self, node: u32, op: FaultOp, tag: &str, phase: FaultPhase) -> FaultDecision {
+        self.decide_scoped(node, op, tag, phase, "")
+    }
+
+    /// Consult the plan for one operation carrying a scope string. The
+    /// fabric must honour the returned decision (fail the op, crash the
+    /// node, charge latency).
+    pub fn decide_scoped(
+        &self,
+        node: u32,
+        op: FaultOp,
+        tag: &str,
+        phase: FaultPhase,
+        scope: &str,
+    ) -> FaultDecision {
         if self.empty {
             return FaultDecision::default();
         }
+        let seed = self.seed;
         let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let InjectorState { rules, rng, seq, log } = &mut *st;
+        let InjectorState { rules, occurrences, seq, log } = &mut *st;
         *seq += 1;
         let seq = *seq;
         let mut decision = FaultDecision::default();
         let mut fired: Vec<FaultEvent> = Vec::new();
-        for rs in rules {
-            if !rs.rule.matches(node, op, tag, phase) {
+        for (idx, rs) in rules.iter_mut().enumerate() {
+            if !rs.rule.matches(node, op, tag, phase, scope) {
                 continue;
             }
             rs.matched += 1;
@@ -306,7 +379,23 @@ impl FaultInjector {
                 continue;
             }
             if rs.rule.probability < 1.0 {
-                let u = (splitmix64(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let key = (idx, node, tag.to_string(), scope.to_string(), phase);
+                let occurrence = {
+                    let c = occurrences.entry(key).or_insert(0);
+                    let v = *c;
+                    *c += 1;
+                    v
+                };
+                // pure draw: a hash of (seed, rule, node, tag, scope, phase,
+                // occurrence). No shared stream — thread arrival order is
+                // irrelevant.
+                let mut h = fnv_bytes(FNV_OFFSET, tag.as_bytes());
+                h = fnv_bytes(h, scope.as_bytes());
+                h ^= (node as u64) << 32
+                    ^ (idx as u64) << 8
+                    ^ matches!(phase, FaultPhase::After) as u64;
+                let mut s = seed ^ h ^ occurrence.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                let u = (splitmix64(&mut s) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
                 if u >= rs.rule.probability {
                     continue;
                 }
@@ -323,6 +412,7 @@ impl FaultInjector {
                 node,
                 op,
                 tag: tag.to_string(),
+                scope: scope.to_string(),
                 phase,
                 kind: rs.rule.kind,
             });
@@ -347,15 +437,26 @@ impl FaultInjector {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).log.clone()
     }
 
-    /// FNV-1a hash over the event log's debug rendering: two runs of the
-    /// same scenario under the same `(plan, seed)` must agree byte for byte.
+    /// Order-independent hash of the fired-fault multiset: each event is
+    /// hashed over (rule, node, op, tag, phase, kind) — excluding the
+    /// arrival `seq` and the victim `scope` — and the per-event hashes are
+    /// sorted before combining. Two runs of the same `(plan, seed)` scenario
+    /// must agree even when tasks execute on different numbers of threads.
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for e in self.events() {
-            for b in format!("{e:?}").bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
+        let mut hashes: Vec<u64> = self
+            .events()
+            .iter()
+            .map(|e| {
+                let mut h = fnv_bytes(FNV_OFFSET, e.rule.as_bytes());
+                h = fnv_bytes(h, e.tag.as_bytes());
+                h = fnv_bytes(h, format!("{:?}/{:?}/{:?}", e.op, e.phase, e.kind).as_bytes());
+                h ^ (e.node as u64) << 48
+            })
+            .collect();
+        hashes.sort_unstable();
+        let mut h = FNV_OFFSET;
+        for x in hashes {
+            h = fnv_bytes(h, &x.to_le_bytes());
         }
         h
     }
@@ -389,6 +490,23 @@ mod tests {
         assert!(!inj.decide(2, FaultOp::Statement, "commit", FaultPhase::After).crash);
         assert!(!inj.decide(2, FaultOp::Statement, "prepare_transaction", FaultPhase::Before).crash);
         assert!(inj.decide(2, FaultOp::Statement, "prepare_transaction", FaultPhase::After).crash);
+    }
+
+    #[test]
+    fn scope_filter_pins_a_rule_to_one_task() {
+        let inj = FaultInjector::new(
+            FaultPlan::new().with(
+                FaultRule::stmt_error(1, "select").scoped_to("s102010"),
+            ),
+            0,
+        );
+        // same node and tag but a different scope: passes untouched
+        let d = inj.decide_scoped(1, FaultOp::Statement, "select", FaultPhase::Before, "s102008");
+        assert!(!d.fail);
+        let d = inj.decide_scoped(1, FaultOp::Statement, "select", FaultPhase::Before, "s102010");
+        assert!(d.fail);
+        assert_eq!(inj.fired(), 1);
+        assert_eq!(inj.events()[0].scope, "s102010");
     }
 
     #[test]
@@ -436,6 +554,53 @@ mod tests {
         let (hits, _) = run(7);
         let n = hits.iter().filter(|h| **h).count();
         assert!(n > 20 && n < 120, "p=0.3 of 200 should fire roughly 60 times, got {n}");
+    }
+
+    #[test]
+    fn probabilistic_draws_are_keyed_not_stream_ordered() {
+        // Two interleavings of the same per-key operation sequences must
+        // produce the same per-key hit patterns: the draw is keyed by
+        // (node, tag, scope, occurrence), not by a shared stream.
+        let plan = || {
+            FaultPlan::new().with(
+                FaultRule::new(FaultOp::Statement, FaultKind::Error)
+                    .always()
+                    .with_probability(0.4),
+            )
+        };
+        let seed = 99;
+        // interleaving A: node 1 ops then node 2 ops
+        let a = FaultInjector::new(plan(), seed);
+        let mut hits_a = Vec::new();
+        for n in [1u32, 2] {
+            for i in 0..50 {
+                let scope = format!("s{}", i % 5);
+                hits_a.push((
+                    n,
+                    i,
+                    a.decide_scoped(n, FaultOp::Statement, "select", FaultPhase::Before, &scope)
+                        .fail,
+                ));
+            }
+        }
+        // interleaving B: alternating nodes (a different global order)
+        let b = FaultInjector::new(plan(), seed);
+        let mut hits_b = Vec::new();
+        for i in 0..50 {
+            for n in [1u32, 2] {
+                let scope = format!("s{}", i % 5);
+                hits_b.push((
+                    n,
+                    i,
+                    b.decide_scoped(n, FaultOp::Statement, "select", FaultPhase::Before, &scope)
+                        .fail,
+                ));
+            }
+        }
+        hits_a.sort();
+        hits_b.sort();
+        assert_eq!(hits_a, hits_b, "per-key schedules are interleaving-independent");
+        assert_eq!(a.fingerprint(), b.fingerprint(), "fingerprint is order-independent");
     }
 
     #[test]

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Executor performance baseline. Emits BENCH_executor.json in the repo root:
+#
+#   - wall-clock speedup of a 32-shard pushdown aggregate at 1/4/8 executor
+#     threads (remote statements carry real_rtt_us of wire time, so the
+#     fan-out's overlap is measured for real, not just in virtual time)
+#   - plan-cache hit rate and per-statement latency (virtual ms, the
+#     repo's deterministic metric, plus wall-clock) on a repeated-CRUD loop,
+#     cache off (cold) vs on (warm)
+#
+# Thresholds (skipped with --smoke): speedup_t8 >= 2x, warm hit rate >= 90%,
+# warm per-statement latency < cold.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> build executor bench (release)"
+cargo build --release -p citrus-bench --bin executor_bench
+
+echo "==> run executor bench $*"
+./target/release/executor_bench "$@"
+
+echo "==> wrote BENCH_executor.json"

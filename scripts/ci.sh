@@ -7,20 +7,29 @@
 #   3. crates/core must compile warning-free (tests included)
 #   4. deterministic fault-injection suite, run explicitly so a partial
 #      test filter in step 2 can never silently skip it
+#   5. parallel-executor equivalence + plan-cache suite, same reasoning
+#   6. one-iteration smoke of the executor bench (exercises the wall-clock
+#      fan-out and plan-cache paths end to end; no thresholds)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/4] cargo build --release"
+echo "==> [1/6] cargo build --release"
 cargo build --release
 
-echo "==> [2/4] cargo test -q"
+echo "==> [2/6] cargo test -q"
 cargo test -q
 
-echo "==> [3/4] warnings-as-errors check of crates/core"
+echo "==> [3/6] warnings-as-errors check of crates/core"
 RUSTFLAGS="-Dwarnings" cargo check -p citrus --all-targets
 
-echo "==> [4/4] fault-injection suite"
+echo "==> [4/6] fault-injection suite"
 cargo test -q -p citrus --test faults
+
+echo "==> [5/6] parallel-executor equivalence suite"
+cargo test -q -p citrus --test executor_parallel
+
+echo "==> [6/6] executor bench smoke"
+sh scripts/bench.sh --smoke
 
 echo "==> CI green"
