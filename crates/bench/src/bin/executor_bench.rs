@@ -63,12 +63,15 @@ fn fanout_secs(threads: usize, iters: u32, rtt_us: u64) -> f64 {
     runs[runs.len() / 2]
 }
 
-/// (wall µs/stmt, virtual ms/stmt, hit rate) for the repeated-CRUD loop.
-/// The virtual latency is the deterministic metric: a cache hit charges the
-/// coordinator `cached_plan_ms` instead of a full `dist_plan_ms` pass. Wall
-/// time is reported alongside but is dominated by simulated execution (the
-/// real planning delta is ~0.2 µs/stmt, below this machine's noise floor).
-fn crud_loop(plan_cache: bool, iters: u32) -> (f64, f64, f64) {
+/// (wall µs/stmt, virtual ms/stmt, hit rate, [p50, p95, p99] ms, count) for
+/// the repeated-CRUD loop. The virtual latency is the deterministic metric:
+/// a cache hit charges the coordinator `cached_plan_ms` instead of a full
+/// `dist_plan_ms` pass. Wall time is reported alongside but is dominated by
+/// simulated execution (the real planning delta is ~0.2 µs/stmt, below this
+/// machine's noise floor). Percentiles come from the metrics registry's
+/// virtual-time statement histogram — the same feed `citus_stat_statements`
+/// reads — so they are deterministic too.
+fn crud_loop(plan_cache: bool, iters: u32) -> (f64, f64, f64, [f64; 3], u64) {
     let c = cluster(1, 2, plan_cache, 0);
     load_table(&c, 200);
     let mut s = c.session().unwrap();
@@ -92,7 +95,9 @@ fn crud_loop(plan_cache: bool, iters: u32) -> (f64, f64, f64) {
     let hits = stats.hits - base.hits;
     let misses = stats.misses - base.misses;
     let rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
-    (wall * 1e6 / stmts as f64, virt_ms / stmts as f64, rate)
+    let hist = &c.metrics.statement_elapsed;
+    let pcts = [hist.percentile(0.50), hist.percentile(0.95), hist.percentile(0.99)];
+    (wall * 1e6 / stmts as f64, virt_ms / stmts as f64, rate, pcts, hist.count())
 }
 
 fn crud_sql(step: usize) -> String {
@@ -124,16 +129,20 @@ fn main() {
     let speedup_4 = fanout[0].1 / fanout[1].1.max(1e-12);
 
     eprintln!("plan cache: repeated CRUD x{}", crud_iters * 4);
-    let (cold_wall_us, cold_ms, _) = crud_loop(false, crud_iters);
-    let (warm_wall_us, warm_ms, hit_rate) = crud_loop(true, crud_iters);
+    let (cold_wall_us, cold_ms, _, _, _) = crud_loop(false, crud_iters);
+    let (warm_wall_us, warm_ms, hit_rate, pcts, stmt_count) = crud_loop(true, crud_iters);
     eprintln!(
         "  cold={cold_ms:.4}ms/stmt warm={warm_ms:.4}ms/stmt (virtual) \
          wall {cold_wall_us:.1}/{warm_wall_us:.1}us hit_rate={hit_rate:.3}"
     );
+    eprintln!(
+        "  virtual-time percentiles: p50={:.3}ms p95={:.3}ms p99={:.3}ms over {stmt_count} stmts",
+        pcts[0], pcts[1], pcts[2]
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"executor\",\n  \"smoke\": {smoke},\n  \"fanout\": {{\n    \"shards\": 32,\n    \"workers\": 8,\n    \"rtt_us\": {rtt_us},\n    \"iters\": {fan_iters},\n    \"wall_secs\": {{\"t1\": {:.6}, \"t4\": {:.6}, \"t8\": {:.6}}},\n    \"speedup_t4\": {speedup_4:.3},\n    \"speedup_t8\": {speedup_8:.3}\n  }},\n  \"plan_cache\": {{\n    \"iters\": {},\n    \"cold_ms_per_stmt\": {cold_ms:.5},\n    \"warm_ms_per_stmt\": {warm_ms:.5},\n    \"cold_wall_us_per_stmt\": {cold_wall_us:.3},\n    \"warm_wall_us_per_stmt\": {warm_wall_us:.3},\n    \"warm_hit_rate\": {hit_rate:.4}\n  }}\n}}\n",
-        fanout[0].1, fanout[1].1, fanout[2].1, crud_iters * 4,
+        "{{\n  \"bench\": \"executor\",\n  \"smoke\": {smoke},\n  \"fanout\": {{\n    \"shards\": 32,\n    \"workers\": 8,\n    \"rtt_us\": {rtt_us},\n    \"iters\": {fan_iters},\n    \"wall_secs\": {{\"t1\": {:.6}, \"t4\": {:.6}, \"t8\": {:.6}}},\n    \"speedup_t4\": {speedup_4:.3},\n    \"speedup_t8\": {speedup_8:.3}\n  }},\n  \"plan_cache\": {{\n    \"iters\": {},\n    \"cold_ms_per_stmt\": {cold_ms:.5},\n    \"warm_ms_per_stmt\": {warm_ms:.5},\n    \"cold_wall_us_per_stmt\": {cold_wall_us:.3},\n    \"warm_wall_us_per_stmt\": {warm_wall_us:.3},\n    \"warm_hit_rate\": {hit_rate:.4}\n  }},\n  \"latency_ms\": {{\n    \"source\": \"metrics statement histogram (virtual time, warm arm)\",\n    \"statements\": {stmt_count},\n    \"p50\": {:.3},\n    \"p95\": {:.3},\n    \"p99\": {:.3}\n  }}\n}}\n",
+        fanout[0].1, fanout[1].1, fanout[2].1, crud_iters * 4, pcts[0], pcts[1], pcts[2],
     );
     std::fs::write("BENCH_executor.json", &json).expect("write BENCH_executor.json");
     println!("{json}");

@@ -64,6 +64,10 @@ pub struct ClusterConfig {
     /// Virtual ms a plan-cache hit costs instead: only the shard-pruning
     /// step of the cached tier is recomputed (§3.5.1).
     pub cached_plan_ms: f64,
+    /// Record a deterministic span tree per distributed statement (see
+    /// [`crate::trace`]). Metrics counters are always on; span trees are
+    /// gated here because they clone statement text and task detail.
+    pub tracing: bool,
 }
 
 impl Default for ClusterConfig {
@@ -89,6 +93,7 @@ impl Default for ClusterConfig {
             // classification, the tier cascade, and per-shard rewrites
             dist_plan_ms: 0.2,
             cached_plan_ms: 0.02,
+            tracing: false,
         }
     }
 }
@@ -146,12 +151,18 @@ pub struct Cluster {
     faults: RwLock<Arc<FaultInjector>>,
     /// Total read-task retries performed by the adaptive executor.
     task_retries: AtomicU64,
+    /// Per-statement span trees and maintenance-daemon events (§ trace).
+    pub tracer: crate::trace::Tracer,
+    /// Always-on counters + virtual-time histograms backing the stat
+    /// relations (`citus_stat_statements`, `citus_stat_activity`).
+    pub metrics: crate::metrics::Metrics,
 }
 
 impl Cluster {
     /// Create a cluster with just a coordinator (the smallest Citus cluster
     /// is a single server).
     pub fn new(config: ClusterConfig) -> Arc<Cluster> {
+        let tracer = crate::trace::Tracer::new(config.tracing);
         let cluster = Arc::new(Cluster {
             config,
             nodes: RwLock::new(Vec::new()),
@@ -164,6 +175,8 @@ impl Cluster {
             extensions: RwLock::new(Vec::new()),
             faults: RwLock::new(Arc::new(FaultInjector::none())),
             task_retries: AtomicU64::new(0),
+            tracer,
+            metrics: crate::metrics::Metrics::default(),
         });
         cluster.add_node_internal("coordinator");
         cluster
@@ -457,7 +470,7 @@ pub fn stmt_tag(stmt: &Statement) -> &'static str {
         Statement::RollbackPrepared(_) => "rollback_prepared",
         Statement::Vacuum { .. } => "vacuum",
         Statement::Set { .. } => "set",
-        Statement::Explain(_) => "explain",
+        Statement::Explain { .. } => "explain",
     }
 }
 

@@ -24,10 +24,13 @@ enum GraphNode {
 }
 
 /// One detection pass. Returns the cancelled victim if a distributed
-/// deadlock was found.
+/// deadlock was found. When tracing is enabled, every pass that saw wait
+/// edges records a `deadlock.check` span (with a `deadlock.victim` child on
+/// cancellation) — the trace is the observation channel the tests use.
 pub fn detect_once(cluster: &Arc<Cluster>) -> PgResult<Option<DistTxnId>> {
     // gather and merge edges
     let mut adj: HashMap<GraphNode, Vec<GraphNode>> = HashMap::new();
+    let mut edge_count = 0usize;
     for node in cluster.nodes() {
         if !node.is_active() {
             continue;
@@ -44,24 +47,31 @@ pub fn detect_once(cluster: &Arc<Cluster>) -> PgResult<Option<DistTxnId>> {
             };
             if waiter != holder {
                 adj.entry(waiter).or_default().push(holder);
+                edge_count += 1;
             }
         }
     }
     if adj.is_empty() {
         return Ok(None);
     }
+    let mut span = crate::trace::Span::new("deadlock.check")
+        .with("graph_nodes", adj.len())
+        .with("edges", edge_count);
     // cycle detection via iterative DFS with colouring
-    let Some(cycle) = find_cycle(&adj) else { return Ok(None) };
+    let cycle = find_cycle(&adj);
     // victim: the youngest distributed transaction in the cycle
-    let victim = cycle
-        .iter()
-        .filter_map(|n| match n {
-            GraphNode::Dist(d) => Some(*d),
-            GraphNode::Local(..) => None,
-        })
-        .max_by_key(|d| (d.timestamp, d.number));
+    let victim = cycle.as_ref().and_then(|cycle| {
+        cycle
+            .iter()
+            .filter_map(|n| match n {
+                GraphNode::Dist(d) => Some(*d),
+                GraphNode::Local(..) => None,
+            })
+            .max_by_key(|d| (d.timestamp, d.number))
+    });
     let Some(victim) = victim else {
-        // purely local cycle: each engine's own detector resolves it
+        // no cycle, or a purely local one each engine resolves itself
+        cluster.tracer.record_daemon(span);
         return Ok(None);
     };
     // cancel on every engine, including currently-partitioned ones: their
@@ -70,6 +80,13 @@ pub fn detect_once(cluster: &Arc<Cluster>) -> PgResult<Option<DistTxnId>> {
     for node in cluster.nodes() {
         node.engine().locks.cancel_dist_txn(victim);
     }
+    cluster.metrics.deadlock_victims.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    span.child(
+        crate::trace::Span::new("deadlock.victim")
+            .with("txn", format!("{}:{}", victim.origin_node, victim.number))
+            .with("cycle_len", cycle.map(|c| c.len()).unwrap_or(0)),
+    );
+    cluster.tracer.record_daemon(span);
     Ok(Some(victim))
 }
 

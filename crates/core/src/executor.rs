@@ -77,6 +77,14 @@ pub struct SessionState {
     pub virtual_lanes: HashMap<NodeId, usize>,
     /// Strategy of the last INSERT..SELECT (tests/diagnostics).
     pub last_insert_select: Option<crate::insert_select::InsertSelectStrategy>,
+    /// Root span of the statement currently executing (tracing enabled).
+    pub trace: Option<crate::trace::Span>,
+    /// Completed trace of the last distributed statement.
+    pub last_trace: Option<crate::trace::Span>,
+    /// The last statement's plan came from the plan cache.
+    pub last_cache_hit: bool,
+    /// Read-task retries the last statement performed.
+    pub last_retries: u64,
 }
 
 impl SessionState {
@@ -249,11 +257,16 @@ pub fn execute_plan(
     let full_rtt = cluster.config.engine.cost.net_rtt_ms;
     let mut any_remote = false;
     let mut retries_total = 0u64;
+    // per-task trace rows, collected in task order: (target, retries,
+    // backoff_ms, service_ms). Fault events are attached later by scope.
+    let fault_base = cluster.faults().events_len();
+    let mut task_traces: Vec<(NodeId, u64, f64, f64)> = Vec::new();
+    let tracing = state.trace.is_some();
     if !in_txn && !plan.is_write {
         // read fan-out: threaded when configured, inline otherwise — one
         // code path, deterministic outcomes either way
         let per_task = fan_out_read_tasks(cluster, state, &plan.tasks, &mut cost)?;
-        for (result, remote_cost, target, retries) in per_task {
+        for (result, remote_cost, target, retries, backoff_ms) in per_task {
             let rtt = if target == self_node { 0.0 } else { full_rtt };
             if target != self_node {
                 any_remote = true;
@@ -261,6 +274,9 @@ pub fn execute_plan(
             retries_total += retries;
             cost.add_node(target, &remote_cost);
             per_node_durations.entry(target).or_default().push(remote_cost.total_ms() + rtt);
+            if tracing {
+                task_traces.push((target, retries, backoff_ms, remote_cost.total_ms()));
+            }
             results.push(result);
         }
     } else {
@@ -302,10 +318,14 @@ pub fn execute_plan(
             }
             cost.add_node(target, &remote_cost);
             per_node_durations.entry(target).or_default().push(remote_cost.total_ms() + rtt);
+            if tracing {
+                task_traces.push((target, 0, 0.0, remote_cost.total_ms()));
+            }
             results.push(result);
         }
     }
     cluster.note_task_retries(retries_total);
+    state.last_retries = retries_total;
 
     // 4. virtual elapsed time: slow-start schedule per node
     let cores = cluster.config.engine.cores;
@@ -314,14 +334,21 @@ pub fn execute_plan(
     let limit = cluster.connection_limit() as usize;
     let mut node_times = Vec::new();
     let mut peak = 0usize;
+    // (node, lanes before, lanes after) — slow-start pool growth, traced in
+    // NodeId order for determinism
+    let mut lane_traces: Vec<(NodeId, usize, usize)> = Vec::new();
     for (node, durations) in &per_node_durations {
         let existing = state.virtual_lanes.get(node).copied().unwrap_or(1);
         let (t, lanes) =
             slow_start_schedule(durations, slow_start, connect_ms, limit, cores, existing);
         state.virtual_lanes.insert(*node, lanes.max(existing));
+        if tracing {
+            lane_traces.push((*node, existing, lanes.max(existing)));
+        }
         node_times.push(t);
         peak = peak.max(lanes);
     }
+    lane_traces.sort_by_key(|(n, _, _)| *n);
     let mut elapsed = makespan::cluster_makespan(&node_times, 0.0);
 
     // 5. merge
@@ -409,6 +436,68 @@ pub fn execute_plan(
     elapsed += stmt_rtt;
     cost.elapsed_ms = elapsed;
 
+    // trace assembly, in task order (never in completion order): task spans
+    // with their scoped fault events, then pool growth, then the merge step.
+    // Everything recorded here is a deterministic function of the workload
+    // and fault seed, independent of executor_threads (§6).
+    if let Some(root) = &mut state.trace {
+        let events = cluster.faults().events_since(fault_base);
+        for (i, ((target, retries, backoff_ms, service_ms), task)) in
+            task_traces.iter().zip(&plan.tasks).enumerate()
+        {
+            let mut span = crate::trace::Span::new("task")
+                .with("index", i)
+                .with("node", node_label(cluster, *target))
+                .with("shards", task_scope(task));
+            if *retries > 0 {
+                span.set("retries", retries);
+                span.set("backoff_ms", crate::trace::fmt_ms(*backoff_ms));
+            }
+            span.set("service_ms", crate::trace::fmt_ms(*service_ms));
+            let scope = task_scope(task);
+            let mut hits: Vec<&netsim::fault::FaultEvent> =
+                events.iter().filter(|e| e.scope == scope).collect();
+            // arrival order varies across thread interleavings; sort by the
+            // event's deterministic identity instead
+            hits.sort_by(|a, b| {
+                (&a.rule, &a.tag, a.phase as u8, a.node)
+                    .cmp(&(&b.rule, &b.tag, b.phase as u8, b.node))
+            });
+            for e in hits {
+                span.child(
+                    crate::trace::Span::new("fault")
+                        .with("rule", &e.rule)
+                        .with("tag", &e.tag)
+                        .with("phase", format!("{:?}", e.phase))
+                        .with("kind", format!("{:?}", e.kind)),
+                );
+            }
+            root.child(span);
+        }
+        for (node, before, after) in &lane_traces {
+            if after > before {
+                root.child(
+                    crate::trace::Span::new("pool")
+                        .with("node", node_label(cluster, *node))
+                        .with("lanes", format!("{before}->{after}")),
+                );
+            }
+        }
+        let merge_label = match &plan.merge {
+            Merge::PassThrough => "pass_through",
+            Merge::AffectedSum => "affected_sum",
+            Merge::AffectedFirst => "affected_first",
+            Merge::Concat { .. } => "concat",
+            Merge::GroupAgg(_) => "group_agg",
+        };
+        root.child(
+            crate::trace::Span::new("merge")
+                .with("kind", merge_label)
+                .with("rows", output.1.len())
+                .with("affected", output.2),
+        );
+    }
+
     // 6. statement-scoped temp tables are dropped when not in a transaction
     if !in_txn {
         cleanup_temp_tables(cluster, state)?;
@@ -423,6 +512,11 @@ pub fn execute_plan(
         peak_connections: peak,
         retries: retries_total,
     })
+}
+
+/// Display label for a node in trace spans (name when known).
+pub(crate) fn node_label(cluster: &Arc<Cluster>, node: NodeId) -> String {
+    cluster.node(node).map(|n| n.name.clone()).unwrap_or_else(|_| format!("node-{}", node.0))
 }
 
 /// Fault-injection scope naming one task: its shard set (`"s102008"`,
@@ -541,7 +635,7 @@ fn fan_out_read_tasks(
     state: &mut SessionState,
     tasks: &[Task],
     cost: &mut DistCost,
-) -> PgResult<Vec<(QueryResult, pgmini::cost::SimCost, NodeId, u64)>> {
+) -> PgResult<Vec<(QueryResult, pgmini::cost::SimCost, NodeId, u64, f64)>> {
     if tasks.is_empty() {
         return Ok(Vec::new());
     }
@@ -653,7 +747,7 @@ fn fan_out_read_tasks(
     for o in outcomes.into_iter().flatten() {
         backoff_total += o.backoff_ms;
         let (result, remote_cost) = o.result.expect("no failures past first_fail check");
-        out.push((result, remote_cost, o.target, o.retries));
+        out.push((result, remote_cost, o.target, o.retries, o.backoff_ms));
     }
     cluster.clock.advance_micros((backoff_total * 1000.0) as u64);
     cost.net_ms += backoff_total;

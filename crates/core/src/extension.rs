@@ -28,6 +28,14 @@ use std::sync::{Arc, Weak};
 /// exactly as durable as the local transaction that writes them).
 pub const COMMIT_RECORDS_TABLE: &str = "pg_dist_transaction";
 
+/// Queryable stat relation: per-shape execution telemetry (tier, calls,
+/// virtual elapsed, plan-cache hits). Refreshed from the metrics registry
+/// whenever a SELECT references it.
+pub const STAT_STATEMENTS_TABLE: &str = "citus_stat_statements";
+
+/// Queryable stat relation: one row per extension-tracked session.
+pub const STAT_ACTIVITY_TABLE: &str = "citus_stat_activity";
+
 /// The extension instance installed on one node.
 pub struct CitrusExtension {
     cluster: Weak<Cluster>,
@@ -71,11 +79,22 @@ impl CitrusExtension {
     }
 
     fn create_catalogs(engine: &Arc<Engine>) {
-        let ddl = format!(
-            "CREATE TABLE IF NOT EXISTS {COMMIT_RECORDS_TABLE} (gid text PRIMARY KEY)"
-        );
-        if let Ok(Statement::CreateTable(ct)) = sqlparse::parse(&ddl) {
-            let _ = engine.ddl_create_table(&ct);
+        let ddls = [
+            format!("CREATE TABLE IF NOT EXISTS {COMMIT_RECORDS_TABLE} (gid text PRIMARY KEY)"),
+            format!(
+                "CREATE TABLE IF NOT EXISTS {STAT_STATEMENTS_TABLE} (queryid text PRIMARY KEY, \
+                 query text, tier text, calls bigint, total_ms float, cache_hits bigint, \
+                 retries bigint)"
+            ),
+            format!(
+                "CREATE TABLE IF NOT EXISTS {STAT_ACTIVITY_TABLE} (pid bigint PRIMARY KEY, \
+                 tier text, elapsed_ms float, txn bigint)"
+            ),
+        ];
+        for ddl in ddls {
+            if let Ok(Statement::CreateTable(ct)) = sqlparse::parse(&ddl) {
+                let _ = engine.ddl_create_table(&ct);
+            }
         }
     }
 
@@ -238,13 +257,16 @@ impl CitrusExtension {
             }
         }
         let mut planning_ms = cluster.config.dist_plan_ms;
+        state.last_cache_hit = false;
+        state.last_retries = 0;
+        let shape = planner::cache::shape_hash(stmt);
         let plan = {
             let meta = cluster.metadata.read_recursive();
             // plan-cache fast path: a known statement shape re-runs only its
             // single-shard tier (shard pruning + rewrite), skipping table
             // classification and the tier cascade (§3.5.1)
             let cache_key = if cluster.config.plan_cache && cacheable_shape(stmt) {
-                Some(planner::cache::shape_hash(stmt))
+                Some(shape)
             } else {
                 None
             };
@@ -259,6 +281,7 @@ impl CitrusExtension {
                     };
                     if cached.is_some() {
                         planning_ms = cluster.config.cached_plan_ms;
+                        state.last_cache_hit = true;
                     }
                 }
             }
@@ -281,7 +304,31 @@ impl CitrusExtension {
         // waits on; a cache hit pays only the pruning recomputation
         state.stmt_cost.coordinator.add_cpu(planning_ms);
         state.stmt_cost.elapsed_ms += planning_ms;
-        self.execute_plan_with_txn(session, state, &plan).map(Some)
+        if let Some(root) = &mut state.trace {
+            root.set("tier", plan.kind.as_str());
+            root.set("cache", if state.last_cache_hit { "hit" } else { "miss" });
+            root.set("planning_ms", crate::trace::fmt_ms(planning_ms));
+            root.set("tasks", plan.tasks.len());
+            if !plan.prep.is_empty() {
+                root.set("subplans", plan.prep.len());
+            }
+        }
+        let cache_hit = state.last_cache_hit;
+        let result = self.execute_plan_with_txn(session, state, &plan);
+        if result.is_ok() {
+            // planner bookkeeping runs on *both* the cached and the planned
+            // path — a cache hit still executes through its tier, and must
+            // count toward citus_stat_statements tier totals
+            cluster.metrics.record_statement(
+                shape,
+                || sqlparse::deparse(stmt),
+                plan.kind,
+                cache_hit,
+                state.stmt_cost.elapsed_ms,
+                state.last_retries,
+            );
+        }
+        result.map(Some)
     }
 
     /// Plan-cache hit/miss counters and size for this node's extension.
@@ -342,16 +389,39 @@ impl CitrusExtension {
         state: &mut SessionState,
     ) -> PgResult<Vec<Row>> {
         let stmt = Statement::Select(Box::new(sel.clone()));
-        match self.plan_and_execute(session, &stmt, state)? {
-            Some(r) => Ok(r.into_rows()),
-            // not distributed: run locally (reference/local data)
-            None => Ok(session.execute_local(&stmt)?.into_rows()),
+        // nest the inner planning pass under its own `subplan` span so it
+        // doesn't append a second set of planner fields to the parent root
+        let saved = state.trace.take();
+        if saved.is_some() {
+            state.trace = Some(crate::trace::Span::new("subplan"));
         }
+        let result = match self.plan_and_execute(session, &stmt, state) {
+            Ok(Some(r)) => Ok(r.into_rows()),
+            // not distributed: run locally (reference/local data)
+            Ok(None) => session.execute_local(&stmt).map(|r| r.into_rows()),
+            Err(e) => Err(e),
+        };
+        if let Some(mut root) = saved {
+            if let Some(sub) = state.trace.take() {
+                if sub.field("tier").is_some() || !sub.children().is_empty() {
+                    root.child(sub);
+                }
+            }
+            state.trace = Some(root);
+        }
+        result
     }
 
     /// The planner tier used by the session's last distributed statement.
     pub fn last_planner_kind(&self, sid: u64) -> Option<PlannerKind> {
         self.sessions.lock().get(&sid).and_then(|s| s.last_planner)
+    }
+
+    /// Completed trace of the session's last distributed statement (tracing
+    /// must be enabled on the cluster, or the statement run via
+    /// `EXPLAIN ANALYZE`).
+    pub fn last_trace(&self, sid: u64) -> Option<crate::trace::Span> {
+        self.sessions.lock().get(&sid).and_then(|s| s.last_trace.clone())
     }
 
     // ---------------- 2PC ----------------
@@ -376,6 +446,12 @@ impl CitrusExtension {
             state.commit_cost.elapsed_ms += rtt;
             return Ok(());
         }
+        // commit-protocol tracing: an explicit COMMIT never passes the
+        // planner hook, so it gets its own root span; an autocommit wrap
+        // appends the protocol's phases to the in-flight statement span
+        if cluster.tracer.enabled() && state.trace.is_none() {
+            state.trace = Some(crate::trace::Span::new("commit"));
+        }
         if write_keys.len() == 1 {
             // single-node delegation (§3.7.1): plain COMMIT on that worker
             let key = write_keys[0];
@@ -389,6 +465,13 @@ impl CitrusExtension {
             let node = conn.node;
             state.conns.insert(key, conn);
             let (_, c) = result?;
+            cluster.metrics.delegated_commits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if let Some(root) = &mut state.trace {
+                root.child(
+                    crate::trace::Span::new("commit.delegated")
+                        .with("node", executor::node_label(&cluster, node)),
+                );
+            }
             state.commit_cost.add_node(node, &c);
             state.commit_cost.net_ms += rtt;
             state.commit_cost.elapsed_ms += rtt + c.total_ms();
@@ -415,6 +498,13 @@ impl CitrusExtension {
                     conn.used_for_writes = false;
                     state.conns.insert(*key, conn);
                     state.commit_cost.add_node(node, &c);
+                    if let Some(root) = &mut state.trace {
+                        root.child(
+                            crate::trace::Span::new("2pc.prepare")
+                                .with("node", executor::node_label(&cluster, node))
+                                .with("gid", &gid),
+                        );
+                    }
                     prepared.push((*key, gid));
                 }
                 Err(e) => {
@@ -457,8 +547,12 @@ impl CitrusExtension {
                 let local = session.last_cost();
                 state.commit_cost.coordinator.add(&local);
                 state.commit_cost.elapsed_ms += local.total_ms();
+                if let Some(root) = &mut state.trace {
+                    root.child(crate::trace::Span::new("2pc.record").with("gid", gid));
+                }
             }
         }
+        cluster.metrics.twopc_commits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         state.pending_prepared =
             prepared.into_iter().map(|((node, _), gid)| (node, gid)).collect();
         Ok(())
@@ -474,6 +568,7 @@ impl CitrusExtension {
         let pending = std::mem::take(&mut state.pending_prepared);
         let mut finished_numbers: Vec<u64> = Vec::new();
         for (node, gid) in pending {
+            let node_name = executor::node_label(&cluster, node);
             let committed = match find_conn_to(state, node) {
                 Some(key) => {
                     let mut conn = state.conns.remove(&key).expect("key present");
@@ -488,6 +583,14 @@ impl CitrusExtension {
                     Err(_) => false,
                 },
             };
+            if let Some(root) = &mut state.trace {
+                root.child(
+                    crate::trace::Span::new("2pc.commit_prepared")
+                        .with("node", node_name)
+                        .with("gid", &gid)
+                        .with("ok", committed),
+                );
+            }
             if committed {
                 state.commit_cost.net_ms += cluster.config.engine.cost.net_rtt_ms;
                 // the commit record has served its purpose
@@ -519,6 +622,14 @@ impl CitrusExtension {
         // autocommit wraps fold it into the statement cost instead
         let ccost = std::mem::take(&mut state.commit_cost);
         state.stmt_cost.add(&ccost);
+        // a commit-rooted trace (explicit COMMIT) finishes here; a
+        // statement-rooted one is finished by the planner hook
+        if state.trace.as_ref().is_some_and(|r| r.label() == "commit") {
+            let mut root = state.trace.take().expect("checked above");
+            root.set("elapsed_ms", crate::trace::fmt_ms(ccost.elapsed_ms));
+            state.last_trace = Some(root.clone());
+            cluster.tracer.record_statement(root);
+        }
         state.last_dist = Some(ccost);
     }
 
@@ -544,6 +655,12 @@ impl CitrusExtension {
         state.pending_prepared.clear();
         state.affinity.clear();
         if let Ok(cluster) = self.cluster() {
+            if state.trace.as_ref().is_some_and(|r| r.label() == "commit") {
+                let mut root = state.trace.take().expect("checked above");
+                root.set("aborted", true);
+                state.last_trace = Some(root.clone());
+                cluster.tracer.record_statement(root);
+            }
             let _ = executor::cleanup_temp_tables(&cluster, state);
         }
     }
@@ -609,10 +726,21 @@ impl Extension for CitrusExtension {
         stmt: &Statement,
     ) -> Option<PgResult<QueryResult>> {
         let cluster = self.cluster().ok()?;
-        // cheap pre-filter: reference to at least one citrus table?
+        // stat relations: refresh their local backing tables, then let the
+        // local engine run the query with full SQL power (filters, joins,
+        // aggregates over the telemetry)
         {
-            let meta = cluster.metadata.read_recursive();
             let tables = planner::rewrite::collect_tables(stmt);
+            if matches!(stmt, Statement::Select(_))
+                && tables.iter().any(|t| t == STAT_STATEMENTS_TABLE || t == STAT_ACTIVITY_TABLE)
+            {
+                if let Err(e) = self.refresh_stat_relations(&cluster, &tables) {
+                    return Some(Err(e));
+                }
+                return None;
+            }
+            // cheap pre-filter: reference to at least one citrus table?
+            let meta = cluster.metadata.read_recursive();
             if !tables.iter().any(|t| meta.is_citrus_table(t)) {
                 return None;
             }
@@ -620,10 +748,31 @@ impl Extension for CitrusExtension {
         let sid = session.id();
         let mut state = self.take_state(sid);
         state.stmt_cost = DistCost::default();
+        if cluster.tracer.enabled() {
+            state.trace =
+                Some(crate::trace::Span::new("statement").with("sql", sqlparse::deparse(stmt)));
+        }
         let result = self.plan_and_execute(session, stmt, &mut state);
         let stmt_cost = std::mem::take(&mut state.stmt_cost);
         if let Some(cap) = &mut state.capture {
             cap.add(&stmt_cost);
+        }
+        if let Some(mut root) = state.trace.take() {
+            match &result {
+                // not distributed after all: nothing worth recording
+                Ok(None) => {}
+                outcome => {
+                    match outcome {
+                        Ok(Some(QueryResult::Rows { rows, .. })) => root.set("rows", rows.len()),
+                        Ok(Some(QueryResult::Affected(n))) => root.set("affected", n),
+                        Err(e) => root.set("error", format!("{:?}", e.code)),
+                        _ => {}
+                    }
+                    root.set("elapsed_ms", crate::trace::fmt_ms(stmt_cost.elapsed_ms));
+                    state.last_trace = Some(root.clone());
+                    cluster.tracer.record_statement(root);
+                }
+            }
         }
         state.last_dist = Some(stmt_cost);
         self.put_state(sid, state);
@@ -658,7 +807,7 @@ impl Extension for CitrusExtension {
                 self.put_state(sid, state);
                 Some(r)
             }
-            Statement::Explain(inner) => {
+            Statement::Explain { options, inner } => {
                 let is_citrus = {
                     let meta = cluster.metadata.read_recursive();
                     planner::rewrite::collect_tables(inner)
@@ -666,10 +815,15 @@ impl Extension for CitrusExtension {
                         .any(|t| meta.is_citrus_table(t))
                 };
                 if !is_citrus {
+                    if options.distributed {
+                        return Some(Err(PgError::unsupported(
+                            "EXPLAIN (DISTRIBUTED) on a statement that touches no distributed table",
+                        )));
+                    }
                     return None;
                 }
                 let mut state = self.take_state(sid);
-                let r = self.explain(session, inner, &mut state);
+                let r = self.explain(session, *options, inner, &mut state);
                 self.put_state(sid, state);
                 Some(r)
             }
@@ -713,14 +867,20 @@ impl Extension for CitrusExtension {
 }
 
 impl CitrusExtension {
-    /// Distributed EXPLAIN: the CustomScan header plus task summary.
+    /// Distributed EXPLAIN (§3.5): renders the plan — tier, shard pruning,
+    /// task list — without executing. `EXPLAIN ANALYZE` executes instead and
+    /// attaches the statement's deterministic trace tree.
     fn explain(
         &self,
         session: &mut Session,
+        options: sqlparse::ast::ExplainOptions,
         inner: &Statement,
         state: &mut SessionState,
     ) -> PgResult<QueryResult> {
         let cluster = self.cluster()?;
+        if options.analyze {
+            return self.explain_analyze(&cluster, session, inner, state);
+        }
         let plan = {
             let meta = cluster.metadata.read_recursive();
             let mut env = PlannerEnv { ext: self, session, state };
@@ -729,30 +889,168 @@ impl CitrusExtension {
         let Some(plan) = plan else {
             return Err(PgError::internal("explain on non-distributed statement"));
         };
-        let mut lines = vec![
-            format!("Custom Scan (Citrus Adaptive) via {}", plan.kind.as_str()),
-            format!("  Task Count: {}", plan.tasks.len()),
-        ];
-        match &plan.merge {
-            crate::planner::Merge::GroupAgg(_) => {
-                lines.push("  Merge: partial aggregation on coordinator".to_string())
-            }
-            crate::planner::Merge::Concat { sort, .. } if !sort.is_empty() => {
-                lines.push("  Merge: re-sort on coordinator".to_string())
-            }
-            _ => {}
-        }
-        if !plan.prep.is_empty() {
-            lines.push(format!("  Subplans: {} (intermediate results)", plan.prep.len()));
-        }
-        if let Some(t) = plan.tasks.first() {
-            lines.push(format!("  First Task on node {}: {}", t.node.0, sqlparse::deparse(&t.stmt)));
-        }
-        Ok(QueryResult::Rows {
-            columns: vec!["QUERY PLAN".to_string()],
-            rows: lines.into_iter().map(|l| vec![Datum::Text(l)]).collect(),
-        })
+        let lines = render_distributed_plan(&cluster, inner, &plan)?;
+        Ok(plan_rows(lines))
     }
+
+    /// `EXPLAIN ANALYZE`: execute through the full distributed pipeline with
+    /// span tracing forced on for this statement, then render the trace.
+    fn explain_analyze(
+        &self,
+        cluster: &Arc<Cluster>,
+        session: &mut Session,
+        inner: &Statement,
+        state: &mut SessionState,
+    ) -> PgResult<QueryResult> {
+        state.stmt_cost = DistCost::default();
+        state.trace =
+            Some(crate::trace::Span::new("statement").with("sql", sqlparse::deparse(inner)));
+        let result = self.plan_and_execute(session, inner, state);
+        let stmt_cost = std::mem::take(&mut state.stmt_cost);
+        let root = state.trace.take();
+        state.last_dist = Some(stmt_cost.clone());
+        match result? {
+            Some(r) => {
+                let mut root =
+                    root.ok_or_else(|| PgError::internal("trace vanished during analyze"))?;
+                match &r {
+                    QueryResult::Rows { rows, .. } => root.set("rows", rows.len()),
+                    QueryResult::Affected(n) => root.set("affected", n),
+                    QueryResult::Empty => {}
+                }
+                root.set("elapsed_ms", crate::trace::fmt_ms(stmt_cost.elapsed_ms));
+                state.last_trace = Some(root.clone());
+                cluster.tracer.record_statement(root.clone());
+                let lines: Vec<String> =
+                    root.render().lines().map(str::to_string).collect();
+                Ok(plan_rows(lines))
+            }
+            None => Err(PgError::internal("explain on non-distributed statement")),
+        }
+    }
+
+    /// Rebuild the stat relations' backing tables from the live registries.
+    /// Runs on a throwaway engine session with hooks skipped, so a client
+    /// SELECT over them never recurses into the planner hook.
+    fn refresh_stat_relations(
+        &self,
+        cluster: &Arc<Cluster>,
+        tables: &[String],
+    ) -> PgResult<()> {
+        let engine = cluster.node(self.node)?.engine();
+        let mut s = engine.session()?;
+        if tables.iter().any(|t| t == STAT_STATEMENTS_TABLE) {
+            s.execute_local(&sqlparse::parse(&format!(
+                "DELETE FROM {STAT_STATEMENTS_TABLE}"
+            ))?)?;
+            for (key, e) in cluster.metrics.statement_entries() {
+                s.execute_local(&sqlparse::parse(&format!(
+                    "INSERT INTO {STAT_STATEMENTS_TABLE} \
+                     (queryid, query, tier, calls, total_ms, cache_hits, retries) \
+                     VALUES ('{key:016x}', '{}', '{}', {}, {:.3}, {}, {})",
+                    escape_literal(&e.query),
+                    e.tier.as_str(),
+                    e.calls,
+                    e.total_ms,
+                    e.cache_hits,
+                    e.retries,
+                ))?)?;
+            }
+        }
+        if tables.iter().any(|t| t == STAT_ACTIVITY_TABLE) {
+            s.execute_local(&sqlparse::parse(&format!(
+                "DELETE FROM {STAT_ACTIVITY_TABLE}"
+            ))?)?;
+            let mut rows: Vec<(u64, Option<PlannerKind>, f64, Option<u64>)> = self
+                .sessions
+                .lock()
+                .iter()
+                .map(|(sid, st)| {
+                    (
+                        *sid,
+                        st.last_planner,
+                        st.last_dist.as_ref().map(|d| d.elapsed_ms).unwrap_or(0.0),
+                        st.dist_txn.map(|d| d.number),
+                    )
+                })
+                .collect();
+            rows.sort_by_key(|r| r.0);
+            for (pid, tier, elapsed, txn) in rows {
+                let tier = tier.map(PlannerKind::as_str).unwrap_or("-");
+                let txn = txn.map(|n| n.to_string()).unwrap_or_else(|| "NULL".to_string());
+                s.execute_local(&sqlparse::parse(&format!(
+                    "INSERT INTO {STAT_ACTIVITY_TABLE} (pid, tier, elapsed_ms, txn) \
+                     VALUES ({pid}, '{tier}', {elapsed:.3}, {txn})"
+                ))?)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Render the distributed plan the way `EXPLAIN (DISTRIBUTED)` shows it.
+fn render_distributed_plan(
+    cluster: &Arc<Cluster>,
+    inner: &Statement,
+    plan: &DistPlan,
+) -> PgResult<Vec<String>> {
+    let meta = cluster.metadata.read_recursive();
+    // candidate shards of every referenced distributed table vs. the shards
+    // the plan actually touches: the difference is what pruning removed
+    let mut tables = planner::rewrite::collect_tables(inner);
+    tables.sort();
+    tables.dedup();
+    let total: usize = tables
+        .iter()
+        .filter_map(|t| meta.table(t))
+        .map(|dt| dt.shards.len())
+        .sum();
+    let mut touched: Vec<_> = plan.tasks.iter().flat_map(|t| t.shards.iter().copied()).collect();
+    touched.sort();
+    touched.dedup();
+    let mut lines = vec![
+        format!("Custom Scan (Citrus Adaptive) via {}", plan.kind.as_str()),
+        format!("  Task Count: {}", plan.tasks.len()),
+        format!(
+            "  Shards: {} of {} ({} pruned)",
+            touched.len(),
+            total,
+            total.saturating_sub(touched.len())
+        ),
+    ];
+    match &plan.merge {
+        crate::planner::Merge::GroupAgg(_) => {
+            lines.push("  Merge: partial aggregation on coordinator".to_string())
+        }
+        crate::planner::Merge::Concat { sort, .. } if !sort.is_empty() => {
+            lines.push("  Merge: re-sort on coordinator".to_string())
+        }
+        _ => {}
+    }
+    if !plan.prep.is_empty() {
+        lines.push(format!("  Subplans: {} (intermediate results)", plan.prep.len()));
+    }
+    lines.push("  Tasks Shown: All".to_string());
+    for task in &plan.tasks {
+        let node = cluster.node(task.node)?.name.clone();
+        let shards: Vec<String> = task.shards.iter().map(|s| format!("s{}", s.0)).collect();
+        lines.push(format!("  ->  Task on {node} (shards {})", shards.join("+")));
+        lines.push(format!("        {}", sqlparse::deparse(&task.stmt)));
+    }
+    Ok(lines)
+}
+
+/// Wrap EXPLAIN output lines as a single-column result.
+fn plan_rows(lines: Vec<String>) -> QueryResult {
+    QueryResult::Rows {
+        columns: vec!["QUERY PLAN".to_string()],
+        rows: lines.into_iter().map(|l| vec![Datum::Text(l)]).collect(),
+    }
+}
+
+/// Escape a string for inclusion in a single-quoted SQL literal.
+fn escape_literal(s: &str) -> String {
+    s.replace('\'', "''")
 }
 
 /// Planner environment: gives the planner subplan execution and join-order

@@ -44,11 +44,13 @@ pub mod ha;
 pub mod insert_select;
 pub mod maintenance;
 pub mod metadata;
+pub mod metrics;
 pub mod planner;
 pub mod procedures;
 pub mod rebalancer;
 pub mod recovery;
 pub mod table_mgmt;
+pub mod trace;
 
 pub use cluster::{ClientSession, Cluster, ClusterConfig};
 pub use cost::DistCost;

@@ -44,9 +44,12 @@ fn delete_commit_record(cluster: &Arc<Cluster>, origin: NodeId, gid: &str) -> Pg
     Ok(())
 }
 
-/// One recovery pass over the whole cluster.
+/// One recovery pass over the whole cluster. When tracing is enabled, a pass
+/// that found any prepared transaction (or unreachable node) records a
+/// `recovery.pass` span with one child per COMMIT/ROLLBACK PREPARED action.
 pub fn recover_once(cluster: &Arc<Cluster>) -> PgResult<RecoveryStats> {
     let mut stats = RecoveryStats::default();
+    let mut span = crate::trace::Span::new("recovery.pass");
     for node in cluster.nodes() {
         if !node.is_active() {
             stats.unreachable_nodes += 1;
@@ -65,6 +68,11 @@ pub fn recover_once(cluster: &Arc<Cluster>) -> PgResult<RecoveryStats> {
                 .unwrap_or(false);
             if in_flight {
                 stats.skipped_in_flight += 1;
+                span.child(
+                    crate::trace::Span::new("recovery.skip_in_flight")
+                        .with("node", &node.name)
+                        .with("gid", &gid),
+                );
                 continue;
             }
             let committed = commit_record_exists(cluster, origin, &gid)?;
@@ -73,15 +81,40 @@ pub fn recover_once(cluster: &Arc<Cluster>) -> PgResult<RecoveryStats> {
                 let stmt = sqlparse::ast::Statement::CommitPrepared(gid.clone());
                 if session.execute_stmt(&stmt).is_ok() {
                     stats.committed += 1;
+                    cluster
+                        .metrics
+                        .recovery_commits
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    span.child(
+                        crate::trace::Span::new("recovery.commit")
+                            .with("node", &node.name)
+                            .with("gid", &gid),
+                    );
                     let _ = delete_commit_record(cluster, origin, &gid);
                 }
             } else {
                 let stmt = sqlparse::ast::Statement::RollbackPrepared(gid.clone());
                 if session.execute_stmt(&stmt).is_ok() {
                     stats.rolled_back += 1;
+                    cluster
+                        .metrics
+                        .recovery_rollbacks
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    span.child(
+                        crate::trace::Span::new("recovery.rollback")
+                            .with("node", &node.name)
+                            .with("gid", &gid),
+                    );
                 }
             }
         }
+    }
+    if stats != RecoveryStats::default() {
+        span.set("committed", stats.committed);
+        span.set("rolled_back", stats.rolled_back);
+        span.set("skipped_in_flight", stats.skipped_in_flight);
+        span.set("unreachable_nodes", stats.unreachable_nodes);
+        cluster.tracer.record_daemon(span);
     }
     Ok(stats)
 }

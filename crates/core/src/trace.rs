@@ -1,0 +1,256 @@
+//! Deterministic per-statement trace spans (§3.5–§3.7 observability).
+//!
+//! A [`Span`] is one node of a statement's trace tree: the planner tier
+//! chosen and the plan-cache outcome, one span per shard task (node,
+//! placements, retries, backoff, fault events), connection-pool slow-start
+//! growth, and the commit protocol's phases. Spans carry only *virtual-time*
+//! durations and structural facts — never wall-clock stamps or arrival
+//! sequence numbers — and the executor assembles task spans in task order,
+//! exactly like its result assembly. Both together make a trace a pure
+//! function of (workload, seed, config minus `executor_threads`): the
+//! rendered tree is byte-identical at any thread count, which the golden
+//! tests pin with [`fingerprint_str`].
+//!
+//! Tracing is gated by [`crate::cluster::ClusterConfig::tracing`] (and
+//! forced on for a single statement by `EXPLAIN ANALYZE`). The [`Tracer`]
+//! keeps a bounded ring of completed statement traces plus the maintenance
+//! daemons' spans (deadlock detector, 2PC recovery).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Completed statement traces kept by the [`Tracer`].
+const STATEMENT_RING: usize = 256;
+/// Daemon spans kept before the oldest are dropped.
+const DAEMON_RING: usize = 1024;
+
+/// One node of a trace tree: a label, ordered key=value fields, children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    label: String,
+    fields: Vec<(&'static str, String)>,
+    children: Vec<Span>,
+}
+
+impl Span {
+    pub fn new(label: impl Into<String>) -> Span {
+        Span { label: label.into(), fields: Vec::new(), children: Vec::new() }
+    }
+
+    /// Append a field (fields render in insertion order).
+    pub fn set(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        self.fields.push((key, value.to_string()));
+    }
+
+    /// Builder-style [`Span::set`].
+    pub fn with(mut self, key: &'static str, value: impl std::fmt::Display) -> Span {
+        self.set(key, value);
+        self
+    }
+
+    pub fn child(&mut self, span: Span) {
+        self.children.push(span);
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Value of the first field named `key`.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str())
+    }
+
+    pub fn children(&self) -> &[Span] {
+        &self.children
+    }
+
+    /// First span (self or descendant, pre-order) with the given label.
+    pub fn find(&self, label: &str) -> Option<&Span> {
+        if self.label == label {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(label))
+    }
+
+    /// All spans (self and descendants, pre-order) with the given label.
+    pub fn find_all<'a>(&'a self, label: &str) -> Vec<&'a Span> {
+        let mut out = Vec::new();
+        self.collect(label, &mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, label: &str, out: &mut Vec<&'a Span>) {
+        if self.label == label {
+            out.push(self);
+        }
+        for c in &self.children {
+            c.collect(label, out);
+        }
+    }
+
+    /// Render the tree as indented `label{k=v k=v}` lines.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s, 0);
+        s
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.label);
+        if !self.fields.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(k);
+                out.push('=');
+                out.push_str(v);
+            }
+            out.push('}');
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+
+    /// Fingerprint of the rendered tree (see [`fingerprint_str`]).
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_str(&self.render())
+    }
+}
+
+/// Render a virtual-time duration with fixed precision so trace text is
+/// byte-stable (floats would otherwise print differently across rounding).
+pub fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.3}")
+}
+
+/// FNV-1a over the rendered trace text. Two traces fingerprint equal iff
+/// their rendered trees are byte-identical.
+pub fn fingerprint_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cluster-wide trace collector: a ring of completed statement traces plus
+/// the maintenance daemons' event spans.
+pub struct Tracer {
+    enabled: AtomicBool,
+    statements: Mutex<VecDeque<Span>>,
+    daemon: Mutex<VecDeque<Span>>,
+}
+
+impl Tracer {
+    pub fn new(enabled: bool) -> Tracer {
+        Tracer {
+            enabled: AtomicBool::new(enabled),
+            statements: Mutex::new(VecDeque::new()),
+            daemon: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    /// Record a completed statement trace (oldest dropped past the ring cap).
+    pub fn record_statement(&self, span: Span) {
+        let mut q = self.statements.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= STATEMENT_RING {
+            q.pop_front();
+        }
+        q.push_back(span);
+    }
+
+    /// Record a maintenance-daemon span (deadlock detector, 2PC recovery).
+    pub fn record_daemon(&self, span: Span) {
+        if !self.enabled() {
+            return;
+        }
+        let mut q = self.daemon.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= DAEMON_RING {
+            q.pop_front();
+        }
+        q.push_back(span);
+    }
+
+    /// All retained statement traces, oldest first.
+    pub fn statements(&self) -> Vec<Span> {
+        self.statements.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+    }
+
+    pub fn last_statement(&self) -> Option<Span> {
+        self.statements.lock().unwrap_or_else(|e| e.into_inner()).back().cloned()
+    }
+
+    /// All retained daemon spans, oldest first.
+    pub fn daemon_spans(&self) -> Vec<Span> {
+        self.daemon.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+    }
+
+    pub fn clear(&self) {
+        self.statements.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.daemon.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_find() {
+        let mut root = Span::new("statement").with("tier", "Router");
+        let mut task = Span::new("task").with("node", "worker-1");
+        task.child(Span::new("fault").with("kind", "Error"));
+        root.child(task);
+        let text = root.render();
+        assert_eq!(
+            text,
+            "statement{tier=Router}\n  task{node=worker-1}\n    fault{kind=Error}\n"
+        );
+        assert_eq!(root.find("fault").unwrap().field("kind"), Some("Error"));
+        assert_eq!(root.find_all("task").len(), 1);
+        assert_eq!(root.fingerprint(), fingerprint_str(&text));
+    }
+
+    #[test]
+    fn tracer_ring_bounds() {
+        let t = Tracer::new(true);
+        for i in 0..(STATEMENT_RING + 10) {
+            t.record_statement(Span::new("statement").with("i", i));
+        }
+        assert_eq!(t.statements().len(), STATEMENT_RING);
+        assert_eq!(
+            t.last_statement().unwrap().field("i").unwrap(),
+            (STATEMENT_RING + 9).to_string()
+        );
+        t.clear();
+        assert!(t.statements().is_empty());
+    }
+
+    #[test]
+    fn disabled_tracer_skips_daemon_spans() {
+        let t = Tracer::new(false);
+        t.record_daemon(Span::new("deadlock.check"));
+        assert!(t.daemon_spans().is_empty());
+        t.set_enabled(true);
+        t.record_daemon(Span::new("deadlock.check"));
+        assert_eq!(t.daemon_spans().len(), 1);
+    }
+}

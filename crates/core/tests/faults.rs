@@ -283,6 +283,198 @@ fn latency_fault_advances_virtual_clock() {
     assert_eq!(c.clock.now_micros() - before, 15_000, "3 × 5 ms, then exhausted");
 }
 
+// ---------------- trace coverage of daemons and retries ----------------
+
+/// `dist_table_cluster` with tracing enabled from the start.
+fn traced_dist_cluster(workers: u32) -> Arc<Cluster> {
+    let c = {
+        let mut cfg = ClusterConfig::default();
+        cfg.shard_count = 8;
+        cfg.tracing = true;
+        let c = Cluster::new(cfg);
+        for _ in 0..workers {
+            c.add_worker().unwrap();
+        }
+        c
+    };
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE t (k bigint PRIMARY KEY, v bigint)").unwrap();
+    s.execute("SELECT create_distributed_table('t', 'k')").unwrap();
+    for k in 0..40i64 {
+        s.execute(&format!("INSERT INTO t VALUES ({k}, 1)")).unwrap();
+    }
+    c
+}
+
+/// A retried read records its fault and retry in the statement trace: the
+/// failing task span carries `retries`/`backoff_ms` plus a `fault` child
+/// naming the rule that fired.
+#[test]
+fn retried_read_trace_records_fault_and_backoff() {
+    let c = traced_dist_cluster(2);
+    c.tracer.clear();
+    let inj = c.install_faults(
+        FaultPlan::new().with(FaultRule::stmt_error(1, "select")),
+        0,
+    );
+    let mut s = c.session().unwrap();
+    s.execute("SELECT count(*) FROM t").unwrap();
+    assert_eq!(inj.fired(), 1);
+
+    let trace = c.tracer.last_statement().expect("statement trace recorded");
+    let retried: Vec<_> = trace
+        .find_all("task")
+        .into_iter()
+        .filter(|t| t.field("retries").is_some())
+        .collect();
+    assert_eq!(retried.len(), 1, "exactly one task retried:\n{}", trace.render());
+    let task = retried[0];
+    assert_eq!(task.field("retries"), Some("1"));
+    assert_eq!(task.field("backoff_ms"), Some("10.000"), "base backoff charged");
+    let fault = task.find("fault").expect("fault event attached to the task span");
+    assert_eq!(fault.field("kind"), Some("Error"));
+    assert_eq!(fault.field("tag"), Some("select"));
+}
+
+/// A recovery pass that settles an in-doubt transaction via its commit
+/// record emits a `recovery.pass` daemon span with a `recovery.commit` child
+/// naming the node and gid.
+#[test]
+fn recovery_commit_emits_daemon_trace() {
+    let c = traced_dist_cluster(2);
+    let (w1, w2) = (NodeId(1), NodeId(2));
+    let (k1, k2) = (key_on_node(&c, w1), key_on_node(&c, w2));
+    let mut s = c.session().unwrap();
+    c.install_faults(
+        FaultPlan::new().with(FaultRule::stmt_error(w1.0, "commit_prepared")),
+        0,
+    );
+    s.execute("BEGIN").unwrap();
+    s.execute(&format!("UPDATE t SET v = 100 WHERE k = {k1}")).unwrap();
+    s.execute(&format!("UPDATE t SET v = 100 WHERE k = {k2}")).unwrap();
+    s.execute("COMMIT").unwrap();
+
+    c.tracer.clear();
+    let stats = citrus::recovery::recover_once(&c).unwrap();
+    assert_eq!(stats.committed, 1);
+    let passes = c.tracer.daemon_spans();
+    let pass = passes
+        .iter()
+        .find(|p| p.label() == "recovery.pass")
+        .expect("recovery pass traced");
+    assert_eq!(pass.field("committed"), Some("1"));
+    assert_eq!(pass.field("rolled_back"), Some("0"));
+    let commit = pass.find("recovery.commit").expect("commit action traced");
+    assert_eq!(commit.field("node"), Some("worker-1"));
+    assert!(commit.field("gid").unwrap().starts_with("citrus_"), "gid recorded");
+    assert_eq!(c.metrics.recovery_commits.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+    // a quiescent pass records nothing
+    c.tracer.clear();
+    citrus::recovery::recover_once(&c).unwrap();
+    assert!(c.tracer.daemon_spans().is_empty(), "no-op passes stay silent");
+}
+
+/// A recovery pass that aborts an orphaned prepared transaction (no commit
+/// record) emits a `recovery.rollback` child instead.
+#[test]
+fn recovery_rollback_emits_daemon_trace() {
+    let c = traced_dist_cluster(2);
+    let (w1, w2) = (NodeId(1), NodeId(2));
+    let (k1, k2) = (key_on_node(&c, w1), key_on_node(&c, w2));
+    let mut s = c.session().unwrap();
+    c.install_faults(
+        FaultPlan::new().with(FaultRule::crash_after(w1.0, "prepare_transaction")),
+        0,
+    );
+    s.execute("BEGIN").unwrap();
+    s.execute(&format!("UPDATE t SET v = 200 WHERE k = {k1}")).unwrap();
+    s.execute(&format!("UPDATE t SET v = 200 WHERE k = {k2}")).unwrap();
+    s.execute("COMMIT").unwrap_err();
+    citrus::ha::heal_node(&c, w1).unwrap();
+
+    c.tracer.clear();
+    let stats = citrus::recovery::recover_once(&c).unwrap();
+    assert_eq!(stats.rolled_back, 1);
+    let passes = c.tracer.daemon_spans();
+    let pass = passes
+        .iter()
+        .find(|p| p.label() == "recovery.pass")
+        .expect("recovery pass traced");
+    assert_eq!(pass.field("rolled_back"), Some("1"));
+    let rb = pass.find("recovery.rollback").expect("rollback action traced");
+    assert_eq!(rb.field("node"), Some("worker-1"));
+    assert_eq!(c.metrics.recovery_rollbacks.load(std::sync::atomic::Ordering::Relaxed), 1);
+}
+
+/// A detected distributed deadlock leaves a `deadlock.check` daemon span
+/// whose `deadlock.victim` child names the cancelled transaction — the merged
+/// wait-for graph (both edges come from different engines), the cycle length,
+/// and the youngest-victim choice are all observable from the trace.
+#[test]
+fn deadlock_detection_emits_check_and_victim_trace() {
+    let c = traced_dist_cluster(2);
+    let (w1, w2) = (NodeId(1), NodeId(2));
+    let (k1, k2) = (key_on_node(&c, w1), key_on_node(&c, w2));
+    c.tracer.clear();
+
+    let c1 = c.clone();
+    let c2 = c.clone();
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let (b1, b2) = (barrier.clone(), barrier.clone());
+    let h1 = std::thread::spawn(move || {
+        let mut s = c1.session().unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute(&format!("UPDATE t SET v = 10 WHERE k = {k1}")).unwrap();
+        b1.wait();
+        let r = s.execute(&format!("UPDATE t SET v = 10 WHERE k = {k2}"));
+        let _ = if r.is_ok() { s.execute("COMMIT") } else { s.execute("ROLLBACK") };
+        r.map(|_| ())
+    });
+    let h2 = std::thread::spawn(move || {
+        let mut s = c2.session().unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute(&format!("UPDATE t SET v = 20 WHERE k = {k2}")).unwrap();
+        b2.wait();
+        let r = s.execute(&format!("UPDATE t SET v = 20 WHERE k = {k1}"));
+        let _ = if r.is_ok() { s.execute("COMMIT") } else { s.execute("ROLLBACK") };
+        r.map(|_| ())
+    });
+    let mut victim = None;
+    for _ in 0..100 {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        if let Some(v) = citrus::deadlock::detect_once(&c).unwrap() {
+            victim = Some(v);
+            break;
+        }
+        if h1.is_finished() && h2.is_finished() {
+            break;
+        }
+    }
+    let r1 = h1.join().unwrap();
+    let r2 = h2.join().unwrap();
+    let victim = victim.expect("the crossed updates must deadlock");
+    let failures = [&r1, &r2].iter().filter(|r| r.is_err()).count();
+    assert_eq!(failures, 1, "exactly one victim: {r1:?} {r2:?}");
+
+    let spans = c.tracer.daemon_spans();
+    let check = spans
+        .iter()
+        .find(|s| s.label() == "deadlock.check" && s.find("deadlock.victim").is_some())
+        .expect("the cancelling pass left a check span with a victim child");
+    // the merged graph saw both distributed transactions and both edges
+    assert!(check.field("graph_nodes").unwrap().parse::<usize>().unwrap() >= 2);
+    assert!(check.field("edges").unwrap().parse::<usize>().unwrap() >= 2);
+    let v = check.find("deadlock.victim").unwrap();
+    assert_eq!(
+        v.field("txn"),
+        Some(format!("{}:{}", victim.origin_node, victim.number).as_str()),
+        "the trace names the transaction detect_once cancelled"
+    );
+    assert_eq!(v.field("cycle_len"), Some("2"));
+    assert_eq!(c.metrics.deadlock_victims.load(std::sync::atomic::Ordering::Relaxed), 1);
+}
+
 // ---------------- determinism ----------------
 
 /// One full scenario: a probabilistic fault plan over a mixed workload plus

@@ -437,6 +437,25 @@ impl FaultInjector {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).log.clone()
     }
 
+    /// Current length of the fired-fault log — a cursor for incremental
+    /// readers (the tracer snapshots it at statement start and attaches only
+    /// the events fired during that statement).
+    pub fn events_len(&self) -> usize {
+        if self.empty {
+            return 0;
+        }
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).log.len()
+    }
+
+    /// Events fired at or after log index `from`, in firing order.
+    pub fn events_since(&self, from: usize) -> Vec<FaultEvent> {
+        if self.empty {
+            return Vec::new();
+        }
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.log.get(from..).map(<[FaultEvent]>::to_vec).unwrap_or_default()
+    }
+
     /// Order-independent hash of the fired-fault multiset: each event is
     /// hashed over (rule, node, op, tag, phase, kind) — excluding the
     /// arrival `seq` and the victim `scope` — and the per-event hashes are

@@ -341,7 +341,7 @@ impl Session {
                 }
                 self.run_utility(stmt)
             }
-            Statement::Explain(inner) => {
+            Statement::Explain { inner, .. } => {
                 if use_hooks {
                     if let Some(ext) = self.engine.hooks.installed() {
                         if let Some(r) = ext.utility_hook(self, stmt) {

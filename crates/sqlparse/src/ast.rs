@@ -28,7 +28,18 @@ pub enum Statement {
     RollbackPrepared(String),
     Vacuum { table: Option<String> },
     Set { name: String, value: Literal },
-    Explain(Box<Statement>),
+    Explain { options: ExplainOptions, inner: Box<Statement> },
+}
+
+/// Options accepted by `EXPLAIN`, either bare (`EXPLAIN ANALYZE`) or in the
+/// parenthesised list form (`EXPLAIN (ANALYZE, DISTRIBUTED) ...`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExplainOptions {
+    /// Execute the statement and report what actually happened.
+    pub analyze: bool,
+    /// Render the distributed plan (tier, shard pruning, task list) instead
+    /// of a single node's local plan.
+    pub distributed: bool,
 }
 
 /// A `SELECT` query (also used for subqueries and `INSERT .. SELECT` sources).

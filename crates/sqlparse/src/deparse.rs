@@ -121,8 +121,14 @@ fn write_statement(s: &mut String, stmt: &Statement) {
             s.push_str(" = ");
             write_literal(s, value);
         }
-        Statement::Explain(inner) => {
+        Statement::Explain { options, inner } => {
             s.push_str("EXPLAIN ");
+            match (options.analyze, options.distributed) {
+                (true, true) => s.push_str("(ANALYZE, DISTRIBUTED) "),
+                (true, false) => s.push_str("ANALYZE "),
+                (false, true) => s.push_str("(DISTRIBUTED) "),
+                (false, false) => {}
+            }
             write_statement(s, inner);
         }
     }

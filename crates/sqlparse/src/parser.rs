@@ -227,7 +227,32 @@ impl Parser {
                 }
                 "explain" => {
                     self.advance();
-                    Ok(Statement::Explain(Box::new(self.parse_statement()?)))
+                    let mut options = ExplainOptions::default();
+                    if self.eat_op(Op::LParen) {
+                        loop {
+                            let opt = self.ident()?;
+                            match opt.as_str() {
+                                "analyze" => options.analyze = true,
+                                "distributed" => options.distributed = true,
+                                other => {
+                                    return Err(ParseError::at(
+                                        self.offset(),
+                                        format!("unrecognized EXPLAIN option \"{other}\""),
+                                    ))
+                                }
+                            }
+                            if !self.eat_op(Op::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_op(Op::RParen)?;
+                    } else if self.eat_kw("analyze") {
+                        options.analyze = true;
+                    }
+                    Ok(Statement::Explain {
+                        options,
+                        inner: Box::new(self.parse_statement()?),
+                    })
                 }
                 _ => Err(self.unexpected("statement keyword")),
             },
