@@ -16,13 +16,19 @@ use std::sync::Arc;
 /// duration, which excludes in-flight 2PC commits (§3.9).
 pub fn create_restore_point(cluster: &Arc<Cluster>, name: &str) -> PgResult<()> {
     let _guard = cluster.commit_record_lock.lock();
-    for node in cluster.nodes() {
+    let nodes = cluster.nodes();
+    // all-or-nothing: refuse before appending anywhere, or a down node
+    // mid-loop would leave a partial (named but unusable) restore point on
+    // the nodes already visited
+    for node in &nodes {
         if !node.is_active() {
             return Err(PgError::new(
                 ErrorCode::ConnectionFailure,
                 format!("cannot create restore point: node {} is down", node.name),
             ));
         }
+    }
+    for node in &nodes {
         node.engine().wal.append(WalRecord::RestorePoint { name: name.to_string() });
     }
     Ok(())
@@ -66,8 +72,11 @@ pub fn restore_cluster(backup: &ClusterBackup, restore_point: &str) -> PgResult<
         crate::extension::CitrusExtension::install_restored(&cluster, &engine, NodeId(i as u32));
         node.replace_engine(engine);
     }
-    // settle prepared transactions using the restored commit records
+    // settle prepared transactions using the restored commit records, and
+    // abort/roll-forward any shard move the restored journal says was in
+    // flight at the restore point
     crate::recovery::recover_once(&cluster)?;
+    crate::rebalancer::recover_moves(&cluster)?;
     Ok(cluster)
 }
 

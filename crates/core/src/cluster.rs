@@ -151,6 +151,11 @@ pub struct Cluster {
     faults: RwLock<Arc<FaultInjector>>,
     /// Total read-task retries performed by the adaptive executor.
     task_retries: AtomicU64,
+    /// Journal ids of shard moves currently driven by a live coordinator
+    /// session. The move-recovery pass must not treat their journal records
+    /// as crashed (the 2PC analogue: in-flight transaction numbers shield
+    /// commit records from the recovery daemon).
+    active_moves: Mutex<std::collections::HashSet<u64>>,
     /// Per-statement span trees and maintenance-daemon events (§ trace).
     pub tracer: crate::trace::Tracer,
     /// Always-on counters + virtual-time histograms backing the stat
@@ -175,6 +180,7 @@ impl Cluster {
             extensions: RwLock::new(Vec::new()),
             faults: RwLock::new(Arc::new(FaultInjector::none())),
             task_retries: AtomicU64::new(0),
+            active_moves: Mutex::new(std::collections::HashSet::new()),
             tracer,
             metrics: crate::metrics::Metrics::default(),
         });
@@ -368,6 +374,43 @@ impl Cluster {
             ));
         }
         Ok(())
+    }
+
+    /// Consult the fault plan at a protocol choke point outside the
+    /// connection fabric — the rebalancer calls this at every move phase
+    /// boundary — and honour the decision (charge latency, crash the node,
+    /// surface the failure).
+    pub fn fault_point(
+        &self,
+        node: NodeId,
+        op: FaultOp,
+        tag: &str,
+        scope: &str,
+        phase: FaultPhase,
+    ) -> PgResult<()> {
+        let d = self.faults().decide_scoped(node.0, op, tag, phase, scope);
+        if d == FaultDecision::default() {
+            return Ok(());
+        }
+        let node = self.node(node)?;
+        self.apply_fault(&node, &d, tag)
+    }
+
+    /// Shield a journaled move from the recovery pass while its coordinator
+    /// session is still driving it.
+    pub(crate) fn note_move_active(&self, move_id: u64) {
+        self.active_moves.lock().insert(move_id);
+    }
+
+    /// The driving session is gone (done or errored): recovery may now claim
+    /// the journal record.
+    pub(crate) fn note_move_finished(&self, move_id: u64) {
+        self.active_moves.lock().remove(&move_id);
+    }
+
+    /// Journal ids of moves currently driven by live sessions.
+    pub fn active_move_ids(&self) -> std::collections::HashSet<u64> {
+        self.active_moves.lock().clone()
     }
 
     pub(crate) fn note_task_retries(&self, n: u64) {

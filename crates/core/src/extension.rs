@@ -36,6 +36,11 @@ pub const STAT_STATEMENTS_TABLE: &str = "citus_stat_statements";
 /// Queryable stat relation: one row per extension-tracked session.
 pub const STAT_ACTIVITY_TABLE: &str = "citus_stat_activity";
 
+/// Queryable relation over the durable move journal: one row per shard-group
+/// move (phase, per-move rows_moved / catchup_rows). Refreshed from
+/// `citrus_shard_moves` whenever a SELECT references it.
+pub const REBALANCE_STATUS_TABLE: &str = "citus_rebalance_status";
+
 /// The extension instance installed on one node.
 pub struct CitrusExtension {
     cluster: Weak<Cluster>,
@@ -89,6 +94,25 @@ impl CitrusExtension {
             format!(
                 "CREATE TABLE IF NOT EXISTS {STAT_ACTIVITY_TABLE} (pid bigint PRIMARY KEY, \
                  tier text, elapsed_ms float, txn bigint)"
+            ),
+            // durable move journal + cleanup records (§3.4 crash safety);
+            // populated only on the coordinator, but created everywhere so a
+            // promoted standby can serve them
+            format!(
+                "CREATE TABLE IF NOT EXISTS {} (move_id bigint PRIMARY KEY, \
+                 anchor_table text, bucket bigint, from_node bigint, to_node bigint, \
+                 phase text, rows_moved bigint, catchup_rows bigint)",
+                crate::movejournal::SHARD_MOVES_TABLE
+            ),
+            format!(
+                "CREATE TABLE IF NOT EXISTS {} (record_id bigint PRIMARY KEY, \
+                 move_id bigint, node_id bigint, object_name text)",
+                crate::movejournal::CLEANUP_RECORDS_TABLE
+            ),
+            format!(
+                "CREATE TABLE IF NOT EXISTS {REBALANCE_STATUS_TABLE} (move_id bigint PRIMARY KEY, \
+                 table_name text, bucket bigint, from_node bigint, to_node bigint, \
+                 phase text, rows_moved bigint, catchup_rows bigint)"
             ),
         ];
         for ddl in ddls {
@@ -163,11 +187,17 @@ impl CitrusExtension {
         let weak5 = weak.clone();
         engine.register_udf("rebalance_table_shards", move |_session, _args| {
             let cluster = weak5.upgrade().ok_or_else(|| PgError::internal("cluster gone"))?;
-            let moves = crate::rebalancer::rebalance(
+            let reports = crate::rebalancer::rebalance(
                 &cluster,
                 &crate::rebalancer::RebalanceStrategy::ByShardCount,
             )?;
-            Ok(Datum::Int(moves as i64))
+            let rows_moved: u64 = reports.iter().map(|r| r.rows_moved).sum();
+            let catchup_rows: u64 = reports.iter().map(|r| r.catchup_rows).sum();
+            // per-move detail is queryable from citus_rebalance_status
+            Ok(Datum::Text(format!(
+                "moves={} rows_moved={rows_moved} catchup_rows={catchup_rows}",
+                reports.len()
+            )))
         });
         let weak6 = weak.clone();
         engine.register_udf("citus_create_restore_point", move |_session, args| {
@@ -732,7 +762,11 @@ impl Extension for CitrusExtension {
         {
             let tables = planner::rewrite::collect_tables(stmt);
             if matches!(stmt, Statement::Select(_))
-                && tables.iter().any(|t| t == STAT_STATEMENTS_TABLE || t == STAT_ACTIVITY_TABLE)
+                && tables.iter().any(|t| {
+                    t == STAT_STATEMENTS_TABLE
+                        || t == STAT_ACTIVITY_TABLE
+                        || t == REBALANCE_STATUS_TABLE
+                })
             {
                 if let Err(e) = self.refresh_stat_relations(&cluster, &tables) {
                     return Some(Err(e));
@@ -981,6 +1015,27 @@ impl CitrusExtension {
                 s.execute_local(&sqlparse::parse(&format!(
                     "INSERT INTO {STAT_ACTIVITY_TABLE} (pid, tier, elapsed_ms, txn) \
                      VALUES ({pid}, '{tier}', {elapsed:.3}, {txn})"
+                ))?)?;
+            }
+        }
+        if tables.iter().any(|t| t == REBALANCE_STATUS_TABLE) {
+            s.execute_local(&sqlparse::parse(&format!(
+                "DELETE FROM {REBALANCE_STATUS_TABLE}"
+            ))?)?;
+            for rec in crate::movejournal::all(cluster)? {
+                s.execute_local(&sqlparse::parse(&format!(
+                    "INSERT INTO {REBALANCE_STATUS_TABLE} \
+                     (move_id, table_name, bucket, from_node, to_node, phase, \
+                      rows_moved, catchup_rows) \
+                     VALUES ({}, '{}', {}, {}, {}, '{}', {}, {})",
+                    rec.move_id,
+                    escape_literal(&rec.anchor_table),
+                    rec.bucket,
+                    rec.from.0,
+                    rec.to.0,
+                    rec.phase.as_str(),
+                    rec.rows_moved,
+                    rec.catchup_rows,
                 ))?)?;
             }
         }

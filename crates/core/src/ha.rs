@@ -24,6 +24,9 @@ pub struct FailoverReport {
     pub prepared_recovered: Vec<String>,
     /// 2PC recovery outcome after promotion.
     pub recovery: crate::recovery::RecoveryStats,
+    /// Shard-move recovery outcome after promotion (aborts moves the crash
+    /// interrupted before their metadata switch, rolls forward later ones).
+    pub move_recovery: crate::rebalancer::MoveRecoveryStats,
 }
 
 /// Crash a node: connections to it fail until it is promoted/restored.
@@ -56,9 +59,12 @@ pub fn promote_standby(cluster: &Arc<Cluster>, node_id: NodeId) -> PgResult<Fail
     let prepared = standby.txns.prepared_gids();
     node.replace_engine(standby);
     node.set_active(true);
-    // settle the prepared transactions via commit records
+    // settle the prepared transactions via commit records, then any shard
+    // move the crash interrupted (the promoted node may be either endpoint
+    // of a journaled move, or the coordinator holding the journal itself)
     let recovery = crate::recovery::recover_once(cluster)?;
-    Ok(FailoverReport { node: node_id, prepared_recovered: prepared, recovery })
+    let move_recovery = crate::rebalancer::recover_moves(cluster)?;
+    Ok(FailoverReport { node: node_id, prepared_recovered: prepared, recovery, move_recovery })
 }
 
 /// Crash + promote in one step (the orchestrator's happy path).

@@ -45,6 +45,7 @@ pub mod insert_select;
 pub mod maintenance;
 pub mod metadata;
 pub mod metrics;
+pub mod movejournal;
 pub mod planner;
 pub mod procedures;
 pub mod rebalancer;

@@ -1,9 +1,11 @@
 //! The maintenance daemon (§3.1 "background workers").
 //!
-//! Runs distributed deadlock detection and 2PC recovery on their configured
-//! intervals, through the pgmini background-worker API. Tests usually call
-//! [`crate::deadlock::detect_once`] / [`crate::recovery::recover_once`]
-//! directly for determinism; benchmarks and examples run the daemon.
+//! Runs distributed deadlock detection, 2PC recovery, and shard-move
+//! recovery on their configured intervals, through the pgmini
+//! background-worker API. Tests usually call
+//! [`crate::deadlock::detect_once`] / [`crate::recovery::recover_once`] /
+//! [`crate::rebalancer::recover_moves`] directly for determinism; benchmarks
+//! and examples run the daemon.
 
 use crate::cluster::Cluster;
 use pgmini::bgworker::BackgroundWorker;
@@ -40,6 +42,7 @@ pub fn start(cluster: &Arc<Cluster>) -> MaintenanceDaemon {
             }
         },
     );
+    let weak3 = weak2.clone();
     let recovery_worker = BackgroundWorker::spawn(
         "citrus-2pc-recovery",
         cluster.config.recovery_interval,
@@ -49,5 +52,16 @@ pub fn start(cluster: &Arc<Cluster>) -> MaintenanceDaemon {
             }
         },
     );
-    MaintenanceDaemon { workers: vec![deadlock_worker, recovery_worker] }
+    // settle crashed shard moves (abort before `switched`, roll forward
+    // after) on the same cadence as 2PC recovery
+    let move_worker = BackgroundWorker::spawn(
+        "citrus-move-recovery",
+        cluster.config.recovery_interval,
+        move || {
+            if let Some(c) = weak3.upgrade() {
+                let _ = crate::rebalancer::recover_moves(&c);
+            }
+        },
+    );
+    MaintenanceDaemon { workers: vec![deadlock_worker, recovery_worker, move_worker] }
 }

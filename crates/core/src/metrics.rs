@@ -103,6 +103,16 @@ pub struct Metrics {
     /// Prepared transactions finished by the recovery daemon.
     pub recovery_commits: AtomicU64,
     pub recovery_rollbacks: AtomicU64,
+    /// Shard-group moves journaled by the rebalancer (§3.4).
+    pub moves_started: AtomicU64,
+    /// Moves that ran their whole five-phase protocol to `done`.
+    pub moves_completed: AtomicU64,
+    /// Journaled moves aborted by the move-recovery pass (crashed before the
+    /// metadata switch; orphan targets dropped).
+    pub moves_aborted: AtomicU64,
+    /// Journaled moves rolled forward by the move-recovery pass (crashed at
+    /// or after the switch; source drop finished).
+    pub moves_rolled_forward: AtomicU64,
     statements: Mutex<BTreeMap<u64, StatEntry>>,
 }
 

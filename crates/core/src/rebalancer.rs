@@ -6,16 +6,46 @@
 //! logical-replication choreography: create, initial copy while writes
 //! continue, then a brief write-locked catch-up applying the WAL delta
 //! before the metadata switch (the "minimal write downtime" property).
+//!
+//! # Crash safety
+//!
+//! Every move is journaled in [`crate::movejournal`] before it touches any
+//! physical state, and the journal phase advances with each durable step of
+//! the five-phase protocol. A move that dies mid-flight (coordinator error,
+//! node crash) leaves its record behind; [`recover_moves`] — run by the
+//! maintenance daemon next to the deadlock and 2PC passes, and by
+//! [`crate::ha::promote_standby`] — restores the placement invariant:
+//!
+//! * journaled **before `switched`** → abort: drop the orphan target shards
+//!   named by the cleanup records, clear the record;
+//! * journaled **at/after `switched`** → roll forward: re-apply the
+//!   placement switch (idempotent), finish the source drop, mark `done`.
+//!
+//! The `switched` journal write lands *before* the in-memory metadata flip,
+//! so recovery never aborts a move whose placements already point at the
+//! target. Every phase boundary is also a fault-injection point
+//! ([`FaultOp::Move`], tags `move_create` … `move_drop`, scoped to the
+//! anchor shard) so the whole state machine is drillable.
 
 use crate::cluster::Cluster;
 use crate::metadata::{NodeId, ShardId};
-use pgmini::error::{PgError, PgResult};
+use crate::movejournal::{self, MovePhase, MoveRecord};
+use crate::trace::Span;
+use netsim::fault::{FaultOp, FaultPhase};
+use pgmini::error::{ErrorCode, PgError, PgResult};
 use pgmini::lock::{LockKey, LockMode};
 use pgmini::txn::INVALID_XID;
 use pgmini::wal::WalRecord;
 use sqlparse::ast::TableConstraint;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
+
+/// Fault-injection tags of the five move phases, in protocol order. Create
+/// and copy are charged against the *target* node, catch-up/switch/drop
+/// against the *source*.
+pub const MOVE_PHASE_TAGS: [&str; 5] =
+    ["move_create", "move_copy", "move_catchup", "move_switch", "move_drop"];
 
 /// Balancing policy.
 pub enum RebalanceStrategy {
@@ -43,6 +73,26 @@ pub struct MoveReport {
     pub catchup_rows: u64,
 }
 
+/// What one [`recover_moves`] pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MoveRecoveryStats {
+    /// Moves aborted (journaled before `switched`; orphan targets dropped).
+    pub aborted: u64,
+    /// Moves rolled forward (at/after `switched`; source drop finished).
+    pub rolled_forward: u64,
+    /// Journal records skipped because a live session is still driving them.
+    pub skipped_in_flight: u64,
+    /// Records deferred because a node they need is down (retried by the
+    /// next pass, exactly like 2PC recovery).
+    pub unreachable_nodes: u64,
+}
+
+impl MoveRecoveryStats {
+    fn is_empty(&self) -> bool {
+        *self == MoveRecoveryStats::default()
+    }
+}
+
 /// Live row count of a shard on its placement.
 fn shard_rows(cluster: &Arc<Cluster>, shard: &crate::metadata::Shard) -> u64 {
     let Some(&node) = shard.placements.first() else { return 0 };
@@ -55,22 +105,25 @@ fn shard_rows(cluster: &Arc<Cluster>, shard: &crate::metadata::Shard) -> u64 {
         .unwrap_or(0)
 }
 
-/// Rebalance all colocation groups. Returns the number of group moves made.
-pub fn rebalance(cluster: &Arc<Cluster>, strategy: &RebalanceStrategy) -> PgResult<u64> {
+/// Rebalance all colocation groups. Returns one [`MoveReport`] per group
+/// move, in move order.
+pub fn rebalance(
+    cluster: &Arc<Cluster>,
+    strategy: &RebalanceStrategy,
+) -> PgResult<Vec<MoveReport>> {
     let workers = cluster.worker_ids();
+    let mut reports = Vec::new();
     if workers.len() < 2 {
-        return Ok(0);
+        return Ok(reports);
     }
-    let mut moves = 0u64;
     // iterate until no improving move exists (bounded for safety)
     for _ in 0..1024 {
         let Some((bucket, table, from, to)) = pick_move(cluster, strategy, &workers)? else {
             break;
         };
-        move_shard_group(cluster, &table, bucket, from, to)?;
-        moves += 1;
+        reports.push(move_shard_group(cluster, &table, bucket, from, to)?);
     }
-    Ok(moves)
+    Ok(reports)
 }
 
 /// Pick the next improving move: shard group from the most-loaded node to
@@ -164,6 +217,11 @@ fn pick_move(
 }
 
 /// Move one co-located shard group from `from` to `to`.
+///
+/// The move is journaled before any physical work; on error the journal
+/// record is deliberately left behind for [`recover_moves`] to abort or roll
+/// forward, and the source's write locks are always released so the cluster
+/// stays queryable.
 pub fn move_shard_group(
     cluster: &Arc<Cluster>,
     anchor_table: &str,
@@ -171,33 +229,91 @@ pub fn move_shard_group(
     from: NodeId,
     to: NodeId,
 ) -> PgResult<MoveReport> {
-    let (tables, shard_ids): (Vec<String>, Vec<ShardId>) = {
-        let meta = cluster.metadata.read_recursive();
-        let anchor = meta.require_table(anchor_table)?;
-        let group = meta.colocated_tables(anchor.colocation_id);
-        let names: Vec<String> = group.iter().map(|t| t.name.clone()).collect();
-        let sids: Vec<ShardId> =
-            group.iter().map(|t| t.shards[bucket]).collect();
-        (names, sids)
-    };
-    let src_engine = cluster.node(from)?.engine();
+    let src = cluster.node(from)?;
+    if !src.is_active() {
+        return Err(PgError::new(
+            ErrorCode::ConnectionFailure,
+            format!("source node {} is down", src.name),
+        ));
+    }
     let dst = cluster.node(to)?;
     if !dst.is_active() {
         return Err(PgError::new(
-            pgmini::error::ErrorCode::ConnectionFailure,
-            "target node is down",
+            ErrorCode::ConnectionFailure,
+            format!("target node {} is down", dst.name),
         ));
     }
-    let dst_engine = dst.engine();
+    let (shard_ids, anchor_shard) = {
+        let meta = cluster.metadata.read_recursive();
+        let anchor = meta.require_table(anchor_table)?;
+        if bucket >= anchor.shards.len() {
+            return Err(PgError::new(
+                ErrorCode::InvalidParameter,
+                format!("table {anchor_table} has no shard bucket {bucket}"),
+            ));
+        }
+        let group = meta.colocated_tables(anchor.colocation_id);
+        let sids: Vec<ShardId> = group.iter().map(|t| t.shards[bucket]).collect();
+        (sids, anchor.shards[bucket])
+    };
+    // fault rules scope move ops by the anchor shard, mirroring the
+    // executor's task scopes
+    let scope = format!("s{}", anchor_shard.0);
+
+    cluster.metrics.moves_started.fetch_add(1, Relaxed);
+    let move_id = movejournal::begin(cluster, anchor_table, bucket, from, to)?;
+    // shield the record from a concurrent recovery pass while we drive it
+    cluster.note_move_active(move_id);
+    let mut span = Span::new("rebalance.move")
+        .with("table", anchor_table)
+        .with("bucket", bucket)
+        .with("from", &src.name)
+        .with("to", &dst.name)
+        .with("shards", shard_ids.len());
+    let result = run_move(cluster, &shard_ids, bucket, from, to, move_id, &scope, &mut span);
+    cluster.note_move_finished(move_id);
+    match &result {
+        Ok(report) => {
+            cluster.metrics.moves_completed.fetch_add(1, Relaxed);
+            span.set("rows_moved", report.rows_moved);
+            span.set("catchup_rows", report.catchup_rows);
+            span.set("phase", "done");
+        }
+        Err(e) => {
+            // the journal record stays behind on purpose: recover_moves owns
+            // the journal from here
+            span.set("error", format!("{:?}", e.code));
+        }
+    }
+    cluster.tracer.record_daemon(span);
+    result
+}
+
+/// The five-phase protocol body. Each `?` exit leaves the journal record in
+/// its last durable phase for the recovery pass.
+#[allow(clippy::too_many_arguments)]
+fn run_move(
+    cluster: &Arc<Cluster>,
+    shard_ids: &[ShardId],
+    bucket: usize,
+    from: NodeId,
+    to: NodeId,
+    move_id: u64,
+    scope: &str,
+    span: &mut Span,
+) -> PgResult<MoveReport> {
+    let src_engine = cluster.node(from)?.engine();
+    let dst_engine = cluster.node(to)?.engine();
 
     let mut rows_moved = 0u64;
-    let mut catchup_rows = 0u64;
-    // phase 1+2: create target tables and do the initial copy while writes
-    // continue on the source
+    // phase 1: create target tables. Every CREATE is preceded by a durable
+    // cleanup record, so a crash anywhere in this phase leaves only
+    // identifiable orphans.
     let lsn_start = src_engine.wal.lsn();
-    let mut row_maps: Vec<HashMap<u64, u64>> = Vec::new();
-    let mut table_ids = Vec::new();
-    for (tname, sid) in tables.iter().zip(&shard_ids) {
+    cluster.fault_point(to, FaultOp::Move, "move_create", scope, FaultPhase::Before)?;
+    let mut table_ids: Vec<(pgmini::catalog::TableId, pgmini::catalog::TableId, String)> =
+        Vec::new();
+    for sid in shard_ids {
         let physical = {
             let meta = cluster.metadata.read_recursive();
             meta.shard(*sid)?.physical_name()
@@ -230,12 +346,24 @@ pub fn move_shard_group(
                 })
                 .unwrap_or_default(),
         };
+        movejournal::log_cleanup(cluster, move_id, to, &physical)?;
         dst_engine.ddl_create_table(&create)?;
-        // initial copy (logical replication snapshot)
-        let snap = src_engine.txns.snapshot(INVALID_XID);
-        let src_store = src_engine.store(src_meta.id)?;
         let dst_meta = dst_engine.table_meta(&physical)?;
-        let dst_store = dst_engine.store(dst_meta.id)?;
+        table_ids.push((src_meta.id, dst_meta.id, physical));
+    }
+    cluster.fault_point(to, FaultOp::Move, "move_create", scope, FaultPhase::After)?;
+    movejournal::advance(cluster, move_id, MovePhase::Created)?;
+    span.child(Span::new("phase.create").with("tables", table_ids.len()));
+
+    // phase 2: initial copy (logical replication snapshot) while writes
+    // continue on the source
+    cluster.fault_point(to, FaultOp::Move, "move_copy", scope, FaultPhase::Before)?;
+    let mut row_maps: Vec<HashMap<u64, u64>> = Vec::new();
+    for (src_id, dst_id, _) in &table_ids {
+        let snap = src_engine.txns.snapshot(INVALID_XID);
+        let src_store = src_engine.store(*src_id)?;
+        let dst_meta = dst_engine.table_meta_by_id(*dst_id)?;
+        let dst_store = dst_engine.store(*dst_id)?;
         let mut map = HashMap::new();
         let mut batch: Vec<(u64, pgmini::types::Row)> = Vec::new();
         src_store
@@ -247,7 +375,7 @@ pub fn move_shard_group(
             dst_engine.index_insert_row(&dst_meta, new_rid, &row)?;
             dst_engine.wal.append(WalRecord::Insert {
                 xid,
-                table: dst_meta.id,
+                table: *dst_id,
                 row_id: new_rid,
                 row,
             });
@@ -257,16 +385,79 @@ pub fn move_shard_group(
         dst_engine.txns.commit(xid);
         dst_engine.wal.append(WalRecord::Commit { xid });
         row_maps.push(map);
-        table_ids.push((src_meta.id, dst_meta.id, physical));
-        let _ = tname;
     }
+    cluster.fault_point(to, FaultOp::Move, "move_copy", scope, FaultPhase::After)?;
+    movejournal::set_progress(cluster, move_id, "rows_moved", rows_moved)?;
+    movejournal::advance(cluster, move_id, MovePhase::Copied)?;
+    span.child(Span::new("phase.copy").with("rows", rows_moved));
 
-    // phase 3: write-locked catch-up — block writers on the source shards,
-    // apply the WAL delta, switch metadata
+    // phase 3+4: write-locked catch-up, then the metadata switch. Locks are
+    // released on *every* exit path so an injected fault never wedges the
+    // source shards.
     let lock_xid = src_engine.txns.begin();
-    for (src_id, _, _) in &table_ids {
-        src_engine.locks.acquire(lock_xid, LockKey::Table(*src_id), LockMode::Exclusive)?;
+    let locked = (|| -> PgResult<u64> {
+        for (src_id, _, _) in &table_ids {
+            src_engine.locks.acquire(lock_xid, LockKey::Table(*src_id), LockMode::Exclusive)?;
+        }
+        cluster.fault_point(from, FaultOp::Move, "move_catchup", scope, FaultPhase::Before)?;
+        let catchup_rows = apply_wal_delta(
+            &src_engine,
+            &dst_engine,
+            &table_ids,
+            &mut row_maps,
+            lsn_start,
+        )?;
+        cluster.fault_point(from, FaultOp::Move, "move_catchup", scope, FaultPhase::After)?;
+        movejournal::set_progress(cluster, move_id, "catchup_rows", catchup_rows)?;
+        movejournal::advance(cluster, move_id, MovePhase::CaughtUp)?;
+
+        // phase 4: journal `switched` BEFORE flipping the in-memory
+        // placements — recovery must never see switched metadata with a
+        // pre-switch journal record, and the flip itself is re-applied
+        // idempotently on roll-forward
+        cluster.fault_point(from, FaultOp::Move, "move_switch", scope, FaultPhase::Before)?;
+        movejournal::advance(cluster, move_id, MovePhase::Switched)?;
+        switch_placements(cluster, shard_ids, to)?;
+        cluster.fault_point(from, FaultOp::Move, "move_switch", scope, FaultPhase::After)?;
+        Ok(catchup_rows)
+    })();
+    // release the write locks (end of downtime window)
+    src_engine.locks.release_all(lock_xid);
+    src_engine.txns.commit(lock_xid);
+    let catchup_rows = locked?;
+    span.child(Span::new("phase.catchup").with("rows", catchup_rows));
+
+    // phase 5: drop the source copies, retire the cleanup records, done
+    cluster.fault_point(from, FaultOp::Move, "move_drop", scope, FaultPhase::Before)?;
+    for (_, _, physical) in &table_ids {
+        let _ = src_engine.ddl_drop_table(physical, true);
     }
+    cluster.fault_point(from, FaultOp::Move, "move_drop", scope, FaultPhase::After)?;
+    movejournal::clear_cleanup(cluster, move_id)?;
+    movejournal::advance(cluster, move_id, MovePhase::Done)?;
+    span.child(Span::new("phase.drop").with("tables", table_ids.len()));
+    Ok(MoveReport {
+        bucket,
+        from,
+        to,
+        shards_moved: shard_ids.len(),
+        rows_moved,
+        catchup_rows,
+    })
+}
+
+/// Apply the committed WAL delta `[lsn_start, now)` of the source shards to
+/// the target copies. Runs under the exclusive source locks, and WAL-logs
+/// every applied change on the *target* engine so the caught-up state
+/// survives a target standby replay.
+fn apply_wal_delta(
+    src_engine: &Arc<pgmini::engine::Engine>,
+    dst_engine: &Arc<pgmini::engine::Engine>,
+    table_ids: &[(pgmini::catalog::TableId, pgmini::catalog::TableId, String)],
+    row_maps: &mut [HashMap<u64, u64>],
+    lsn_start: u64,
+) -> PgResult<u64> {
+    let mut catchup_rows = 0u64;
     let delta = src_engine.wal.range(lsn_start, src_engine.wal.lsn());
     // only apply effects of committed transactions within the delta
     let committed: std::collections::HashSet<u64> = delta
@@ -297,10 +488,21 @@ pub fn move_shard_group(
         let apply_xid = dst_engine.txns.begin();
         match (apply, rec) {
             (1, WalRecord::Insert { row_id, row, .. }) => {
-                let new_rid = dst_store.heap()?.insert(apply_xid, row.clone());
-                dst_engine.index_insert_row(&dst_meta, new_rid, row)?;
-                row_maps[pos].insert(*row_id, new_rid);
-                catchup_rows += 1;
+                // skip rows the snapshot copy already carried (a write that
+                // landed between lsn_start and the copy snapshot appears in
+                // both; applying it twice would duplicate the row)
+                if !row_maps[pos].contains_key(row_id) {
+                    let new_rid = dst_store.heap()?.insert(apply_xid, row.clone());
+                    dst_engine.index_insert_row(&dst_meta, new_rid, row)?;
+                    dst_engine.wal.append(WalRecord::Insert {
+                        xid: apply_xid,
+                        table: dst_id,
+                        row_id: new_rid,
+                        row: row.clone(),
+                    });
+                    row_maps[pos].insert(*row_id, new_rid);
+                    catchup_rows += 1;
+                }
             }
             (2, WalRecord::Update { row_id, new_row, .. }) => {
                 if let Some(&dst_rid) = row_maps[pos].get(row_id) {
@@ -313,6 +515,12 @@ pub fn move_shard_group(
                     )?;
                     dst_store.heap()?.insert_version(dst_rid, apply_xid, new_row.clone());
                     dst_engine.index_insert_row(&dst_meta, dst_rid, new_row)?;
+                    dst_engine.wal.append(WalRecord::Update {
+                        xid: apply_xid,
+                        table: dst_id,
+                        row_id: dst_rid,
+                        new_row: new_row.clone(),
+                    });
                     catchup_rows += 1;
                 }
             }
@@ -326,36 +534,152 @@ pub fn move_shard_group(
                         apply_xid,
                     )?;
                     dst_store.heap()?.adjust_live(-1);
+                    dst_engine.wal.append(WalRecord::Delete {
+                        xid: apply_xid,
+                        table: dst_id,
+                        row_id: dst_rid,
+                    });
                     catchup_rows += 1;
                 }
             }
             _ => {}
         }
         dst_engine.txns.commit(apply_xid);
+        dst_engine.wal.append(WalRecord::Commit { xid: apply_xid });
     }
+    Ok(catchup_rows)
+}
 
-    // metadata switch: new queries go to the target node
-    {
-        let mut meta = cluster.metadata.write();
-        for sid in &shard_ids {
-            let shard = meta.shard_mut(*sid)?;
-            shard.placements = vec![to];
+/// Point every shard of the group at `to`. Idempotent — roll-forward
+/// recovery re-applies it.
+fn switch_placements(cluster: &Arc<Cluster>, shard_ids: &[ShardId], to: NodeId) -> PgResult<()> {
+    let mut meta = cluster.metadata.write();
+    for sid in shard_ids {
+        let shard = meta.shard_mut(*sid)?;
+        shard.placements = vec![to];
+    }
+    Ok(())
+}
+
+/// Move-recovery pass: settle every journaled move whose driving session is
+/// gone. Runs from the maintenance daemon (next to the deadlock and 2PC
+/// recovery passes), from `promote_standby`, and after a cluster restore.
+///
+/// Records needing a node that is currently down are left for the next pass,
+/// exactly like unreachable prepared transactions in 2PC recovery.
+pub fn recover_moves(cluster: &Arc<Cluster>) -> PgResult<MoveRecoveryStats> {
+    let mut stats = MoveRecoveryStats::default();
+    let pending = movejournal::pending(cluster)?;
+    if pending.is_empty() {
+        return Ok(stats);
+    }
+    let active = cluster.active_move_ids();
+    let mut span = Span::new("rebalance.recover");
+    for rec in pending {
+        if active.contains(&rec.move_id) {
+            stats.skipped_in_flight += 1;
+            continue;
+        }
+        if rec.phase.reached_switch() {
+            roll_forward(cluster, &rec, &mut stats, &mut span)?;
+        } else {
+            abort_move(cluster, &rec, &mut stats, &mut span)?;
         }
     }
-    // release the write locks (end of downtime window) and drop the source
-    src_engine.locks.release_all(lock_xid);
-    src_engine.txns.commit(lock_xid);
-    for (_, _, physical) in &table_ids {
-        let _ = src_engine.ddl_drop_table(physical, true);
+    if !stats.is_empty() {
+        span.set("aborted", stats.aborted);
+        span.set("rolled_forward", stats.rolled_forward);
+        span.set("unreachable", stats.unreachable_nodes);
+        cluster.tracer.record_daemon(span);
     }
-    Ok(MoveReport {
-        bucket,
-        from,
-        to,
-        shards_moved: shard_ids.len(),
-        rows_moved,
-        catchup_rows,
-    })
+    Ok(stats)
+}
+
+/// Undo a move that died before the metadata switch: the source placements
+/// are still authoritative, so the journaled target objects are orphans.
+fn abort_move(
+    cluster: &Arc<Cluster>,
+    rec: &MoveRecord,
+    stats: &mut MoveRecoveryStats,
+    span: &mut Span,
+) -> PgResult<()> {
+    let cleanups = movejournal::cleanup_records(cluster, rec.move_id)?;
+    // all drops or none: a down node defers the whole record to a later pass
+    for (node_id, _) in &cleanups {
+        if !cluster.node(*node_id)?.is_active() {
+            stats.unreachable_nodes += 1;
+            return Ok(());
+        }
+    }
+    for (node_id, object) in &cleanups {
+        cluster.node(*node_id)?.engine().ddl_drop_table(object, true)?;
+    }
+    movejournal::clear(cluster, rec.move_id)?;
+    cluster.metrics.moves_aborted.fetch_add(1, Relaxed);
+    stats.aborted += 1;
+    span.child(
+        Span::new("move.abort")
+            .with("table", &rec.anchor_table)
+            .with("bucket", rec.bucket)
+            .with("phase", rec.phase.as_str())
+            .with("orphans", cleanups.len()),
+    );
+    Ok(())
+}
+
+/// Finish a move that died at/after the metadata switch: the target copies
+/// are complete, so re-apply the placement flip and drop the source copies.
+fn roll_forward(
+    cluster: &Arc<Cluster>,
+    rec: &MoveRecord,
+    stats: &mut MoveRecoveryStats,
+    span: &mut Span,
+) -> PgResult<()> {
+    let src = cluster.node(rec.from)?;
+    if !src.is_active() {
+        stats.unreachable_nodes += 1;
+        return Ok(());
+    }
+    let shard_ids: Vec<ShardId> = {
+        let meta = cluster.metadata.read_recursive();
+        match meta.table(&rec.anchor_table) {
+            Some(anchor) if rec.bucket < anchor.shards.len() => meta
+                .colocated_tables(anchor.colocation_id)
+                .iter()
+                .map(|t| t.shards[rec.bucket])
+                .collect(),
+            // the whole table is gone (dropped since): nothing to finish
+            _ => {
+                movejournal::clear(cluster, rec.move_id)?;
+                return Ok(());
+            }
+        }
+    };
+    switch_placements(cluster, &shard_ids, rec.to)?;
+    let physicals: Vec<String> = {
+        let meta = cluster.metadata.read_recursive();
+        shard_ids.iter().filter_map(|sid| meta.shard(*sid).ok().map(|s| s.physical_name())).collect()
+    };
+    for physical in &physicals {
+        src.engine().ddl_drop_table(physical, true)?;
+    }
+    movejournal::clear_cleanup(cluster, rec.move_id)?;
+    movejournal::advance(cluster, rec.move_id, MovePhase::Done)?;
+    cluster.metrics.moves_rolled_forward.fetch_add(1, Relaxed);
+    stats.rolled_forward += 1;
+    span.child(
+        Span::new("move.roll_forward")
+            .with("table", &rec.anchor_table)
+            .with("bucket", rec.bucket)
+            .with("phase", rec.phase.as_str())
+            .with("shards", shard_ids.len()),
+    );
+    Ok(())
+}
+
+/// Journal records of moves not yet `done` (test/diagnostic helper).
+pub fn pending_moves(cluster: &Arc<Cluster>) -> PgResult<Vec<MoveRecord>> {
+    movejournal::pending(cluster)
 }
 
 /// Shard counts per worker (test/diagnostic helper).

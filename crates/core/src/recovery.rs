@@ -5,6 +5,10 @@
 //! with a visible commit record must COMMIT PREPARED (the coordinator
 //! committed); one without, whose originating transaction has ended, must
 //! ROLLBACK PREPARED. In-flight transactions are left alone.
+//!
+//! The sibling pass for crashed *shard moves* — same daemon, same
+//! leave-in-flight-work-alone discipline, driven by the durable move journal
+//! instead of commit records — lives in [`crate::rebalancer::recover_moves`].
 
 use crate::cluster::Cluster;
 use crate::extension::{parse_gid_number, parse_gid_origin, COMMIT_RECORDS_TABLE};

@@ -48,6 +48,11 @@ pub enum FaultOp {
     Connect,
     /// Executing a statement (or COPY stream) over an open connection.
     Statement,
+    /// A shard-move protocol step (create/copy/catch-up/switch/drop). The
+    /// engine layer tags these `"move_create"`, `"move_copy"`,
+    /// `"move_catchup"`, `"move_switch"`, `"move_drop"` and scopes them to
+    /// the anchor shard being moved (e.g. `"s102008"`).
+    Move,
 }
 
 /// When the fault lands relative to the intercepted operation.
@@ -141,6 +146,22 @@ impl FaultRule {
     /// Add `ms` of round-trip latency to every statement against `node`.
     pub fn latency(node: u32, ms: f64) -> FaultRule {
         FaultRule::new(FaultOp::Statement, FaultKind::Latency(ms)).on_node(node).always()
+    }
+
+    /// One-shot error at a shard-move phase boundary: the step tagged `tag`
+    /// (e.g. `"move_copy"`) fails before it touches `node`.
+    pub fn move_error(node: u32, tag: &str) -> FaultRule {
+        FaultRule::new(FaultOp::Move, FaultKind::Error).on_node(node).with_tag(tag)
+    }
+
+    /// Crash `node` right after the move step tagged `tag` completed — the
+    /// coordinator loses the node mid-move with the step's work durable on
+    /// the node's WAL.
+    pub fn move_crash_after(node: u32, tag: &str) -> FaultRule {
+        FaultRule::new(FaultOp::Move, FaultKind::Crash)
+            .on_node(node)
+            .with_tag(tag)
+            .at(FaultPhase::After)
     }
 
     pub fn on_node(mut self, node: u32) -> FaultRule {
@@ -620,6 +641,25 @@ mod tests {
         hits_b.sort();
         assert_eq!(hits_a, hits_b, "per-key schedules are interleaving-independent");
         assert_eq!(a.fingerprint(), b.fingerprint(), "fingerprint is order-independent");
+    }
+
+    #[test]
+    fn move_ops_are_a_distinct_vocabulary() {
+        let inj = FaultInjector::new(
+            FaultPlan::new().with(FaultRule::move_error(3, "move_copy")),
+            0,
+        );
+        // a statement with the same node/tag is untouched: FaultOp::Move is
+        // its own interception vocabulary
+        assert!(!inj.decide(3, FaultOp::Statement, "move_copy", FaultPhase::Before).fail);
+        assert!(!inj.decide(3, FaultOp::Move, "move_create", FaultPhase::Before).fail);
+        assert!(inj.decide(3, FaultOp::Move, "move_copy", FaultPhase::Before).fail);
+        let inj = FaultInjector::new(
+            FaultPlan::new().with(FaultRule::move_crash_after(3, "move_switch")),
+            0,
+        );
+        assert!(!inj.decide(3, FaultOp::Move, "move_switch", FaultPhase::Before).crash);
+        assert!(inj.decide(3, FaultOp::Move, "move_switch", FaultPhase::After).crash);
     }
 
     #[test]

@@ -11,31 +11,37 @@
 #   6. observability suite: golden EXPLAIN/trace snapshots (including the
 #      executor_threads=1 vs =8 trace-fingerprint diff) + the differential
 #      oracle against single-node pgmini under an active fault plan
-#   7. one-iteration smoke of the executor bench (exercises the wall-clock
+#   7. rebalancer crash-safety drills: a move killed at every phase boundary
+#      (error and crash+promote), move-journal recovery, and the
+#      concurrent-writes-during-faulted-move oracle proptest
+#   8. one-iteration smoke of the executor bench (exercises the wall-clock
 #      fan-out and plan-cache paths end to end; no thresholds)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/7] cargo build --release"
+echo "==> [1/8] cargo build --release"
 cargo build --release
 
-echo "==> [2/7] cargo test -q"
+echo "==> [2/8] cargo test -q"
 cargo test -q
 
-echo "==> [3/7] warnings-as-errors check of crates/core"
+echo "==> [3/8] warnings-as-errors check of crates/core"
 RUSTFLAGS="-Dwarnings" cargo check -p citrus --all-targets
 
-echo "==> [4/7] fault-injection suite"
+echo "==> [4/8] fault-injection suite"
 cargo test -q -p citrus --test faults
 
-echo "==> [5/7] parallel-executor equivalence suite"
+echo "==> [5/8] parallel-executor equivalence suite"
 cargo test -q -p citrus --test executor_parallel
 
-echo "==> [6/7] trace-golden + differential-oracle suite (1 vs 8 threads)"
+echo "==> [6/8] trace-golden + differential-oracle suite (1 vs 8 threads)"
 cargo test -q -p citrus --test trace_golden --test oracle_differential
 
-echo "==> [7/7] executor bench smoke"
+echo "==> [7/8] rebalancer crash-safety drill suite"
+cargo test -q -p citrus --test rebalance_faults
+
+echo "==> [8/8] executor bench smoke"
 sh scripts/bench.sh --smoke
 
 echo "==> CI green"
