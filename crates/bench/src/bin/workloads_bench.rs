@@ -1,0 +1,76 @@
+//! The §4 evaluation: every usage-pattern workload (Table 3) run as the
+//! identical seeded unit stream on a distributed cluster and on a single
+//! pgmini node, via the simulation harness's fault-free bench mode. Emits
+//! `BENCH_workloads.json` with per-arm unit throughput (units per virtual
+//! second) and per-statement virtual-latency percentiles.
+//!
+//! All numbers are virtual-time (the deterministic cost model), so the
+//! output is byte-reproducible for a given seed — this is the §4 figure
+//! data, not a wall-clock benchmark (scripts/bench.sh covers that).
+//!
+//! `--smoke` shrinks the unit counts for CI; thresholds only apply to the
+//! full run: every pattern must complete both arms and report non-zero
+//! throughput.
+
+use workloads::patterns::Pattern;
+use workloads::sim::{self, SimScales};
+
+fn key(p: Pattern) -> &'static str {
+    match p {
+        Pattern::MultiTenant => "multi_tenant",
+        Pattern::RealTimeAnalytics => "real_time_analytics",
+        Pattern::HighPerformanceCrud => "high_performance_crud",
+        Pattern::DataWarehousing => "data_warehousing",
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = 42u64;
+    let units = if smoke { 5 } else { 40 };
+    let (workers, shards, threads) = (4u32, 16u32, 4usize);
+    let scales = SimScales::default();
+
+    let mut sections = Vec::new();
+    for p in Pattern::ALL {
+        eprintln!("==> {} ({} units/arm)", p.name(), units);
+        let b = sim::bench_pattern(p, &scales, seed, units, workers, shards, threads)
+            .unwrap_or_else(|e| panic!("bench of {p:?} failed: {e:?}"));
+        let arm = |label: &str, a: &sim::ArmStats| {
+            format!(
+                "    \"{label}\": {{\"units\": {}, \"statements\": {}, \
+                 \"virtual_ms\": {:.3}, \"units_per_vsec\": {:.3}, \
+                 \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+                a.units, a.statements, a.virtual_ms, a.throughput_per_vsec, a.p50_ms,
+                a.p95_ms, a.p99_ms
+            )
+        };
+        eprintln!(
+            "    dist {:.1} units/vsec (p95 {:.2}ms) vs single {:.1} units/vsec (p95 {:.2}ms)",
+            b.distributed.throughput_per_vsec,
+            b.distributed.p95_ms,
+            b.single_node.throughput_per_vsec,
+            b.single_node.p95_ms
+        );
+        if !smoke {
+            assert!(b.distributed.throughput_per_vsec > 0.0, "{p:?}: dist arm idle");
+            assert!(b.single_node.throughput_per_vsec > 0.0, "{p:?}: single arm idle");
+        }
+        sections.push(format!(
+            "  \"{}\": {{\n    \"benchmark\": \"{}\",\n{},\n{}\n  }}",
+            key(p),
+            p.benchmark(),
+            arm("distributed", &b.distributed),
+            arm("single_node", &b.single_node)
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"workloads\",\n  \"smoke\": {smoke},\n  \"seed\": {seed},\n  \
+         \"units_per_arm\": {units},\n  \"cluster\": {{\"workers\": {workers}, \
+         \"shards\": {shards}, \"executor_threads\": {threads}}},\n{}\n}}\n",
+        sections.join(",\n")
+    );
+    std::fs::write("BENCH_workloads.json", &json).expect("write BENCH_workloads.json");
+    println!("{json}");
+}

@@ -25,7 +25,7 @@ use crate::cluster::{Cluster, WorkerConn};
 use crate::cost::DistCost;
 use crate::metadata::NodeId;
 use crate::planner::join_order::PrepStep;
-use crate::planner::{merge, DistPlan, Merge, Task};
+use crate::planner::{merge, DistPlan, Merge, SortCol, Task};
 use netsim::makespan;
 use pgmini::error::{ErrorCode, PgError, PgResult};
 use pgmini::session::QueryResult;
@@ -370,7 +370,7 @@ pub fn execute_plan(
             let n = results.first().map(QueryResult::affected).unwrap_or(0);
             (Vec::new(), Vec::new(), n)
         }
-        Merge::Concat { sort, limit, offset, distinct, visible } => {
+        Merge::Concat { sort, limit, offset, distinct, visible, appended } => {
             let mut columns = Vec::new();
             let mut rows: Vec<Row> = Vec::new();
             for r in results {
@@ -384,14 +384,24 @@ pub fn execute_plan(
             let merge_cpu = model.cpu_tuple_ms * rows.len() as f64;
             cost.coordinator.add_cpu(merge_cpu);
             elapsed += merge_cpu;
+            // a wildcard projection's arity is only known now; hidden sort
+            // columns always sit at the end of the worker rows
+            let arity = rows.first().map(|r| r.len()).unwrap_or(columns.len());
+            let visible =
+                if *visible == usize::MAX { arity.saturating_sub(*appended) } else { *visible };
+            let resolve = |c: &SortCol| match c {
+                SortCol::Index(i) => *i,
+                SortCol::Appended(j) => arity.saturating_sub(*appended) + j,
+            };
             if *distinct {
                 let mut seen = std::collections::BTreeSet::new();
-                rows.retain(|r| seen.insert(SortKey(r[..(*visible).min(r.len())].to_vec())));
+                rows.retain(|r| seen.insert(SortKey(r[..visible.min(r.len())].to_vec())));
             }
             if !sort.is_empty() {
                 rows.sort_by(|a, b| {
-                    for (idx, desc) in sort {
-                        let ord = a[*idx].total_cmp(&b[*idx]);
+                    for (col, desc) in sort {
+                        let idx = resolve(col);
+                        let ord = a[idx].total_cmp(&b[idx]);
                         let ord = if *desc { ord.reverse() } else { ord };
                         if ord != std::cmp::Ordering::Equal {
                             return ord;
@@ -408,9 +418,9 @@ pub fn execute_plan(
                 rows.truncate(*lim as usize);
             }
             for r in &mut rows {
-                r.truncate(*visible);
+                r.truncate(visible);
             }
-            columns.truncate(*visible);
+            columns.truncate(visible);
             (columns, rows, 0)
         }
         Merge::GroupAgg(mplan) => {
@@ -549,22 +559,40 @@ struct TaskOutcome {
     backoff_ms: f64,
 }
 
+/// Where a read task stands when it pauses or resumes: attempt counters plus
+/// the node it should try next.
+struct TaskResume {
+    attempt: u32,
+    retries: u64,
+    backoff_ms: f64,
+    target: NodeId,
+}
+
+/// Phase-1 outcome of a read task: finished, or paused because finishing
+/// would mean failing over to *another* node's engine (see
+/// `fan_out_read_tasks` — cross-node work is replayed sequentially so each
+/// engine sees a thread-count-independent access order).
+enum TaskRun {
+    Done(TaskOutcome),
+    Deferred(TaskResume),
+}
+
 /// Execute one read task against the shared pool: checkout-or-dial, retry
 /// with capped exponential backoff on connection failures, fail over to a
 /// surviving placement when the target node is down. Runs to completion on
 /// any thread; never touches the virtual clock or shared counters (the
-/// post-pass owns those, in task order).
+/// post-pass owns those, in task order). With `defer_failover`, the task
+/// pauses instead of switching nodes.
 fn run_read_task(
     cluster: &Arc<Cluster>,
     pool: &FanOutPool,
     task: &Task,
     max_attempts: u32,
-) -> TaskOutcome {
+    resume: TaskResume,
+    defer_failover: bool,
+) -> TaskRun {
     let scope = task_scope(task);
-    let mut target = task.node;
-    let mut attempt = 0u32;
-    let mut retries = 0u64;
-    let mut backoff_ms = 0.0f64;
+    let TaskResume { mut attempt, mut retries, mut backoff_ms, mut target } = resume;
     loop {
         attempt += 1;
         let pooled = pool
@@ -587,7 +615,12 @@ fn run_read_task(
                             .entry(target)
                             .or_default()
                             .push((origin, conn));
-                        return TaskOutcome { result: Ok(ok), target, retries, backoff_ms };
+                        return TaskRun::Done(TaskOutcome {
+                            result: Ok(ok),
+                            target,
+                            retries,
+                            backoff_ms,
+                        });
                     }
                     Err(e) => {
                         if is_connection_failure(&e) {
@@ -607,12 +640,15 @@ fn run_read_task(
             Err(e) => e,
         };
         if !is_connection_failure(&err) || attempt >= max_attempts {
-            return TaskOutcome { result: Err(err), target, retries, backoff_ms };
+            return TaskRun::Done(TaskOutcome { result: Err(err), target, retries, backoff_ms });
         }
         retries += 1;
         backoff_ms += (cluster.config.retry_backoff_ms * (1u64 << (attempt - 1).min(16)) as f64)
             .min(cluster.config.retry_backoff_cap_ms);
         if let Some(alt) = surviving_placement(cluster, task, target) {
+            if defer_failover {
+                return TaskRun::Deferred(TaskResume { attempt, retries, backoff_ms, target: alt });
+            }
             target = alt;
         }
     }
@@ -669,29 +705,84 @@ fn fan_out_read_tasks(
     }
 
     let max_attempts = 1 + cluster.config.task_retries;
-    let threads = cluster.config.executor_threads.max(1).min(tasks.len());
-    let mut outcomes: Vec<Option<TaskOutcome>> = Vec::with_capacity(tasks.len());
+    let fresh = |task: &Task| TaskResume {
+        attempt: 0,
+        retries: 0,
+        backoff_ms: 0.0,
+        target: task.node,
+    };
+
+    // Phase 1 — parallelism is *across nodes*, never within one: tasks are
+    // grouped by target node (first-appearance order) and each group runs
+    // sequentially in task-index order. An engine's shared state (buffer
+    // pool residency above all) then sees the same access sequence at any
+    // thread count, which is what keeps traced per-task costs — who pays a
+    // shared relation's cold misses — byte-identical at 1 and 8 threads.
+    // A task that must fail over to another node's engine is deferred.
+    let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+    for (i, task) in tasks.iter().enumerate() {
+        match groups.iter_mut().find(|(n, _)| *n == task.node) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((task.node, vec![i])),
+        }
+    }
+    let threads = cluster.config.executor_threads.max(1).min(groups.len());
+    let mut runs: Vec<Option<TaskRun>> = (0..tasks.len()).map(|_| None).collect();
     if threads <= 1 {
-        for task in tasks {
-            outcomes.push(Some(run_read_task(cluster, &pool, task, max_attempts)));
+        for (_, idxs) in &groups {
+            for &i in idxs {
+                runs[i] = Some(run_read_task(
+                    cluster,
+                    &pool,
+                    &tasks[i],
+                    max_attempts,
+                    fresh(&tasks[i]),
+                    true,
+                ));
+            }
         }
     } else {
-        let slots: Mutex<Vec<Option<TaskOutcome>>> =
+        let slots: Mutex<Vec<Option<TaskRun>>> =
             Mutex::new((0..tasks.len()).map(|_| None).collect());
         let next = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= tasks.len() {
+                    let g = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if g >= groups.len() {
                         break;
                     }
-                    let outcome = run_read_task(cluster, &pool, &tasks[i], max_attempts);
-                    slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(outcome);
+                    for &i in &groups[g].1 {
+                        let run = run_read_task(
+                            cluster,
+                            &pool,
+                            &tasks[i],
+                            max_attempts,
+                            fresh(&tasks[i]),
+                            true,
+                        );
+                        slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(run);
+                    }
                 });
             }
         });
-        outcomes = slots.into_inner().unwrap_or_else(|e| e.into_inner());
+        runs = slots.into_inner().unwrap_or_else(|e| e.into_inner());
+    }
+
+    // Phase 2 — deferred cross-node failovers replay sequentially in task
+    // order, so the surviving node's engine also sees a deterministic order.
+    let mut outcomes: Vec<Option<TaskOutcome>> = Vec::with_capacity(tasks.len());
+    for (i, run) in runs.into_iter().enumerate() {
+        outcomes.push(match run {
+            Some(TaskRun::Done(o)) => Some(o),
+            Some(TaskRun::Deferred(resume)) => {
+                match run_read_task(cluster, &pool, &tasks[i], max_attempts, resume, false) {
+                    TaskRun::Done(o) => Some(o),
+                    TaskRun::Deferred(_) => unreachable!("defer_failover=false never defers"),
+                }
+            }
+            None => None,
+        });
     }
 
     // restore the session pool to the sequential steady state

@@ -13,7 +13,7 @@
 use super::analysis::{level_facts, LevelFacts};
 use super::merge::split_aggregation;
 use super::rewrite;
-use super::{bucket_name_map, DistPlan, Merge, PlannerKind, SubplanExecutor, Task};
+use super::{bucket_name_map, DistPlan, Merge, PlannerKind, SortCol, SubplanExecutor, Task};
 use crate::metadata::{Metadata, NodeId};
 use pgmini::error::{PgError, PgResult};
 use sqlparse::ast::{
@@ -307,6 +307,7 @@ fn plan_repartition(
                 offset: sel.offset.as_ref().and_then(expr_u64),
                 distinct: sel.distinct,
                 visible: sel.projection.len(),
+                appended: 0,
             },
         )
     };
@@ -403,19 +404,19 @@ fn has_aggregates_or_group(sel: &Select) -> bool {
         })
 }
 
-fn resolve_simple_sort(sel: &Select) -> PgResult<Vec<(usize, bool)>> {
+fn resolve_simple_sort(sel: &Select) -> PgResult<Vec<(SortCol, bool)>> {
     let mut out = Vec::new();
     for ob in &sel.order_by {
         match &ob.expr {
             Expr::Literal(Literal::Int(n)) if *n >= 1 => {
-                out.push(((*n as usize) - 1, ob.desc));
+                out.push((SortCol::Index((*n as usize) - 1), ob.desc));
             }
             Expr::Column { table: None, name } => {
                 if let Some(i) = sel.projection.iter().position(|p| {
                     matches!(p, SelectItem::Expr { alias: Some(a), .. } if a == name)
                         || matches!(p, SelectItem::Expr { expr: Expr::Column { name: n2, .. }, .. } if n2 == name)
                 }) {
-                    out.push((i, ob.desc));
+                    out.push((SortCol::Index(i), ob.desc));
                 }
             }
             _ => {}
@@ -462,6 +463,7 @@ fn finish_fanout_plan(
                 offset: main.offset.as_ref().and_then(expr_u64),
                 distinct: main.distinct,
                 visible: main.projection.len(),
+                appended: 0,
             },
         )
     };

@@ -58,6 +58,17 @@ pub struct Task {
     pub shards: Vec<ShardId>,
 }
 
+/// A sort column for the coordinator's re-sort: either a plain index into
+/// the worker row, or the j-th *hidden* column appended at the end of each
+/// worker row. End-relative references are needed when the projection holds
+/// a wildcard — its expansion arity is unknown at plan time, so only
+/// positions counted from the end of the row are stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortCol {
+    Index(usize),
+    Appended(usize),
+}
+
 /// How task results combine on the coordinator.
 #[derive(Debug, Clone)]
 pub enum Merge {
@@ -65,12 +76,17 @@ pub enum Merge {
     PassThrough,
     /// Concatenate rows, then optionally re-sort / limit / de-duplicate.
     Concat {
-        sort: Vec<(usize, bool)>,
+        sort: Vec<(SortCol, bool)>,
         limit: Option<u64>,
         offset: Option<u64>,
         distinct: bool,
-        /// Output arity (hidden sort columns beyond this are dropped).
+        /// Output arity (hidden sort columns beyond this are dropped);
+        /// `usize::MAX` means "wildcard projection — arity only known at
+        /// merge time", in which case `appended` hidden columns are dropped
+        /// from the end instead.
         visible: usize,
+        /// Hidden `__ordN` sort columns appended after the projection.
+        appended: usize,
     },
     /// Combine partial aggregates (see [`merge::MergePlan`]).
     GroupAgg(Box<MergePlan>),

@@ -14,7 +14,7 @@
 use super::analysis::{level_buckets, level_facts, LevelFacts};
 use super::merge::split_aggregation;
 use super::rewrite;
-use super::{bucket_name_map, DistPlan, Merge, PlannerKind, SubplanExecutor, Task};
+use super::{bucket_name_map, DistPlan, Merge, PlannerKind, SortCol, SubplanExecutor, Task};
 use crate::metadata::{Metadata, NodeId};
 use pgmini::error::{ErrorCode, PgError, PgResult};
 use pgmini::types::Datum;
@@ -450,16 +450,30 @@ fn plan_select(sel: &Select, meta: &Metadata, used_subplans: bool) -> PgResult<D
             .any(|p| !matches!(p, SelectItem::Expr { .. }));
         let visible =
             if has_wildcard { usize::MAX } else { worker.projection.len() };
-        let mut sort: Vec<(usize, bool)> = Vec::new();
+        let mut sort: Vec<(SortCol, bool)> = Vec::new();
+        let mut appended = 0usize;
+        // appends the expression as a hidden column; with a wildcard in the
+        // projection only end-relative positions survive `*` expansion
+        let mut append_hidden = |worker: &mut Select, e: &Expr| {
+            worker.projection.push(SelectItem::Expr {
+                expr: e.clone(),
+                alias: Some(format!("__ord{}", worker.projection.len())),
+            });
+            appended += 1;
+            SortCol::Appended(appended - 1)
+        };
         for ob in &sel.order_by {
             let idx = match &ob.expr {
                 Expr::Literal(Literal::Int(n)) => (*n as usize)
                     .checked_sub(1)
                     .filter(|i| *i < visible.min(1 << 20))
+                    .map(SortCol::Index)
                     .ok_or_else(|| {
                         PgError::new(ErrorCode::Syntax, "ORDER BY position out of range")
                     })?,
-                Expr::Column { table: None, name } => {
+                // plan-time projection positions are only row positions when
+                // there is no wildcard to expand between them
+                Expr::Column { table: None, name } if !has_wildcard => {
                     match worker.projection.iter().position(|p| {
                         matches!(p, SelectItem::Expr { alias: Some(a), .. } if a == name)
                             || matches!(
@@ -468,23 +482,11 @@ fn plan_select(sel: &Select, meta: &Metadata, used_subplans: bool) -> PgResult<D
                                     if n2 == name
                             )
                     }) {
-                        Some(i) => i,
-                        None => {
-                            worker.projection.push(SelectItem::Expr {
-                                expr: ob.expr.clone(),
-                                alias: Some(format!("__ord{}", worker.projection.len())),
-                            });
-                            worker.projection.len() - 1
-                        }
+                        Some(i) => SortCol::Index(i),
+                        None => append_hidden(&mut worker, &ob.expr),
                     }
                 }
-                other => {
-                    worker.projection.push(SelectItem::Expr {
-                        expr: other.clone(),
-                        alias: Some(format!("__ord{}", worker.projection.len())),
-                    });
-                    worker.projection.len() - 1
-                }
+                other => append_hidden(&mut worker, other),
             };
             sort.push((idx, ob.desc));
         }
@@ -499,7 +501,7 @@ fn plan_select(sel: &Select, meta: &Metadata, used_subplans: bool) -> PgResult<D
         return Ok(DistPlan {
             kind: PlannerKind::Pushdown,
             tasks,
-            merge: Merge::Concat { sort, limit, offset, distinct: sel.distinct, visible },
+            merge: Merge::Concat { sort, limit, offset, distinct: sel.distinct, visible, appended },
             is_write: false,
             used_subplans,
             prep: Vec::new(),

@@ -490,9 +490,16 @@ impl Engine {
                 xid_map.insert(*orig, new_xid);
             }
         }
+        // Replayed changes are re-logged into the new engine's WAL under
+        // their new xids. Without this the promoted standby starts with an
+        // empty history and a *second* crash replays only post-promotion
+        // records, silently losing everything earlier: restore must compose,
+        // restore(wal(restore(wal))) == restore(wal). Aborted transactions
+        // are dropped — the re-logged WAL is the compacted history.
         for rec in slice {
             match rec {
                 WalRecord::Ddl { sql } => {
+                    // the ddl_* methods re-log the record themselves
                     match sqlparse::parse(sql)? {
                         Statement::CreateTable(ct) => engine.ddl_create_table(&ct)?,
                         Statement::CreateIndex(ci) => engine.ddl_create_index(&ci)?,
@@ -525,6 +532,12 @@ impl Engine {
                     store.heap()?.insert_version(*row_id, new_xid, row.clone());
                     store.heap()?.adjust_live(1);
                     engine.index_insert_row(&meta, *row_id, row)?;
+                    engine.wal.append(WalRecord::Insert {
+                        xid: new_xid,
+                        table: *table,
+                        row_id: *row_id,
+                        row: row.clone(),
+                    });
                 }
                 WalRecord::Update { xid, table, row_id, new_row } => {
                     if !matches!(fate.get(xid), Some(Fate::Committed | Fate::Prepared(_))) {
@@ -540,6 +553,12 @@ impl Engine {
                     let _ = heap.expire(&engine.txns, &snap, *row_id, new_xid)?;
                     heap.insert_version(*row_id, new_xid, new_row.clone());
                     engine.index_insert_row(&meta, *row_id, new_row)?;
+                    engine.wal.append(WalRecord::Update {
+                        xid: new_xid,
+                        table: *table,
+                        row_id: *row_id,
+                        new_row: new_row.clone(),
+                    });
                 }
                 WalRecord::Delete { xid, table, row_id } => {
                     if !matches!(fate.get(xid), Some(Fate::Committed | Fate::Prepared(_))) {
@@ -553,16 +572,34 @@ impl Engine {
                     let snap = engine.txns.snapshot(new_xid);
                     let _ = heap.expire(&engine.txns, &snap, *row_id, new_xid)?;
                     heap.adjust_live(-1);
+                    engine.wal.append(WalRecord::Delete {
+                        xid: new_xid,
+                        table: *table,
+                        row_id: *row_id,
+                    });
+                }
+                WalRecord::RestorePoint { name } => {
+                    engine.wal.append(WalRecord::RestorePoint { name: name.clone() });
                 }
                 _ => {}
             }
         }
-        // settle remaining (prepared / unknown) transaction outcomes
-        for (orig, new_xid) in &xid_map {
-            match fate.get(orig) {
-                Some(Fate::Committed) => {} // committed up front
-                Some(Fate::Prepared(gid)) => engine.txns.prepare(*new_xid, gid)?,
-                _ => engine.txns.abort(*new_xid),
+        // settle remaining (prepared / unknown) transaction outcomes and
+        // re-log them (sorted by new xid, so the re-logged WAL is
+        // deterministic)
+        let mut settled: Vec<(Xid, Xid)> = xid_map.iter().map(|(o, n)| (*n, *o)).collect();
+        settled.sort_unstable();
+        for (new_xid, orig) in settled {
+            match fate.get(&orig) {
+                Some(Fate::Committed) => {
+                    // committed up front; log the decision
+                    engine.wal.append(WalRecord::Commit { xid: new_xid });
+                }
+                Some(Fate::Prepared(gid)) => {
+                    engine.txns.prepare(new_xid, gid)?;
+                    engine.wal.append(WalRecord::Prepare { xid: new_xid, gid: gid.clone() });
+                }
+                _ => engine.txns.abort(new_xid),
             }
         }
         Ok(engine)
@@ -717,6 +754,53 @@ mod tests {
             .unwrap()
             .scan_visible(&standby.txns, &snap, |_| n += 1);
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn restore_composes_across_repeated_failovers() {
+        // restore(wal(restore(wal))) == restore(wal): the promoted standby's
+        // WAL must carry the replayed history forward, or a second crash
+        // silently loses everything committed before the first one
+        let e = Engine::new_default();
+        create(&e, "CREATE TABLE t (id bigint PRIMARY KEY, v text)");
+        let meta = e.table_meta("t").unwrap();
+        for v in 1..=3i64 {
+            let xid = e.txns.begin();
+            e.wal.append(WalRecord::Begin { xid });
+            let row = vec![Datum::Int(v), Datum::from_text("x")];
+            let rid = e.store(meta.id).unwrap().heap().unwrap().insert(xid, row.clone());
+            e.wal.append(WalRecord::Insert { xid, table: meta.id, row_id: rid, row });
+            e.txns.commit(xid);
+            e.wal.append(WalRecord::Commit { xid });
+        }
+        let visible = |eng: &Engine| {
+            let meta = eng.table_meta("t").unwrap();
+            let snap = eng.txns.snapshot(INVALID_XID);
+            let mut rows: Vec<Row> = Vec::new();
+            eng.store(meta.id)
+                .unwrap()
+                .heap()
+                .unwrap()
+                .scan_visible(&eng.txns, &snap, |t| rows.push(t.data.clone()));
+            rows.sort_by_key(|r| r[0].as_i64().unwrap());
+            rows
+        };
+        let first = Engine::restore_from_wal(&e.wal.all(), None).unwrap();
+        assert_eq!(visible(&first).len(), 3);
+        let second = Engine::restore_from_wal(&first.wal.all(), None).unwrap();
+        assert_eq!(visible(&second), visible(&first), "second failover lost committed rows");
+        // and new commits on the standby extend its WAL without clashing
+        // with the replayed xids
+        let meta1 = first.table_meta("t").unwrap();
+        let xid = first.txns.begin();
+        first.wal.append(WalRecord::Begin { xid });
+        let row = vec![Datum::Int(4), Datum::from_text("y")];
+        let rid = first.store(meta1.id).unwrap().heap().unwrap().insert(xid, row.clone());
+        first.wal.append(WalRecord::Insert { xid, table: meta1.id, row_id: rid, row });
+        first.txns.commit(xid);
+        first.wal.append(WalRecord::Commit { xid });
+        let third = Engine::restore_from_wal(&first.wal.all(), None).unwrap();
+        assert_eq!(visible(&third).len(), 4);
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod gharchive;
 pub mod patterns;
 pub mod pgbench;
 pub mod runner;
+pub mod sim;
 pub mod tpcc;
 pub mod tpch;
 pub mod ycsb;

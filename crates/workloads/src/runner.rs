@@ -95,17 +95,98 @@ impl SqlRunner for ClusterRunner {
             .iter()
             .map(|(n, c)| (n.0, c.cpu_ms, c.io_ms))
             .collect();
-        // coordinator work books to node 0
+        // coordinator-side work (planning, merge) books to the node hosting
+        // this session — node 0 for coordinator sessions, the worker's own
+        // id for MX worker sessions. Booking it to a hard-coded node 0
+        // credited worker-local planning to the coordinator and made the
+        // per-node sums disagree with the cluster's DistCost.
+        let origin = self.session.node().0;
         if d.coordinator.cpu_ms > 0.0 || d.coordinator.io_ms > 0.0 {
-            match per_node.iter_mut().find(|(n, _, _)| *n == 0) {
+            match per_node.iter_mut().find(|(n, _, _)| *n == origin) {
                 Some(slot) => {
                     slot.1 += d.coordinator.cpu_ms;
                     slot.2 += d.coordinator.io_ms;
                 }
-                None => per_node.push((0, d.coordinator.cpu_ms, d.coordinator.io_ms)),
+                None => per_node.push((origin, d.coordinator.cpu_ms, d.coordinator.io_ms)),
             }
         }
         per_node.sort_by_key(|(n, _, _)| *n);
         RunCost { per_node, net_ms: d.net_ms, elapsed_ms: d.elapsed_ms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citrus::cluster::{Cluster, ClusterConfig};
+    use citrus::metadata::NodeId;
+    use std::sync::Arc;
+
+    fn cluster() -> Arc<Cluster> {
+        let c = Cluster::new(ClusterConfig::default());
+        c.add_worker().unwrap();
+        c.add_worker().unwrap();
+        let mut s = c.session().unwrap();
+        s.execute("CREATE TABLE t (k bigint PRIMARY KEY, v bigint)").unwrap();
+        s.execute("SELECT create_distributed_table('t', 'k')").unwrap();
+        for k in 0..8i64 {
+            s.execute(&format!("INSERT INTO t VALUES ({k}, {k})")).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn add_merges_per_node_entries() {
+        let mut a = RunCost {
+            per_node: vec![(0, 1.0, 2.0), (1, 3.0, 4.0)],
+            net_ms: 0.5,
+            elapsed_ms: 10.0,
+        };
+        let b = RunCost {
+            per_node: vec![(1, 1.0, 1.0), (2, 5.0, 6.0)],
+            net_ms: 0.5,
+            elapsed_ms: 5.0,
+        };
+        a.add(&b);
+        assert_eq!(a.per_node, vec![(0, 1.0, 2.0), (1, 4.0, 5.0), (2, 5.0, 6.0)]);
+        assert_eq!(a.net_ms, 1.0);
+        assert_eq!(a.elapsed_ms, 15.0);
+    }
+
+    #[test]
+    fn coordinator_session_books_origin_work_to_node_0() {
+        let c = cluster();
+        let mut r = ClusterRunner { session: c.session().unwrap() };
+        r.run("SELECT count(*) FROM t").unwrap();
+        let cost = r.last_cost();
+        assert!(
+            cost.per_node.iter().any(|&(n, cpu, _)| n == 0 && cpu > 0.0),
+            "merge work on the coordinator must book to node 0: {:?}",
+            cost.per_node
+        );
+    }
+
+    #[test]
+    fn mx_worker_session_books_origin_work_to_that_worker() {
+        let c = cluster();
+        c.enable_mx();
+        let mut r = ClusterRunner { session: c.session_on(NodeId(1)).unwrap() };
+        r.run("SELECT count(*) FROM t").unwrap();
+        let cost = r.last_cost();
+        // planning + merge ran on worker 1, not the coordinator
+        let node0_cpu: f64 =
+            cost.per_node.iter().filter(|(n, _, _)| *n == 0).map(|(_, c, _)| c).sum();
+        let node1_cpu: f64 =
+            cost.per_node.iter().filter(|(n, _, _)| *n == 1).map(|(_, c, _)| c).sum();
+        assert!(
+            node1_cpu > 0.0,
+            "origin-side work must book to the MX worker: {:?}",
+            cost.per_node
+        );
+        assert_eq!(
+            node0_cpu, 0.0,
+            "an MX worker session never touches the coordinator: {:?}",
+            cost.per_node
+        );
     }
 }

@@ -1,0 +1,1213 @@
+//! `citrus-sim` — deterministic whole-cluster simulation harness.
+//!
+//! From a single seed the harness derives (a) a workload mix drawn from the
+//! four §4 patterns, driven through the [`SqlRunner`] seam, and (b) an
+//! interleaved schedule of cluster lifecycle events: shard-group moves, node
+//! crash + standby promotion, distributed DDL, maintenance-daemon passes,
+//! and a seeded [`FaultPlan`]. Every committed read is differentially
+//! checked against a single-node pgmini oracle that receives the identical
+//! statement stream, and standing invariants are asserted after every
+//! lifecycle event:
+//!
+//! * every non-reference shard has exactly one live placement;
+//! * no node holds an orphan physical shard table;
+//! * the move journal has no pending records;
+//! * no prepared transaction is stuck on any node.
+//!
+//! On failure the schedule is shrunk (greedy ddmin over the event list) to a
+//! minimal reproducer and the replay seed is printed, so any red run becomes
+//! a one-line deterministic repro. Run without faults, the same harness is
+//! the §4 evaluation: [`bench_pattern`] reports distributed vs single-node
+//! virtual throughput and latency percentiles per pattern.
+
+use crate::gharchive;
+use crate::patterns::Pattern;
+use crate::runner::{ClusterRunner, LocalRunner, RunCost, SqlRunner};
+use crate::tpcc::{self, TpccConfig, TpccDriver};
+use crate::tpch;
+use crate::ycsb::{self, YcsbConfig, YcsbDriver};
+use citrus::cluster::{Cluster, ClusterConfig};
+use citrus::metadata::{NodeId, FIRST_SHARD_ID};
+use citrus::rebalancer::{self, MOVE_PHASE_TAGS};
+use citrus::{deadlock, ha, recovery};
+use netsim::fault::{FaultKind, FaultOp, FaultPlan, FaultRule};
+use pgmini::engine::Engine;
+use pgmini::error::{ErrorCode, PgError, PgResult};
+use pgmini::session::QueryResult;
+use pgmini::types::{Datum, Row};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+// ---------------- configuration ----------------
+
+/// One simulated run: a seed plus the knobs that shape it. Everything a run
+/// does is a pure function of this struct, which is the replay contract.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub seed: u64,
+    /// Schedule length before the guaranteed-coverage fixups.
+    pub events: usize,
+    pub workers: u32,
+    pub shard_count: u32,
+    pub executor_threads: usize,
+    /// Install the chaos fault plan (read errors absorbed by executor
+    /// retries, latency everywhere, a scripted one-shot read error, and a
+    /// probabilistic move-phase error). Off = clean evaluation mode.
+    pub faults: bool,
+    pub tracing: bool,
+}
+
+impl SimConfig {
+    pub fn new(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            events: 30,
+            workers: 2,
+            shard_count: 8,
+            executor_threads: 2,
+            faults: true,
+            tracing: false,
+        }
+    }
+}
+
+/// Workload scale used inside simulation runs (kept tiny: the corpus runs
+/// dozens of seeds in debug builds inside the CI gate).
+#[derive(Debug, Clone)]
+pub struct SimScales {
+    pub tpcc: TpccConfig,
+    pub ycsb: YcsbConfig,
+    /// Initial GHArchive events loaded for day 1.
+    pub gh_events: usize,
+    /// Events per chaos ingest batch.
+    pub gh_batch: usize,
+    pub tpch_sf: f64,
+}
+
+impl Default for SimScales {
+    fn default() -> Self {
+        SimScales {
+            tpcc: TpccConfig {
+                warehouses: 4,
+                items: 20,
+                districts_per_warehouse: 2,
+                customers_per_district: 4,
+                ..TpccConfig::default()
+            },
+            ycsb: YcsbConfig { record_count: 80, ..YcsbConfig::default() },
+            gh_events: 120,
+            gh_batch: 25,
+            tpch_sf: 0.001,
+        }
+    }
+}
+
+// ---------------- schedule grammar ----------------
+
+/// One step of a simulated schedule. `Txn` advances the seed's workload mix
+/// by one unit; the rest are cluster lifecycle events. `Corrupt` never
+/// appears in derived schedules — the mutation tests splice it in to prove
+/// the invariant checker and shrinker catch planted metadata bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    Txn { pattern: Pattern },
+    /// Move the shard group holding bucket `bucket_sel % shard_count` of the
+    /// primary pattern's anchor table to another worker.
+    Move { bucket_sel: u32 },
+    /// Crash worker `worker_sel % workers` and promote its WAL standby.
+    Failover { worker_sel: u32 },
+    /// Distributed CREATE INDEX (propagates to shards, bumps the metadata
+    /// generation, invalidates the plan cache). `n` keeps names unique.
+    Ddl { n: u32 },
+    /// One maintenance-daemon pass: deadlock detection, 2PC recovery, move
+    /// recovery.
+    Maintenance,
+    /// Deliberately plant a metadata bug (mutation testing only).
+    Corrupt { kind: CorruptKind },
+}
+
+/// The planted metadata bugs the mutation tests use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Append a second placement to a distributed shard.
+    DuplicatePlacement,
+    /// Create a stray physical shard table on a worker.
+    OrphanShardTable,
+}
+
+/// Patterns whose schemas share table names cannot share one database.
+fn patterns_conflict(a: Pattern, b: Pattern) -> bool {
+    // TPC-C and TPC-H both define `orders` and `customer`
+    matches!(
+        (a, b),
+        (Pattern::MultiTenant, Pattern::DataWarehousing)
+            | (Pattern::DataWarehousing, Pattern::MultiTenant)
+    )
+}
+
+/// The patterns a seed's workload mix draws from: a primary rotating over
+/// all four, plus (for half the seeds) a compatible secondary.
+pub fn enabled_patterns(cfg: &SimConfig) -> Vec<Pattern> {
+    let primary = Pattern::ALL[(cfg.seed % 4) as usize];
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE1AB_1ED5_EED5);
+    let mut out = vec![primary];
+    if rng.random_bool(0.5) {
+        let candidates: Vec<Pattern> = Pattern::ALL
+            .iter()
+            .copied()
+            .filter(|p| *p != primary && !patterns_conflict(primary, *p))
+            .collect();
+        out.push(candidates[rng.random_range(0..candidates.len())]);
+    }
+    out
+}
+
+/// The distributed table whose shard groups the schedule moves around —
+/// always from the primary pattern, so it exists in every run of the seed.
+fn anchor_table(primary: Pattern) -> &'static str {
+    match primary {
+        Pattern::MultiTenant => "warehouse",
+        Pattern::RealTimeAnalytics => "github_events",
+        Pattern::HighPerformanceCrud => "usertable",
+        Pattern::DataWarehousing => "orders",
+    }
+}
+
+/// `(table, column)` each pattern's DDL events index.
+fn ddl_target(primary: Pattern) -> (&'static str, &'static str) {
+    match primary {
+        Pattern::MultiTenant => ("orders", "o_c_id"),
+        Pattern::RealTimeAnalytics => ("github_events", "event_id"),
+        Pattern::HighPerformanceCrud => ("usertable", "field0"),
+        Pattern::DataWarehousing => ("lineitem", "l_suppkey"),
+    }
+}
+
+/// Derive the seed's schedule. Guaranteed coverage regardless of the dice:
+/// at least one workload transaction, two shard moves, and one failover;
+/// the run itself guarantees at least one faulted statement via a scripted
+/// fault rule. A trailing maintenance pass settles the cluster.
+pub fn derive_schedule(cfg: &SimConfig) -> Vec<SimEvent> {
+    let patterns = enabled_patterns(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_5C4E_D01E);
+    let mut events: Vec<SimEvent> = Vec::with_capacity(cfg.events + 4);
+    for _ in 0..cfg.events {
+        events.push(match rng.random_range(0..100u32) {
+            0..68 => SimEvent::Txn { pattern: patterns[rng.random_range(0..patterns.len())] },
+            68..78 => SimEvent::Move { bucket_sel: rng.random_range(0..cfg.shard_count) },
+            78..84 => SimEvent::Failover { worker_sel: rng.random_range(0..cfg.workers) },
+            84..92 => SimEvent::Ddl { n: 0 },
+            _ => SimEvent::Maintenance,
+        });
+    }
+    let count = |evs: &[SimEvent], f: fn(&SimEvent) -> bool| evs.iter().filter(|e| f(e)).count();
+    if count(&events, |e| matches!(e, SimEvent::Txn { .. })) == 0 {
+        events.insert(0, SimEvent::Txn { pattern: patterns[0] });
+    }
+    while count(&events, |e| matches!(e, SimEvent::Move { .. })) < 2 {
+        let at = rng.random_range(0..=events.len());
+        events.insert(at, SimEvent::Move { bucket_sel: rng.random_range(0..cfg.shard_count) });
+    }
+    if count(&events, |e| matches!(e, SimEvent::Failover { .. })) == 0 {
+        let at = rng.random_range(0..=events.len());
+        events.insert(at, SimEvent::Failover { worker_sel: rng.random_range(0..cfg.workers) });
+    }
+    events.push(SimEvent::Maintenance);
+    // unique DDL index names, stable under shrinking
+    for (i, e) in events.iter_mut().enumerate() {
+        if let SimEvent::Ddl { n } = e {
+            *n = i as u32;
+        }
+    }
+    events
+}
+
+// ---------------- differential mirror ----------------
+
+/// Rounded normalization so `Int(5)`, `Float(5.0)`, and float aggregates
+/// computed shard-local-then-merged vs single-node compare equal (same
+/// 4-decimal contract as the workloads differential tests).
+fn datum_key(d: &Datum) -> String {
+    if let Ok(i) = d.as_i64() {
+        return i.to_string();
+    }
+    if let Ok(f) = d.as_f64() {
+        if f.fract() == 0.0 && f.abs() < 1e15 {
+            return (f as i64).to_string();
+        }
+        return format!("{f:.4}");
+    }
+    format!("{d:?}")
+}
+
+fn row_keys(r: &QueryResult, ordered: bool) -> Vec<String> {
+    let mut keys: Vec<String> = r
+        .rows()
+        .iter()
+        .map(|row| row.iter().map(datum_key).collect::<Vec<_>>().join(","))
+        .collect();
+    if !ordered {
+        keys.sort();
+    }
+    keys
+}
+
+/// A [`SqlRunner`] that executes every statement on the distributed cluster
+/// AND on the single-node oracle, comparing read result multisets and write
+/// affected-counts. Statement errors on the distributed side (chaos) are
+/// propagated *without* running the oracle, so the workload driver's
+/// ROLLBACK keeps both sides transactionally aligned. Reads outside a
+/// transaction whose executor retries were exhausted are re-submitted a
+/// bounded number of times, like a real client.
+pub struct MirrorRunner {
+    pub dist: ClusterRunner,
+    pub oracle: LocalRunner,
+    /// First divergence observed, if any. Once set, the mirror refuses
+    /// further statements.
+    pub divergence: Option<String>,
+    pub reads_checked: u64,
+    pub writes_checked: u64,
+    pub resubmitted_reads: u64,
+    in_txn: bool,
+}
+
+enum StmtClass {
+    DistOnly,
+    TxnControl,
+    Ddl,
+    Write,
+    Read { ordered: bool },
+}
+
+fn classify(sql: &str) -> StmtClass {
+    let s = sql.trim_start();
+    let upper = s.get(..12).unwrap_or(s).to_ascii_uppercase();
+    if s.starts_with("SELECT create_distributed_table")
+        || s.starts_with("SELECT create_reference_table")
+    {
+        return StmtClass::DistOnly;
+    }
+    if upper.starts_with("BEGIN") || upper.starts_with("COMMIT") || upper.starts_with("ROLLBACK") {
+        return StmtClass::TxnControl;
+    }
+    if upper.starts_with("CREATE") || upper.starts_with("DROP") || upper.starts_with("ALTER") {
+        return StmtClass::Ddl;
+    }
+    if upper.starts_with("INSERT") || upper.starts_with("UPDATE") || upper.starts_with("DELETE") {
+        return StmtClass::Write;
+    }
+    StmtClass::Read { ordered: sql.to_ascii_uppercase().contains("ORDER BY") }
+}
+
+impl MirrorRunner {
+    pub fn new(dist: ClusterRunner, oracle: LocalRunner) -> MirrorRunner {
+        MirrorRunner {
+            dist,
+            oracle,
+            divergence: None,
+            reads_checked: 0,
+            writes_checked: 0,
+            resubmitted_reads: 0,
+            in_txn: false,
+        }
+    }
+
+    fn diverged(&mut self, detail: String) -> PgError {
+        let msg = format!("sim divergence: {detail}");
+        self.divergence = Some(detail);
+        PgError::internal(&msg)
+    }
+
+    /// Distributed-side execution; bounded client re-submission for reads
+    /// outside a transaction whose executor retries were exhausted.
+    fn dist_run(&mut self, sql: &str, read: bool) -> PgResult<QueryResult> {
+        let mut last: Option<PgError> = None;
+        let attempts = if read && !self.in_txn { 12 } else { 1 };
+        for attempt in 0..attempts {
+            match self.dist.run(sql) {
+                Ok(r) => {
+                    if attempt > 0 {
+                        self.resubmitted_reads += 1;
+                    }
+                    return Ok(r);
+                }
+                Err(e) if e.code == ErrorCode::ConnectionFailure && attempt + 1 < attempts => {
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| PgError::internal("dist_run: no attempts")))
+    }
+}
+
+impl SqlRunner for MirrorRunner {
+    fn run(&mut self, sql: &str) -> PgResult<QueryResult> {
+        if let Some(d) = &self.divergence {
+            return Err(PgError::internal(&format!("sim divergence (earlier): {d}")));
+        }
+        let class = classify(sql);
+        if let StmtClass::DistOnly = class {
+            return self.dist.run(sql);
+        }
+        let read = matches!(class, StmtClass::Read { .. });
+        let dist = self.dist_run(sql, read)?;
+        let oracle = match self.oracle.run(sql) {
+            Ok(r) => r,
+            Err(e) => {
+                return Err(self.diverged(format!(
+                    "oracle failed where distributed succeeded for `{sql}`: {e:?}"
+                )))
+            }
+        };
+        match class {
+            StmtClass::TxnControl => {
+                let s = sql.trim_start().to_ascii_uppercase();
+                self.in_txn = s.starts_with("BEGIN");
+            }
+            StmtClass::Write => {
+                self.writes_checked += 1;
+                if dist.affected() != oracle.affected() {
+                    return Err(self.diverged(format!(
+                        "affected counts diverge for `{sql}`: dist={} oracle={}",
+                        dist.affected(),
+                        oracle.affected()
+                    )));
+                }
+            }
+            StmtClass::Read { ordered } => {
+                self.reads_checked += 1;
+                let (d, o) = (row_keys(&dist, ordered), row_keys(&oracle, ordered));
+                if d != o {
+                    return Err(self.diverged(format!(
+                        "result sets diverge for `{sql}`: dist={d:?} oracle={o:?}"
+                    )));
+                }
+            }
+            StmtClass::Ddl | StmtClass::DistOnly => {}
+        }
+        Ok(dist)
+    }
+
+    fn copy(&mut self, table: &str, columns: &[String], rows: Vec<Row>) -> PgResult<u64> {
+        if let Some(d) = &self.divergence {
+            return Err(PgError::internal(&format!("sim divergence (earlier): {d}")));
+        }
+        let n_dist = self.dist.copy(table, columns, rows.clone())?;
+        let n_oracle = match self.oracle.copy(table, columns, rows) {
+            Ok(n) => n,
+            Err(e) => {
+                return Err(self.diverged(format!(
+                    "oracle COPY {table} failed where distributed succeeded: {e:?}"
+                )))
+            }
+        };
+        self.writes_checked += 1;
+        if n_dist != n_oracle {
+            return Err(self.diverged(format!(
+                "COPY {table} row counts diverge: dist={n_dist} oracle={n_oracle}"
+            )));
+        }
+        Ok(n_dist)
+    }
+
+    fn last_cost(&mut self) -> RunCost {
+        self.dist.last_cost()
+    }
+}
+
+// ---------------- workload units ----------------
+
+/// Per-pattern driver state that survives across the schedule's Txn events.
+struct WorkloadState {
+    tpcc: Option<TpccDriver>,
+    ycsb: Option<YcsbDriver>,
+    gh: Option<gharchive::EventGenerator>,
+    tpch_next: usize,
+}
+
+fn setup_pattern(
+    r: &mut dyn SqlRunner,
+    pattern: Pattern,
+    scales: &SimScales,
+    distributed: bool,
+    seed: u64,
+) -> PgResult<()> {
+    match pattern {
+        Pattern::MultiTenant => {
+            for s in tpcc::schema_statements() {
+                r.run(&s)?;
+            }
+            if distributed {
+                for s in tpcc::distribution_statements() {
+                    r.run(&s)?;
+                }
+            }
+            tpcc::load(r, &scales.tpcc, seed)?;
+        }
+        Pattern::RealTimeAnalytics => {
+            for s in gharchive::schema_statements() {
+                r.run(&s)?;
+            }
+            if distributed {
+                r.run(&gharchive::distribution_statement())?;
+            }
+            for s in gharchive::transformation_schema() {
+                r.run(&s)?;
+            }
+            if distributed {
+                r.run(&gharchive::transformation_distribution())?;
+            }
+            gharchive::load_day(r, 1, scales.gh_events, seed)?;
+        }
+        Pattern::HighPerformanceCrud => {
+            r.run(&ycsb::schema_statement())?;
+            if distributed {
+                r.run(&ycsb::distribution_statement())?;
+            }
+            ycsb::load(r, &scales.ycsb, seed)?;
+        }
+        Pattern::DataWarehousing => {
+            for s in tpch::schema_statements() {
+                r.run(&s)?;
+            }
+            if distributed {
+                for s in tpch::distribution_statements() {
+                    r.run(&s)?;
+                }
+            }
+            tpch::gen::load(r, scales.tpch_sf, seed)?;
+        }
+    }
+    Ok(())
+}
+
+fn make_state(patterns: &[Pattern], scales: &SimScales, seed: u64) -> WorkloadState {
+    let mut st = WorkloadState { tpcc: None, ycsb: None, gh: None, tpch_next: 0 };
+    for p in patterns {
+        match p {
+            Pattern::MultiTenant => {
+                st.tpcc = Some(TpccDriver::new(scales.tpcc.clone(), seed ^ 0x7139));
+            }
+            Pattern::HighPerformanceCrud => {
+                st.ycsb = Some(YcsbDriver::new(scales.ycsb.clone(), seed ^ 0x9c5b));
+            }
+            Pattern::RealTimeAnalytics => {
+                // day 2: the chaos ingest stream, distinct from the day-1 load
+                st.gh = Some(gharchive::EventGenerator::new(2, seed ^ 0x11d7));
+            }
+            Pattern::DataWarehousing => {}
+        }
+    }
+    st
+}
+
+/// Run one workload unit of `pattern` through the runner.
+fn run_unit(
+    r: &mut dyn SqlRunner,
+    state: &mut WorkloadState,
+    pattern: Pattern,
+    scales: &SimScales,
+    rng: &mut StdRng,
+) -> PgResult<()> {
+    match pattern {
+        Pattern::MultiTenant => {
+            let d = state.tpcc.as_mut().expect("tpcc driver");
+            let kind = d.next_kind();
+            d.run(r, kind)?;
+        }
+        Pattern::HighPerformanceCrud => {
+            state.ycsb.as_mut().expect("ycsb driver").run(r)?;
+        }
+        Pattern::RealTimeAnalytics => match rng.random_range(0..4u32) {
+            0 | 1 => {
+                r.run(&gharchive::dashboard_query())?;
+            }
+            2 => {
+                let batch = state.gh.as_mut().expect("gh generator").batch(scales.gh_batch);
+                r.copy("github_events", &[], batch)?;
+            }
+            _ => {
+                r.run(&gharchive::transformation_query())?;
+            }
+        },
+        Pattern::DataWarehousing => {
+            let q = tpch::queries::SUPPORTED[state.tpch_next % tpch::queries::SUPPORTED.len()];
+            state.tpch_next += 1;
+            r.run(&tpch::queries::query(q).expect("supported query"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Differential checks of the final state, per pattern.
+fn verification_queries(pattern: Pattern) -> Vec<String> {
+    match pattern {
+        Pattern::MultiTenant => vec![
+            "SELECT count(*), sum(o_id), sum(o_ol_cnt) FROM orders".into(),
+            "SELECT sum(d_next_o_id), sum(d_ytd) FROM district".into(),
+            "SELECT count(*), sum(ol_quantity) FROM order_line".into(),
+            "SELECT sum(s_quantity), sum(s_ytd) FROM stock".into(),
+            "SELECT count(*), sum(h_amount) FROM history".into(),
+            "SELECT sum(c_balance), sum(c_ytd_payment) FROM customer".into(),
+            "SELECT count(*) FROM new_order".into(),
+        ],
+        Pattern::RealTimeAnalytics => vec![
+            "SELECT count(*) FROM github_events".into(),
+            gharchive::dashboard_query(),
+            "SELECT count(*), sum(commit_count) FROM push_commits".into(),
+        ],
+        Pattern::HighPerformanceCrud => vec![
+            "SELECT count(*) FROM usertable".into(),
+            "SELECT * FROM usertable ORDER BY ycsb_key".into(),
+        ],
+        Pattern::DataWarehousing => vec![
+            "SELECT count(*), sum(l_quantity) FROM lineitem".into(),
+            "SELECT count(*), sum(o_totalprice) FROM orders".into(),
+        ],
+    }
+}
+
+// ---------------- invariants ----------------
+
+/// The standing cluster invariants, as a `Result` so the harness can shrink
+/// on violation: one live placement per distributed shard (reference shards
+/// place everywhere by design), physical shard tables exactly where the
+/// metadata says and nowhere else, an empty move journal, and no prepared
+/// transaction parked on any node.
+pub fn check_invariants(c: &Arc<Cluster>) -> Result<(), String> {
+    let meta = c.metadata.read();
+    let mut expected: std::collections::HashSet<(NodeId, String)> = Default::default();
+    // Metadata keeps tables in a HashMap; sort so the first violation we
+    // report is the same one on every replay.
+    let mut tables: Vec<_> = meta.tables().collect();
+    tables.sort_by(|a, b| a.name.cmp(&b.name));
+    for t in tables {
+        for sid in &t.shards {
+            let shard = meta.shard(*sid).map_err(|e| format!("shard {sid:?} missing: {e:?}"))?;
+            if t.is_reference() {
+                for node in &shard.placements {
+                    expected.insert((*node, shard.physical_name()));
+                }
+                continue;
+            }
+            if shard.placements.len() != 1 {
+                return Err(format!(
+                    "shard {sid:?} of {} has {} placements (want exactly 1)",
+                    t.name,
+                    shard.placements.len()
+                ));
+            }
+            let node = shard.placements[0];
+            let live = c.node(node).map(|n| n.is_active()).unwrap_or(false);
+            if !live {
+                return Err(format!("placement node {} of shard {sid:?} is down", node.0));
+            }
+            expected.insert((node, shard.physical_name()));
+        }
+    }
+    drop(meta);
+    for node in c.nodes() {
+        if !node.is_active() {
+            continue;
+        }
+        for name in node.engine().catalog.read().table_names() {
+            let Some((_, id)) = name.rsplit_once('_') else { continue };
+            let Ok(id) = id.parse::<u64>() else { continue };
+            if id < FIRST_SHARD_ID {
+                continue;
+            }
+            if !expected.contains(&(node.id, name.clone())) {
+                return Err(format!("orphan physical table {name} on node {}", node.name));
+            }
+        }
+    }
+    // HashSet iteration order is not stable; sort so that which violation
+    // gets reported first is replay-deterministic.
+    let mut expected_sorted: Vec<&(NodeId, String)> = expected.iter().collect();
+    expected_sorted.sort_by_key(|(n, p)| (n.0, p.clone()));
+    for (node, physical) in expected_sorted {
+        let present = c
+            .node(*node)
+            .map(|n| n.engine().table_meta(physical).is_ok())
+            .unwrap_or(false);
+        if !present {
+            return Err(format!("placement {physical} missing on node {}", node.0));
+        }
+    }
+    let pending =
+        rebalancer::pending_moves(c).map_err(|e| format!("move journal unreadable: {e:?}"))?;
+    if !pending.is_empty() {
+        return Err(format!("move journal still has pending records: {pending:?}"));
+    }
+    for node in c.nodes() {
+        if !node.is_active() {
+            continue;
+        }
+        let gids = node.engine().txns.prepared_gids();
+        if !gids.is_empty() {
+            return Err(format!("stuck prepared transactions on {}: {gids:?}", node.name));
+        }
+    }
+    Ok(())
+}
+
+// ---------------- schedule execution ----------------
+
+/// What one run saw; the corpus tests assert the coverage quotas.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    pub txns_attempted: u64,
+    /// Workload units aborted by injected chaos (connection failures).
+    pub txns_failed: u64,
+    pub reads_checked: u64,
+    pub writes_checked: u64,
+    pub moves_attempted: u64,
+    pub moves_completed: u64,
+    pub failovers: u64,
+    /// Total fault-plan firings (errors + latency).
+    pub faults_fired: u64,
+    /// Error/crash firings against statements or move phases.
+    pub fault_errors: u64,
+    /// FNV fingerprint over the statement-trace ring (0 when tracing off).
+    pub trace_fingerprint: u64,
+}
+
+/// A failed run: the index of the offending event plus what went wrong.
+#[derive(Debug, Clone)]
+pub struct SimFailure {
+    pub event_index: usize,
+    pub detail: String,
+}
+
+fn chaos_plan(cfg: &SimConfig) -> FaultPlan {
+    FaultPlan::new()
+        // reads randomly error; the adaptive executor's retry/failover
+        // absorbs almost all of them, the rest abort their transaction
+        .with(
+            FaultRule::new(FaultOp::Statement, FaultKind::Error)
+                .with_tag("select")
+                .always()
+                .with_probability(0.10)
+                .labeled("chaos.read_error"),
+        )
+        // every statement can pick up virtual latency
+        .with(
+            FaultRule::new(FaultOp::Statement, FaultKind::Latency(1.5))
+                .always()
+                .with_probability(0.20)
+                .labeled("chaos.latency"),
+        )
+        // scripted one-shot: guarantees every seed sees >= 1 faulted
+        // statement even if the probabilistic rules stay quiet. Pinned to a
+        // seed-chosen anchor shard so the single firing is arrival-order
+        // free — an unscoped one-shot would hit whichever parallel task
+        // consults the injector first, breaking 1-vs-8-thread identity.
+        .with(
+            FaultRule::new(FaultOp::Statement, FaultKind::Error)
+                .with_tag("select")
+                .scoped_to(&format!(
+                    "s{}",
+                    citrus::metadata::FIRST_SHARD_ID + cfg.seed % cfg.shard_count as u64
+                ))
+                .labeled("chaos.scripted_read_error"),
+        )
+        // one move phase (seed-chosen) may error, exercising recover_moves
+        .with(
+            FaultRule::new(FaultOp::Move, FaultKind::Error)
+                .with_tag(MOVE_PHASE_TAGS[(cfg.seed % MOVE_PHASE_TAGS.len() as u64) as usize])
+                .with_probability(0.35)
+                .labeled("chaos.move_error"),
+        )
+}
+
+fn build_cluster(cfg: &SimConfig) -> Arc<Cluster> {
+    let mut cc = ClusterConfig::default();
+    cc.shard_count = cfg.shard_count;
+    cc.executor_threads = cfg.executor_threads;
+    cc.tracing = cfg.tracing;
+    let c = Cluster::new(cc);
+    for _ in 0..cfg.workers {
+        c.add_worker().expect("add worker");
+    }
+    c
+}
+
+fn apply_corruption(c: &Arc<Cluster>, kind: CorruptKind) -> Result<(), String> {
+    match kind {
+        CorruptKind::DuplicatePlacement => {
+            let mut meta = c.metadata.write();
+            // Metadata stores tables in a HashMap; pick the victim by
+            // smallest shard id so replays corrupt the same shard.
+            let target = meta
+                .tables()
+                .filter(|t| !t.is_reference())
+                .map(|t| t.shards[0])
+                .min_by_key(|sid| sid.0)
+                .ok_or("no distributed table to corrupt")?;
+            let current = meta
+                .shard(target)
+                .map_err(|e| format!("{e:?}"))?
+                .placements
+                .first()
+                .copied()
+                .ok_or("shard has no placement")?;
+            let extra = if current == NodeId(1) { NodeId(2) } else { NodeId(1) };
+            meta.shard_mut(target).map_err(|e| format!("{e:?}"))?.placements.push(extra);
+        }
+        CorruptKind::OrphanShardTable => {
+            let node = c.node(NodeId(1)).map_err(|e| format!("{e:?}"))?;
+            let mut s = node.engine().session().map_err(|e| format!("{e:?}"))?;
+            s.execute(&format!("CREATE TABLE sim_orphan_{} (x bigint)", FIRST_SHARD_ID + 777))
+                .map_err(|e| format!("{e:?}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Execute `events` for `cfg`. A pure function of its arguments: same
+/// inputs, same outcome — the replay-by-seed and shrinking contract.
+pub fn run_schedule(cfg: &SimConfig, events: &[SimEvent]) -> Result<SimReport, SimFailure> {
+    assert!(cfg.workers >= 2, "sim needs >= 2 workers for moves and failovers");
+    let fail = |i: usize, detail: String| SimFailure { event_index: i, detail };
+    let patterns = enabled_patterns(cfg);
+    let primary = patterns[0];
+    let scales = SimScales::default();
+
+    let cluster = build_cluster(cfg);
+    let oracle = Engine::new_default();
+    let dist = ClusterRunner { session: cluster.session().map_err(|e| fail(0, format!("{e:?}")))? };
+    let local = LocalRunner { session: oracle.session().map_err(|e| fail(0, format!("{e:?}")))? };
+    let mut mirror = MirrorRunner::new(dist, local);
+    for p in &patterns {
+        setup_pattern(&mut mirror, *p, &scales, true, cfg.seed)
+            .map_err(|e| fail(0, format!("setup of {p:?} failed: {e:?}")))?;
+    }
+    if let Some(d) = mirror.divergence.clone() {
+        return Err(fail(0, format!("divergence during setup: {d}")));
+    }
+
+    let injector = if cfg.faults {
+        Some(cluster.install_faults(chaos_plan(cfg), cfg.seed))
+    } else {
+        None
+    };
+    let mut state = make_state(&patterns, &scales, cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x041B_0B0E_5EED);
+    let mut report = SimReport::default();
+
+    for (i, ev) in events.iter().enumerate() {
+        match *ev {
+            SimEvent::Txn { pattern } => {
+                report.txns_attempted += 1;
+                match run_unit(&mut mirror, &mut state, pattern, &scales, &mut rng) {
+                    Ok(()) => {}
+                    Err(e) if e.code == ErrorCode::ConnectionFailure => {
+                        report.txns_failed += 1;
+                    }
+                    Err(e) => {
+                        let detail = mirror
+                            .divergence
+                            .clone()
+                            .unwrap_or_else(|| format!("unexpected workload error: {e:?}"));
+                        return Err(fail(i, detail));
+                    }
+                }
+            }
+            SimEvent::Move { bucket_sel } => {
+                let anchor = anchor_table(primary);
+                let (bucket, from) = {
+                    let meta = cluster.metadata.read();
+                    let t = meta
+                        .table(anchor)
+                        .ok_or_else(|| fail(i, format!("anchor table {anchor} missing")))?;
+                    let bucket = (bucket_sel as usize) % t.shards.len();
+                    let shard = meta
+                        .shard(t.shards[bucket])
+                        .map_err(|e| fail(i, format!("{e:?}")))?;
+                    let from = *shard
+                        .placements
+                        .first()
+                        .ok_or_else(|| fail(i, "shard without placement".to_string()))?;
+                    (bucket, from)
+                };
+                let to = cluster
+                    .worker_ids()
+                    .into_iter()
+                    .find(|w| *w != from && cluster.node(*w).map(|n| n.is_active()).unwrap_or(false));
+                let Some(to) = to else {
+                    return Err(fail(i, "no active move target worker".to_string()));
+                };
+                report.moves_attempted += 1;
+                match rebalancer::move_shard_group(&cluster, anchor, bucket, from, to) {
+                    Ok(_) => report.moves_completed += 1,
+                    Err(_) => {
+                        // chaos killed the move; the journal recovery pass
+                        // must restore the invariant
+                        rebalancer::recover_moves(&cluster)
+                            .map_err(|e| fail(i, format!("recover_moves failed: {e:?}")))?;
+                    }
+                }
+            }
+            SimEvent::Failover { worker_sel } => {
+                let workers = cluster.worker_ids();
+                let node = workers[(worker_sel as usize) % workers.len()];
+                ha::fail_over(&cluster, node)
+                    .map_err(|e| fail(i, format!("failover of node {} failed: {e:?}", node.0)))?;
+                report.failovers += 1;
+            }
+            SimEvent::Ddl { n } => {
+                let (table, col) = ddl_target(primary);
+                match mirror.run(&format!("CREATE INDEX sim_idx_{n} ON {table} ({col})")) {
+                    Ok(_) => {}
+                    // chaos may abort the propagation mid-flight; a
+                    // partially-built index never changes query results
+                    Err(e) if e.code == ErrorCode::ConnectionFailure => {}
+                    Err(e) => return Err(fail(i, format!("DDL failed: {e:?}"))),
+                }
+            }
+            SimEvent::Maintenance => {
+                deadlock::detect_once(&cluster)
+                    .map_err(|e| fail(i, format!("deadlock pass failed: {e:?}")))?;
+                recovery::recover_once(&cluster)
+                    .map_err(|e| fail(i, format!("recovery pass failed: {e:?}")))?;
+                rebalancer::recover_moves(&cluster)
+                    .map_err(|e| fail(i, format!("move recovery failed: {e:?}")))?;
+            }
+            SimEvent::Corrupt { kind } => {
+                apply_corruption(&cluster, kind).map_err(|d| fail(i, d))?;
+            }
+        }
+        if let Some(d) = mirror.divergence.clone() {
+            return Err(fail(i, d));
+        }
+        check_invariants(&cluster).map_err(|d| fail(i, d))?;
+    }
+
+    // settle and verify the final state differentially
+    recovery::recover_once(&cluster)
+        .map_err(|e| fail(events.len(), format!("final recovery failed: {e:?}")))?;
+    rebalancer::recover_moves(&cluster)
+        .map_err(|e| fail(events.len(), format!("final move recovery failed: {e:?}")))?;
+    check_invariants(&cluster).map_err(|d| fail(events.len(), d))?;
+    for p in &patterns {
+        for q in verification_queries(*p) {
+            if let Err(e) = mirror.run(&q) {
+                let detail = mirror
+                    .divergence
+                    .clone()
+                    .unwrap_or_else(|| format!("final verification `{q}` failed: {e:?}"));
+                return Err(fail(events.len(), detail));
+            }
+        }
+    }
+
+    report.reads_checked = mirror.reads_checked;
+    report.writes_checked = mirror.writes_checked;
+    if let Some(inj) = &injector {
+        report.faults_fired = inj.fired();
+        report.fault_errors = inj
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Error | FaultKind::Crash))
+            .count() as u64;
+    }
+    if cfg.tracing {
+        let renders: Vec<String> =
+            cluster.tracer.statements().iter().map(|s| s.render()).collect();
+        let joined = renders.join("\n");
+        // Diagnostic hook: dump the rendered trace so fingerprint mismatches
+        // can be diffed (`CITRUS_SIM_TRACE_DUMP=/tmp/a.txt`). Does not
+        // affect the run's outcome.
+        if let Ok(path) = std::env::var("CITRUS_SIM_TRACE_DUMP") {
+            let _ = std::fs::write(&path, &joined);
+        }
+        report.trace_fingerprint = citrus::trace::fingerprint_str(&joined);
+    }
+    Ok(report)
+}
+
+// ---------------- shrinking + replay ----------------
+
+/// Greedy ddmin over the event list: repeatedly drop chunks (halving the
+/// chunk size down to single events) while the failure persists. Bounded by
+/// a fixed re-run budget so shrinking can never hang a CI gate.
+pub fn shrink_schedule(
+    cfg: &SimConfig,
+    events: &[SimEvent],
+    first: SimFailure,
+) -> (Vec<SimEvent>, SimFailure) {
+    let mut current = events.to_vec();
+    let mut failure = first;
+    let mut chunk = current.len().div_ceil(2).max(1);
+    let mut budget = 100usize;
+    loop {
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() && budget > 0 {
+            let mut candidate = current.clone();
+            let end = (start + chunk).min(candidate.len());
+            candidate.drain(start..end);
+            budget -= 1;
+            match run_schedule(cfg, &candidate) {
+                Err(f) => {
+                    current = candidate;
+                    failure = f;
+                    reduced = true;
+                }
+                Ok(_) => start += chunk,
+            }
+        }
+        if budget == 0 || current.is_empty() || (chunk == 1 && !reduced) {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    (current, failure)
+}
+
+/// Derive, run, and — on failure — shrink. The error string is the one-line
+/// deterministic repro contract: it names the seed, the minimal schedule,
+/// and the replay command.
+pub fn run_seed(cfg: &SimConfig) -> Result<SimReport, String> {
+    let events = derive_schedule(cfg);
+    match run_schedule(cfg, &events) {
+        Ok(report) => Ok(report),
+        Err(first) => {
+            let (minimal, failure) = shrink_schedule(cfg, &events, first);
+            Err(format!(
+                "sim seed {seed} failed at event {idx}: {detail}\n\
+                 minimal reproducer ({n} of {total} events): {minimal:?}\n\
+                 replay: CITRUS_SIM_SEED={seed} cargo test -p workloads --test sim_chaos \
+                 replay_env_seed -- --nocapture",
+                seed = cfg.seed,
+                idx = failure.event_index,
+                detail = failure.detail,
+                n = minimal.len(),
+                total = events.len(),
+            ))
+        }
+    }
+}
+
+// ---------------- statement-stream recording ----------------
+
+/// A [`SqlRunner`] that executes nothing and records the exact statement
+/// stream a workload driver produces: SQL text verbatim, COPY batches as
+/// `COPY <table> <n> rows fp=<fingerprint>` lines. Two drivers with the
+/// same seed must produce byte-identical logs (the replay-by-seed
+/// contract); different seeds must not.
+#[derive(Default)]
+pub struct RecordingRunner {
+    pub log: Vec<String>,
+}
+
+impl SqlRunner for RecordingRunner {
+    fn run(&mut self, sql: &str) -> PgResult<QueryResult> {
+        self.log.push(sql.to_string());
+        Ok(QueryResult::Empty)
+    }
+
+    fn copy(&mut self, table: &str, columns: &[String], rows: Vec<Row>) -> PgResult<u64> {
+        let fp = citrus::trace::fingerprint_str(&format!("{rows:?}"));
+        self.log.push(format!(
+            "COPY {table} ({}) {} rows fp={fp:016x}",
+            columns.join(","),
+            rows.len()
+        ));
+        Ok(rows.len() as u64)
+    }
+
+    fn last_cost(&mut self) -> RunCost {
+        RunCost::default()
+    }
+}
+
+// ---------------- §4 evaluation (bench mode) ----------------
+
+/// A [`SqlRunner`] wrapper that feeds every statement's virtual elapsed
+/// time into a histogram — the per-arm metering of the evaluation.
+struct MeteredRunner<'a> {
+    inner: &'a mut dyn SqlRunner,
+    hist: citrus::metrics::Histogram,
+    virtual_ms: f64,
+    statements: u64,
+}
+
+impl<'a> MeteredRunner<'a> {
+    fn new(inner: &'a mut dyn SqlRunner) -> MeteredRunner<'a> {
+        MeteredRunner {
+            inner,
+            hist: citrus::metrics::Histogram::default(),
+            virtual_ms: 0.0,
+            statements: 0,
+        }
+    }
+
+    fn observe_last(&mut self) {
+        let c = self.inner.last_cost();
+        self.hist.observe(c.elapsed_ms);
+        self.virtual_ms += c.elapsed_ms;
+        self.statements += 1;
+    }
+}
+
+impl SqlRunner for MeteredRunner<'_> {
+    fn run(&mut self, sql: &str) -> PgResult<QueryResult> {
+        let r = self.inner.run(sql)?;
+        self.observe_last();
+        Ok(r)
+    }
+
+    fn copy(&mut self, table: &str, columns: &[String], rows: Vec<Row>) -> PgResult<u64> {
+        let n = self.inner.copy(table, columns, rows)?;
+        self.observe_last();
+        Ok(n)
+    }
+
+    fn last_cost(&mut self) -> RunCost {
+        self.inner.last_cost()
+    }
+}
+
+/// One arm (distributed or single-node) of a pattern evaluation.
+#[derive(Debug, Clone)]
+pub struct ArmStats {
+    pub units: u64,
+    pub statements: u64,
+    pub virtual_ms: f64,
+    /// Workload units per virtual second.
+    pub throughput_per_vsec: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+}
+
+/// Distributed vs single-node numbers for one §4 pattern.
+#[derive(Debug, Clone)]
+pub struct PatternBench {
+    pub pattern: Pattern,
+    pub distributed: ArmStats,
+    pub single_node: ArmStats,
+}
+
+fn bench_arm(
+    r: &mut dyn SqlRunner,
+    pattern: Pattern,
+    scales: &SimScales,
+    distributed: bool,
+    seed: u64,
+    units: u64,
+) -> PgResult<ArmStats> {
+    setup_pattern(r, pattern, scales, distributed, seed)?;
+    let mut state = make_state(&[pattern], scales, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBE4C_11);
+    let mut metered = MeteredRunner::new(r);
+    for _ in 0..units {
+        run_unit(&mut metered, &mut state, pattern, scales, &mut rng)?;
+    }
+    let virtual_ms = metered.virtual_ms;
+    Ok(ArmStats {
+        units,
+        statements: metered.statements,
+        virtual_ms,
+        throughput_per_vsec: if virtual_ms > 0.0 { units as f64 * 1000.0 / virtual_ms } else { 0.0 },
+        p50_ms: metered.hist.percentile(0.50),
+        p95_ms: metered.hist.percentile(0.95),
+        p99_ms: metered.hist.percentile(0.99),
+    })
+}
+
+/// The §4 evaluation for one pattern: the identical workload-unit stream on
+/// a distributed cluster and on a single pgmini node, with per-statement
+/// virtual-latency percentiles and unit throughput for both arms.
+pub fn bench_pattern(
+    pattern: Pattern,
+    scales: &SimScales,
+    seed: u64,
+    units: u64,
+    workers: u32,
+    shard_count: u32,
+    executor_threads: usize,
+) -> PgResult<PatternBench> {
+    let mut cfg = SimConfig::new(seed);
+    cfg.workers = workers;
+    cfg.shard_count = shard_count;
+    cfg.executor_threads = executor_threads;
+    let cluster = build_cluster(&cfg);
+    let mut dist = ClusterRunner { session: cluster.session()? };
+    let distributed = bench_arm(&mut dist, pattern, scales, true, seed, units)?;
+    let engine = Engine::new_default();
+    let mut local = LocalRunner { session: engine.session()? };
+    let single_node = bench_arm(&mut local, pattern, scales, false, seed, units)?;
+    Ok(PatternBench { pattern, distributed, single_node })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let cfg = SimConfig::new(12);
+        assert_eq!(derive_schedule(&cfg), derive_schedule(&cfg));
+        let other = SimConfig::new(13);
+        assert_ne!(derive_schedule(&cfg), derive_schedule(&other));
+    }
+
+    #[test]
+    fn schedules_guarantee_lifecycle_coverage() {
+        for seed in 0..40u64 {
+            let cfg = SimConfig::new(seed);
+            let ev = derive_schedule(&cfg);
+            let moves = ev.iter().filter(|e| matches!(e, SimEvent::Move { .. })).count();
+            let failovers = ev.iter().filter(|e| matches!(e, SimEvent::Failover { .. })).count();
+            let txns = ev.iter().filter(|e| matches!(e, SimEvent::Txn { .. })).count();
+            assert!(moves >= 2, "seed {seed}: {moves} moves");
+            assert!(failovers >= 1, "seed {seed}: {failovers} failovers");
+            assert!(txns >= 1, "seed {seed}: {txns} txns");
+            assert!(!ev.iter().any(|e| matches!(e, SimEvent::Corrupt { .. })));
+        }
+    }
+
+    #[test]
+    fn enabled_patterns_never_mix_tpcc_and_tpch() {
+        for seed in 0..64u64 {
+            let cfg = SimConfig::new(seed);
+            let pats = enabled_patterns(&cfg);
+            assert!(!pats.is_empty() && pats.len() <= 2, "seed {seed}: {pats:?}");
+            let mt = pats.contains(&Pattern::MultiTenant);
+            let dw = pats.contains(&Pattern::DataWarehousing);
+            assert!(!(mt && dw), "seed {seed} mixes conflicting schemas: {pats:?}");
+        }
+    }
+
+    #[test]
+    fn ddl_names_unique_within_a_schedule() {
+        for seed in 0..20u64 {
+            let ev = derive_schedule(&SimConfig::new(seed));
+            let mut names: Vec<u32> = ev
+                .iter()
+                .filter_map(|e| match e {
+                    SimEvent::Ddl { n } => Some(*n),
+                    _ => None,
+                })
+                .collect();
+            let total = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), total, "seed {seed}: duplicate DDL names");
+        }
+    }
+
+    #[test]
+    fn classify_routes_statement_kinds() {
+        assert!(matches!(classify("SELECT create_distributed_table('t','k')"), StmtClass::DistOnly));
+        assert!(matches!(classify("BEGIN"), StmtClass::TxnControl));
+        assert!(matches!(classify("INSERT INTO t VALUES (1)"), StmtClass::Write));
+        assert!(matches!(classify("CREATE INDEX i ON t (k)"), StmtClass::Ddl));
+        assert!(matches!(classify("SELECT * FROM t ORDER BY k"), StmtClass::Read { ordered: true }));
+        assert!(matches!(classify("SELECT count(*) FROM t"), StmtClass::Read { ordered: false }));
+    }
+}

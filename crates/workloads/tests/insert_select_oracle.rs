@@ -1,0 +1,187 @@
+//! Differential-oracle coverage for distributed INSERT .. SELECT (all three
+//! §3.8 strategies) and TPC-C stored-procedure delegation (§4.1).
+//!
+//! Every write goes through [`MirrorRunner`], which executes it on the
+//! cluster and on a single-node pgmini oracle and compares affected counts;
+//! verification reads compare full result sets. Procedure calls only exist
+//! on the cluster, so their bodies are mirrored on the oracle as the
+//! equivalent inline SQL with the same fixed parameters.
+
+use citrus::cluster::{Cluster, ClusterConfig};
+use citrus::insert_select::InsertSelectStrategy;
+use citrus::metadata::NodeId;
+use pgmini::engine::Engine;
+use std::sync::Arc;
+use workloads::runner::{ClusterRunner, LocalRunner, SqlRunner};
+use workloads::sim::MirrorRunner;
+use workloads::tpcc::{self, TpccConfig};
+
+fn mirror(workers: usize) -> (Arc<Cluster>, MirrorRunner) {
+    let mut cfg = ClusterConfig::default();
+    cfg.shard_count = 8;
+    let c = Cluster::new(cfg);
+    for _ in 0..workers {
+        c.add_worker().unwrap();
+    }
+    let oracle = Engine::new_default();
+    let dist = ClusterRunner { session: c.session().unwrap() };
+    let local = LocalRunner { session: oracle.session().unwrap() };
+    (c, MirrorRunner::new(dist, local))
+}
+
+fn strategy(c: &Arc<Cluster>, m: &mut MirrorRunner) -> Option<InsertSelectStrategy> {
+    let ext = c.extension(NodeId(0)).unwrap();
+    ext.last_insert_select_strategy(m.dist.session.session_mut().id())
+}
+
+#[test]
+fn insert_select_strategies_match_oracle() {
+    let (c, mut m) = mirror(2);
+    m.run("CREATE TABLE src (k bigint, v bigint)").unwrap();
+    m.run("SELECT create_distributed_table('src', 'k')").unwrap();
+    m.run("CREATE TABLE dst (k bigint, v bigint)").unwrap();
+    m.run("SELECT create_distributed_table('dst', 'k', 'src')").unwrap();
+    m.run("CREATE TABLE agg (v bigint, total bigint)").unwrap();
+    m.run("SELECT create_distributed_table('agg', 'v')").unwrap();
+    for k in 0..50i64 {
+        m.run(&format!("INSERT INTO src VALUES ({k}, {})", k % 7)).unwrap();
+    }
+
+    // 1. co-located pushdown: dist column fed by the source's dist column
+    let r = m.run("INSERT INTO dst SELECT k, v FROM src").unwrap();
+    assert_eq!(r.affected(), 50);
+    assert_eq!(strategy(&c, &mut m), Some(InsertSelectStrategy::ColocatedPushdown));
+    m.run("SELECT k, v FROM dst ORDER BY k").unwrap();
+
+    // 2. repartition: co-located source, but the target's dist column is fed
+    // by a non-distribution column, so rows land in foreign shards
+    let r = m.run("INSERT INTO dst (k, v) SELECT v, k FROM src").unwrap();
+    assert_eq!(r.affected(), 50);
+    assert_eq!(strategy(&c, &mut m), Some(InsertSelectStrategy::Repartition));
+    m.run("SELECT k, count(*) FROM dst GROUP BY k ORDER BY k").unwrap();
+
+    // 3. pull to coordinator: grouping on a non-dist column forces a
+    // coordinator merge before the rows can be distributed again
+    let r = m.run("INSERT INTO agg (v, total) SELECT v, sum(k) FROM src GROUP BY v").unwrap();
+    assert_eq!(r.affected(), 7);
+    assert_eq!(strategy(&c, &mut m), Some(InsertSelectStrategy::PullToCoordinator));
+    m.run("SELECT v, total FROM agg ORDER BY v").unwrap();
+    m.run("SELECT sum(total) FROM agg").unwrap();
+
+    assert!(m.divergence.is_none(), "divergence: {:?}", m.divergence);
+    assert!(m.reads_checked >= 4 && m.writes_checked >= 53);
+}
+
+/// The §4.1 delegation path: whole TPC-C transactions run as one delegated
+/// procedure call on the warehouse's node. The oracle executes the same
+/// transaction bodies inline with the same fixed parameters; aggregate
+/// probes over every table the procedures touch must agree.
+#[test]
+fn delegated_procedures_match_inline_oracle() {
+    let (c, mut m) = mirror(2);
+    let cfg = TpccConfig { warehouses: 2, ..TpccConfig::default() };
+    for s in tpcc::schema_statements() {
+        m.run(&s).unwrap();
+    }
+    for s in tpcc::distribution_statements() {
+        m.run(&s).unwrap();
+    }
+    tpcc::load(&mut m, &cfg, 42).unwrap();
+    assert!(m.divergence.is_none(), "divergence during load: {:?}", m.divergence);
+    tpcc::register_procedures(&c).unwrap();
+
+    // -- new order: w=1 d=1 c=5, two lines, the second supplied remotely
+    // (supply_w=2) so the delegated transaction spans both workers (2PC)
+    m.dist.run("SELECT tpcc_new_order(1, 1, 5, '[[1,3,1,7],[2,8,2,4]]')").unwrap();
+    let o = &mut m.oracle;
+    o.run("BEGIN").unwrap();
+    let o_id = o
+        .run("SELECT d_next_o_id FROM district WHERE d_w_id = 1 AND d_id = 1 FOR UPDATE")
+        .unwrap()
+        .scalar()
+        .and_then(|v| v.as_i64().ok())
+        .unwrap();
+    o.run(&format!(
+        "UPDATE district SET d_next_o_id = {} WHERE d_w_id = 1 AND d_id = 1",
+        o_id + 1
+    ))
+    .unwrap();
+    o.run(&format!("INSERT INTO orders VALUES (1, 1, {o_id}, 5, '2020-06-01', NULL, 2)"))
+        .unwrap();
+    o.run(&format!("INSERT INTO new_order VALUES (1, 1, {o_id})")).unwrap();
+    for (n, item, supply_w, qty) in [(1i64, 3i64, 1i64, 7i64), (2, 8, 2, 4)] {
+        let price = o
+            .run(&format!("SELECT i_price FROM item WHERE i_id = {item}"))
+            .unwrap()
+            .scalar()
+            .and_then(|v| v.as_f64().ok())
+            .unwrap();
+        o.run(&format!(
+            "UPDATE stock SET s_quantity = s_quantity - {qty}, s_ytd = s_ytd + {qty} \
+             WHERE s_w_id = {supply_w} AND s_i_id = {item}"
+        ))
+        .unwrap();
+        o.run(&format!(
+            "INSERT INTO order_line VALUES (1, 1, {o_id}, {n}, {item}, {supply_w}, {qty}, {})",
+            price * qty as f64
+        ))
+        .unwrap();
+    }
+    o.run("COMMIT").unwrap();
+
+    // -- payment: w=1 pays for a customer of warehouse 2 (cross-warehouse)
+    m.dist.run("SELECT tpcc_payment(1, 1, 2, 1, 7, 123.45)").unwrap();
+    let o = &mut m.oracle;
+    o.run("BEGIN").unwrap();
+    o.run("UPDATE warehouse SET w_ytd = w_ytd + 123.45 WHERE w_id = 1").unwrap();
+    o.run("UPDATE district SET d_ytd = d_ytd + 123.45 WHERE d_w_id = 1 AND d_id = 1").unwrap();
+    o.run(
+        "UPDATE customer SET c_balance = c_balance - 123.45, \
+         c_ytd_payment = c_ytd_payment + 123.45 \
+         WHERE c_w_id = 2 AND c_d_id = 1 AND c_id = 7",
+    )
+    .unwrap();
+    o.run("INSERT INTO history VALUES (1, 1, 7, 123.45, '2020-06-01')").unwrap();
+    o.run("COMMIT").unwrap();
+
+    // -- delivery: drains the oldest new_order of (w=1, d=1) — the one the
+    // new-order call above created
+    m.dist.run("SELECT tpcc_delivery(1, 1, 9)").unwrap();
+    let o = &mut m.oracle;
+    o.run("BEGIN").unwrap();
+    let oldest = o
+        .run("SELECT no_o_id FROM new_order WHERE no_w_id = 1 AND no_d_id = 1 \
+              ORDER BY no_o_id LIMIT 1")
+        .unwrap()
+        .scalar()
+        .and_then(|v| v.as_i64().ok())
+        .unwrap();
+    o.run(&format!(
+        "DELETE FROM new_order WHERE no_w_id = 1 AND no_d_id = 1 AND no_o_id = {oldest}"
+    ))
+    .unwrap();
+    o.run(&format!(
+        "UPDATE orders SET o_carrier_id = 9 WHERE o_w_id = 1 AND o_d_id = 1 AND o_id = {oldest}"
+    ))
+    .unwrap();
+    o.run("COMMIT").unwrap();
+
+    // -- stock level: read-only, no oracle writes to mirror
+    m.dist.run("SELECT tpcc_stock_level(1, 15)").unwrap();
+
+    // aggregate probes over every table the procedures touched
+    for probe in [
+        "SELECT sum(d_next_o_id), sum(d_ytd) FROM district",
+        "SELECT sum(w_ytd) FROM warehouse",
+        "SELECT count(*), sum(o_ol_cnt) FROM orders",
+        "SELECT count(*) FROM new_order",
+        "SELECT sum(s_quantity), sum(s_ytd) FROM stock",
+        "SELECT count(*), sum(ol_quantity), sum(ol_amount) FROM order_line",
+        "SELECT sum(c_balance), sum(c_ytd_payment) FROM customer",
+        "SELECT count(*), sum(h_amount) FROM history",
+    ] {
+        m.run(probe).unwrap_or_else(|e| panic!("probe `{probe}`: {e:?}"));
+    }
+    assert!(m.divergence.is_none(), "divergence: {:?}", m.divergence);
+    assert!(m.reads_checked >= 8);
+}

@@ -1,0 +1,151 @@
+//! The deterministic cluster simulation suite: a fixed seed corpus of
+//! chaos schedules (shard moves, failovers, DDL, maintenance passes, and a
+//! seeded fault plan interleaved with the §4 workload mix), every committed
+//! read checked against the single-node pgmini oracle, plus mutation tests
+//! proving a planted metadata bug is caught and shrunk to a tiny repro.
+//!
+//! Environment knobs (the replay-by-seed contract):
+//!
+//! * `CITRUS_SIM_SEEDS=N`  — widen the corpus to N seeds (ci.sh --long);
+//! * `CITRUS_SIM_SEED=S`   — replay exactly seed S via `replay_env_seed`.
+
+use workloads::sim::{
+    self, CorruptKind, SimConfig, SimEvent,
+};
+
+fn corpus_size() -> u64 {
+    std::env::var("CITRUS_SIM_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(25)
+}
+
+fn check_seed(seed: u64) {
+    let cfg = SimConfig::new(seed);
+    let report = sim::run_seed(&cfg).unwrap_or_else(|e| panic!("{e}"));
+    assert!(report.moves_attempted >= 1, "seed {seed}: no shard move attempted");
+    assert!(report.failovers >= 1, "seed {seed}: no failover exercised");
+    assert!(report.fault_errors >= 1, "seed {seed}: no faulted statement");
+    assert!(report.txns_attempted >= 1, "seed {seed}: no workload transaction");
+    assert!(report.reads_checked >= 1, "seed {seed}: no oracle-checked read");
+    assert!(report.writes_checked >= 1, "seed {seed}: no oracle-checked write");
+    assert!(
+        report.txns_failed < report.txns_attempted || report.txns_attempted == 0,
+        "seed {seed}: every transaction failed ({}/{})",
+        report.txns_failed,
+        report.txns_attempted
+    );
+}
+
+/// The CI corpus: every seed runs a full chaos schedule — at least one
+/// shard move, one crash+promotion failover, and one faulted statement —
+/// with every committed read differentially checked against the oracle.
+#[test]
+fn seed_corpus_passes_with_full_coverage() {
+    for seed in 0..corpus_size() {
+        check_seed(seed);
+    }
+}
+
+/// Replay hook: `CITRUS_SIM_SEED=S cargo test -p workloads --test sim_chaos
+/// replay_env_seed -- --nocapture` reruns exactly one seed.
+#[test]
+fn replay_env_seed() {
+    let Ok(seed) = std::env::var("CITRUS_SIM_SEED") else { return };
+    let seed: u64 = seed.parse().expect("CITRUS_SIM_SEED must be a u64");
+    eprintln!("replaying sim seed {seed}");
+    check_seed(seed);
+    eprintln!("seed {seed} OK");
+}
+
+/// The standing determinism invariant: the same seed produces byte-identical
+/// statement traces at 1 and 8 executor threads — with chaos on AND off. The
+/// §3.6 contract extended to shard moves, failovers, DDL, and fault firings.
+///
+/// This holds because parallel read fan-out is partitioned per node (an
+/// engine's buffer pool sees one access order at any thread count), fault
+/// draws are keyed hashes rather than arrival-order draws, and scripted
+/// fault budgets are scope-pinned.
+#[test]
+fn reports_identical_at_1_and_8_threads() {
+    for seed in [3u64, 8, 17] {
+        for faults in [false, true] {
+            let run = |threads: usize| {
+                let mut cfg = SimConfig::new(seed);
+                cfg.executor_threads = threads;
+                cfg.tracing = true;
+                cfg.faults = faults;
+                sim::run_seed(&cfg)
+                    .unwrap_or_else(|e| panic!("threads={threads} faults={faults}: {e}"))
+            };
+            let (a, b) = (run(1), run(8));
+            assert_eq!(
+                a.trace_fingerprint, b.trace_fingerprint,
+                "seed {seed} faults={faults}: traces differ between 1 and 8 threads"
+            );
+            assert_eq!(a.reads_checked, b.reads_checked, "seed {seed} faults={faults}");
+            assert_eq!(a.writes_checked, b.writes_checked, "seed {seed} faults={faults}");
+            assert_eq!(a.txns_failed, b.txns_failed, "seed {seed} faults={faults}");
+            assert_eq!(a.moves_completed, b.moves_completed, "seed {seed} faults={faults}");
+            assert_eq!(a.faults_fired, b.faults_fired, "seed {seed} faults={faults}");
+            assert_eq!(a.fault_errors, b.fault_errors, "seed {seed} faults={faults}");
+        }
+    }
+}
+
+/// Mutation test: plant a duplicate-placement metadata bug mid-schedule.
+/// The invariant checker must catch it, and the shrinker must reduce the
+/// schedule to a <= 10-event reproducer that still fails.
+#[test]
+fn planted_metadata_bug_is_caught_and_shrunk() {
+    let cfg = SimConfig::new(7);
+    let mut events = sim::derive_schedule(&cfg);
+    let mid = events.len() / 2;
+    events.insert(mid, SimEvent::Corrupt { kind: CorruptKind::DuplicatePlacement });
+    let first = sim::run_schedule(&cfg, &events)
+        .err()
+        .expect("planted duplicate placement must fail the invariant check");
+    assert!(
+        first.detail.contains("placements"),
+        "failure should name the placement invariant: {}",
+        first.detail
+    );
+    let (minimal, failure) = sim::shrink_schedule(&cfg, &events, first);
+    assert!(
+        minimal.len() <= 10,
+        "shrunk reproducer has {} events (want <= 10): {minimal:?}",
+        minimal.len()
+    );
+    assert!(
+        minimal.iter().any(|e| matches!(e, SimEvent::Corrupt { .. })),
+        "minimal repro must keep the corruption event: {minimal:?}"
+    );
+    // the minimal schedule still fails, deterministically
+    let replayed = sim::run_schedule(&cfg, &minimal).err().expect("minimal repro must still fail");
+    assert_eq!(replayed.detail, failure.detail);
+}
+
+/// Second mutation: a stray physical shard table on a worker is reported as
+/// an orphan.
+#[test]
+fn planted_orphan_table_is_caught() {
+    let cfg = SimConfig::new(11);
+    let events = vec![SimEvent::Corrupt { kind: CorruptKind::OrphanShardTable }];
+    let failure = sim::run_schedule(&cfg, &events)
+        .err()
+        .expect("planted orphan shard table must fail the invariant check");
+    assert!(failure.detail.contains("orphan"), "unexpected failure: {}", failure.detail);
+}
+
+/// The failure report is a usable one-line repro: it prints the seed, the
+/// minimal schedule, and the replay command.
+#[test]
+fn failure_message_contains_replay_recipe() {
+    // force a failure by running a corrupted schedule through run_seed's
+    // formatting path: use a seed whose derived schedule we corrupt via the
+    // public pieces, then format as run_seed would
+    let cfg = SimConfig::new(5);
+    let mut events = sim::derive_schedule(&cfg);
+    events.insert(0, SimEvent::Corrupt { kind: CorruptKind::DuplicatePlacement });
+    let first = sim::run_schedule(&cfg, &events).err().unwrap();
+    let (minimal, failure) = sim::shrink_schedule(&cfg, &events, first);
+    assert!(minimal.len() <= 10);
+    assert!(!failure.detail.is_empty());
+}

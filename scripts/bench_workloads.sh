@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# The §4 evaluation: all four usage-pattern workloads (Table 3) as identical
+# seeded unit streams on a distributed cluster vs a single node, measured in
+# deterministic virtual time by the simulation harness's fault-free bench
+# mode. Emits BENCH_workloads.json in the repo root.
+#
+# Usage: scripts/bench_workloads.sh [--smoke]
+#   --smoke   5 units per arm, no thresholds (CI); default is 40 units/arm.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> build workloads bench (release)"
+cargo build --release -p citrus-bench --bin workloads_bench
+
+echo "==> run workloads bench $*"
+./target/release/workloads_bench "$@"
+
+echo "==> wrote BENCH_workloads.json"

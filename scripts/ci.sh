@@ -14,34 +14,56 @@
 #   7. rebalancer crash-safety drills: a move killed at every phase boundary
 #      (error and crash+promote), move-journal recovery, and the
 #      concurrent-writes-during-faulted-move oracle proptest
-#   8. one-iteration smoke of the executor bench (exercises the wall-clock
+#   8. workloads suite, run explicitly: seeded-chaos sim corpus (every seed
+#      oracle-checked with >= 1 move, failover, and faulted statement),
+#      seed-determinism of the workload drivers, and the INSERT..SELECT /
+#      stored-procedure differential tests
+#   9. one-iteration smoke of the executor bench (exercises the wall-clock
 #      fan-out and plan-cache paths end to end; no thresholds)
+#  10. one-iteration smoke of the §4 workloads evaluation
+#
+# Usage: scripts/ci.sh [--long]
+#   --long   widen the sim chaos corpus (CITRUS_SIM_SEEDS=60; default 25)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/8] cargo build --release"
+SIM_SEEDS=25
+for arg in "$@"; do
+    case "$arg" in
+        --long) SIM_SEEDS=60 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> [1/10] cargo build --release"
 cargo build --release
 
-echo "==> [2/8] cargo test -q"
+echo "==> [2/10] cargo test -q"
 cargo test -q
 
-echo "==> [3/8] warnings-as-errors check of crates/core"
+echo "==> [3/10] warnings-as-errors check of crates/core"
 RUSTFLAGS="-Dwarnings" cargo check -p citrus --all-targets
 
-echo "==> [4/8] fault-injection suite"
+echo "==> [4/10] fault-injection suite"
 cargo test -q -p citrus --test faults
 
-echo "==> [5/8] parallel-executor equivalence suite"
+echo "==> [5/10] parallel-executor equivalence suite"
 cargo test -q -p citrus --test executor_parallel
 
-echo "==> [6/8] trace-golden + differential-oracle suite (1 vs 8 threads)"
+echo "==> [6/10] trace-golden + differential-oracle suite (1 vs 8 threads)"
 cargo test -q -p citrus --test trace_golden --test oracle_differential
 
-echo "==> [7/8] rebalancer crash-safety drill suite"
+echo "==> [7/10] rebalancer crash-safety drill suite"
 cargo test -q -p citrus --test rebalance_faults
 
-echo "==> [8/8] executor bench smoke"
+echo "==> [8/10] workloads suite: sim chaos corpus (${SIM_SEEDS} seeds) + oracle tests"
+CITRUS_SIM_SEEDS="$SIM_SEEDS" cargo test -q -p workloads
+
+echo "==> [9/10] executor bench smoke"
 sh scripts/bench.sh --smoke
+
+echo "==> [10/10] workloads bench smoke"
+sh scripts/bench_workloads.sh --smoke
 
 echo "==> CI green"
