@@ -8,6 +8,8 @@
 //! multi-client throughput and latency. Single-session figures (7, 8) report
 //! the virtual elapsed time directly.
 
+pub mod plan_cache;
+
 use citrus::cluster::{Cluster, ClusterConfig};
 use citrus::metadata::NodeId;
 use netsim::mva::{self, Station};

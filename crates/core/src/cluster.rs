@@ -68,6 +68,18 @@ pub struct ClusterConfig {
     /// [`crate::trace`]). Metrics counters are always on; span trees are
     /// gated here because they clone statement text and task detail.
     pub tracing: bool,
+    /// Pipelined statement batching (see [`netsim::pipeline`]): a
+    /// statement's per-worker task stream is one wire exchange, and
+    /// consecutive same-worker statements inside a transaction ride one open
+    /// exchange instead of paying a round trip each. Off forces the legacy
+    /// one-RTT-per-statement wire model (the differential suites compare
+    /// both).
+    pub pipeline: bool,
+    /// Execute tasks whose placement lives on the coordinating node directly
+    /// in the client's backend instead of over a loopback connection —
+    /// Citus's local execution, the worker half of MX mode. Off forces every
+    /// task through the connection fabric.
+    pub local_execution: bool,
 }
 
 impl Default for ClusterConfig {
@@ -94,6 +106,8 @@ impl Default for ClusterConfig {
             dist_plan_ms: 0.2,
             cached_plan_ms: 0.02,
             tracing: false,
+            pipeline: true,
+            local_execution: true,
         }
     }
 }
@@ -465,6 +479,7 @@ impl Cluster {
             used_for_writes: false,
             assigned_groups: Vec::new(),
             fault_scope: scope.to_string(),
+            ride_exchange: false,
         })
     }
 }
@@ -490,6 +505,12 @@ pub struct WorkerConn {
     /// connection (the executor sets it to the current task's shard set;
     /// `""` for unscoped fabric work).
     pub fault_scope: String,
+    /// The next statement rides an already-open pipelined wire exchange: its
+    /// request went out with an earlier statement's batch, so no real wire
+    /// time (`real_rtt_us`) is slept for it. The executor sets this per
+    /// statement; it resets to paying after every execution so retries and
+    /// per-statement replay always pay their own round trip.
+    pub ride_exchange: bool,
 }
 
 /// Stable tag naming a statement's kind, used to address fault-injection
@@ -528,8 +549,8 @@ impl WorkerConn {
     /// in-doubt window of §3.7.2).
     pub fn execute_stmt(&mut self, stmt: &Statement) -> PgResult<(QueryResult, SimCost)> {
         let tag = stmt_tag(stmt);
-        self.intercept(tag, FaultPhase::Before)?;
-        self.check_alive()?;
+        self.intercept(tag, FaultPhase::Before).inspect_err(|_| self.ride_exchange = false)?;
+        self.check_alive().inspect_err(|_| self.ride_exchange = false)?;
         self.wire_delay();
         let result = self.session.execute_stmt(stmt)?;
         let cost = self.session.last_cost();
@@ -539,9 +560,13 @@ impl WorkerConn {
 
     /// Block the calling thread for the configured real wire time (off by
     /// default; benches opt in to measure fan-out overlap in wall-clock).
-    fn wire_delay(&self) {
+    /// A statement riding an open pipelined exchange skips the sleep — its
+    /// batch already paid the round trip — and the flag self-clears so the
+    /// per-statement replay fallback always pays.
+    fn wire_delay(&mut self) {
+        let ride = std::mem::take(&mut self.ride_exchange);
         let us = self.cluster.config.real_rtt_us;
-        if us > 0 {
+        if us > 0 && !ride {
             std::thread::sleep(std::time::Duration::from_micros(us));
         }
     }
@@ -679,6 +704,175 @@ impl ClientSession {
     /// Distributed COPY: fan rows out to shards (§3.8).
     pub fn copy(&mut self, table: &str, columns: &[String], rows: Vec<Row>) -> PgResult<u64> {
         crate::copy::distributed_copy(&self.cluster, &mut self.inner, table, columns, rows)
+    }
+}
+
+/// A tenant-facing MX routed session (§3.2.1, metadata syncing made real
+/// for traffic): each statement is routed to the node that owns its data,
+/// so fast-path transactions plan and execute *on that worker* — zero
+/// coordinator round trips — and only cross-shard shapes, DDL, and UDFs
+/// escalate to the coordinator. Every node runs the full extension, so
+/// `citus_stat_statements` and per-statement costs book on the executing
+/// node.
+///
+/// An explicit transaction pins to the node its first statement routes to
+/// (`BEGIN` is deferred and travels with that statement); the whole block
+/// then runs there — in MX mode any node can coordinate, so even a
+/// cross-shard statement inside the block stays on the pinned node.
+pub struct MxSession {
+    cluster: Arc<Cluster>,
+    /// Lazily-opened client session per node, with the engine it was opened
+    /// against. A promoted standby is a different engine — the cached
+    /// session is then as dead as a broken socket and is reopened.
+    sessions: HashMap<NodeId, (Arc<Engine>, ClientSession)>,
+    /// Node executing the current explicit transaction block.
+    pinned: Option<NodeId>,
+    /// `BEGIN` seen but not yet sent anywhere.
+    pending_begin: bool,
+    /// Node that executed the last statement (cost attribution).
+    last: NodeId,
+    /// Statements that ran on a non-coordinator node.
+    pub routed: u64,
+    /// Statements that escalated to the coordinator.
+    pub escalated: u64,
+}
+
+impl Cluster {
+    /// Open a tenant-facing routed session. Enables MX mode (metadata
+    /// syncing) — routed sessions are exactly what the mode exists for.
+    pub fn mx_session(self: &Arc<Self>) -> MxSession {
+        self.enable_mx();
+        MxSession {
+            cluster: self.clone(),
+            sessions: HashMap::new(),
+            pinned: None,
+            pending_begin: false,
+            last: NodeId(0),
+            routed: 0,
+            escalated: 0,
+        }
+    }
+}
+
+impl MxSession {
+    /// Where the current statement runs: the pinned transaction node if a
+    /// block is open, else wherever the router says its data lives, else
+    /// the coordinator.
+    fn target_for(&self, stmt: &Statement) -> NodeId {
+        if let Some(n) = self.pinned {
+            return n;
+        }
+        crate::planner::route_node(stmt, &self.cluster.metadata.read()).unwrap_or(NodeId(0))
+    }
+
+    /// Is the cached session for `node` still usable (node up, engine not
+    /// swapped by failover)?
+    fn cached_live(&self, node: NodeId) -> bool {
+        match self.sessions.get(&node) {
+            Some((engine, _)) => self
+                .cluster
+                .node(node)
+                .map(|n| n.is_active() && Arc::ptr_eq(&n.engine(), engine))
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+
+    /// Session to `node`, reopening if the cached one went stale.
+    fn session_for(&mut self, node: NodeId) -> PgResult<&mut ClientSession> {
+        if !self.cached_live(node) {
+            self.sessions.remove(&node);
+            let n = self.cluster.node(node)?;
+            let engine = n.engine();
+            let sess = self.cluster.session_on(node)?;
+            self.sessions.insert(node, (engine, sess));
+        }
+        Ok(&mut self.sessions.get_mut(&node).expect("just inserted").1)
+    }
+
+    pub fn execute(&mut self, sql: &str) -> PgResult<QueryResult> {
+        let stmt = sqlparse::parse(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    pub fn execute_stmt(&mut self, stmt: &Statement) -> PgResult<QueryResult> {
+        match stmt {
+            Statement::Begin => {
+                // defer: the transaction starts on whatever node the first
+                // routed statement lands on
+                self.pending_begin = true;
+                return Ok(QueryResult::Empty);
+            }
+            Statement::Commit | Statement::Rollback => {
+                if self.pending_begin {
+                    // empty block: BEGIN was never sent anywhere
+                    self.pending_begin = false;
+                    return Ok(QueryResult::Empty);
+                }
+                let was_pinned = self.pinned.is_some();
+                let node = self.pinned.take().unwrap_or(self.last);
+                if !self.cached_live(node) {
+                    if !was_pinned || matches!(stmt, Statement::Rollback) {
+                        // stray txn control, or the transaction died with
+                        // its node — nothing left to roll back
+                        return Ok(QueryResult::Empty);
+                    }
+                    return Err(PgError::new(
+                        ErrorCode::ConnectionFailure,
+                        format!("node {} lost before commit", node.0),
+                    ));
+                }
+                self.last = node;
+                let (_, sess) = self.sessions.get_mut(&node).expect("live session");
+                return sess.session_mut().execute_stmt(stmt);
+            }
+            _ => {}
+        }
+        let node = self.target_for(stmt);
+        let begin = self.pending_begin;
+        let result = {
+            let sess = self.session_for(node)?;
+            if begin {
+                sess.session_mut().execute_stmt(&Statement::Begin)?;
+            }
+            sess.session_mut().execute_stmt(stmt)
+        };
+        self.pending_begin = false;
+        if begin {
+            self.pinned = Some(node);
+        }
+        self.last = node;
+        if node == NodeId(0) {
+            self.escalated += 1;
+        } else {
+            self.routed += 1;
+        }
+        result
+    }
+
+    /// Distributed COPY, driven from the pinned node or the coordinator.
+    pub fn copy(&mut self, table: &str, columns: &[String], rows: Vec<Row>) -> PgResult<u64> {
+        let node = self.pinned.unwrap_or(NodeId(0));
+        self.last = node;
+        self.session_for(node)?.copy(table, columns, rows)
+    }
+
+    /// Node that executed the last statement.
+    pub fn last_node(&self) -> NodeId {
+        self.last
+    }
+
+    /// Distributed cost of the last statement, as booked on the node that
+    /// executed it.
+    pub fn last_dist_cost(&mut self) -> crate::cost::DistCost {
+        match self.sessions.get_mut(&self.last) {
+            Some((_, s)) => s.last_dist_cost(),
+            None => crate::cost::DistCost::default(),
+        }
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
     }
 }
 

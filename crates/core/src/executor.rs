@@ -85,6 +85,14 @@ pub struct SessionState {
     pub last_cache_hit: bool,
     /// Read-task retries the last statement performed.
     pub last_retries: u64,
+    /// The current transaction performed writes via local execution (in the
+    /// client's own backend, no connection). The commit protocol must then
+    /// treat the coordinating node as a 2PC participant: it cannot delegate
+    /// the commit decision to a single remote worker.
+    pub local_writes: bool,
+    /// Cross-statement pipelined-batching state: the open wire exchange of
+    /// this session's transaction (see [`netsim::pipeline`]).
+    pub pipeline: netsim::pipeline::SessionPipeline,
 }
 
 impl SessionState {
@@ -227,6 +235,23 @@ pub fn execute_plan(
     plan: &DistPlan,
     self_node: NodeId,
 ) -> PgResult<ExecutorOutput> {
+    let out = execute_plan_inner(cluster, session, state, plan, self_node);
+    if out.is_err() {
+        // mid-batch fault fallback: the open pipelined exchange died with
+        // the statement; whatever the client replays next pays its own
+        // round trip (per-statement replay semantics)
+        state.pipeline.sync();
+    }
+    out
+}
+
+fn execute_plan_inner(
+    cluster: &Arc<Cluster>,
+    session: &mut pgmini::session::Session,
+    state: &mut SessionState,
+    plan: &DistPlan,
+    self_node: NodeId,
+) -> PgResult<ExecutorOutput> {
     let mut cost = DistCost::default();
 
     // 1. prep steps (intermediate results)
@@ -255,43 +280,160 @@ pub fn execute_plan(
     let mut per_node_durations: HashMap<NodeId, Vec<f64>> = HashMap::new();
     let mut results: Vec<QueryResult> = Vec::with_capacity(plan.tasks.len());
     let full_rtt = cluster.config.engine.cost.net_rtt_ms;
-    let mut any_remote = false;
+    let pipelined = cluster.config.pipeline;
+    let local_exec = cluster.config.local_execution;
+    // actual remote target per remote task, in task order (failover may move
+    // a task off task.node) — drives the wire-exchange accounting
+    let mut remote_targets: Vec<u32> = Vec::new();
     let mut retries_total = 0u64;
     // per-task trace rows, collected in task order: (target, retries,
-    // backoff_ms, service_ms). Fault events are attached later by scope.
+    // backoff_ms, service_ms, ran locally). Fault events attach by scope.
     let fault_base = cluster.faults().events_len();
-    let mut task_traces: Vec<(NodeId, u64, f64, f64)> = Vec::new();
+    let mut task_traces: Vec<(NodeId, u64, f64, f64, bool)> = Vec::new();
     let tracing = state.trace.is_some();
+    // a statement whose single remote target still has the transaction's
+    // pipelined exchange open rides it: no new round trip, and no real wire
+    // sleep for any of its tasks
+    let stmt_remote: Vec<NodeId> = {
+        let mut v: Vec<NodeId> = Vec::new();
+        for t in &plan.tasks {
+            let local = local_exec && t.node == self_node;
+            if !local && !v.contains(&t.node) {
+                v.push(t.node);
+            }
+        }
+        v
+    };
+    let riding = pipelined
+        && in_txn
+        && stmt_remote.len() == 1
+        && state.pipeline.rides(stmt_remote[0].0);
     if !in_txn && !plan.is_write {
         // read fan-out: threaded when configured, inline otherwise — one
-        // code path, deterministic outcomes either way
-        let per_task = fan_out_read_tasks(cluster, state, &plan.tasks, &mut cost)?;
-        for (result, remote_cost, target, retries, backoff_ms) in per_task {
-            let rtt = if target == self_node { 0.0 } else { full_rtt };
-            if target != self_node {
-                any_remote = true;
+        // code path, deterministic outcomes either way. Tasks whose
+        // placement lives on this node run inline in the client's backend
+        // (local execution); only remote tasks enter the fan-out.
+        let is_local: Vec<bool> =
+            plan.tasks.iter().map(|t| local_exec && t.node == self_node).collect();
+        let remote_tasks: Vec<Task> = plan
+            .tasks
+            .iter()
+            .zip(&is_local)
+            .filter(|(_, l)| !**l)
+            .map(|(t, _)| t.clone())
+            .collect();
+        let per_task =
+            fan_out_read_tasks(cluster, state, &remote_tasks, pipelined, &mut cost)?;
+        let mut remote_iter = per_task.into_iter();
+        for (task, local) in plan.tasks.iter().zip(&is_local) {
+            if *local {
+                match run_local_task(cluster, session, task, self_node) {
+                    Ok((result, local_cost)) => {
+                        cost.add_node(self_node, &local_cost);
+                        per_node_durations
+                            .entry(self_node)
+                            .or_default()
+                            .push(local_cost.total_ms());
+                        if tracing {
+                            task_traces.push((self_node, 0, 0.0, local_cost.total_ms(), true));
+                        }
+                        results.push(result);
+                    }
+                    Err(e) if is_connection_failure(&e) => {
+                        // the local replica died under the read: the failed
+                        // local attempt counts as one retry, then the task
+                        // re-enters the normal read-retry path, which fails
+                        // over to a surviving placement (replicated shards)
+                        // or surfaces the error once attempts run out
+                        let fallback = fan_out_read_tasks(
+                            cluster,
+                            state,
+                            std::slice::from_ref(task),
+                            false,
+                            &mut cost,
+                        )?;
+                        let (result, remote_cost, target, retries, backoff_ms) = fallback
+                            .into_iter()
+                            .next()
+                            .expect("one fallback outcome for one task");
+                        let rtt =
+                            if pipelined || target == self_node { 0.0 } else { full_rtt };
+                        if target != self_node {
+                            remote_targets.push(target.0);
+                        }
+                        retries_total += retries + 1;
+                        cost.add_node(target, &remote_cost);
+                        per_node_durations
+                            .entry(target)
+                            .or_default()
+                            .push(remote_cost.total_ms() + rtt);
+                        if tracing {
+                            task_traces.push((
+                                target,
+                                retries + 1,
+                                backoff_ms,
+                                remote_cost.total_ms(),
+                                false,
+                            ));
+                        }
+                        results.push(result);
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                let (result, remote_cost, target, retries, backoff_ms) =
+                    remote_iter.next().expect("one fan-out outcome per remote task");
+                let rtt = if pipelined || target == self_node { 0.0 } else { full_rtt };
+                if target != self_node {
+                    remote_targets.push(target.0);
+                }
+                retries_total += retries;
+                cost.add_node(target, &remote_cost);
+                per_node_durations.entry(target).or_default().push(remote_cost.total_ms() + rtt);
+                if tracing {
+                    task_traces.push((target, retries, backoff_ms, remote_cost.total_ms(), false));
+                }
+                results.push(result);
             }
-            retries_total += retries;
-            cost.add_node(target, &remote_cost);
-            per_node_durations.entry(target).or_default().push(remote_cost.total_ms() + rtt);
-            if tracing {
-                task_traces.push((target, retries, backoff_ms, remote_cost.total_ms()));
-            }
-            results.push(result);
         }
     } else {
         // session-thread path: writes and in-transaction statements, where
         // placement affinity binds shard groups to connections and a lost
         // reply must surface immediately (never re-tried)
+        let mut wire_paid: Vec<NodeId> = Vec::new();
         for task in &plan.tasks {
             let target = task.node;
+            if local_exec && target == self_node {
+                // local execution: the task runs in the client's own
+                // backend — same transaction, no connection, no wire
+                let (result, local_cost) = run_local_task(cluster, session, task, self_node)?;
+                if task.is_write && in_txn {
+                    state.local_writes = true;
+                }
+                cost.add_node(target, &local_cost);
+                per_node_durations.entry(target).or_default().push(local_cost.total_ms());
+                if tracing {
+                    task_traces.push((target, 0, 0.0, local_cost.total_ms(), true));
+                }
+                results.push(result);
+                continue;
+            }
             let bind_group = if in_txn { task.group } else { None };
             let (key, mut conn, _fresh) = task_conn(
                 cluster, state, target, task.group, in_txn, state.dist_txn, &mut cost,
             )?;
             conn.fault_scope = task_scope(task);
+            // one real wire sleep per worker per statement batch; a
+            // statement riding the transaction's open exchange pays none
+            if pipelined {
+                conn.ride_exchange = riding || wire_paid.contains(&target);
+                if !wire_paid.contains(&target) {
+                    wire_paid.push(target);
+                }
+            }
             let outcome = conn.execute_stmt(&task.stmt);
             conn.fault_scope.clear();
+            conn.ride_exchange = false;
             if task.is_write {
                 conn.used_for_writes = true;
             }
@@ -312,18 +454,19 @@ pub fn execute_plan(
                     return Err(e);
                 }
             };
-            let rtt = if target == self_node { 0.0 } else { full_rtt };
+            let rtt = if pipelined || target == self_node { 0.0 } else { full_rtt };
             if target != self_node {
-                any_remote = true;
+                remote_targets.push(target.0);
             }
             cost.add_node(target, &remote_cost);
             per_node_durations.entry(target).or_default().push(remote_cost.total_ms() + rtt);
             if tracing {
-                task_traces.push((target, 0, 0.0, remote_cost.total_ms()));
+                task_traces.push((target, 0, 0.0, remote_cost.total_ms(), false));
             }
             results.push(result);
         }
     }
+    let any_remote = !remote_targets.is_empty();
     cluster.note_task_retries(retries_total);
     state.last_retries = retries_total;
 
@@ -439,9 +582,42 @@ pub fn execute_plan(
         }
     };
 
-    // network latency: the fan-out round trip overlaps across tasks — charge
-    // one RTT of latency per statement (none if everything ran locally)
-    let stmt_rtt = if any_remote { full_rtt } else { 0.0 };
+    // network latency. Pipelined: the statement's per-worker task batches
+    // go out as one wire exchange each and overlap — one RTT per statement —
+    // and a statement riding its transaction's open exchange pays none.
+    // Legacy (pipeline off): per-task RTTs entered the durations above, plus
+    // the same one statement RTT.
+    let batch = netsim::pipeline::plan_batches(&remote_targets);
+    let stmt_rtt = if riding || !any_remote { 0.0 } else { full_rtt };
+    if pipelined {
+        if riding {
+            state.pipeline.note_statement(stmt_remote[0].0);
+            cluster.metrics.pipeline_coalesced.fetch_add(
+                remote_targets.len() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        } else {
+            cluster.metrics.pipeline_exchanges.fetch_add(
+                batch.exchanges() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            cluster.metrics.pipeline_coalesced.fetch_add(
+                batch.coalesced() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            if in_txn && any_remote && stmt_remote.len() == 1 {
+                // leave this worker's exchange open for the next statement
+                state.pipeline.note_statement(stmt_remote[0].0);
+            } else if any_remote {
+                // multi-node fan-out is a sync point
+                state.pipeline.sync();
+            }
+            // purely-local statements leave the open exchange untouched
+        }
+        if !in_txn {
+            state.pipeline.sync();
+        }
+    }
     cost.net_ms += stmt_rtt;
     elapsed += stmt_rtt;
     cost.elapsed_ms = elapsed;
@@ -451,14 +627,18 @@ pub fn execute_plan(
     // Everything recorded here is a deterministic function of the workload
     // and fault seed, independent of executor_threads (§6).
     if let Some(root) = &mut state.trace {
+        root.set("wire", if riding { "pipelined" } else if any_remote { "exchange" } else { "local" });
         let events = cluster.faults().events_since(fault_base);
-        for (i, ((target, retries, backoff_ms, service_ms), task)) in
+        for (i, ((target, retries, backoff_ms, service_ms, local), task)) in
             task_traces.iter().zip(&plan.tasks).enumerate()
         {
             let mut span = crate::trace::Span::new("task")
                 .with("index", i)
                 .with("node", node_label(cluster, *target))
                 .with("shards", task_scope(task));
+            if *local {
+                span.set("exec", "local");
+            }
             if *retries > 0 {
                 span.set("retries", retries);
                 span.set("backoff_ms", crate::trace::fmt_ms(*backoff_ms));
@@ -483,6 +663,16 @@ pub fn execute_plan(
                 );
             }
             root.child(span);
+        }
+        if pipelined && any_remote {
+            root.child(
+                crate::trace::Span::new("batch")
+                    .with("exchanges", if riding { 0 } else { batch.exchanges() })
+                    .with(
+                        "coalesced",
+                        if riding { remote_targets.len() } else { batch.coalesced() },
+                    ),
+            );
         }
         for (node, before, after) in &lane_traces {
             if after > before {
@@ -527,6 +717,35 @@ pub fn execute_plan(
 /// Display label for a node in trace spans (name when known).
 pub(crate) fn node_label(cluster: &Arc<Cluster>, node: NodeId) -> String {
     cluster.node(node).map(|n| n.name.clone()).unwrap_or_else(|_| format!("node-{}", node.0))
+}
+
+/// Execute one task in the client's own backend — local execution, the
+/// worker half of MX mode: the placement lives on the coordinating node, so
+/// the statement never touches the connection fabric. Runs under the
+/// session's own transaction (snapshot and locks shared with any local
+/// writes), with the same fault windows a WorkerConn round has: a *before*
+/// fault means the request never ran, an *after* fault loses the reply.
+fn run_local_task(
+    cluster: &Arc<Cluster>,
+    session: &mut pgmini::session::Session,
+    task: &Task,
+    self_node: NodeId,
+) -> PgResult<(QueryResult, pgmini::cost::SimCost)> {
+    use netsim::fault::{FaultOp, FaultPhase};
+    let tag = crate::cluster::stmt_tag(&task.stmt);
+    let scope = task_scope(task);
+    cluster.fault_point(self_node, FaultOp::Statement, tag, &scope, FaultPhase::Before)?;
+    if !cluster.node(self_node)?.is_active() {
+        return Err(PgError::new(ErrorCode::ConnectionFailure, "local node is down"));
+    }
+    let result = session.execute_local(&task.stmt)?;
+    let local_cost = session.last_cost();
+    cluster.fault_point(self_node, FaultOp::Statement, tag, &scope, FaultPhase::After)?;
+    cluster
+        .metrics
+        .local_exec_tasks
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    Ok((result, local_cost))
 }
 
 /// Fault-injection scope naming one task: its shard set (`"s102008"`,
@@ -590,6 +809,7 @@ fn run_read_task(
     max_attempts: u32,
     resume: TaskResume,
     defer_failover: bool,
+    ride: bool,
 ) -> TaskRun {
     let scope = task_scope(task);
     let TaskResume { mut attempt, mut retries, mut backoff_ms, mut target } = resume;
@@ -607,6 +827,9 @@ fn run_read_task(
         let err = match acquired {
             Ok((origin, mut conn)) => {
                 conn.fault_scope = scope.clone();
+                // later tasks of a node's batch ride the batch's wire
+                // exchange; any retry replays per-statement and pays
+                conn.ride_exchange = ride && attempt == 1;
                 match conn.execute_stmt(&task.stmt) {
                     Ok(ok) => {
                         conn.fault_scope.clear();
@@ -670,6 +893,7 @@ fn fan_out_read_tasks(
     cluster: &Arc<Cluster>,
     state: &mut SessionState,
     tasks: &[Task],
+    pipelined: bool,
     cost: &mut DistCost,
 ) -> PgResult<Vec<(QueryResult, pgmini::cost::SimCost, NodeId, u64, f64)>> {
     if tasks.is_empty() {
@@ -730,7 +954,7 @@ fn fan_out_read_tasks(
     let mut runs: Vec<Option<TaskRun>> = (0..tasks.len()).map(|_| None).collect();
     if threads <= 1 {
         for (_, idxs) in &groups {
-            for &i in idxs {
+            for (pos, &i) in idxs.iter().enumerate() {
                 runs[i] = Some(run_read_task(
                     cluster,
                     &pool,
@@ -738,6 +962,7 @@ fn fan_out_read_tasks(
                     max_attempts,
                     fresh(&tasks[i]),
                     true,
+                    pipelined && pos > 0,
                 ));
             }
         }
@@ -752,7 +977,7 @@ fn fan_out_read_tasks(
                     if g >= groups.len() {
                         break;
                     }
-                    for &i in &groups[g].1 {
+                    for (pos, &i) in groups[g].1.iter().enumerate() {
                         let run = run_read_task(
                             cluster,
                             &pool,
@@ -760,6 +985,7 @@ fn fan_out_read_tasks(
                             max_attempts,
                             fresh(&tasks[i]),
                             true,
+                            pipelined && pos > 0,
                         );
                         slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(run);
                     }
@@ -776,7 +1002,7 @@ fn fan_out_read_tasks(
         outcomes.push(match run {
             Some(TaskRun::Done(o)) => Some(o),
             Some(TaskRun::Deferred(resume)) => {
-                match run_read_task(cluster, &pool, &tasks[i], max_attempts, resume, false) {
+                match run_read_task(cluster, &pool, &tasks[i], max_attempts, resume, false, false) {
                     TaskRun::Done(o) => Some(o),
                     TaskRun::Deferred(_) => unreachable!("defer_failover=false never defers"),
                 }

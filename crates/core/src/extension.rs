@@ -460,20 +460,30 @@ impl CitrusExtension {
         let cluster = self.cluster()?;
         let rtt = cluster.config.engine.cost.net_rtt_ms;
         state.commit_cost = DistCost::default();
+        // the commit protocol is a pipeline sync point: whatever exchange the
+        // transaction left open is closed by the commit round trips below
+        state.pipeline.sync();
         let (write_keys, read_keys) = state.txn_conn_keys();
         // close read-only remote transactions
+        let mut remote_reads = false;
         for key in read_keys {
             if let Some(mut conn) = state.conns.remove(&key) {
                 if let Ok((_, c)) = conn.execute_stmt(&Statement::Commit) {
                     state.commit_cost.add_node(conn.node, &c);
                 }
+                remote_reads |= conn.node != self.node;
                 conn.in_txn_block = false;
                 state.conns.insert(key, conn);
             }
         }
         if write_keys.is_empty() {
-            state.commit_cost.net_ms += rtt;
-            state.commit_cost.elapsed_ms += rtt;
+            // remote read-only participants close with one fanned-out COMMIT
+            // round trip; an all-local transaction never touches the wire and
+            // its commit cost books through the session itself
+            if remote_reads {
+                state.commit_cost.net_ms += rtt;
+                state.commit_cost.elapsed_ms += rtt;
+            }
             return Ok(());
         }
         // commit-protocol tracing: an explicit COMMIT never passes the
@@ -482,8 +492,11 @@ impl CitrusExtension {
         if cluster.tracer.enabled() && state.trace.is_none() {
             state.trace = Some(crate::trace::Span::new("commit"));
         }
-        if write_keys.len() == 1 {
-            // single-node delegation (§3.7.1): plain COMMIT on that worker
+        if write_keys.len() == 1 && !state.local_writes {
+            // single-node delegation (§3.7.1): plain COMMIT on that worker.
+            // A transaction that also wrote through local execution cannot
+            // delegate — its local half commits with the session, so the
+            // remote half needs a prepared transaction to stay atomic.
             let key = write_keys[0];
             let mut conn = state
                 .conns
@@ -502,9 +515,10 @@ impl CitrusExtension {
                         .with("node", executor::node_label(&cluster, node)),
                 );
             }
+            let drtt = if node == self.node { 0.0 } else { rtt };
             state.commit_cost.add_node(node, &c);
-            state.commit_cost.net_ms += rtt;
-            state.commit_cost.elapsed_ms += rtt + c.total_ms();
+            state.commit_cost.net_ms += drtt;
+            state.commit_cost.elapsed_ms += drtt + c.total_ms();
             return Ok(());
         }
         // two-phase commit (§3.7.2)
@@ -550,8 +564,11 @@ impl CitrusExtension {
             }
         }
         // prepare round trips fan out in parallel: one RTT of latency,
-        // followed by the durable commit-record write
-        state.commit_cost.net_ms += rtt * (prepared.len() as f64).max(1.0);
+        // followed by the durable commit-record write (a participant that is
+        // this very node — legacy loopback connections — pays no wire)
+        let remote_prepared =
+            prepared.iter().filter(|((n, _), _)| *n != self.node).count();
+        state.commit_cost.net_ms += rtt * (remote_prepared as f64).max(1.0);
         state.commit_cost.elapsed_ms += rtt;
         if let Some(e) = failure {
             // roll back everything: prepared ones via ROLLBACK PREPARED, the
@@ -622,7 +639,9 @@ impl CitrusExtension {
                 );
             }
             if committed {
-                state.commit_cost.net_ms += cluster.config.engine.cost.net_rtt_ms;
+                if node != self.node {
+                    state.commit_cost.net_ms += cluster.config.engine.cost.net_rtt_ms;
+                }
                 // the commit record has served its purpose
                 if let Ok(stmt) = sqlparse::parse(&format!(
                     "DELETE FROM {COMMIT_RECORDS_TABLE} WHERE gid = '{gid}'"
@@ -643,6 +662,8 @@ impl CitrusExtension {
             self.active_txn_numbers.lock().remove(&d.number);
         }
         state.affinity.clear();
+        state.local_writes = false;
+        state.pipeline.sync();
         let _ = executor::cleanup_temp_tables(&cluster, state);
         if state.commit_cost.net_ms > 0.0 {
             state.commit_cost.elapsed_ms += cluster.config.engine.cost.net_rtt_ms;
@@ -660,7 +681,14 @@ impl CitrusExtension {
             state.last_trace = Some(root.clone());
             cluster.tracer.record_statement(root);
         }
-        state.last_dist = Some(ccost);
+        // an all-local commit has no distributed cost; publishing None lets
+        // ClientSession fall back to the session's own commit cost, matching
+        // single-node accounting (the MX fast path depends on this)
+        let distributed = ccost.net_ms > 0.0
+            || ccost.elapsed_ms > 0.0
+            || !ccost.per_node.is_empty()
+            || ccost.coordinator.total_ms() > 0.0;
+        state.last_dist = if distributed { Some(ccost) } else { None };
     }
 
     fn do_post_abort(&self, _session: &mut Session, state: &mut SessionState) {
@@ -684,6 +712,8 @@ impl CitrusExtension {
         }
         state.pending_prepared.clear();
         state.affinity.clear();
+        state.local_writes = false;
+        state.pipeline.sync();
         if let Ok(cluster) = self.cluster() {
             if state.trace.as_ref().is_some_and(|r| r.label() == "commit") {
                 let mut root = state.trace.take().expect("checked above");

@@ -301,6 +301,21 @@ impl Metadata {
         Ok(((h as u64) / width).min(n as u64 - 1) as usize)
     }
 
+    /// The node holding the live placement for distribution value `value`
+    /// of hash-distributed `table` (MX session routing).
+    pub fn node_for_key(&self, table: &str, value: &Datum) -> PgResult<NodeId> {
+        let idx = self.shard_index_for_value(table, value)?;
+        let meta = self.require_table(table)?;
+        let sid = meta.shards.get(idx).copied().ok_or_else(|| {
+            PgError::internal(format!("bucket {idx} out of range for {table}"))
+        })?;
+        self.shard(sid)?
+            .placements
+            .first()
+            .copied()
+            .ok_or_else(|| PgError::internal("shard has no placements"))
+    }
+
     /// Per-node shard counts for a colocation group (rebalancer input).
     pub fn placement_counts(&self, nodes: &[NodeId]) -> HashMap<NodeId, usize> {
         let mut counts: HashMap<NodeId, usize> =

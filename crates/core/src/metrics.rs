@@ -94,6 +94,15 @@ pub struct Metrics {
     pub cache_hit_executions: AtomicU64,
     /// Virtual elapsed per distributed statement.
     pub statement_elapsed: Histogram,
+    /// Wire exchanges opened by pipelined batching (one per worker per
+    /// statement batch).
+    pub pipeline_exchanges: AtomicU64,
+    /// Tasks/statements that rode an already-open exchange instead of
+    /// paying their own round trip (the batching savings).
+    pub pipeline_coalesced: AtomicU64,
+    /// Tasks executed in the client's own backend via local execution (the
+    /// worker half of MX mode).
+    pub local_exec_tasks: AtomicU64,
     /// Commits that used the full two-phase protocol.
     pub twopc_commits: AtomicU64,
     /// Commits delegated to a single worker (§3.7.1).

@@ -257,6 +257,50 @@ fn statement_is_write(stmt: &Statement) -> bool {
     matches!(stmt, Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_))
 }
 
+/// MX session routing (§3.2.1): the node able to plan and execute this
+/// statement entirely locally, when its shape pins it to one hash bucket.
+/// `None` escalates to a full coordinator — multi-shard shapes,
+/// reference-table writes, DDL/utility statements, UDF calls, and
+/// statements touching no citrus tables at all.
+pub fn route_node(stmt: &Statement, meta: &Metadata) -> Option<NodeId> {
+    match stmt {
+        Statement::Insert(ins) => {
+            // mirror the fast-path dist-value extraction: single-row VALUES
+            // with a constant distribution column
+            let dt = meta.table(&ins.table)?;
+            if dt.is_reference() {
+                return None;
+            }
+            let (dist_col, dist_idx) = dt.dist_column.as_ref()?;
+            let InsertSource::Values(rows) = &ins.source else { return None };
+            if rows.len() != 1 {
+                return None;
+            }
+            let pos = if ins.columns.is_empty() {
+                *dist_idx
+            } else {
+                ins.columns.iter().position(|c| c == dist_col)?
+            };
+            let value = rows[0].get(pos).and_then(analysis::const_datum)?;
+            if value.is_null() {
+                return None;
+            }
+            meta.node_for_key(&ins.table, &value).ok()
+        }
+        Statement::Select(_) | Statement::Update(_) | Statement::Delete(_) => {
+            let bucket = match infer_bucket(stmt, meta) {
+                BucketInference::Single(b) => b,
+                _ => return None,
+            };
+            let tables = rewrite::collect_tables(stmt);
+            let anchor =
+                tables.iter().filter_map(|t| meta.table(t)).find(|dt| !dt.is_reference())?;
+            bucket_node_of(meta, anchor, bucket).ok()
+        }
+        _ => None,
+    }
+}
+
 /// Tier 1: single-table CRUD with a literal distribution-key filter.
 /// The cheap checks mirror the paper: no joins, no subqueries, one table.
 pub fn try_fast_path(stmt: &Statement, meta: &Metadata) -> PgResult<Option<DistPlan>> {

@@ -165,19 +165,21 @@ fn explain_distributed_matches_golden() {
 // ---------------- golden trace trees ----------------
 
 const TRACE_FAST_PATH: &str = "\
-statement{sql=SELECT v FROM t WHERE k = 5 tier=Fast Path Router cache=miss planning_ms=0.200 tasks=1 rows=1 elapsed_ms=1.804}
+statement{sql=SELECT v FROM t WHERE k = 5 tier=Fast Path Router cache=miss planning_ms=0.200 tasks=1 wire=exchange rows=1 elapsed_ms=1.304}
   task{index=0 node=worker-2 shards=s102011 service_ms=0.604}
+  batch{exchanges=1 coalesced=0}
   merge{kind=pass_through rows=1 affected=0}
 ";
 
 const TRACE_ROUTER: &str = "\
-statement{sql=SELECT t.v, r.label FROM t JOIN r ON r.id = 1 WHERE t.k = 5 tier=Router cache=miss planning_ms=0.200 tasks=1 rows=1 elapsed_ms=1.825}
+statement{sql=SELECT t.v, r.label FROM t JOIN r ON r.id = 1 WHERE t.k = 5 tier=Router cache=miss planning_ms=0.200 tasks=1 wire=exchange rows=1 elapsed_ms=1.325}
   task{index=0 node=worker-2 shards=s102011+s102016 service_ms=0.625}
+  batch{exchanges=1 coalesced=0}
   merge{kind=pass_through rows=1 affected=0}
 ";
 
 const TRACE_PUSHDOWN: &str = "\
-statement{sql=SELECT count(*), sum(v) FROM t tier=Logical Pushdown cache=miss planning_ms=0.200 tasks=8 rows=1 elapsed_ms=3.449}
+statement{sql=SELECT count(*), sum(v) FROM t tier=Logical Pushdown cache=miss planning_ms=0.200 tasks=8 wire=exchange rows=1 elapsed_ms=1.449}
   task{index=0 node=worker-1 shards=s102008 service_ms=0.186}
   task{index=1 node=worker-2 shards=s102009 service_ms=0.185}
   task{index=2 node=worker-1 shards=s102010 service_ms=0.186}
@@ -186,12 +188,13 @@ statement{sql=SELECT count(*), sum(v) FROM t tier=Logical Pushdown cache=miss pl
   task{index=5 node=worker-2 shards=s102013 service_ms=0.185}
   task{index=6 node=worker-1 shards=s102014 service_ms=0.186}
   task{index=7 node=worker-2 shards=s102015 service_ms=0.185}
+  batch{exchanges=2 coalesced=6}
   merge{kind=group_agg rows=1 affected=0}
 ";
 
 const TRACE_JOIN_ORDER: &str = "\
-statement{sql=SELECT s.label, count(*) FROM big b JOIN small_t s ON b.v = s.v GROUP BY s.label ORDER BY 1 tier=Logical Join Order cache=miss planning_ms=0.200 tasks=8 subplans=1 rows=4 elapsed_ms=6.790}
-  subplan{tier=Logical Pushdown cache=miss planning_ms=0.200 tasks=8}
+statement{sql=SELECT s.label, count(*) FROM big b JOIN small_t s ON b.v = s.v GROUP BY s.label ORDER BY 1 tier=Logical Join Order cache=miss planning_ms=0.200 tasks=8 subplans=1 wire=exchange rows=4 elapsed_ms=2.790}
+  subplan{tier=Logical Pushdown cache=miss planning_ms=0.200 tasks=8 wire=exchange}
     task{index=0 node=worker-1 shards=s102025 service_ms=0.184}
     task{index=1 node=worker-2 shards=s102026 service_ms=0.050}
     task{index=2 node=worker-1 shards=s102027 service_ms=0.050}
@@ -200,6 +203,7 @@ statement{sql=SELECT s.label, count(*) FROM big b JOIN small_t s ON b.v = s.v GR
     task{index=5 node=worker-2 shards=s102030 service_ms=0.184}
     task{index=6 node=worker-1 shards=s102031 service_ms=0.184}
     task{index=7 node=worker-2 shards=s102032 service_ms=0.050}
+    batch{exchanges=2 coalesced=6}
     merge{kind=concat rows=4 affected=0}
   task{index=0 node=worker-1 shards=s102017 service_ms=0.327}
   task{index=1 node=worker-2 shards=s102018 service_ms=0.323}
@@ -209,6 +213,7 @@ statement{sql=SELECT s.label, count(*) FROM big b JOIN small_t s ON b.v = s.v GR
   task{index=5 node=worker-2 shards=s102022 service_ms=0.192}
   task{index=6 node=worker-1 shards=s102023 service_ms=0.192}
   task{index=7 node=worker-2 shards=s102024 service_ms=0.190}
+  batch{exchanges=2 coalesced=6}
   merge{kind=group_agg rows=4 affected=0}
 ";
 

@@ -7,6 +7,7 @@
 //! * [`fault`] — deterministic fault injection (crashes, refused
 //!   connections, lost replies, added latency) for the fabric's choke points;
 //! * [`makespan`] — parallel elapsed-time math for fan-out query execution;
+//! * [`pipeline`] — pipelined wire-exchange accounting (statement batching);
 //! * [`mva`] — an exact Mean Value Analysis solver for closed queueing
 //!   networks, which converts measured per-transaction resource demands into
 //!   multi-client throughput/latency curves (Figures 6, 9, 10).
@@ -15,7 +16,9 @@ pub mod clock;
 pub mod fault;
 pub mod makespan;
 pub mod mva;
+pub mod pipeline;
 
 pub use clock::VirtualClock;
 pub use fault::{FaultDecision, FaultInjector, FaultKind, FaultOp, FaultPhase, FaultPlan, FaultRule};
+pub use pipeline::{plan_batches, BatchPlan, SessionPipeline};
 pub use mva::{solve, sweep, MvaResult, Station, StationKind};

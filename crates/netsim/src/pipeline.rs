@@ -1,0 +1,169 @@
+//! Pipelined wire-exchange accounting — the batching seam of the adaptive
+//! executor.
+//!
+//! The fabric's base model charges one network round trip per remote
+//! statement. Real drivers do better: libpq pipeline mode (and Citus's
+//! internal task streams) coalesce consecutive statements to the *same*
+//! worker into one wire exchange — requests stream out back-to-back and the
+//! replies stream back, so a run of k same-worker statements costs one
+//! round trip of latency, not k.
+//!
+//! Two layers use this module:
+//!
+//! * **Within a statement**: [`plan_batches`] groups a statement's task
+//!   targets so each worker is charged one exchange per step regardless of
+//!   how many shard tasks land on it (the per-node request batch goes out as
+//!   one write, results are demultiplexed in task order).
+//! * **Across statements**: [`SessionPipeline`] tracks the open exchange of
+//!   a session's transaction. Consecutive single-worker statements to the
+//!   same node *ride* the open exchange (no new round trip); any sync point
+//!   — a different target, a multi-node fan-out, a statement error, or
+//!   transaction end — closes it.
+//!
+//! The state machine is pure accounting: it never touches sockets or
+//! clocks, so the executor stays in charge of when real wire time
+//! (`real_rtt_us`) is slept and the virtual clock stays deterministic. On a
+//! mid-batch fault the caller calls [`SessionPipeline::sync`] and replays
+//! per-statement — the fallback contract the differential suites pin.
+
+/// Wire-exchange plan for one statement's task fan-out: targets grouped by
+/// node in first-appearance order, one exchange per node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// `(node, tasks_in_batch)` per distinct target node.
+    pub per_node: Vec<(u32, usize)>,
+}
+
+impl BatchPlan {
+    /// Wire exchanges this step costs (one per distinct node).
+    pub fn exchanges(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Statements/tasks that piggy-backed on an already-open exchange.
+    pub fn coalesced(&self) -> usize {
+        self.per_node.iter().map(|(_, n)| n.saturating_sub(1)).sum()
+    }
+}
+
+/// Group a statement's task targets into per-node batches, preserving
+/// first-appearance order (the executor demultiplexes results in task
+/// order, so the plan must be arrival-order-free).
+pub fn plan_batches(targets: &[u32]) -> BatchPlan {
+    let mut per_node: Vec<(u32, usize)> = Vec::new();
+    for &t in targets {
+        match per_node.iter_mut().find(|(n, _)| *n == t) {
+            Some((_, c)) => *c += 1,
+            None => per_node.push((t, 1)),
+        }
+    }
+    BatchPlan { per_node }
+}
+
+/// Cross-statement pipeline state for one client session.
+///
+/// Tracks the node (if any) with an exchange held open by the previous
+/// statement of the current transaction. The executor consults
+/// [`SessionPipeline::rides`] before charging a statement's round trip and
+/// reports the statement's outcome with [`SessionPipeline::note_statement`]
+/// / [`SessionPipeline::sync`].
+#[derive(Debug, Default)]
+pub struct SessionPipeline {
+    /// Node id of the parked open exchange, if any.
+    open: Option<u32>,
+    /// Wire exchanges opened (each one costs a round trip).
+    pub exchanges: u64,
+    /// Statements that rode an already-open exchange (no round trip).
+    pub coalesced: u64,
+}
+
+impl SessionPipeline {
+    pub fn new() -> SessionPipeline {
+        SessionPipeline::default()
+    }
+
+    /// Would a single-target statement to `node` ride the open exchange?
+    pub fn rides(&self, node: u32) -> bool {
+        self.open == Some(node)
+    }
+
+    /// The node with an open exchange, if any.
+    pub fn open_node(&self) -> Option<u32> {
+        self.open
+    }
+
+    /// Account one successfully executed single-target statement to `node`.
+    /// Returns true when it rode the open exchange (no new round trip);
+    /// false when a new exchange was opened (one round trip charged by the
+    /// caller). Either way the exchange to `node` is left open for the next
+    /// statement.
+    pub fn note_statement(&mut self, node: u32) -> bool {
+        if self.open == Some(node) {
+            self.coalesced += 1;
+            true
+        } else {
+            self.open = Some(node);
+            self.exchanges += 1;
+            false
+        }
+    }
+
+    /// Sync point: close any open exchange. Called on transaction end, a
+    /// multi-node fan-out, or a statement error (mid-batch fault fallback:
+    /// the remaining statements replay per-statement, each paying its own
+    /// round trip).
+    pub fn sync(&mut self) {
+        self.open = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_group_by_node_in_first_appearance_order() {
+        let b = plan_batches(&[2, 1, 2, 2, 3, 1]);
+        assert_eq!(b.per_node, vec![(2, 3), (1, 2), (3, 1)]);
+        assert_eq!(b.exchanges(), 3);
+        assert_eq!(b.coalesced(), 3);
+    }
+
+    #[test]
+    fn empty_batch_plan_costs_nothing() {
+        let b = plan_batches(&[]);
+        assert_eq!(b.exchanges(), 0);
+        assert_eq!(b.coalesced(), 0);
+    }
+
+    #[test]
+    fn consecutive_same_node_statements_ride_one_exchange() {
+        let mut p = SessionPipeline::new();
+        assert!(!p.note_statement(1), "first statement opens the exchange");
+        assert!(p.rides(1));
+        assert!(p.note_statement(1));
+        assert!(p.note_statement(1));
+        assert_eq!(p.exchanges, 1);
+        assert_eq!(p.coalesced, 2);
+    }
+
+    #[test]
+    fn changing_target_opens_a_new_exchange() {
+        let mut p = SessionPipeline::new();
+        assert!(!p.note_statement(1));
+        assert!(!p.note_statement(2), "different node: new exchange");
+        assert!(!p.note_statement(1), "switching back is another exchange");
+        assert_eq!(p.exchanges, 3);
+        assert_eq!(p.coalesced, 0);
+    }
+
+    #[test]
+    fn sync_closes_the_open_exchange() {
+        let mut p = SessionPipeline::new();
+        p.note_statement(1);
+        p.sync();
+        assert!(!p.rides(1), "after a sync the next statement pays again");
+        assert!(!p.note_statement(1));
+        assert_eq!(p.exchanges, 2);
+    }
+}

@@ -14,6 +14,17 @@ pub trait SqlRunner {
     /// Simulated resource cost of the last statement, aggregated across the
     /// cluster: (cpu_ms per node id, io_ms per node id, elapsed_ms).
     fn last_cost(&mut self) -> RunCost;
+    /// `(routed, escalated)` statement counts for MX-routed connections;
+    /// `(0, 0)` for everything else. Lets the simulation report MX coverage
+    /// through the `SqlRunner` seam without downcasting.
+    fn route_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+    /// Backend session id of the underlying database session, when there is
+    /// exactly one (tests use it to look up per-session executor state).
+    fn session_id(&mut self) -> Option<u64> {
+        None
+    }
 }
 
 /// Per-statement simulated cost in a node-indexed form the benchmark
@@ -89,29 +100,60 @@ impl SqlRunner for ClusterRunner {
     }
 
     fn last_cost(&mut self) -> RunCost {
-        let d = self.session.last_dist_cost();
-        let mut per_node: Vec<(u32, f64, f64)> = d
-            .per_node
-            .iter()
-            .map(|(n, c)| (n.0, c.cpu_ms, c.io_ms))
-            .collect();
-        // coordinator-side work (planning, merge) books to the node hosting
-        // this session — node 0 for coordinator sessions, the worker's own
-        // id for MX worker sessions. Booking it to a hard-coded node 0
-        // credited worker-local planning to the coordinator and made the
-        // per-node sums disagree with the cluster's DistCost.
         let origin = self.session.node().0;
-        if d.coordinator.cpu_ms > 0.0 || d.coordinator.io_ms > 0.0 {
-            match per_node.iter_mut().find(|(n, _, _)| *n == origin) {
-                Some(slot) => {
-                    slot.1 += d.coordinator.cpu_ms;
-                    slot.2 += d.coordinator.io_ms;
-                }
-                None => per_node.push((origin, d.coordinator.cpu_ms, d.coordinator.io_ms)),
+        book_dist_cost(&self.session.last_dist_cost(), origin)
+    }
+
+    fn session_id(&mut self) -> Option<u64> {
+        Some(self.session.session_mut().id())
+    }
+}
+
+/// Fold a cluster [`citrus::cost::DistCost`] into the node-indexed form.
+/// Coordinator-side work (planning, merge) books to `origin` — the node
+/// hosting the session — not a hard-coded node 0: an MX worker session plans
+/// and merges on its own worker, and booking that to the coordinator made
+/// the per-node sums disagree with the cluster's DistCost.
+fn book_dist_cost(d: &citrus::cost::DistCost, origin: u32) -> RunCost {
+    let mut per_node: Vec<(u32, f64, f64)> =
+        d.per_node.iter().map(|(n, c)| (n.0, c.cpu_ms, c.io_ms)).collect();
+    if d.coordinator.cpu_ms > 0.0 || d.coordinator.io_ms > 0.0 {
+        match per_node.iter_mut().find(|(n, _, _)| *n == origin) {
+            Some(slot) => {
+                slot.1 += d.coordinator.cpu_ms;
+                slot.2 += d.coordinator.io_ms;
             }
+            None => per_node.push((origin, d.coordinator.cpu_ms, d.coordinator.io_ms)),
         }
-        per_node.sort_by_key(|(n, _, _)| *n);
-        RunCost { per_node, net_ms: d.net_ms, elapsed_ms: d.elapsed_ms }
+    }
+    per_node.sort_by_key(|(n, _, _)| *n);
+    RunCost { per_node, net_ms: d.net_ms, elapsed_ms: d.elapsed_ms }
+}
+
+/// MX-routed cluster connection (§2.3 coordinator bypass): every transaction
+/// is pinned to the worker holding its first routed statement's placement,
+/// so single-tenant transactions plan, execute, and commit entirely on that
+/// worker — the coordinator only sees cross-shard shapes.
+pub struct MxRunner {
+    pub session: citrus::cluster::MxSession,
+}
+
+impl SqlRunner for MxRunner {
+    fn run(&mut self, sql: &str) -> PgResult<QueryResult> {
+        self.session.execute(sql)
+    }
+
+    fn copy(&mut self, table: &str, columns: &[String], rows: Vec<Row>) -> PgResult<u64> {
+        self.session.copy(table, columns, rows)
+    }
+
+    fn last_cost(&mut self) -> RunCost {
+        let origin = self.session.last_node().0;
+        book_dist_cost(&self.session.last_dist_cost(), origin)
+    }
+
+    fn route_stats(&self) -> (u64, u64) {
+        (self.session.routed, self.session.escalated)
     }
 }
 
@@ -188,5 +230,41 @@ mod tests {
             "an MX worker session never touches the coordinator: {:?}",
             cost.per_node
         );
+    }
+
+    #[test]
+    fn mx_runner_pins_single_tenant_transactions_off_the_coordinator() {
+        let c = cluster();
+        let mut r = MxRunner { session: c.mx_session() };
+        let mut total = RunCost::default();
+        r.run("BEGIN").unwrap();
+        for sql in [
+            "SELECT v FROM t WHERE k = 1",
+            "UPDATE t SET v = v + 1 WHERE k = 1",
+            "COMMIT",
+        ] {
+            r.run(sql).unwrap();
+            total.add(&r.last_cost());
+        }
+        assert!(r.session.routed >= 2, "statements routed to the owning worker");
+        assert_eq!(r.session.escalated, 0, "no statement escalated to the coordinator");
+        let node0_cpu: f64 =
+            total.per_node.iter().filter(|(n, _, _)| *n == 0).map(|(_, c, _)| c).sum();
+        assert_eq!(
+            node0_cpu, 0.0,
+            "a pinned single-tenant transaction never touches the coordinator: {:?}",
+            total.per_node
+        );
+        assert!(total.total_cpu() > 0.0, "the worker did real work");
+        let v = r.run("SELECT v FROM t WHERE k = 1").unwrap();
+        assert_eq!(v.rows()[0][0], pgmini::types::Datum::Int(2));
+    }
+
+    #[test]
+    fn mx_runner_escalates_cross_shard_statements() {
+        let c = cluster();
+        let mut r = MxRunner { session: c.mx_session() };
+        r.run("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.session.escalated, 1, "multi-shard scans run on the coordinator");
     }
 }

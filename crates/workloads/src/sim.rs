@@ -22,7 +22,7 @@
 
 use crate::gharchive;
 use crate::patterns::Pattern;
-use crate::runner::{ClusterRunner, LocalRunner, RunCost, SqlRunner};
+use crate::runner::{ClusterRunner, LocalRunner, MxRunner, RunCost, SqlRunner};
 use crate::tpcc::{self, TpccConfig, TpccDriver};
 use crate::tpch;
 use crate::ycsb::{self, YcsbConfig, YcsbDriver};
@@ -56,6 +56,13 @@ pub struct SimConfig {
     /// probabilistic move-phase error). Off = clean evaluation mode.
     pub faults: bool,
     pub tracing: bool,
+    /// Drive the distributed side through an MX-routed session
+    /// ([`crate::runner::MxRunner`]): tenant transactions pin to the worker
+    /// owning their placement and bypass the coordinator. Seed-derived by
+    /// default so the corpus covers both the bypass and the classic
+    /// coordinator path — still a pure function of the seed, so the
+    /// replay-by-seed contract is unchanged.
+    pub mx_routing: bool,
 }
 
 impl SimConfig {
@@ -68,6 +75,7 @@ impl SimConfig {
             executor_threads: 2,
             faults: true,
             tracing: false,
+            mx_routing: seed % 2 == 0,
         }
     }
 }
@@ -261,7 +269,10 @@ fn row_keys(r: &QueryResult, ordered: bool) -> Vec<String> {
 /// transaction whose executor retries were exhausted are re-submitted a
 /// bounded number of times, like a real client.
 pub struct MirrorRunner {
-    pub dist: ClusterRunner,
+    /// The distributed side under test: a coordinator [`ClusterRunner`] or an
+    /// MX-routed [`crate::runner::MxRunner`] — the oracle checks are
+    /// identical either way.
+    pub dist: Box<dyn SqlRunner + Send>,
     pub oracle: LocalRunner,
     /// First divergence observed, if any. Once set, the mirror refuses
     /// further statements.
@@ -301,9 +312,9 @@ fn classify(sql: &str) -> StmtClass {
 }
 
 impl MirrorRunner {
-    pub fn new(dist: ClusterRunner, oracle: LocalRunner) -> MirrorRunner {
+    pub fn new(dist: impl SqlRunner + Send + 'static, oracle: LocalRunner) -> MirrorRunner {
         MirrorRunner {
-            dist,
+            dist: Box::new(dist),
             oracle,
             divergence: None,
             reads_checked: 0,
@@ -672,6 +683,11 @@ pub struct SimReport {
     pub fault_errors: u64,
     /// FNV fingerprint over the statement-trace ring (0 when tracing off).
     pub trace_fingerprint: u64,
+    /// Statements the MX session routed straight to a worker (0 when
+    /// `mx_routing` is off).
+    pub mx_routed: u64,
+    /// Statements the MX session escalated to the coordinator.
+    pub mx_escalated: u64,
 }
 
 /// A failed run: the index of the offending event plus what went wrong.
@@ -777,9 +793,13 @@ pub fn run_schedule(cfg: &SimConfig, events: &[SimEvent]) -> Result<SimReport, S
 
     let cluster = build_cluster(cfg);
     let oracle = Engine::new_default();
-    let dist = ClusterRunner { session: cluster.session().map_err(|e| fail(0, format!("{e:?}")))? };
     let local = LocalRunner { session: oracle.session().map_err(|e| fail(0, format!("{e:?}")))? };
-    let mut mirror = MirrorRunner::new(dist, local);
+    let mut mirror = if cfg.mx_routing {
+        MirrorRunner::new(MxRunner { session: cluster.mx_session() }, local)
+    } else {
+        let session = cluster.session().map_err(|e| fail(0, format!("{e:?}")))?;
+        MirrorRunner::new(ClusterRunner { session }, local)
+    };
     for p in &patterns {
         setup_pattern(&mut mirror, *p, &scales, true, cfg.seed)
             .map_err(|e| fail(0, format!("setup of {p:?} failed: {e:?}")))?;
@@ -905,6 +925,7 @@ pub fn run_schedule(cfg: &SimConfig, events: &[SimEvent]) -> Result<SimReport, S
 
     report.reads_checked = mirror.reads_checked;
     report.writes_checked = mirror.writes_checked;
+    (report.mx_routed, report.mx_escalated) = mirror.dist.route_stats();
     if let Some(inj) = &injector {
         report.faults_fired = inj.fired();
         report.fault_errors = inj
@@ -1033,6 +1054,7 @@ struct MeteredRunner<'a> {
     hist: citrus::metrics::Histogram,
     virtual_ms: f64,
     statements: u64,
+    demand: RunCost,
 }
 
 impl<'a> MeteredRunner<'a> {
@@ -1042,6 +1064,7 @@ impl<'a> MeteredRunner<'a> {
             hist: citrus::metrics::Histogram::default(),
             virtual_ms: 0.0,
             statements: 0,
+            demand: RunCost::default(),
         }
     }
 
@@ -1050,6 +1073,7 @@ impl<'a> MeteredRunner<'a> {
         self.hist.observe(c.elapsed_ms);
         self.virtual_ms += c.elapsed_ms;
         self.statements += 1;
+        self.demand.add(&c);
     }
 }
 
@@ -1082,6 +1106,12 @@ pub struct ArmStats {
     pub p50_ms: f64,
     pub p95_ms: f64,
     pub p99_ms: f64,
+    /// Summed per-node resource demand over the whole arm — (node, cpu_ms,
+    /// io_ms) plus network delay — for the closed-loop MVA solver. Dividing
+    /// by `units` gives the per-unit demand profile; the serial
+    /// `units_per_vsec` metric alone cannot show aggregate cluster capacity.
+    pub per_node_ms: Vec<(u32, f64, f64)>,
+    pub net_ms: f64,
 }
 
 /// Distributed vs single-node numbers for one §4 pattern.
@@ -1116,6 +1146,8 @@ fn bench_arm(
         p50_ms: metered.hist.percentile(0.50),
         p95_ms: metered.hist.percentile(0.95),
         p99_ms: metered.hist.percentile(0.99),
+        per_node_ms: metered.demand.per_node.clone(),
+        net_ms: metered.demand.net_ms,
     })
 }
 
@@ -1136,7 +1168,10 @@ pub fn bench_pattern(
     cfg.shard_count = shard_count;
     cfg.executor_threads = executor_threads;
     let cluster = build_cluster(&cfg);
-    let mut dist = ClusterRunner { session: cluster.session()? };
+    // The distributed arm runs MX-routed (§2.3): tenant transactions pin to
+    // their placement's worker and bypass the coordinator, cross-shard
+    // shapes escalate. This is the deployment shape the paper benchmarks.
+    let mut dist = MxRunner { session: cluster.mx_session() };
     let distributed = bench_arm(&mut dist, pattern, scales, true, seed, units)?;
     let engine = Engine::new_default();
     let mut local = LocalRunner { session: engine.session()? };

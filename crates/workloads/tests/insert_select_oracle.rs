@@ -31,7 +31,7 @@ fn mirror(workers: usize) -> (Arc<Cluster>, MirrorRunner) {
 
 fn strategy(c: &Arc<Cluster>, m: &mut MirrorRunner) -> Option<InsertSelectStrategy> {
     let ext = c.extension(NodeId(0)).unwrap();
-    ext.last_insert_select_strategy(m.dist.session.session_mut().id())
+    ext.last_insert_select_strategy(m.dist.session_id().expect("cluster runner has a session"))
 }
 
 #[test]

@@ -20,6 +20,14 @@ fn corpus_size() -> u64 {
 fn check_seed(seed: u64) {
     let cfg = SimConfig::new(seed);
     let report = sim::run_seed(&cfg).unwrap_or_else(|e| panic!("{e}"));
+    if cfg.mx_routing {
+        assert!(
+            report.mx_routed >= 1,
+            "seed {seed}: MX run routed no statement off the coordinator"
+        );
+    } else {
+        assert_eq!(report.mx_routed, 0, "seed {seed}: coordinator run reported MX routing");
+    }
     assert!(report.moves_attempted >= 1, "seed {seed}: no shard move attempted");
     assert!(report.failovers >= 1, "seed {seed}: no failover exercised");
     assert!(report.fault_errors >= 1, "seed {seed}: no faulted statement");
@@ -86,6 +94,28 @@ fn reports_identical_at_1_and_8_threads() {
             assert_eq!(a.moves_completed, b.moves_completed, "seed {seed} faults={faults}");
             assert_eq!(a.faults_fired, b.faults_fired, "seed {seed} faults={faults}");
             assert_eq!(a.fault_errors, b.fault_errors, "seed {seed} faults={faults}");
+        }
+    }
+}
+
+/// Both routing modes of the same seed pass the full differential wall: the
+/// MX coordinator bypass may change *where* statements plan and execute,
+/// never what they return. A routing bug that corrupts results on either
+/// path shows up here as an oracle divergence.
+#[test]
+fn mx_and_coordinator_routing_agree_with_the_oracle() {
+    // Seeds whose workload mix contains routable single-tenant statements
+    // (some seeds draw an all-analytics mix where everything escalates).
+    for seed in [2u64, 4] {
+        for mx in [false, true] {
+            let mut cfg = SimConfig::new(seed);
+            cfg.mx_routing = mx;
+            let report =
+                sim::run_seed(&cfg).unwrap_or_else(|e| panic!("seed {seed} mx={mx}: {e}"));
+            assert!(report.reads_checked >= 1, "seed {seed} mx={mx}: no checked read");
+            if mx {
+                assert!(report.mx_routed >= 1, "seed {seed} mx={mx}: nothing routed");
+            }
         }
     }
 }

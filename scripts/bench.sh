@@ -20,4 +20,7 @@ cargo build --release -p citrus-bench --bin executor_bench
 echo "==> run executor bench $*"
 ./target/release/executor_bench "$@"
 
-echo "==> wrote BENCH_executor.json"
+case " $* " in
+    *" --smoke "*) echo "==> wrote BENCH_executor_smoke.json" ;;
+    *) echo "==> wrote BENCH_executor.json" ;;
+esac

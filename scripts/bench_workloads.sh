@@ -5,7 +5,9 @@
 # mode. Emits BENCH_workloads.json in the repo root.
 #
 # Usage: scripts/bench_workloads.sh [--smoke]
-#   --smoke   5 units per arm, no thresholds (CI); default is 40 units/arm.
+#   --smoke   5 units per arm, no thresholds (CI); default is 1000 units/arm
+#             (override with CITRUS_BENCH_UNITS). Smoke writes
+#             BENCH_workloads_smoke.json, the committed CI regression baseline.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,4 +18,7 @@ cargo build --release -p citrus-bench --bin workloads_bench
 echo "==> run workloads bench $*"
 ./target/release/workloads_bench "$@"
 
-echo "==> wrote BENCH_workloads.json"
+case " $* " in
+    *" --smoke "*) echo "==> wrote BENCH_workloads_smoke.json" ;;
+    *) echo "==> wrote BENCH_workloads.json" ;;
+esac

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Bench regression gate (ci.sh step 11).
+
+Compares the freshly generated smoke bench artifacts against the committed
+baselines. The virtual-time fields in the smoke artifacts are deterministic
+(fixed seed, fixed cost model), so a change here always means the executor,
+planner, routing, or cost model changed behaviour — the 10% tolerance only
+exists so a deliberate, small cost-model retune does not need a lockstep
+baseline update.
+
+Checks:
+  * TPC-C (multi_tenant) and YCSB (high_performance_crud) distributed
+    ``units_per_vsec`` in BENCH_workloads_smoke.json must not regress more
+    than 10% against the committed baseline.
+  * The warm plan-cache arm in BENCH_executor_smoke.json must stay cheaper
+    than cold on the virtual clock (wall-clock fields are noisy in smoke
+    mode and are gated by the full bench + plan_cache_regression test
+    instead).
+
+The committed baseline is read from git HEAD so the smoke run that just
+overwrote the working-tree file cannot compare against itself. If a baseline
+file does not exist in HEAD yet (bootstrap), the corresponding check is
+skipped with a warning.
+"""
+
+import json
+import subprocess
+import sys
+
+TOLERANCE = 0.10
+
+
+def committed(path):
+    try:
+        out = subprocess.run(
+            ["git", "show", f"HEAD:{path}"],
+            capture_output=True,
+            check=True,
+        ).stdout
+        return json.loads(out)
+    except (subprocess.CalledProcessError, json.JSONDecodeError):
+        return None
+
+
+def fresh(path):
+    try:
+        with open(path) as f:
+            return json.loads(f.read())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def main():
+    failures = []
+    skipped = []
+
+    new_wl = fresh("BENCH_workloads_smoke.json")
+    if new_wl is None:
+        failures.append("BENCH_workloads_smoke.json missing — run scripts/bench_workloads.sh --smoke first")
+    base_wl = committed("BENCH_workloads_smoke.json")
+    if base_wl is None:
+        skipped.append("no committed BENCH_workloads_smoke.json baseline (bootstrap)")
+    elif new_wl is not None:
+        for section, label in [
+            ("multi_tenant", "TPC-C"),
+            ("high_performance_crud", "YCSB"),
+        ]:
+            baseline = base_wl[section]["distributed"]["units_per_vsec"]
+            current = new_wl[section]["distributed"]["units_per_vsec"]
+            floor = baseline * (1.0 - TOLERANCE)
+            status = "ok" if current >= floor else "REGRESSED"
+            print(
+                f"  {label}: {current:.3f} units/vsec vs baseline {baseline:.3f} "
+                f"(floor {floor:.3f}) {status}"
+            )
+            if current < floor:
+                failures.append(
+                    f"{label} distributed units_per_vsec regressed >10%: "
+                    f"{current:.3f} < {floor:.3f} (baseline {baseline:.3f})"
+                )
+
+    new_ex = fresh("BENCH_executor_smoke.json")
+    if new_ex is None:
+        failures.append("BENCH_executor_smoke.json missing — run scripts/bench.sh --smoke first")
+    else:
+        warm = new_ex["plan_cache"]["warm_ms_per_stmt"]
+        cold = new_ex["plan_cache"]["cold_ms_per_stmt"]
+        status = "ok" if warm < cold else "REGRESSED"
+        print(f"  plan cache: warm {warm:.5f} ms/stmt vs cold {cold:.5f} {status}")
+        if not warm < cold:
+            failures.append(
+                f"warm plan-cache arm ({warm:.5f} ms/stmt) not cheaper than cold "
+                f"({cold:.5f}) on the virtual clock"
+            )
+
+    for s in skipped:
+        print(f"  skipped: {s}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("  bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

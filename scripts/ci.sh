@@ -21,6 +21,11 @@
 #   9. one-iteration smoke of the executor bench (exercises the wall-clock
 #      fan-out and plan-cache paths end to end; no thresholds)
 #  10. one-iteration smoke of the §4 workloads evaluation
+#  11. bench regression gate: the smoke artifacts' virtual-time numbers are
+#      deterministic, so they are compared against the committed
+#      BENCH_*_smoke.json baselines — TPC-C / YCSB units_per_vsec must not
+#      regress more than 10%, and the warm plan-cache arm must stay cheaper
+#      than cold on the virtual clock
 #
 # Usage: scripts/ci.sh [--long]
 #   --long   widen the sim chaos corpus (CITRUS_SIM_SEEDS=60; default 25)
@@ -36,34 +41,37 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> [1/10] cargo build --release"
+echo "==> [1/11] cargo build --release"
 cargo build --release
 
-echo "==> [2/10] cargo test -q"
+echo "==> [2/11] cargo test -q"
 cargo test -q
 
-echo "==> [3/10] warnings-as-errors check of crates/core"
+echo "==> [3/11] warnings-as-errors check of crates/core"
 RUSTFLAGS="-Dwarnings" cargo check -p citrus --all-targets
 
-echo "==> [4/10] fault-injection suite"
+echo "==> [4/11] fault-injection suite"
 cargo test -q -p citrus --test faults
 
-echo "==> [5/10] parallel-executor equivalence suite"
+echo "==> [5/11] parallel-executor equivalence suite"
 cargo test -q -p citrus --test executor_parallel
 
-echo "==> [6/10] trace-golden + differential-oracle suite (1 vs 8 threads)"
+echo "==> [6/11] trace-golden + differential-oracle suite (1 vs 8 threads)"
 cargo test -q -p citrus --test trace_golden --test oracle_differential
 
-echo "==> [7/10] rebalancer crash-safety drill suite"
+echo "==> [7/11] rebalancer crash-safety drill suite"
 cargo test -q -p citrus --test rebalance_faults
 
-echo "==> [8/10] workloads suite: sim chaos corpus (${SIM_SEEDS} seeds) + oracle tests"
+echo "==> [8/11] workloads suite: sim chaos corpus (${SIM_SEEDS} seeds) + oracle tests"
 CITRUS_SIM_SEEDS="$SIM_SEEDS" cargo test -q -p workloads
 
-echo "==> [9/10] executor bench smoke"
+echo "==> [9/11] executor bench smoke"
 sh scripts/bench.sh --smoke
 
-echo "==> [10/10] workloads bench smoke"
+echo "==> [10/11] workloads bench smoke"
 sh scripts/bench_workloads.sh --smoke
+
+echo "==> [11/11] bench regression gate (vs committed smoke baselines)"
+python3 scripts/check_bench_regression.py
 
 echo "==> CI green"
