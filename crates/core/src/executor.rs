@@ -287,9 +287,10 @@ fn execute_plan_inner(
     let mut remote_targets: Vec<u32> = Vec::new();
     let mut retries_total = 0u64;
     // per-task trace rows, collected in task order: (target, retries,
-    // backoff_ms, service_ms, ran locally). Fault events attach by scope.
+    // backoff_ms, service_ms, ran locally, vectorized batches). Fault events
+    // attach by scope.
     let fault_base = cluster.faults().events_len();
-    let mut task_traces: Vec<(NodeId, u64, f64, f64, bool)> = Vec::new();
+    let mut task_traces: Vec<(NodeId, u64, f64, f64, bool, u64)> = Vec::new();
     let tracing = state.trace.is_some();
     // a statement whose single remote target still has the transaction's
     // pipelined exchange open rides it: no new round trip, and no real wire
@@ -335,7 +336,14 @@ fn execute_plan_inner(
                             .or_default()
                             .push(local_cost.total_ms());
                         if tracing {
-                            task_traces.push((self_node, 0, 0.0, local_cost.total_ms(), true));
+                            task_traces.push((
+                                self_node,
+                                0,
+                                0.0,
+                                local_cost.total_ms(),
+                                true,
+                                local_cost.batches,
+                            ));
                         }
                         results.push(result);
                     }
@@ -374,6 +382,7 @@ fn execute_plan_inner(
                                 backoff_ms,
                                 remote_cost.total_ms(),
                                 false,
+                                remote_cost.batches,
                             ));
                         }
                         results.push(result);
@@ -391,7 +400,14 @@ fn execute_plan_inner(
                 cost.add_node(target, &remote_cost);
                 per_node_durations.entry(target).or_default().push(remote_cost.total_ms() + rtt);
                 if tracing {
-                    task_traces.push((target, retries, backoff_ms, remote_cost.total_ms(), false));
+                    task_traces.push((
+                        target,
+                        retries,
+                        backoff_ms,
+                        remote_cost.total_ms(),
+                        false,
+                        remote_cost.batches,
+                    ));
                 }
                 results.push(result);
             }
@@ -413,7 +429,14 @@ fn execute_plan_inner(
                 cost.add_node(target, &local_cost);
                 per_node_durations.entry(target).or_default().push(local_cost.total_ms());
                 if tracing {
-                    task_traces.push((target, 0, 0.0, local_cost.total_ms(), true));
+                    task_traces.push((
+                        target,
+                        0,
+                        0.0,
+                        local_cost.total_ms(),
+                        true,
+                        local_cost.batches,
+                    ));
                 }
                 results.push(result);
                 continue;
@@ -461,7 +484,14 @@ fn execute_plan_inner(
             cost.add_node(target, &remote_cost);
             per_node_durations.entry(target).or_default().push(remote_cost.total_ms() + rtt);
             if tracing {
-                task_traces.push((target, 0, 0.0, remote_cost.total_ms(), false));
+                task_traces.push((
+                    target,
+                    0,
+                    0.0,
+                    remote_cost.total_ms(),
+                    false,
+                    remote_cost.batches,
+                ));
             }
             results.push(result);
         }
@@ -629,7 +659,7 @@ fn execute_plan_inner(
     if let Some(root) = &mut state.trace {
         root.set("wire", if riding { "pipelined" } else if any_remote { "exchange" } else { "local" });
         let events = cluster.faults().events_since(fault_base);
-        for (i, ((target, retries, backoff_ms, service_ms, local), task)) in
+        for (i, ((target, retries, backoff_ms, service_ms, local, batches), task)) in
             task_traces.iter().zip(&plan.tasks).enumerate()
         {
             let mut span = crate::trace::Span::new("task")
@@ -644,6 +674,10 @@ fn execute_plan_inner(
                 span.set("backoff_ms", crate::trace::fmt_ms(*backoff_ms));
             }
             span.set("service_ms", crate::trace::fmt_ms(*service_ms));
+            if *batches > 0 {
+                span.set("vectorized", "true");
+                span.set("batches", batches);
+            }
             let scope = task_scope(task);
             let mut hits: Vec<&netsim::fault::FaultEvent> =
                 events.iter().filter(|e| e.scope == scope).collect();
@@ -1186,6 +1220,7 @@ fn create_and_load(
             })
             .collect(),
         constraints: Vec::new(),
+        using: None,
     }));
     let create_result = conn.execute_stmt(&create);
     let load_result = match &create_result {

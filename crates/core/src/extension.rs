@@ -1103,6 +1103,12 @@ fn render_distributed_plan(
             total.saturating_sub(touched.len())
         ),
     ];
+    if tables.iter().filter_map(|t| meta.table(t)).any(|dt| dt.columnar) {
+        lines.push(
+            "  Vectorized: columnar shards run batched scan\u{2192}filter\u{2192}aggregate kernels"
+                .to_string(),
+        );
+    }
     match &plan.merge {
         crate::planner::Merge::GroupAgg(_) => {
             lines.push("  Merge: partial aggregation on coordinator".to_string())

@@ -59,6 +59,10 @@ pub struct DistTable {
     pub colocation_id: u32,
     /// Shard ids in hash-range order.
     pub shards: Vec<ShardId>,
+    /// Shard placements use columnar storage (`USING columnar` shells). The
+    /// pushdown planner prefers aggregate-split worker queries for these, so
+    /// the workers' vectorized scan→filter→aggregate path can run.
+    pub columnar: bool,
 }
 
 impl DistTable {
@@ -215,9 +219,23 @@ impl Metadata {
                 dist_column: Some((dist_column.to_string(), dist_col_index)),
                 colocation_id,
                 shards: ids.clone(),
+                columnar: false,
             },
         );
         Ok(ids)
+    }
+
+    /// Mark a distributed table's placements as columnar (recorded after
+    /// registration, from the shell table's access method).
+    pub fn mark_columnar(&mut self, name: &str) -> PgResult<()> {
+        self.generation += 1;
+        match self.tables.get_mut(name) {
+            Some(t) => {
+                t.columnar = true;
+                Ok(())
+            }
+            None => Err(PgError::internal(format!("mark_columnar: unknown table {name}"))),
+        }
     }
 
     /// Register a reference table replicated to `nodes`.
@@ -249,6 +267,7 @@ impl Metadata {
                 dist_column: None,
                 colocation_id: 0,
                 shards: vec![id],
+                columnar: false,
             },
         );
         Ok(id)

@@ -435,8 +435,30 @@ fn plan_select(sel: &Select, meta: &Metadata, used_subplans: bool) -> PgResult<D
         level_buckets(&facts, meta).unwrap_or_else(|| (0..shard_count).collect());
 
     let exposed = exposed_dist_cols(sel, meta);
-    let full_pushdown = !has_aggregates(sel) && sel.group_by.is_empty()
-        || group_contains_dist_col(&sel.group_by, &sel.projection, &exposed);
+    let has_agg = has_aggregates(sel) || !sel.group_by.is_empty();
+    let full_pushdown =
+        !has_agg || group_contains_dist_col(&sel.group_by, &sel.projection, &exposed);
+
+    // Columnar anchors prefer the aggregate split even when the GROUP BY
+    // contains the distribution column (where full pushdown would also be
+    // legal): the split's worker half is a bare scan→filter→aggregate, the
+    // shape the workers fuse into batched columnar kernels. DISTINCT stays on
+    // the full-pushdown path — only Merge::Concat implements it.
+    if anchor.columnar && has_agg && !sel.distinct {
+        if let Ok(split) = split_aggregation(sel, &exposed) {
+            let tasks = build_tasks(&split.worker_query, meta, &anchor, &buckets, false)?;
+            return Ok(DistPlan {
+                kind: PlannerKind::Pushdown,
+                tasks,
+                merge: Merge::GroupAgg(Box::new(split.merge)),
+                is_write: false,
+                used_subplans,
+                prep: Vec::new(),
+            });
+        }
+        // unsplittable aggregate: fall back to full pushdown when legal,
+        // otherwise the split below re-runs and surfaces its error
+    }
 
     if full_pushdown {
         // the workers run the whole query; the coordinator concatenates,

@@ -34,10 +34,11 @@ use crate::trace::Span;
 use netsim::fault::{FaultOp, FaultPhase};
 use pgmini::error::{ErrorCode, PgError, PgResult};
 use pgmini::lock::{LockKey, LockMode};
+use pgmini::storage::TableStore;
 use pgmini::txn::INVALID_XID;
 use pgmini::wal::WalRecord;
 use sqlparse::ast::TableConstraint;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
@@ -345,6 +346,10 @@ fn run_move(
                     )]
                 })
                 .unwrap_or_default(),
+            using: match src_meta.storage {
+                pgmini::catalog::Storage::Columnar => Some("columnar".to_string()),
+                pgmini::catalog::Storage::Heap => None,
+            },
         };
         movejournal::log_cleanup(cluster, move_id, to, &physical)?;
         dst_engine.ddl_create_table(&create)?;
@@ -359,32 +364,61 @@ fn run_move(
     // continue on the source
     cluster.fault_point(to, FaultOp::Move, "move_copy", scope, FaultPhase::Before)?;
     let mut row_maps: Vec<HashMap<u64, u64>> = Vec::new();
+    let mut copied_seqs: Vec<HashSet<u64>> = Vec::new();
     for (src_id, dst_id, _) in &table_ids {
         let snap = src_engine.txns.snapshot(INVALID_XID);
         let src_store = src_engine.store(*src_id)?;
         let dst_meta = dst_engine.table_meta_by_id(*dst_id)?;
         let dst_store = dst_engine.store(*dst_id)?;
         let mut map = HashMap::new();
-        let mut batch: Vec<(u64, pgmini::types::Row)> = Vec::new();
-        src_store
-            .heap()?
-            .scan_visible(&src_engine.txns, &snap, |t| batch.push((t.row_id, t.data.clone())));
-        let xid = dst_engine.txns.begin();
-        for (src_rid, row) in batch {
-            let new_rid = dst_store.heap()?.insert(xid, row.clone());
-            dst_engine.index_insert_row(&dst_meta, new_rid, &row)?;
-            dst_engine.wal.append(WalRecord::Insert {
-                xid,
-                table: *dst_id,
-                row_id: new_rid,
-                row,
-            });
-            map.insert(src_rid, new_rid);
-            rows_moved += 1;
+        let mut seqs = HashSet::new();
+        match &*src_store {
+            TableStore::Columnar(src_col) => {
+                // stripe-wise copy preserving stripe sequence numbers, so the
+                // catch-up phase can dedup ColumnarAppend WAL records exactly
+                // like heap row_id maps dedup Inserts
+                let stripes = src_col.visible_stripe_rows(&src_engine.txns, &snap);
+                let dst_col = dst_store.columnar()?;
+                let xid = dst_engine.txns.begin();
+                for (seq, rows) in stripes {
+                    rows_moved += rows.len() as u64;
+                    dst_col.append_with_seq(xid, seq, rows.clone(), dst_meta.columns.len())?;
+                    dst_engine.wal.append(WalRecord::ColumnarAppend {
+                        xid,
+                        table: *dst_id,
+                        seq,
+                        rows,
+                    });
+                    seqs.insert(seq);
+                }
+                dst_engine.txns.commit(xid);
+                dst_engine.wal.append(WalRecord::Commit { xid });
+            }
+            TableStore::Heap(src_heap) => {
+                let mut batch: Vec<(u64, pgmini::types::Row)> = Vec::new();
+                src_heap
+                    .scan_visible(&src_engine.txns, &snap, |t| {
+                        batch.push((t.row_id, t.data.clone()))
+                    });
+                let xid = dst_engine.txns.begin();
+                for (src_rid, row) in batch {
+                    let new_rid = dst_store.heap()?.insert(xid, row.clone());
+                    dst_engine.index_insert_row(&dst_meta, new_rid, &row)?;
+                    dst_engine.wal.append(WalRecord::Insert {
+                        xid,
+                        table: *dst_id,
+                        row_id: new_rid,
+                        row,
+                    });
+                    map.insert(src_rid, new_rid);
+                    rows_moved += 1;
+                }
+                dst_engine.txns.commit(xid);
+                dst_engine.wal.append(WalRecord::Commit { xid });
+            }
         }
-        dst_engine.txns.commit(xid);
-        dst_engine.wal.append(WalRecord::Commit { xid });
         row_maps.push(map);
+        copied_seqs.push(seqs);
     }
     cluster.fault_point(to, FaultOp::Move, "move_copy", scope, FaultPhase::After)?;
     movejournal::set_progress(cluster, move_id, "rows_moved", rows_moved)?;
@@ -405,6 +439,7 @@ fn run_move(
             &dst_engine,
             &table_ids,
             &mut row_maps,
+            &mut copied_seqs,
             lsn_start,
         )?;
         cluster.fault_point(from, FaultOp::Move, "move_catchup", scope, FaultPhase::After)?;
@@ -455,6 +490,7 @@ fn apply_wal_delta(
     dst_engine: &Arc<pgmini::engine::Engine>,
     table_ids: &[(pgmini::catalog::TableId, pgmini::catalog::TableId, String)],
     row_maps: &mut [HashMap<u64, u64>],
+    copied_seqs: &mut [HashSet<u64>],
     lsn_start: u64,
 ) -> PgResult<u64> {
     let mut catchup_rows = 0u64;
@@ -472,6 +508,7 @@ fn apply_wal_delta(
             WalRecord::Insert { xid, table, .. } => (*xid, *table, 1),
             WalRecord::Update { xid, table, .. } => (*xid, *table, 2),
             WalRecord::Delete { xid, table, .. } => (*xid, *table, 3),
+            WalRecord::ColumnarAppend { xid, table, .. } => (*xid, *table, 4),
             _ => continue,
         };
         if !committed.contains(&xid)
@@ -540,6 +577,26 @@ fn apply_wal_delta(
                         row_id: dst_rid,
                     });
                     catchup_rows += 1;
+                }
+            }
+            (4, WalRecord::ColumnarAppend { seq, rows, .. }) => {
+                // stripes the snapshot copy already carried are skipped by
+                // sequence number (the columnar analog of the row_id map)
+                if !copied_seqs[pos].contains(seq) {
+                    dst_store.columnar()?.append_with_seq(
+                        apply_xid,
+                        *seq,
+                        rows.clone(),
+                        dst_meta.columns.len(),
+                    )?;
+                    dst_engine.wal.append(WalRecord::ColumnarAppend {
+                        xid: apply_xid,
+                        table: dst_id,
+                        seq: *seq,
+                        rows: rows.clone(),
+                    });
+                    copied_seqs[pos].insert(*seq);
+                    catchup_rows += rows.len() as u64;
                 }
             }
             _ => {}

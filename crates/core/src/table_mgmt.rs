@@ -14,7 +14,6 @@ use pgmini::catalog::TableMeta;
 use pgmini::error::{ErrorCode, PgError, PgResult};
 use pgmini::session::Session;
 use pgmini::txn::INVALID_XID;
-use pgmini::types::Row;
 use sqlparse::ast::{
     ColumnDef, CreateIndex, CreateTable, Statement, TableConstraint,
 };
@@ -49,6 +48,10 @@ fn shard_create_stmt(shell: &TableMeta, physical: &str) -> PgResult<CreateTable>
         if_not_exists: false,
         columns,
         constraints,
+        using: match shell.storage {
+            pgmini::catalog::Storage::Columnar => Some("columnar".to_string()),
+            pgmini::catalog::Storage::Heap => None,
+        },
     })
 }
 
@@ -133,7 +136,7 @@ pub fn create_distributed_table(
         if colocation_id == 0 {
             colocation_id = meta.allocate_colocation_id();
         }
-        meta.add_hash_table(
+        let ids = meta.add_hash_table(
             table,
             dist_column,
             dist_idx,
@@ -141,7 +144,11 @@ pub fn create_distributed_table(
             &nodes,
             colocation_id,
             align_with.as_deref(),
-        )?
+        )?;
+        if matches!(shell.storage, pgmini::catalog::Storage::Columnar) {
+            meta.mark_columnar(table)?;
+        }
+        ids
     };
 
     // create the physical shards (plus their indexes and FKs)
@@ -296,8 +303,7 @@ fn move_existing_rows(
         return Ok(());
     }
     let snap = engine.txns.snapshot(INVALID_XID);
-    let mut rows: Vec<Row> = Vec::new();
-    store.heap()?.scan_visible(&engine.txns, &snap, |t| rows.push(t.data.clone()));
+    let rows = store.scan_visible_rows(&engine.txns, &snap);
     crate::copy::distributed_copy(cluster, session, table, &[], rows)?;
     // empty the shell; the planner hook owns the name from now on
     engine.truncate_table(table)?;
@@ -356,8 +362,7 @@ pub fn create_reference_table(
     let store = engine.store(shell.id)?;
     if store.live_estimate() > 0 {
         let snap = engine.txns.snapshot(INVALID_XID);
-        let mut rows: Vec<Row> = Vec::new();
-        store.heap()?.scan_visible(&engine.txns, &snap, |t| rows.push(t.data.clone()));
+        let rows = store.scan_visible_rows(&engine.txns, &snap);
         for node in &nodes {
             let mut conn = cluster.connect(*node)?;
             conn.copy_rows(&physical, &[], rows.clone())?;
@@ -392,8 +397,7 @@ pub fn replicate_reference_tables_to(cluster: &Arc<Cluster>, node: NodeId) -> Pg
         let src_meta = coordinator.table_meta(&physical)?;
         let store = coordinator.store(src_meta.id)?;
         let snap = coordinator.txns.snapshot(INVALID_XID);
-        let mut rows: Vec<Row> = Vec::new();
-        store.heap()?.scan_visible(&coordinator.txns, &snap, |t| rows.push(t.data.clone()));
+        let rows = store.scan_visible_rows(&coordinator.txns, &snap);
         if !rows.is_empty() {
             conn.copy_rows(&physical, &[], rows)?;
         }

@@ -11,10 +11,17 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Key for a cached relation (tables and indexes cache independently).
+///
+/// Columnar tables cache per column: `scan` assumes its page count is the
+/// relation's full size (residency clamps to it), so projections that touch
+/// different column subsets must not share one key — each column's pages are
+/// a separate "relation" that warms and evicts on its own.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BufferKey {
     Table(u32),
     Index(u32),
+    /// One column of a columnar table: `(table id, column ordinal)`.
+    TableColumn(u32, u32),
 }
 
 #[derive(Debug, Default, Clone)]
@@ -259,6 +266,28 @@ mod tests {
         // ~half the reads must miss (residency also grows as misses load pages,
         // but capacity caps it at 500, so the fraction stays ~0.5)
         assert!((300..700).contains(&total), "misses: {total}");
+    }
+
+    #[test]
+    fn column_keys_cache_independently() {
+        // mixed projections over one columnar table: each column warms once,
+        // then every projection hits — a narrow scan must not evict the
+        // columns it does not touch (regression: a single Table key clamped
+        // residency to the last scan's width, so alternating narrow/wide
+        // projections missed forever)
+        let pool = BufferPool::new(10_000);
+        let wide: [(BufferKey, u64); 3] = [
+            (BufferKey::TableColumn(7, 0), 40),
+            (BufferKey::TableColumn(7, 1), 40),
+            (BufferKey::TableColumn(7, 2), 160),
+        ];
+        let cold: u64 = wide.iter().map(|&(k, p)| pool.scan(k, p)).sum();
+        assert_eq!(cold, 240);
+        // narrow projection: column 0 only
+        assert_eq!(pool.scan(BufferKey::TableColumn(7, 0), 40), 0);
+        // the wide projection still hits fully afterwards
+        let warm: u64 = wide.iter().map(|&(k, p)| pool.scan(k, p)).sum();
+        assert_eq!(warm, 0, "narrow scan must not shrink other columns' residency");
     }
 
     #[test]

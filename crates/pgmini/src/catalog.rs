@@ -106,8 +106,10 @@ pub struct Catalog {
     next_index: u32,
 }
 
-/// Rough per-type width estimate for default page math.
-fn type_width(ty: TypeName) -> u32 {
+/// Rough per-type width estimate for default page math. Public because the
+/// executor's per-column columnar I/O accounting apportions a table's
+/// simulated bytes across columns by these same widths.
+pub fn type_width(ty: TypeName) -> u32 {
     match ty {
         TypeName::Bool => 1,
         TypeName::Int => 8,
@@ -161,6 +163,27 @@ impl Catalog {
                 primary_key = Some(idxs);
             }
         }
+        let storage = match stmt.using.as_deref() {
+            None | Some("heap") => Storage::Heap,
+            Some("columnar") => Storage::Columnar,
+            Some(other) => {
+                return Err(PgError::unsupported(format!("table access method \"{other}\"")))
+            }
+        };
+        if storage == Storage::Columnar {
+            // The append-only column store has no per-row ids to hang index
+            // entries or FK checks off; reject constraints that need them.
+            let constrained = primary_key.is_some()
+                || stmt.columns.iter().any(|c| c.unique || c.references.is_some())
+                || stmt.constraints.iter().any(|c| {
+                    matches!(c, TableConstraint::Unique(_) | TableConstraint::ForeignKey { .. })
+                });
+            if constrained {
+                return Err(PgError::unsupported(
+                    "columnar tables do not support primary key, unique, or foreign key constraints",
+                ));
+            }
+        }
         let width_data: u32 = columns.iter().map(|c| type_width(c.ty)).sum();
         // 24-byte tuple header + item pointer, like PostgreSQL
         let sim_row_width = width_data + 28;
@@ -168,7 +191,7 @@ impl Catalog {
             id,
             name: stmt.name.clone(),
             columns,
-            storage: Storage::Heap,
+            storage,
             sim_row_width,
             primary_key,
             indexes: Vec::new(),

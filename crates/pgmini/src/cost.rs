@@ -29,6 +29,13 @@ pub struct CostModel {
     pub connect_ms: f64,
     /// Per-tuple cost of sending a row over the wire (ms).
     pub net_tuple_ms: f64,
+    /// Fixed dispatch cost of one vectorized kernel invocation over a batch
+    /// (ms). Charged once per kernel per batch, independent of batch fill.
+    pub batch_kernel_ms: f64,
+    /// Per-value cost inside a vectorized kernel (ms). Tight loop over a
+    /// column vector: no per-tuple interpreter dispatch, so this sits far
+    /// below `cpu_tuple_ms`.
+    pub batch_value_ms: f64,
 }
 
 impl Default for CostModel {
@@ -44,6 +51,8 @@ impl Default for CostModel {
             net_rtt_ms: 0.5,
             connect_ms: 15.0,
             net_tuple_ms: 0.0005,
+            batch_kernel_ms: 0.004,
+            batch_value_ms: 0.00002,
         }
     }
 }
@@ -70,6 +79,9 @@ pub struct SimCost {
     pub rows_processed: u64,
     /// Network round trips incurred.
     pub net_rtts: u64,
+    /// Column batches processed by vectorized kernels (0 on the volcano
+    /// path); surfaces in EXPLAIN ANALYZE / trace spans as `batches=N`.
+    pub batches: u64,
 }
 
 impl SimCost {
@@ -81,6 +93,7 @@ impl SimCost {
         page_misses: 0,
         rows_processed: 0,
         net_rtts: 0,
+        batches: 0,
     };
 
     /// Total elapsed simulated time if the work ran serially.
@@ -96,6 +109,7 @@ impl SimCost {
         self.page_misses += other.page_misses;
         self.rows_processed += other.rows_processed;
         self.net_rtts += other.net_rtts;
+        self.batches += other.batches;
     }
 
     pub fn add_cpu(&mut self, ms: f64) {
@@ -118,6 +132,14 @@ impl SimCost {
         self.pages_read += pages;
         self.page_misses += misses;
         self.io_ms += model.page_io_ms * misses as f64;
+    }
+
+    /// Account `kernels` vectorized kernel invocations touching `values`
+    /// vector lanes in total. Deliberately does NOT bump `rows_processed` —
+    /// callers account scanned tuples once per scan, not once per kernel.
+    pub fn add_kernels(&mut self, model: &CostModel, kernels: u64, values: u64) {
+        self.cpu_ms +=
+            model.batch_kernel_ms * kernels as f64 + model.batch_value_ms * values as f64;
     }
 }
 

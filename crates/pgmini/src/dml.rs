@@ -305,7 +305,13 @@ pub fn exec_insert(ctx: &mut ExecCtx, ins: &Insert, params: &[Datum]) -> PgResul
                 batch.push(row);
             }
             let n = batch.len() as u64;
-            col.append(ctx.xid, batch, meta.columns.len())?;
+            let seq = col.append(ctx.xid, batch.clone(), meta.columns.len())?;
+            ctx.engine.wal.append(WalRecord::ColumnarAppend {
+                xid: ctx.xid,
+                table: meta.id,
+                seq,
+                rows: batch,
+            });
             Ok(n)
         }
         TableStore::Heap(heap) => {
@@ -488,7 +494,7 @@ fn collect_targets(
     params: &[Datum],
 ) -> PgResult<Vec<(u64, Row)>> {
     let scope = table_scope(meta, alias);
-    let mut node = PlanNode::SeqScan { table: meta.id, filter: None };
+    let mut node = PlanNode::SeqScan { table: meta.id, filter: None, cols: None };
     if let Some(w) = where_clause {
         // subqueries in DML WHERE: execute them via the select path
         let mut subq = CtxSubquery { ctx, params: params.to_vec() };
@@ -517,9 +523,11 @@ fn collect_targets(
     let view = crate::exec::EngineCatalogView { engine: &engine };
     choose_access_paths(&mut node, &view, &|id| engine.table_meta_by_id(id))?;
     match node {
-        PlanNode::SeqScan { table, filter } => scan_with_rowids(ctx, table, None, &filter),
+        PlanNode::SeqScan { table, filter, .. } => {
+            scan_with_rowids(ctx, table, None, &filter, None)
+        }
         PlanNode::IndexScan { table, index, probe, filter } => {
-            scan_with_rowids(ctx, table, Some((index, &probe)), &filter)
+            scan_with_rowids(ctx, table, Some((index, &probe)), &filter, None)
         }
         _ => Err(PgError::internal("unexpected DML target plan")),
     }
@@ -691,7 +699,13 @@ pub fn exec_copy(
                 batch.push(row);
             }
             let n = batch.len() as u64;
-            col.append(ctx.xid, batch, meta.columns.len())?;
+            let seq = col.append(ctx.xid, batch.clone(), meta.columns.len())?;
+            ctx.engine.wal.append(WalRecord::ColumnarAppend {
+                xid: ctx.xid,
+                table: meta.id,
+                seq,
+                rows: batch,
+            });
             Ok(n)
         }
         TableStore::Heap(heap) => {

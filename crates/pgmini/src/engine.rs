@@ -43,6 +43,10 @@ pub struct EngineConfig {
     /// Maximum concurrent sessions (PostgreSQL's process-per-connection cap).
     pub max_connections: u32,
     pub cost: CostModel,
+    /// Use batched (vectorized) kernels for columnar scans when the plan
+    /// allows it; `false` forces the tuple-at-a-time volcano path everywhere
+    /// (the differential tests run both and compare).
+    pub vectorized: bool,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +57,7 @@ impl Default for EngineConfig {
             mem_bytes: 64 * 1024 * 1024 * 1024,
             max_connections: 500,
             cost: CostModel::default(),
+            vectorized: true,
         }
     }
 }
@@ -212,7 +217,11 @@ impl Engine {
     pub fn ddl_create_table(&self, stmt: &CreateTable) -> PgResult<()> {
         let mut cat = self.catalog.write();
         let Some(id) = cat.create_table(stmt)? else { return Ok(()) };
-        self.stores.write().insert(id, Arc::new(TableStore::Heap(HeapStore::default())));
+        let store = match cat.table(id)?.storage {
+            Storage::Heap => TableStore::Heap(HeapStore::default()),
+            Storage::Columnar => TableStore::Columnar(Default::default()),
+        };
+        self.stores.write().insert(id, Arc::new(store));
         // primary key index
         if let Some(pk) = cat.table(id)?.primary_key.clone() {
             let iid = cat.create_pkey_index(id, &pk);
@@ -259,6 +268,14 @@ impl Engine {
     /// CREATE INDEX: catalog entry, store, and backfill from visible rows.
     pub fn ddl_create_index(&self, stmt: &CreateIndex) -> PgResult<()> {
         let mut cat = self.catalog.write();
+        if let Ok(tid) = cat.table_id(&stmt.table) {
+            if matches!(cat.table(tid)?.storage, Storage::Columnar) {
+                return Err(PgError::new(
+                    ErrorCode::FeatureNotSupported,
+                    "cannot create indexes on columnar tables",
+                ));
+            }
+        }
         let Some(iid) = cat.create_index(stmt)? else { return Ok(()) };
         let imeta = cat.index(iid)?.clone();
         let tmeta = cat.table(imeta.table)?.clone();
@@ -292,6 +309,9 @@ impl Engine {
         drop(cat);
         self.stores.write().remove(&meta.id);
         self.buffer.forget(BufferKey::Table(meta.id.0));
+        for i in 0..meta.columns.len() {
+            self.buffer.forget(BufferKey::TableColumn(meta.id.0, i as u32));
+        }
         let mut istores = self.index_stores.write();
         for iid in &meta.indexes {
             istores.remove(iid);
@@ -317,6 +337,9 @@ impl Engine {
             self.index_stores.write().insert(*iid, fresh);
         }
         self.buffer.forget(BufferKey::Table(meta.id.0));
+        for i in 0..meta.columns.len() {
+            self.buffer.forget(BufferKey::TableColumn(meta.id.0, i as u32));
+        }
         self.wal
             .append(WalRecord::Ddl { sql: format!("TRUNCATE {}", sqlparse::quote_ident(name)) });
         Ok(())
@@ -576,6 +599,34 @@ impl Engine {
                         xid: new_xid,
                         table: *table,
                         row_id: *row_id,
+                    });
+                }
+                WalRecord::ColumnarAppend { xid, table, seq, rows } => {
+                    if !matches!(fate.get(xid), Some(Fate::Committed | Fate::Prepared(_))) {
+                        continue;
+                    }
+                    let new_xid = *xid_map
+                        .entry(*xid)
+                        .or_insert_with(|| engine.txns.begin());
+                    let meta = engine.table_meta_by_id(*table)?;
+                    // tables switched to columnar post-creation (set_columnar)
+                    // replay their CREATE TABLE as heap; the first stripe in
+                    // the WAL proves the conversion happened while empty
+                    if engine.store(*table)?.columnar().is_err() {
+                        engine.set_columnar(&meta.name)?;
+                    }
+                    let store = engine.store(*table)?;
+                    store.columnar()?.append_with_seq(
+                        new_xid,
+                        *seq,
+                        rows.clone(),
+                        meta.columns.len(),
+                    )?;
+                    engine.wal.append(WalRecord::ColumnarAppend {
+                        xid: new_xid,
+                        table: *table,
+                        seq: *seq,
+                        rows: rows.clone(),
                     });
                 }
                 WalRecord::RestorePoint { name } => {

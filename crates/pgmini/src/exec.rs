@@ -108,14 +108,48 @@ fn passes(filter: &Option<BExpr>, row: &Row, ctx: &EvalCtx) -> PgResult<bool> {
     }
 }
 
+/// I/O of a columnar scan touching only `refs` columns: the table's simulated
+/// bytes are apportioned across columns by declared type width, so a query
+/// reading 2 of 16 lineitem columns pays ~1/8 the I/O of a full scan. Each
+/// referenced column reads — and caches — under its own buffer key, so mixed
+/// projections over the same table keep each other's columns warm instead of
+/// fighting over a single residency counter. Returns `(pages, misses)`.
+fn columnar_scan_io(
+    buffer: &crate::buffer::BufferPool,
+    meta: &crate::catalog::TableMeta,
+    table: TableId,
+    rows: u64,
+    refs: &[usize],
+) -> (u64, u64) {
+    let total: u64 = meta
+        .columns
+        .iter()
+        .map(|c| crate::catalog::type_width(c.ty) as u64)
+        .sum::<u64>()
+        .max(1);
+    let mut pages = 0u64;
+    let mut misses = 0u64;
+    for &i in refs {
+        let Some(col) = meta.columns.get(i) else { continue };
+        let w = crate::catalog::type_width(col.ty) as u64;
+        let eff_width = ((meta.sim_row_width as u64 * w) / total).max(1) as u32;
+        let col_pages = crate::cost::pages_for(rows, eff_width);
+        pages += col_pages;
+        misses += buffer.scan(BufferKey::TableColumn(table.0, i as u32), col_pages);
+    }
+    (pages, misses)
+}
+
 /// Scan a table, returning `(row_id, row)` pairs that pass `filter`.
 /// This is the shared primitive behind SELECT scans, UPDATE/DELETE target
-/// collection, and FOR UPDATE.
+/// collection, and FOR UPDATE. `cols` is the planner's referenced-column set
+/// (projection pushdown); `None` reads every column.
 pub fn scan_with_rowids(
     ctx: &mut ExecCtx,
     table: TableId,
     index: Option<(crate::catalog::IndexId, &IndexProbe)>,
     filter: &Option<BExpr>,
+    cols: Option<&[usize]>,
 ) -> PgResult<Vec<(u64, Row)>> {
     let meta = ctx.engine.table_meta_by_id(table)?;
     let store = ctx.engine.store(table)?;
@@ -146,32 +180,93 @@ pub fn scan_with_rowids(
                 ctx.cost.add_tuples(&model, scanned);
             }
             TableStore::Columnar(col) => {
-                // columnar scan: cheaper I/O — only projected columns; the
-                // filter needs all columns it references, so approximate with
-                // a fixed fraction of row width (benchmarks project few cols)
+                // columnar I/O: only the referenced columns' pages are read
                 let rows = col.live_estimate();
-                let pages = meta.pages(rows) / 3 + 1;
-                let misses = ctx.engine.buffer.scan(BufferKey::Table(table.0), pages);
+                let all_cols: Vec<usize> = (0..meta.columns.len()).collect();
+                let refs: &[usize] = cols.unwrap_or(&all_cols);
+                let (pages, misses) =
+                    columnar_scan_io(&ctx.engine.buffer, &meta, table, rows, refs);
                 ctx.cost.add_pages(&model, pages, misses);
-                let mut scanned = 0u64;
-                let mut err = None;
-                col.scan_visible(&ctx.engine.txns, &ctx.snap, None, |row| {
-                    if err.is_some() {
-                        return;
+                let batchable = ctx.engine.config.vectorized
+                    && filter.as_ref().is_none_or(crate::batch::supports_batch);
+                if batchable {
+                    // Tier A: batched scan + filter. Stripe slices become
+                    // `ColumnBatch`es (only `refs` columns cloned), the
+                    // filter runs as kernels over the column vectors, and
+                    // only surviving rows are materialized.
+                    let kernels_per_batch =
+                        1 + filter.as_ref().map_or(0, crate::batch::kernel_count);
+                    let mut scanned = 0u64;
+                    let mut batches = 0u64;
+                    let mut err = None;
+                    col.for_each_visible_stripe(
+                        &ctx.engine.txns,
+                        &ctx.snap,
+                        |_seq, nrows, columns| {
+                            if err.is_some() {
+                                return;
+                            }
+                            let mut lo = 0;
+                            while lo < nrows {
+                                let len =
+                                    (nrows - lo).min(crate::batch::BATCH_CAPACITY);
+                                let batch = crate::batch::ColumnBatch::from_stripe(
+                                    columns, lo, len, refs,
+                                );
+                                let sel: Vec<usize> = (0..len).collect();
+                                let selected = match filter {
+                                    None => sel,
+                                    Some(f) => match crate::batch::filter_batch(
+                                        f,
+                                        &batch,
+                                        &sel,
+                                        &ctx.eval_ctx,
+                                    ) {
+                                        Ok(s) => s,
+                                        Err(e) => {
+                                            err = Some(e);
+                                            return;
+                                        }
+                                    },
+                                };
+                                batches += 1;
+                                scanned += len as u64;
+                                for row in batch.take_rows(&selected) {
+                                    out.push((0, row));
+                                }
+                                lo += len;
+                            }
+                        },
+                    );
+                    if let Some(e) = err {
+                        return Err(e);
                     }
-                    scanned += 1;
-                    match passes(filter, &row, &ctx.eval_ctx) {
-                        Ok(true) => out.push((0, row)),
-                        Ok(false) => {}
-                        Err(e) => err = Some(e),
+                    ctx.cost.batches += batches;
+                    ctx.cost.add_kernels(&model, kernels_per_batch * batches, scanned);
+                    ctx.cost.rows_processed += scanned;
+                } else {
+                    // volcano fallback (vectorization off, or the filter
+                    // contains a construct with no kernel): tuple-at-a-time
+                    // with full per-tuple CPU; the per-column I/O advantage
+                    // above still applies.
+                    let mut scanned = 0u64;
+                    let mut err = None;
+                    col.scan_visible(&ctx.engine.txns, &ctx.snap, cols, |row| {
+                        if err.is_some() {
+                            return;
+                        }
+                        scanned += 1;
+                        match passes(filter, &row, &ctx.eval_ctx) {
+                            Ok(true) => out.push((0, row)),
+                            Ok(false) => {}
+                            Err(e) => err = Some(e),
+                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(e);
                     }
-                });
-                if let Some(e) = err {
-                    return Err(e);
+                    ctx.cost.add_tuples(&model, scanned);
                 }
-                // column stores process values faster per tuple (vectorised)
-                ctx.cost.add_cpu(model.cpu_tuple_ms * scanned as f64 * 0.25);
-                ctx.cost.rows_processed += scanned;
             }
         },
         Some((iid, probe)) => {
@@ -222,7 +317,7 @@ pub fn scan_with_rowids(
                         Some(ids) => ids,
                         None => {
                             // pattern too short: seq scan fallback
-                            return scan_with_rowids(ctx, table, None, filter);
+                            return scan_with_rowids(ctx, table, None, filter, cols);
                         }
                     }
                 }
@@ -259,12 +354,14 @@ pub fn scan_with_rowids(
 /// Execute a FROM/WHERE plan node, producing rows.
 pub fn run_plan_node(ctx: &mut ExecCtx, node: &PlanNode) -> PgResult<Vec<Row>> {
     match node {
-        PlanNode::SeqScan { table, filter } => Ok(scan_with_rowids(ctx, *table, None, filter)?
-            .into_iter()
-            .map(|(_, r)| r)
-            .collect()),
+        PlanNode::SeqScan { table, filter, cols } => {
+            Ok(scan_with_rowids(ctx, *table, None, filter, cols.as_deref())?
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect())
+        }
         PlanNode::IndexScan { table, index, probe, filter } => {
-            Ok(scan_with_rowids(ctx, *table, Some((*index, probe)), filter)?
+            Ok(scan_with_rowids(ctx, *table, Some((*index, probe)), filter, None)?
                 .into_iter()
                 .map(|(_, r)| r)
                 .collect())
@@ -495,9 +592,130 @@ impl AggState {
     }
 }
 
+/// Tier B: fused batched scan→filter→aggregate over a columnar base table.
+/// Group keys and aggregate inputs are evaluated as kernels over the column
+/// vectors of each batch — rows are never materialized. Returns `None` when
+/// the plan shape or an expression doesn't qualify (the volcano path runs).
+fn try_vectorized_agg(
+    ctx: &mut ExecCtx,
+    stage: &crate::plan::AggStage,
+    input: &PlanNode,
+) -> PgResult<Option<Vec<Row>>> {
+    use crate::batch::{eval_batch, filter_batch, kernel_count, supports_batch, ColumnBatch};
+    let PlanNode::SeqScan { table, filter, cols } = input else { return Ok(None) };
+    let store = ctx.engine.store(*table)?;
+    let TableStore::Columnar(col) = &*store else { return Ok(None) };
+    if !filter.as_ref().is_none_or(supports_batch)
+        || !stage.group.iter().all(supports_batch)
+        || !stage.calls.iter().all(|c| c.arg.as_ref().is_none_or(supports_batch))
+    {
+        return Ok(None);
+    }
+    let meta = ctx.engine.table_meta_by_id(*table)?;
+    let model = ctx.model();
+    // same per-column I/O accounting as the row-returning scan path
+    let rows = col.live_estimate();
+    let all_cols: Vec<usize> = (0..meta.columns.len()).collect();
+    let refs: &[usize] = cols.as_deref().unwrap_or(&all_cols);
+    let (pages, misses) = columnar_scan_io(&ctx.engine.buffer, &meta, *table, rows, refs);
+    ctx.cost.add_pages(&model, pages, misses);
+    // one scan kernel, the filter's kernels, plus a gather + kernels per
+    // group key and per aggregate input
+    let kernels_per_batch: u64 = 1
+        + filter.as_ref().map_or(0, kernel_count)
+        + stage.group.iter().map(|g| 1 + kernel_count(g)).sum::<u64>()
+        + stage
+            .calls
+            .iter()
+            .map(|c| c.arg.as_ref().map_or(1, |a| 1 + kernel_count(a)))
+            .sum::<u64>();
+
+    let mut groups: BTreeMap<SortKey, Vec<AggState>> = BTreeMap::new();
+    let mut scanned = 0u64;
+    let mut batches = 0u64;
+    let mut err: Option<PgError> = None;
+    col.for_each_visible_stripe(&ctx.engine.txns, &ctx.snap, |_seq, nrows, columns| {
+        if err.is_some() {
+            return;
+        }
+        let mut lo = 0;
+        while lo < nrows {
+            let len = (nrows - lo).min(crate::batch::BATCH_CAPACITY);
+            let batch = ColumnBatch::from_stripe(columns, lo, len, refs);
+            let sel: Vec<usize> = (0..len).collect();
+            let step = || -> PgResult<()> {
+                let selected = match filter {
+                    None => sel,
+                    Some(f) => filter_batch(f, &batch, &sel, &ctx.eval_ctx)?,
+                };
+                let gvecs: Vec<_> = stage
+                    .group
+                    .iter()
+                    .map(|g| eval_batch(g, &batch, &selected, &ctx.eval_ctx))
+                    .collect::<PgResult<_>>()?;
+                let avecs: Vec<Option<_>> = stage
+                    .calls
+                    .iter()
+                    .map(|c| {
+                        c.arg
+                            .as_ref()
+                            .map(|a| eval_batch(a, &batch, &selected, &ctx.eval_ctx))
+                            .transpose()
+                    })
+                    .collect::<PgResult<_>>()?;
+                for &i in &selected {
+                    let key: Vec<Datum> = gvecs.iter().map(|v| v.get(i).clone()).collect();
+                    let states = groups
+                        .entry(SortKey(key))
+                        .or_insert_with(|| stage.calls.iter().map(AggState::new).collect());
+                    for (st, av) in states.iter_mut().zip(&avecs) {
+                        st.update(av.as_ref().map(|v| v.get(i).clone()))?;
+                    }
+                }
+                Ok(())
+            };
+            if let Err(e) = step() {
+                err = Some(e);
+                return;
+            }
+            batches += 1;
+            scanned += len as u64;
+            lo += len;
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    ctx.cost.batches += batches;
+    ctx.cost.add_kernels(&model, kernels_per_batch * batches, scanned);
+    ctx.cost.rows_processed += scanned;
+    // global aggregate over empty input still yields one row
+    if groups.is_empty() && stage.group.is_empty() {
+        groups.insert(SortKey(vec![]), stage.calls.iter().map(AggState::new).collect());
+    }
+    Ok(Some(
+        groups
+            .into_iter()
+            .map(|(key, states)| {
+                let mut row = key.0;
+                row.extend(states.iter().map(AggState::finish));
+                row
+            })
+            .collect(),
+    ))
+}
+
 /// Execute a planned SELECT end to end, returning (column names, rows).
 pub fn run_select_plan(ctx: &mut ExecCtx, plan: &SelectPlan) -> PgResult<(Vec<String>, Vec<Row>)> {
     let model = ctx.model();
+    // Tier B fused vectorized aggregation, when the shape allows it
+    if let (Some(stage), None, true) =
+        (&plan.agg, plan.for_update, ctx.engine.config.vectorized)
+    {
+        if let Some(mid_rows) = try_vectorized_agg(ctx, stage, &plan.input)? {
+            return finish_select(ctx, plan, mid_rows);
+        }
+    }
     // FOR UPDATE uses the locking scan path
     let input_rows: Vec<Row> = if let Some(table) = plan.for_update {
         if ctx.xid == INVALID_XID {
@@ -515,6 +733,7 @@ pub fn run_select_plan(ctx: &mut ExecCtx, plan: &SelectPlan) -> PgResult<(Vec<St
             table,
             index.as_ref().map(|(i, p)| (*i, p)),
             &filter,
+            None,
         )?;
         let mut rows = Vec::new();
         for (row_id, _) in targets {
@@ -575,6 +794,17 @@ pub fn run_select_plan(ctx: &mut ExecCtx, plan: &SelectPlan) -> PgResult<(Vec<St
         }
     };
 
+    finish_select(ctx, plan, mid_rows)
+}
+
+/// HAVING → projection → DISTINCT → ORDER BY → OFFSET/LIMIT, shared by the
+/// volcano and fused-vectorized aggregation paths.
+fn finish_select(
+    ctx: &mut ExecCtx,
+    plan: &SelectPlan,
+    mid_rows: Vec<Row>,
+) -> PgResult<(Vec<String>, Vec<Row>)> {
+    let model = ctx.model();
     // HAVING
     let mut result_rows = Vec::new();
     for row in mid_rows {

@@ -349,24 +349,7 @@ pub fn eval(e: &BExpr, row: &Row, ctx: &EvalCtx) -> PgResult<Datum> {
             .get(*i)
             .cloned()
             .ok_or_else(|| PgError::internal(format!("column index {i} out of range"))),
-        BExpr::Unary { op, expr } => {
-            let v = eval(expr, row, ctx)?;
-            match op {
-                UnaryOp::Neg => match v {
-                    Datum::Null => Ok(Datum::Null),
-                    Datum::Int(x) => Ok(Datum::Int(-x)),
-                    Datum::Float(x) => Ok(Datum::Float(-x)),
-                    other => Err(PgError::new(
-                        ErrorCode::InvalidText,
-                        format!("cannot negate {}", other.to_text()),
-                    )),
-                },
-                UnaryOp::Not => match v {
-                    Datum::Null => Ok(Datum::Null),
-                    other => Ok(Datum::Bool(!other.as_bool()?)),
-                },
-            }
-        }
+        BExpr::Unary { op, expr } => apply_unary(*op, eval(expr, row, ctx)?),
         BExpr::Binary { op, left, right } => eval_binary(*op, left, right, row, ctx),
         BExpr::Like { expr, pattern, negated, case_insensitive } => {
             let v = eval(expr, row, ctx)?;
@@ -456,6 +439,41 @@ pub fn eval(e: &BExpr, row: &Row, ctx: &EvalCtx) -> PgResult<Datum> {
     }
 }
 
+/// Scalar core of unary evaluation, shared by the row-at-a-time interpreter
+/// and the vectorized batch kernels (`crate::batch`) so both paths produce
+/// identical values and errors.
+pub(crate) fn apply_unary(op: UnaryOp, v: Datum) -> PgResult<Datum> {
+    match op {
+        UnaryOp::Neg => match v {
+            Datum::Null => Ok(Datum::Null),
+            Datum::Int(x) => Ok(Datum::Int(-x)),
+            Datum::Float(x) => Ok(Datum::Float(-x)),
+            other => Err(PgError::new(
+                ErrorCode::InvalidText,
+                format!("cannot negate {}", other.to_text()),
+            )),
+        },
+        UnaryOp::Not => match v {
+            Datum::Null => Ok(Datum::Null),
+            other => Ok(Datum::Bool(!other.as_bool()?)),
+        },
+    }
+}
+
+/// Kleene combination for AND/OR once both operand values are known. The
+/// short-circuit cases (AND false / OR true) are subsumed by the match.
+pub(crate) fn kleene_combine(op: BinaryOp, l: Datum, r: Datum) -> Datum {
+    match (op, l, r) {
+        (BinaryOp::And, Datum::Bool(a), Datum::Bool(b)) => Datum::Bool(a && b),
+        (BinaryOp::Or, Datum::Bool(a), Datum::Bool(b)) => Datum::Bool(a || b),
+        (BinaryOp::And, Datum::Null, Datum::Bool(false))
+        | (BinaryOp::And, Datum::Bool(false), Datum::Null) => Datum::Bool(false),
+        (BinaryOp::Or, Datum::Null, Datum::Bool(true))
+        | (BinaryOp::Or, Datum::Bool(true), Datum::Null) => Datum::Bool(true),
+        _ => Datum::Null,
+    }
+}
+
 fn eval_binary(op: BinaryOp, left: &BExpr, right: &BExpr, row: &Row, ctx: &EvalCtx) -> PgResult<Datum> {
     // AND/OR need Kleene logic with lazy-ish NULL handling
     if matches!(op, BinaryOp::And | BinaryOp::Or) {
@@ -467,18 +485,16 @@ fn eval_binary(op: BinaryOp, left: &BExpr, right: &BExpr, row: &Row, ctx: &EvalC
             _ => {}
         }
         let r = eval(right, row, ctx)?;
-        return Ok(match (op, l, r) {
-            (BinaryOp::And, Datum::Bool(a), Datum::Bool(b)) => Datum::Bool(a && b),
-            (BinaryOp::Or, Datum::Bool(a), Datum::Bool(b)) => Datum::Bool(a || b),
-            (BinaryOp::And, Datum::Null, Datum::Bool(false))
-            | (BinaryOp::And, Datum::Bool(false), Datum::Null) => Datum::Bool(false),
-            (BinaryOp::Or, Datum::Null, Datum::Bool(true))
-            | (BinaryOp::Or, Datum::Bool(true), Datum::Null) => Datum::Bool(true),
-            _ => Datum::Null,
-        });
+        return Ok(kleene_combine(op, l, r));
     }
     let l = eval(left, row, ctx)?;
     let r = eval(right, row, ctx)?;
+    apply_binary(op, l, r)
+}
+
+/// Scalar core of non-AND/OR binary evaluation on already-computed operand
+/// values; shared by the batch kernels.
+pub(crate) fn apply_binary(op: BinaryOp, l: Datum, r: Datum) -> PgResult<Datum> {
     if op.is_comparison() {
         return Ok(match l.sql_cmp(&r) {
             None => Datum::Null,

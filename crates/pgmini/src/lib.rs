@@ -17,6 +17,7 @@
 //!   the engine knowing about it;
 //! * a simulated buffer pool + cost model producing virtual-time measurements.
 
+pub mod batch;
 pub mod bgworker;
 pub mod buffer;
 pub mod catalog;

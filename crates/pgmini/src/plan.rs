@@ -71,6 +71,10 @@ pub enum PlanNode {
         table: TableId,
         /// Residual filter over this table's scope (after index conditions).
         filter: Option<BExpr>,
+        /// Table-relative indices of the columns this query actually reads
+        /// (filter + join keys + projection/aggregate inputs). `None` means
+        /// all columns. Columnar scans materialize only these.
+        cols: Option<Vec<usize>>,
     },
     IndexScan {
         table: TableId,
@@ -101,11 +105,15 @@ impl PlanNode {
     pub fn describe(&self, catalog: &crate::catalog::Catalog, out: &mut Vec<String>, depth: usize) {
         let pad = "  ".repeat(depth);
         match self {
-            PlanNode::SeqScan { table, filter } => {
+            PlanNode::SeqScan { table, filter, cols } => {
                 let name =
                     catalog.table(*table).map(|t| t.name.clone()).unwrap_or_default();
                 let f = if filter.is_some() { " (filtered)" } else { "" };
-                out.push(format!("{pad}Seq Scan on {name}{f}"));
+                let c = match cols {
+                    Some(c) => format!(" (cols: {})", c.len()),
+                    None => String::new(),
+                };
+                out.push(format!("{pad}Seq Scan on {name}{f}{c}"));
             }
             PlanNode::IndexScan { table, index, probe, .. } => {
                 let name =
@@ -187,9 +195,11 @@ pub fn plan_select(
     params: &[Datum],
 ) -> PgResult<SelectPlan> {
     // 1. resolve FROM into (node, scope), left-deep across comma items
+    let mut arities: std::collections::HashMap<TableId, usize> =
+        std::collections::HashMap::new();
     let mut from_parts: Vec<(PlanNode, RowScope)> = Vec::new();
     for item in &sel.from {
-        from_parts.push(plan_table_ref(item, cat, subq, params)?);
+        from_parts.push(plan_table_ref(item, cat, subq, params, &mut arities)?);
     }
     let (mut node, mut scope) = match from_parts.len() {
         0 => (
@@ -408,6 +418,21 @@ pub fn plan_select(
     let limit = sel.limit.as_ref().map(|e| const_u64(e, params)).transpose()?;
     let offset = sel.offset.as_ref().map(|e| const_u64(e, params)).transpose()?;
 
+    // 7. projection pushdown: record on each base-table scan the set of
+    // columns the query references anywhere. The FOR UPDATE path re-reads
+    // whole rows under locks, so it keeps full materialization.
+    if for_update.is_none() {
+        let mut top: Vec<&BExpr> = Vec::new();
+        match &agg {
+            Some(stage) => {
+                top.extend(stage.group.iter());
+                top.extend(stage.calls.iter().filter_map(|c| c.arg.as_ref()));
+            }
+            None => top.extend(projection.iter()),
+        }
+        assign_scan_columns(&mut node, &top, &arities);
+    }
+
     // ORDER BY in aggregate queries must not leave group scope — the binding
     // above already errors in that case because hidden columns were rewritten.
     scope_rollup(&mut scope);
@@ -429,6 +454,107 @@ pub fn plan_select(
 
 /// no-op hook point kept for symmetry; scopes are already final.
 fn scope_rollup(_scope: &mut RowScope) {}
+
+/// Projection pushdown over a finished plan tree.
+///
+/// Collects every column the query can read — scan filters (bound
+/// table-relative), join hash keys and ON conditions (bound over the join's
+/// combined scope), residual Filter predicates (bound over the full scope),
+/// plus the caller-supplied raw-scope expressions (group keys + aggregate
+/// arguments, or the projection) — as absolute scope indices, then maps the
+/// slice covering each base table back to table-relative indices and records
+/// it in that scan's `cols`. Columnar scans materialize only these columns
+/// and the cost model charges I/O for only their pages.
+fn assign_scan_columns(
+    node: &mut PlanNode,
+    top_exprs: &[&BExpr],
+    arities: &std::collections::HashMap<TableId, usize>,
+) {
+    let mut referenced: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for e in top_exprs {
+        collect_cols_at(e, 0, &mut referenced);
+    }
+    collect_node_cols(node, 0, &mut referenced);
+    mark_scan_cols(node, 0, &referenced, arities);
+}
+
+/// Add the columns `e` references to `acc` as absolute scope indices, given
+/// that `e`'s `Col`s are bound relative to scope position `base`.
+fn collect_cols_at(e: &BExpr, base: usize, acc: &mut std::collections::BTreeSet<usize>) {
+    let mut local = std::collections::BTreeSet::new();
+    crate::batch::collect_cols(e, &mut local);
+    acc.extend(local.into_iter().map(|i| base + i));
+}
+
+/// Walk the tree collecting column references from node-attached expressions.
+/// `offset` is the node's starting position in the full scope.
+fn collect_node_cols(
+    node: &PlanNode,
+    offset: usize,
+    acc: &mut std::collections::BTreeSet<usize>,
+) {
+    match node {
+        PlanNode::SeqScan { filter, .. } => {
+            if let Some(f) = filter {
+                collect_cols_at(f, offset, acc);
+            }
+        }
+        PlanNode::IndexScan { filter, .. } => {
+            if let Some(f) = filter {
+                collect_cols_at(f, offset, acc);
+            }
+        }
+        PlanNode::Materialized { .. } => {}
+        PlanNode::Join { left, right, hash_keys, on, left_arity, .. } => {
+            collect_node_cols(left, offset, acc);
+            collect_node_cols(right, offset + left_arity, acc);
+            if let Some((ls, rs)) = hash_keys {
+                for e in ls {
+                    collect_cols_at(e, offset, acc);
+                }
+                for e in rs {
+                    collect_cols_at(e, offset + left_arity, acc);
+                }
+            }
+            if let Some(cond) = on {
+                collect_cols_at(cond, offset, acc);
+            }
+        }
+        PlanNode::Filter { input, pred } => {
+            collect_cols_at(pred, offset, acc);
+            collect_node_cols(input, offset, acc);
+        }
+    }
+}
+
+/// Second walk: record each base-table scan's referenced columns
+/// (table-relative). Returns the node's arity so joins can offset their
+/// right side; tables missing from `arities` keep `cols: None` (read all).
+fn mark_scan_cols(
+    node: &mut PlanNode,
+    offset: usize,
+    referenced: &std::collections::BTreeSet<usize>,
+    arities: &std::collections::HashMap<TableId, usize>,
+) -> usize {
+    match node {
+        PlanNode::SeqScan { table, cols, .. } => match arities.get(table) {
+            Some(&a) => {
+                *cols = Some(referenced.range(offset..offset + a).map(|i| i - offset).collect());
+                a
+            }
+            None => 0,
+        },
+        PlanNode::IndexScan { table, .. } => arities.get(table).copied().unwrap_or(0),
+        PlanNode::Materialized { arity, .. } => *arity,
+        PlanNode::Join { left, right, left_arity, right_arity, .. } => {
+            let (la, ra) = (*left_arity, *right_arity);
+            mark_scan_cols(left, offset, referenced, arities);
+            mark_scan_cols(right, offset + la, referenced, arities);
+            la + ra
+        }
+        PlanNode::Filter { input, .. } => mark_scan_cols(input, offset, referenced, arities),
+    }
+}
 
 fn const_u64(e: &Expr, params: &[Datum]) -> PgResult<u64> {
     let b = bind(e, &RowScope::default(), params)?;
@@ -966,18 +1092,22 @@ fn node_arity_at(scope: &RowScope, offset: usize) -> usize {
 }
 
 /// Plan one FROM item (recursing into joins and derived tables).
+/// Records each base table's arity in `arities` for the projection-pushdown
+/// pass that runs once the full tree is assembled.
 fn plan_table_ref(
     item: &TableRef,
     cat: &dyn PlannerCatalog,
     subq: &mut dyn SubqueryExecutor,
     params: &[Datum],
+    arities: &mut std::collections::HashMap<TableId, usize>,
 ) -> PgResult<(PlanNode, RowScope)> {
     match item {
         TableRef::Table { name, alias } => {
             let meta = cat.table_meta(name)?;
             let qualifier = alias.as_deref().unwrap_or(name);
             let scope = RowScope::of_table(qualifier, &meta.column_names());
-            Ok((PlanNode::SeqScan { table: meta.id, filter: None }, scope))
+            arities.insert(meta.id, scope.len());
+            Ok((PlanNode::SeqScan { table: meta.id, filter: None, cols: None }, scope))
         }
         TableRef::Subquery { query, alias } => {
             let rows = subq.run_subquery(query)?;
@@ -987,8 +1117,8 @@ fn plan_table_ref(
             Ok((PlanNode::Materialized { rows, arity }, scope))
         }
         TableRef::Join { left, right, kind, on } => {
-            let (lnode, lscope) = plan_table_ref(left, cat, subq, params)?;
-            let (rnode, rscope) = plan_table_ref(right, cat, subq, params)?;
+            let (lnode, lscope) = plan_table_ref(left, cat, subq, params, arities)?;
+            let (rnode, rscope) = plan_table_ref(right, cat, subq, params, arities)?;
             let scope = lscope.join(&rscope);
             let mut node = PlanNode::Join {
                 left_arity: lscope.len(),
@@ -1101,7 +1231,7 @@ pub fn choose_access_paths(
     catalog_tables: &dyn Fn(TableId) -> PgResult<TableMeta>,
 ) -> PgResult<()> {
     match node {
-        PlanNode::SeqScan { table, filter } => {
+        PlanNode::SeqScan { table, filter, .. } => {
             let Some(f) = filter.clone() else { return Ok(()) };
             let meta = catalog_tables(*table)?;
             if let Some((index, probe)) = pick_index(&meta, &f, cat)? {

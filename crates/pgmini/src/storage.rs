@@ -284,9 +284,13 @@ impl HeapStore {
 pub struct ColumnarStore {
     stripes: RwLock<Vec<ColumnarStripe>>,
     live_estimate: AtomicI64,
+    next_seq: AtomicU64,
 }
 
 struct ColumnarStripe {
+    /// Stable stripe sequence number (per table). WAL records carry it so
+    /// replay and shard-move catch-up can deduplicate stripes.
+    seq: u64,
     xmin: Xid,
     rows: usize,
     /// columns[c][r] = value of column c in row r of this stripe.
@@ -295,13 +299,42 @@ struct ColumnarStripe {
 
 impl Default for ColumnarStore {
     fn default() -> Self {
-        ColumnarStore { stripes: RwLock::new(Vec::new()), live_estimate: AtomicI64::new(0) }
+        ColumnarStore {
+            stripes: RwLock::new(Vec::new()),
+            live_estimate: AtomicI64::new(0),
+            next_seq: AtomicU64::new(1),
+        }
+    }
+}
+
+fn stripe_visible(txns: &TxnManager, snap: &Snapshot, xmin: Xid) -> bool {
+    if xmin == snap.my_xid && xmin != INVALID_XID {
+        true
+    } else if snap.considers_running(xmin) {
+        false
+    } else {
+        txns.status(xmin) == TxStatus::Committed
     }
 }
 
 impl ColumnarStore {
-    /// Append a batch of rows as one stripe.
-    pub fn append(&self, xid: Xid, rows: Vec<Row>, column_count: usize) -> PgResult<()> {
+    /// Append a batch of rows as one stripe; returns the stripe's sequence
+    /// number (for WAL logging).
+    pub fn append(&self, xid: Xid, rows: Vec<Row>, column_count: usize) -> PgResult<u64> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.append_with_seq(xid, seq, rows, column_count)?;
+        Ok(seq)
+    }
+
+    /// Append a stripe under a caller-supplied sequence number (WAL replay
+    /// and shard-move copy, which must preserve source stripe identity).
+    pub fn append_with_seq(
+        &self,
+        xid: Xid,
+        seq: u64,
+        rows: Vec<Row>,
+        column_count: usize,
+    ) -> PgResult<()> {
         if rows.iter().any(|r| r.len() != column_count) {
             return Err(PgError::internal("columnar append: row arity mismatch"));
         }
@@ -313,8 +346,13 @@ impl ColumnarStore {
                 columns[c].push(v);
             }
         }
-        self.stripes.write().push(ColumnarStripe { xmin: xid, rows: n, columns });
+        self.stripes.write().push(ColumnarStripe { seq, xmin: xid, rows: n, columns });
         self.live_estimate.fetch_add(n as i64, Ordering::Relaxed);
+        // keep locally-generated seqs ahead of replayed ones
+        let next = self.next_seq.load(Ordering::Relaxed);
+        if seq >= next {
+            self.next_seq.store(seq + 1, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -329,14 +367,7 @@ impl ColumnarStore {
     ) {
         let stripes = self.stripes.read();
         for s in stripes.iter() {
-            let visible = if s.xmin == snap.my_xid && s.xmin != INVALID_XID {
-                true
-            } else if snap.considers_running(s.xmin) {
-                false
-            } else {
-                txns.status(s.xmin) == TxStatus::Committed
-            };
-            if !visible {
+            if !stripe_visible(txns, snap, s.xmin) {
                 continue;
             }
             for r in 0..s.rows {
@@ -354,6 +385,37 @@ impl ColumnarStore {
                 f(row);
             }
         }
+    }
+
+    /// Walk visible stripes without materialising rows: `f(seq, rows,
+    /// columns)` sees the raw column vectors. This is the batched-execution
+    /// entry point — the executor slices these into `ColumnBatch`es, cloning
+    /// only the columns it was asked for.
+    pub fn for_each_visible_stripe(
+        &self,
+        txns: &TxnManager,
+        snap: &Snapshot,
+        mut f: impl FnMut(u64, usize, &[Vec<crate::types::Datum>]),
+    ) {
+        let stripes = self.stripes.read();
+        for s in stripes.iter() {
+            if stripe_visible(txns, snap, s.xmin) {
+                f(s.seq, s.rows, &s.columns);
+            }
+        }
+    }
+
+    /// Visible stripes as `(seq, rows)` pairs — the stripe-wise copy used by
+    /// shard moves, which must keep stripe identity for catch-up dedup.
+    pub fn visible_stripe_rows(&self, txns: &TxnManager, snap: &Snapshot) -> Vec<(u64, Vec<Row>)> {
+        let mut out = Vec::new();
+        self.for_each_visible_stripe(txns, snap, |seq, rows, columns| {
+            let materialized: Vec<Row> = (0..rows)
+                .map(|r| columns.iter().map(|col| col[r].clone()).collect())
+                .collect();
+            out.push((seq, materialized));
+        });
+        out
     }
 
     pub fn live_estimate(&self) -> u64 {
@@ -385,6 +447,29 @@ impl TableStore {
                 "operation requires heap storage (columnar tables are append-only)",
             )),
         }
+    }
+
+    pub fn columnar(&self) -> PgResult<&ColumnarStore> {
+        match self {
+            TableStore::Columnar(c) => Ok(c),
+            TableStore::Heap(_) => {
+                Err(PgError::internal("operation requires columnar storage"))
+            }
+        }
+    }
+
+    /// Visible rows regardless of storage layout (full materialisation).
+    /// Shard moves and create_distributed_table row migration use this so
+    /// columnar shell tables relocate like heap ones.
+    pub fn scan_visible_rows(&self, txns: &TxnManager, snap: &Snapshot) -> Vec<Row> {
+        let mut out = Vec::new();
+        match self {
+            TableStore::Heap(h) => {
+                h.scan_visible(txns, snap, |t| out.push(t.data.clone()))
+            }
+            TableStore::Columnar(c) => c.scan_visible(txns, snap, None, |r| out.push(r)),
+        }
+        out
     }
 
     pub fn live_estimate(&self) -> u64 {

@@ -23,6 +23,10 @@ pub enum WalRecord {
     /// MVCC update: expire `row_id`'s old version, append the new one.
     Update { xid: Xid, table: TableId, row_id: u64, new_row: Row },
     Delete { xid: Xid, table: TableId, row_id: u64 },
+    /// Append-only columnar stripe write. `seq` is the stripe's stable
+    /// sequence number, which shard-move catch-up uses to deduplicate
+    /// stripes present in both the copy snapshot and the WAL delta.
+    ColumnarAppend { xid: Xid, table: TableId, seq: u64, rows: Vec<Row> },
     Commit { xid: Xid },
     Abort { xid: Xid },
     /// First phase of 2PC: the transaction's fate is now externally decided.
@@ -43,6 +47,7 @@ impl WalRecord {
             | WalRecord::Insert { xid, .. }
             | WalRecord::Update { xid, .. }
             | WalRecord::Delete { xid, .. }
+            | WalRecord::ColumnarAppend { xid, .. }
             | WalRecord::Commit { xid }
             | WalRecord::Abort { xid }
             | WalRecord::Prepare { xid, .. } => Some(*xid),
@@ -233,6 +238,16 @@ pub fn encode_record(rec: &WalRecord) -> Bytes {
             buf.put_u8(11);
             put_str(&mut buf, sql);
         }
+        WalRecord::ColumnarAppend { xid, table, seq, rows } => {
+            buf.put_u8(12);
+            buf.put_u64(*xid);
+            buf.put_u32(table.0);
+            buf.put_u64(*seq);
+            buf.put_u32(rows.len() as u32);
+            for row in rows {
+                put_row(&mut buf, row);
+            }
+        }
     }
     buf.freeze()
 }
@@ -271,6 +286,17 @@ pub fn decode_record(mut buf: Bytes) -> PgResult<WalRecord> {
         9 => WalRecord::AbortPrepared { gid: get_str(&mut buf)? },
         10 => WalRecord::RestorePoint { name: get_str(&mut buf)? },
         11 => WalRecord::Ddl { sql: get_str(&mut buf)? },
+        12 => {
+            let xid = buf.get_u64();
+            let table = TableId(buf.get_u32());
+            let seq = buf.get_u64();
+            let n = buf.get_u32() as usize;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(get_row(&mut buf)?);
+            }
+            WalRecord::ColumnarAppend { xid, table, seq, rows }
+        }
         _ => return Err(corrupt()),
     })
 }
@@ -305,6 +331,12 @@ mod tests {
             WalRecord::Abort { xid: 9 },
             WalRecord::RestorePoint { name: "backup-2020".into() },
             WalRecord::Ddl { sql: "CREATE TABLE t (a bigint)".into() },
+            WalRecord::ColumnarAppend {
+                xid: 7,
+                table: TableId(4),
+                seq: 2,
+                rows: vec![vec![Datum::Int(1), Datum::from_text("x")], vec![Datum::Int(2), Datum::Null]],
+            },
         ]
     }
 
@@ -323,9 +355,9 @@ mod tests {
         for rec in sample_records() {
             wal.append(rec);
         }
-        assert_eq!(wal.lsn(), 11);
+        assert_eq!(wal.lsn(), 12);
         assert_eq!(wal.range(0, 3).len(), 3);
-        assert_eq!(wal.range(8, 100).len(), 3);
+        assert_eq!(wal.range(8, 100).len(), 4);
         assert_eq!(wal.range(5, 3).len(), 0);
     }
 

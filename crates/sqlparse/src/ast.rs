@@ -397,6 +397,8 @@ pub struct CreateTable {
     pub if_not_exists: bool,
     pub columns: Vec<ColumnDef>,
     pub constraints: Vec<TableConstraint>,
+    /// `USING <method>` access-method clause (e.g. `USING columnar`).
+    pub using: Option<String>,
 }
 
 #[derive(Debug, Clone, PartialEq)]

@@ -267,6 +267,10 @@ fn write_create_table(s: &mut String, ct: &CreateTable) {
         }
     }
     s.push(')');
+    if let Some(method) = &ct.using {
+        s.push_str(" USING ");
+        s.push_str(&quote_ident(method));
+    }
 }
 
 fn write_create_index(s: &mut String, ci: &CreateIndex) {

@@ -648,11 +648,13 @@ impl Parser {
                 }
             }
             self.expect_op(Op::RParen)?;
+            let using = if self.eat_kw("using") { Some(self.ident()?) } else { None };
             return Ok(Statement::CreateTable(Box::new(CreateTable {
                 name,
                 if_not_exists,
                 columns,
                 constraints,
+                using,
             })));
         }
         if self.eat_kw("index") {

@@ -208,7 +208,10 @@ pub fn load(r: &mut dyn SqlRunner, sf: f64, seed: u64) -> PgResult<u64> {
             Datum::Text(PRIORITIES[rng.random_range(0..PRIORITIES.len())].to_string()),
             Datum::Int(0),
         ]);
-        if orders.len() >= 1000 {
+        // each COPY becomes one columnar stripe per target shard: flush in
+        // large chunks so per-shard stripes fill whole execution batches
+        // instead of fragmenting into kernel-dispatch-sized slivers
+        if orders.len() >= 10_000 {
             r.copy("orders", &[], std::mem::take(&mut orders))?;
             r.copy("lineitem", &[], std::mem::take(&mut lineitems))?;
         }

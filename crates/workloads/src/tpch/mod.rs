@@ -29,15 +29,18 @@ pub fn schema_statements() -> Vec<String> {
         "CREATE TABLE partsupp (ps_partkey bigint, ps_suppkey bigint, ps_availqty bigint, \
          ps_supplycost float, PRIMARY KEY (ps_partkey, ps_suppkey))"
             .into(),
-        "CREATE TABLE orders (o_orderkey bigint PRIMARY KEY, o_custkey bigint, \
+        // the fact tables are append-only analytics targets: columnar
+        // storage (no primary keys — columnar tables reject constraints)
+        // puts them on the vectorized scan→filter→aggregate path
+        "CREATE TABLE orders (o_orderkey bigint, o_custkey bigint, \
          o_orderstatus text, o_totalprice float, o_orderdate timestamp, \
-         o_orderpriority text, o_shippriority bigint)"
+         o_orderpriority text, o_shippriority bigint) USING columnar"
             .into(),
         "CREATE TABLE lineitem (l_orderkey bigint, l_partkey bigint, l_suppkey bigint, \
          l_linenumber bigint, l_quantity float, l_extendedprice float, l_discount float, \
          l_tax float, l_returnflag text, l_linestatus text, l_shipdate timestamp, \
          l_commitdate timestamp, l_receiptdate timestamp, l_shipinstruct text, \
-         l_shipmode text, PRIMARY KEY (l_orderkey, l_linenumber))"
+         l_shipmode text) USING columnar"
             .into(),
     ]
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Vectorized columnar execution bench: the batched scan→filter→aggregate
+# path vs the row-at-a-time volcano path on otherwise identical clusters,
+# over the columnar TPC-H fact tables, measured in deterministic virtual
+# time. Emits BENCH_columnar.json in the repo root.
+#
+# Usage: scripts/bench_columnar.sh [--smoke]
+#   --smoke   sf 0.002 / 2 reps, no speedup threshold beyond vectorized > volcano
+#             (CI); default is sf 0.01 / 10 reps with the 3x speedup assertion
+#             (override scale with CITRUS_COLUMNAR_SF). Smoke writes
+#             BENCH_columnar_smoke.json, the committed CI regression baseline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> build columnar bench (release)"
+cargo build --release -p citrus-bench --bin columnar_bench
+
+echo "==> run columnar bench $*"
+./target/release/columnar_bench "$@"
+
+case " $* " in
+    *" --smoke "*) echo "==> wrote BENCH_columnar_smoke.json" ;;
+    *) echo "==> wrote BENCH_columnar.json" ;;
+esac

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Bench regression gate (ci.sh step 11).
+"""Bench regression gate (ci.sh step 13).
 
 Compares the freshly generated smoke bench artifacts against the committed
 baselines. The virtual-time fields in the smoke artifacts are deterministic
@@ -16,6 +16,10 @@ Checks:
     than cold on the virtual clock (wall-clock fields are noisy in smoke
     mode and are gated by the full bench + plan_cache_regression test
     instead).
+  * The vectorized arm in BENCH_columnar_smoke.json must beat the volcano
+    arm, and its ``units_per_vsec`` must not regress more than 10% against
+    the committed baseline (the 3x full-run target is asserted by the full
+    bench binary itself).
 
 The committed baseline is read from git HEAD so the smoke run that just
 overwrote the working-tree file cannot compare against itself. If a baseline
@@ -92,6 +96,38 @@ def main():
                 f"warm plan-cache arm ({warm:.5f} ms/stmt) not cheaper than cold "
                 f"({cold:.5f}) on the virtual clock"
             )
+
+    new_col = fresh("BENCH_columnar_smoke.json")
+    if new_col is None:
+        failures.append(
+            "BENCH_columnar_smoke.json missing — run scripts/bench_columnar.sh --smoke first"
+        )
+    else:
+        vec = new_col["vectorized"]["units_per_vsec"]
+        vol = new_col["volcano"]["units_per_vsec"]
+        status = "ok" if vec > vol else "REGRESSED"
+        print(f"  columnar: vectorized {vec:.3f} units/vsec vs volcano {vol:.3f} {status}")
+        if not vec > vol:
+            failures.append(
+                f"vectorized columnar arm ({vec:.3f} units/vsec) not faster than "
+                f"volcano ({vol:.3f}) on the virtual clock"
+            )
+        base_col = committed("BENCH_columnar_smoke.json")
+        if base_col is None:
+            skipped.append("no committed BENCH_columnar_smoke.json baseline (bootstrap)")
+        else:
+            baseline = base_col["vectorized"]["units_per_vsec"]
+            floor = baseline * (1.0 - TOLERANCE)
+            status = "ok" if vec >= floor else "REGRESSED"
+            print(
+                f"  columnar vectorized: {vec:.3f} units/vsec vs baseline {baseline:.3f} "
+                f"(floor {floor:.3f}) {status}"
+            )
+            if vec < floor:
+                failures.append(
+                    f"columnar vectorized units_per_vsec regressed >10%: "
+                    f"{vec:.3f} < {floor:.3f} (baseline {baseline:.3f})"
+                )
 
     for s in skipped:
         print(f"  skipped: {s}")

@@ -11,21 +11,26 @@
 #   6. observability suite: golden EXPLAIN/trace snapshots (including the
 #      executor_threads=1 vs =8 trace-fingerprint diff) + the differential
 #      oracle against single-node pgmini under an active fault plan
-#   7. rebalancer crash-safety drills: a move killed at every phase boundary
+#   7. vectorized-execution differential wall: batched columnar kernels vs
+#      the volcano path on identical clusters (results, error codes, fault
+#      fingerprints, and 1-vs-8-thread cost/trace invariance per mode)
+#   8. rebalancer crash-safety drills: a move killed at every phase boundary
 #      (error and crash+promote), move-journal recovery, and the
 #      concurrent-writes-during-faulted-move oracle proptest
-#   8. workloads suite, run explicitly: seeded-chaos sim corpus (every seed
+#   9. workloads suite, run explicitly: seeded-chaos sim corpus (every seed
 #      oracle-checked with >= 1 move, failover, and faulted statement),
 #      seed-determinism of the workload drivers, and the INSERT..SELECT /
 #      stored-procedure differential tests
-#   9. one-iteration smoke of the executor bench (exercises the wall-clock
+#  10. one-iteration smoke of the executor bench (exercises the wall-clock
 #      fan-out and plan-cache paths end to end; no thresholds)
-#  10. one-iteration smoke of the §4 workloads evaluation
-#  11. bench regression gate: the smoke artifacts' virtual-time numbers are
+#  11. one-iteration smoke of the §4 workloads evaluation
+#  12. smoke of the columnar vectorized-vs-volcano bench
+#  13. bench regression gate: the smoke artifacts' virtual-time numbers are
 #      deterministic, so they are compared against the committed
-#      BENCH_*_smoke.json baselines — TPC-C / YCSB units_per_vsec must not
-#      regress more than 10%, and the warm plan-cache arm must stay cheaper
-#      than cold on the virtual clock
+#      BENCH_*_smoke.json baselines — TPC-C / YCSB / columnar-vectorized
+#      units_per_vsec must not regress more than 10%, the warm plan-cache arm
+#      must stay cheaper than cold, and the vectorized columnar arm must beat
+#      volcano on the virtual clock
 #
 # Usage: scripts/ci.sh [--long]
 #   --long   widen the sim chaos corpus (CITRUS_SIM_SEEDS=60; default 25)
@@ -41,37 +46,43 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> [1/11] cargo build --release"
+echo "==> [1/13] cargo build --release"
 cargo build --release
 
-echo "==> [2/11] cargo test -q"
+echo "==> [2/13] cargo test -q"
 cargo test -q
 
-echo "==> [3/11] warnings-as-errors check of crates/core"
+echo "==> [3/13] warnings-as-errors check of crates/core"
 RUSTFLAGS="-Dwarnings" cargo check -p citrus --all-targets
 
-echo "==> [4/11] fault-injection suite"
+echo "==> [4/13] fault-injection suite"
 cargo test -q -p citrus --test faults
 
-echo "==> [5/11] parallel-executor equivalence suite"
+echo "==> [5/13] parallel-executor equivalence suite"
 cargo test -q -p citrus --test executor_parallel
 
-echo "==> [6/11] trace-golden + differential-oracle suite (1 vs 8 threads)"
+echo "==> [6/13] trace-golden + differential-oracle suite (1 vs 8 threads)"
 cargo test -q -p citrus --test trace_golden --test oracle_differential
 
-echo "==> [7/11] rebalancer crash-safety drill suite"
+echo "==> [7/13] vectorized-vs-volcano differential wall"
+cargo test -q -p citrus --test executor_vectorized
+
+echo "==> [8/13] rebalancer crash-safety drill suite"
 cargo test -q -p citrus --test rebalance_faults
 
-echo "==> [8/11] workloads suite: sim chaos corpus (${SIM_SEEDS} seeds) + oracle tests"
+echo "==> [9/13] workloads suite: sim chaos corpus (${SIM_SEEDS} seeds) + oracle tests"
 CITRUS_SIM_SEEDS="$SIM_SEEDS" cargo test -q -p workloads
 
-echo "==> [9/11] executor bench smoke"
+echo "==> [10/13] executor bench smoke"
 sh scripts/bench.sh --smoke
 
-echo "==> [10/11] workloads bench smoke"
+echo "==> [11/13] workloads bench smoke"
 sh scripts/bench_workloads.sh --smoke
 
-echo "==> [11/11] bench regression gate (vs committed smoke baselines)"
+echo "==> [12/13] columnar vectorized bench smoke"
+sh scripts/bench_columnar.sh --smoke
+
+echo "==> [13/13] bench regression gate (vs committed smoke baselines)"
 python3 scripts/check_bench_regression.py
 
 echo "==> CI green"
