@@ -127,4 +127,38 @@ fn main() {
     let out = if smoke { "BENCH_workloads_smoke.json" } else { "BENCH_workloads.json" };
     std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("{json}");
+
+    // Snapshot-isolation overhead artifact: the token-heaviest pattern
+    // (point-op CRUD, every read carries a token) mode-off vs mode-on on
+    // the identical stream. The regression gate holds mode-on within 10%
+    // of mode-off; on the virtual clock the two should be byte-identical
+    // (the clock draw and registry publish are not modelled costs).
+    let p = Pattern::HighPerformanceCrud;
+    eprintln!("==> snapshot-isolation overhead ({} units/arm)", units);
+    let off = sim::bench_pattern(p, &scales, seed, units, workers, shards, threads)
+        .unwrap_or_else(|e| panic!("mode-off bench failed: {e:?}"));
+    let on = sim::bench_pattern_snapshot_isolation(p, &scales, seed, units, workers, shards, threads)
+        .unwrap_or_else(|e| panic!("mode-on bench failed: {e:?}"));
+    eprintln!(
+        "    mode off {:.1} units/vsec vs mode on {:.1} units/vsec",
+        off.distributed.throughput_per_vsec, on.distributed.throughput_per_vsec
+    );
+    let si_arm = |a: &sim::ArmStats| {
+        format!(
+            "{{\"units\": {}, \"virtual_ms\": {:.3}, \"units_per_vsec\": {:.3}, \
+             \"p95_ms\": {:.4}}}",
+            a.units, a.virtual_ms, a.throughput_per_vsec, a.p95_ms
+        )
+    };
+    let si_json = format!(
+        "{{\n  \"bench\": \"snapshot_isolation_overhead\",\n  \"smoke\": {smoke},\n  \
+         \"seed\": {seed},\n  \"pattern\": \"{}\",\n  \"units_per_arm\": {units},\n  \
+         \"mode_off\": {},\n  \"mode_on\": {}\n}}\n",
+        p.benchmark(),
+        si_arm(&off.distributed),
+        si_arm(&on.distributed)
+    );
+    let si_out = if smoke { "BENCH_snapshot_smoke.json" } else { "BENCH_snapshot.json" };
+    std::fs::write(si_out, &si_json).unwrap_or_else(|e| panic!("write {si_out}: {e}"));
+    println!("{si_json}");
 }

@@ -80,6 +80,13 @@ pub struct ClusterConfig {
     /// Citus's local execution, the worker half of MX mode. Off forces every
     /// task through the connection fabric.
     pub local_execution: bool,
+    /// Distributed snapshot isolation (opt-in; §3.7.4 accepts its absence —
+    /// this goes beyond the paper). The coordinator issues a commit-clock
+    /// token at distributed-read start, piggybacks it on every fan-out task,
+    /// and workers evaluate visibility against the token instead of their
+    /// local latest snapshot; 2PC publishes one decided timestamp for all
+    /// participants, so a multi-node commit becomes visible atomically.
+    pub snapshot_isolation: bool,
 }
 
 impl Default for ClusterConfig {
@@ -108,6 +115,7 @@ impl Default for ClusterConfig {
             tracing: false,
             pipeline: true,
             local_execution: true,
+            snapshot_isolation: false,
         }
     }
 }
@@ -170,6 +178,11 @@ pub struct Cluster {
     /// as crashed (the 2PC analogue: in-flight transaction numbers shield
     /// commit records from the recovery daemon).
     active_moves: Mutex<std::collections::HashSet<u64>>,
+    /// Cluster-wide commit clock, shared by every node engine (installed
+    /// into each `TxnManager` at node creation). Commit timestamps drawn
+    /// from it totally order commits across nodes; snapshot tokens are
+    /// readings of it.
+    pub commit_clock: Arc<pgmini::txn::CommitClock>,
     /// Per-statement span trees and maintenance-daemon events (§ trace).
     pub tracer: crate::trace::Tracer,
     /// Always-on counters + virtual-time histograms backing the stat
@@ -195,6 +208,7 @@ impl Cluster {
             faults: RwLock::new(Arc::new(FaultInjector::none())),
             task_retries: AtomicU64::new(0),
             active_moves: Mutex::new(std::collections::HashSet::new()),
+            commit_clock: Arc::new(pgmini::txn::CommitClock::default()),
             tracer,
             metrics: crate::metrics::Metrics::default(),
         });
@@ -480,6 +494,7 @@ impl Cluster {
             assigned_groups: Vec::new(),
             fault_scope: scope.to_string(),
             ride_exchange: false,
+            snapshot_token: None,
         })
     }
 }
@@ -511,6 +526,9 @@ pub struct WorkerConn {
     /// statement; it resets to paying after every execution so retries and
     /// per-statement replay always pay their own round trip.
     pub ride_exchange: bool,
+    /// Distributed snapshot token to evaluate reads under (piggybacked on
+    /// the task by the executor; `None` = the worker's latest snapshot).
+    pub snapshot_token: Option<u64>,
 }
 
 /// Stable tag naming a statement's kind, used to address fault-injection
@@ -552,6 +570,7 @@ impl WorkerConn {
         self.intercept(tag, FaultPhase::Before).inspect_err(|_| self.ride_exchange = false)?;
         self.check_alive().inspect_err(|_| self.ride_exchange = false)?;
         self.wire_delay();
+        self.session.set_snapshot_token(self.snapshot_token);
         let result = self.session.execute_stmt(stmt)?;
         let cost = self.session.last_cost();
         self.intercept(tag, FaultPhase::After)?;

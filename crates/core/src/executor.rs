@@ -93,6 +93,10 @@ pub struct SessionState {
     /// Cross-statement pipelined-batching state: the open wire exchange of
     /// this session's transaction (see [`netsim::pipeline`]).
     pub pipeline: netsim::pipeline::SessionPipeline,
+    /// Distributed snapshot token pinned for this session's current
+    /// read/transaction (`ClusterConfig::snapshot_isolation`); piggybacked
+    /// on every fan-out read task and cleared at transaction end.
+    pub snapshot_token: Option<u64>,
 }
 
 impl SessionState {
@@ -309,6 +313,9 @@ fn execute_plan_inner(
         && in_txn
         && stmt_remote.len() == 1
         && state.pipeline.rides(stmt_remote[0].0);
+    // snapshot token to piggyback on read tasks (writes always run against
+    // the worker's latest snapshot — update chains need current versions)
+    let token = if plan.is_write { None } else { state.snapshot_token };
     if !in_txn && !plan.is_write {
         // read fan-out: threaded when configured, inline otherwise — one
         // code path, deterministic outcomes either way. Tasks whose
@@ -324,11 +331,11 @@ fn execute_plan_inner(
             .map(|(t, _)| t.clone())
             .collect();
         let per_task =
-            fan_out_read_tasks(cluster, state, &remote_tasks, pipelined, &mut cost)?;
+            fan_out_read_tasks(cluster, state, &remote_tasks, pipelined, token, &mut cost)?;
         let mut remote_iter = per_task.into_iter();
         for (task, local) in plan.tasks.iter().zip(&is_local) {
             if *local {
-                match run_local_task(cluster, session, task, self_node) {
+                match run_local_task(cluster, session, task, self_node, token) {
                     Ok((result, local_cost)) => {
                         cost.add_node(self_node, &local_cost);
                         per_node_durations
@@ -358,6 +365,7 @@ fn execute_plan_inner(
                             state,
                             std::slice::from_ref(task),
                             false,
+                            token,
                             &mut cost,
                         )?;
                         let (result, remote_cost, target, retries, backoff_ms) = fallback
@@ -422,7 +430,9 @@ fn execute_plan_inner(
             if local_exec && target == self_node {
                 // local execution: the task runs in the client's own
                 // backend — same transaction, no connection, no wire
-                let (result, local_cost) = run_local_task(cluster, session, task, self_node)?;
+                let task_token = if task.is_write { None } else { token };
+                let (result, local_cost) =
+                    run_local_task(cluster, session, task, self_node, task_token)?;
                 if task.is_write && in_txn {
                     state.local_writes = true;
                 }
@@ -446,6 +456,7 @@ fn execute_plan_inner(
                 cluster, state, target, task.group, in_txn, state.dist_txn, &mut cost,
             )?;
             conn.fault_scope = task_scope(task);
+            conn.snapshot_token = if task.is_write { None } else { token };
             // one real wire sleep per worker per statement batch; a
             // statement riding the transaction's open exchange pays none
             if pipelined {
@@ -457,6 +468,7 @@ fn execute_plan_inner(
             let outcome = conn.execute_stmt(&task.stmt);
             conn.fault_scope.clear();
             conn.ride_exchange = false;
+            conn.snapshot_token = None;
             if task.is_write {
                 conn.used_for_writes = true;
             }
@@ -764,6 +776,7 @@ fn run_local_task(
     session: &mut pgmini::session::Session,
     task: &Task,
     self_node: NodeId,
+    token: Option<u64>,
 ) -> PgResult<(QueryResult, pgmini::cost::SimCost)> {
     use netsim::fault::{FaultOp, FaultPhase};
     let tag = crate::cluster::stmt_tag(&task.stmt);
@@ -772,7 +785,13 @@ fn run_local_task(
     if !cluster.node(self_node)?.is_active() {
         return Err(PgError::new(ErrorCode::ConnectionFailure, "local node is down"));
     }
-    let result = session.execute_local(&task.stmt)?;
+    // the local task evaluates under the same snapshot token its remote
+    // siblings carry; the client session's own token state is untouched
+    let saved = session.snapshot_token();
+    session.set_snapshot_token(token);
+    let result = session.execute_local(&task.stmt);
+    session.set_snapshot_token(saved);
+    let result = result?;
     let local_cost = session.last_cost();
     cluster.fault_point(self_node, FaultOp::Statement, tag, &scope, FaultPhase::After)?;
     cluster
@@ -844,6 +863,7 @@ fn run_read_task(
     resume: TaskResume,
     defer_failover: bool,
     ride: bool,
+    token: Option<u64>,
 ) -> TaskRun {
     let scope = task_scope(task);
     let TaskResume { mut attempt, mut retries, mut backoff_ms, mut target } = resume;
@@ -861,12 +881,14 @@ fn run_read_task(
         let err = match acquired {
             Ok((origin, mut conn)) => {
                 conn.fault_scope = scope.clone();
+                conn.snapshot_token = token;
                 // later tasks of a node's batch ride the batch's wire
                 // exchange; any retry replays per-statement and pays
                 conn.ride_exchange = ride && attempt == 1;
                 match conn.execute_stmt(&task.stmt) {
                     Ok(ok) => {
                         conn.fault_scope.clear();
+                        conn.snapshot_token = None;
                         pool.lock()
                             .unwrap_or_else(|e| e.into_inner())
                             .entry(target)
@@ -884,6 +906,7 @@ fn run_read_task(
                             drop(conn); // broken socket: never pool it again
                         } else {
                             conn.fault_scope.clear();
+                            conn.snapshot_token = None;
                             pool.lock()
                                 .unwrap_or_else(|x| x.into_inner())
                                 .entry(target)
@@ -928,6 +951,7 @@ fn fan_out_read_tasks(
     state: &mut SessionState,
     tasks: &[Task],
     pipelined: bool,
+    token: Option<u64>,
     cost: &mut DistCost,
 ) -> PgResult<Vec<(QueryResult, pgmini::cost::SimCost, NodeId, u64, f64)>> {
     if tasks.is_empty() {
@@ -997,6 +1021,7 @@ fn fan_out_read_tasks(
                     fresh(&tasks[i]),
                     true,
                     pipelined && pos > 0,
+                    token,
                 ));
             }
         }
@@ -1020,6 +1045,7 @@ fn fan_out_read_tasks(
                             fresh(&tasks[i]),
                             true,
                             pipelined && pos > 0,
+                            token,
                         );
                         slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(run);
                     }
@@ -1036,7 +1062,9 @@ fn fan_out_read_tasks(
         outcomes.push(match run {
             Some(TaskRun::Done(o)) => Some(o),
             Some(TaskRun::Deferred(resume)) => {
-                match run_read_task(cluster, &pool, &tasks[i], max_attempts, resume, false, false) {
+                match run_read_task(
+                    cluster, &pool, &tasks[i], max_attempts, resume, false, false, token,
+                ) {
                     TaskRun::Done(o) => Some(o),
                     TaskRun::Deferred(_) => unreachable!("defer_failover=false never defers"),
                 }
@@ -1056,11 +1084,13 @@ fn fan_out_read_tasks(
                 // drop (and release their slots)
                 for (origin, mut conn) in keyed {
                     conn.fault_scope.clear();
+                    conn.snapshot_token = None;
                     state.conns.insert(origin.expect("keyed"), conn);
                 }
             } else if let Some((_, mut conn)) = fresh.into_iter().next() {
                 // a sequential run would have dialled exactly one
                 conn.fault_scope.clear();
+                conn.snapshot_token = None;
                 let key = state.new_key(node);
                 state.conns.insert(key, conn);
             }

@@ -66,6 +66,9 @@ impl CitrusExtension {
             plan_cache: planner::cache::PlanCache::new(),
         });
         engine.hooks.install(ext.clone());
+        // every node's commits draw timestamps from the one cluster clock,
+        // so snapshot tokens cut the commit order identically everywhere
+        engine.txns.set_commit_clock(cluster.commit_clock.clone());
         Self::create_catalogs(engine);
         Self::register_udfs(cluster, engine, &ext);
         ext
@@ -330,6 +333,12 @@ impl CitrusExtension {
             }
         };
         let Some(plan) = plan else { return Ok(None) };
+        // distributed snapshot isolation: pin a commit-clock token at the
+        // first distributed read; it stays stable for the rest of an
+        // explicit transaction (writes keep latest-snapshot semantics)
+        if cluster.config.snapshot_isolation && !plan.is_write && state.snapshot_token.is_none() {
+            state.snapshot_token = Some(cluster.commit_clock.now());
+        }
         // distributed planning is coordinator CPU the statement serially
         // waits on; a cache hit pays only the pruning recomputation
         state.stmt_cost.coordinator.add_cpu(planning_ms);
@@ -345,6 +354,9 @@ impl CitrusExtension {
         }
         let cache_hit = state.last_cache_hit;
         let result = self.execute_plan_with_txn(session, state, &plan);
+        if !session.in_transaction() {
+            state.snapshot_token = None;
+        }
         if result.is_ok() {
             // planner bookkeeping runs on *both* the cached and the planned
             // path — a cache hit still executes through its tier, and must
@@ -599,6 +611,23 @@ impl CitrusExtension {
                 }
             }
         }
+        if cluster.config.snapshot_isolation {
+            // distributed snapshot ordering: draw ONE commit timestamp for
+            // the whole transaction and publish it for every prepared gid
+            // before any COMMIT PREPARED goes out. A token >= this timestamp
+            // then sees the commit on every node at once — still-prepared
+            // participants through the registry, applied ones through their
+            // recorded commit_ts (same value, consumed by finish_prepared).
+            let commit_ts = cluster.commit_clock.next();
+            cluster
+                .commit_clock
+                .publish_all(prepared.iter().map(|(_, gid)| gid.as_str()), commit_ts);
+            // the session's own local half (local execution) must commit at
+            // the same instant, not at a later fresh draw
+            if let Some(xid) = session.current_xid() {
+                session.engine().txns.stage_commit_ts(xid, commit_ts);
+            }
+        }
         cluster.metrics.twopc_commits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         state.pending_prepared =
             prepared.into_iter().map(|((node, _), gid)| (node, gid)).collect();
@@ -663,6 +692,7 @@ impl CitrusExtension {
         }
         state.affinity.clear();
         state.local_writes = false;
+        state.snapshot_token = None;
         state.pipeline.sync();
         let _ = executor::cleanup_temp_tables(&cluster, state);
         if state.commit_cost.net_ms > 0.0 {
@@ -713,6 +743,7 @@ impl CitrusExtension {
         state.pending_prepared.clear();
         state.affinity.clear();
         state.local_writes = false;
+        state.snapshot_token = None;
         state.pipeline.sync();
         if let Ok(cluster) = self.cluster() {
             if state.trace.as_ref().is_some_and(|r| r.label() == "commit") {

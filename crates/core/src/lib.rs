@@ -42,6 +42,7 @@ pub mod executor;
 pub mod extension;
 pub mod ha;
 pub mod insert_select;
+pub mod interleave;
 pub mod maintenance;
 pub mod metadata;
 pub mod metrics;

@@ -28,7 +28,9 @@ pub struct RecoveryStats {
 }
 
 /// Does a commit record for `gid` exist on the origin coordinator?
-fn commit_record_exists(cluster: &Arc<Cluster>, origin: NodeId, gid: &str) -> PgResult<bool> {
+/// (Public: the sim's read-skew invariant asks the same question to decide
+/// whether a prepared transaction is already decided-committed.)
+pub fn commit_record_exists(cluster: &Arc<Cluster>, origin: NodeId, gid: &str) -> PgResult<bool> {
     let engine = cluster.node(origin)?.engine();
     let mut session = engine.session()?;
     let stmt = sqlparse::parse(&format!(

@@ -81,6 +81,10 @@ pub struct Session {
     last_cost: SimCost,
     total_cost: SimCost,
     stmt_counter: u64,
+    /// Distributed snapshot token: when set, statement snapshots evaluate
+    /// visibility against the shared commit clock (`TxnManager::snapshot_at`)
+    /// instead of this engine's latest local snapshot.
+    snapshot_token: Option<u64>,
 }
 
 impl Session {
@@ -98,6 +102,7 @@ impl Session {
             last_cost: SimCost::ZERO,
             total_cost: SimCost::ZERO,
             stmt_counter: 0,
+            snapshot_token: None,
         }
     }
 
@@ -162,6 +167,17 @@ impl Session {
 
     pub fn dist_txn_id(&self) -> Option<DistTxnId> {
         self.dist_id
+    }
+
+    /// Pin (or clear) the distributed snapshot token used by subsequent
+    /// statements. The distributed layer sets this on worker connections
+    /// right before forwarding a fan-out task.
+    pub fn set_snapshot_token(&mut self, token: Option<u64>) {
+        self.snapshot_token = token;
+    }
+
+    pub fn snapshot_token(&self) -> Option<u64> {
+        self.snapshot_token
     }
 
     // ---------------- statement execution ----------------
@@ -470,7 +486,10 @@ impl Session {
 
     fn make_ctx(&mut self) -> ExecCtx<'_> {
         let xid = self.xid.unwrap_or(INVALID_XID);
-        let snap = self.engine.txns.snapshot(xid);
+        let snap = match self.snapshot_token {
+            Some(token) => self.engine.txns.snapshot_at(xid, token),
+            None => self.engine.txns.snapshot(xid),
+        };
         let seed = self.id.wrapping_mul(0x9E37_79B9).wrapping_add(self.stmt_counter);
         let mut ctx = ExecCtx::new(&self.engine, snap, xid, seed);
         ctx.cost.add_cpu(self.engine.config.cost.base_plan_ms);

@@ -6,6 +6,7 @@ use crate::error::{ErrorCode, PgError, PgResult};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Transaction id. 0 is "invalid" (no transaction), like PostgreSQL.
 pub type Xid = u64;
@@ -21,6 +22,56 @@ pub enum TxStatus {
     Prepared,
 }
 
+/// Cluster-wide commit ordering: a shared logical clock that stamps every
+/// commit with a monotonically increasing timestamp, plus a registry of
+/// decided-but-not-yet-applied prepared transactions (gid → commit ts).
+///
+/// The distributed layer installs one `CommitClock` across all node engines;
+/// a coordinator-issued snapshot *token* is simply a clock reading. A commit
+/// stamped `C` is visible to a token `T` iff `C <= T` — evaluated the same
+/// way on every node — so a multi-node 2PC commit becomes visible atomically
+/// the moment the coordinator publishes its decided timestamp for all
+/// participant gids.
+#[derive(Debug, Default)]
+pub struct CommitClock {
+    counter: AtomicU64,
+    decided: Mutex<HashMap<String, u64>>,
+}
+
+impl CommitClock {
+    /// Current reading (a snapshot token): every commit stamped `<= now()`
+    /// is visible to it.
+    pub fn now(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+
+    /// Draw the next commit timestamp (strictly greater than every token
+    /// issued so far).
+    pub fn next(&self) -> u64 {
+        self.counter.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Record the decided commit timestamp for a set of prepared gids in one
+    /// step (the 2PC coordinator publishes all participants atomically,
+    /// before any `COMMIT PREPARED` is sent).
+    pub fn publish_all<'a>(&self, gids: impl IntoIterator<Item = &'a str>, ts: u64) {
+        let mut d = self.decided.lock();
+        for g in gids {
+            d.insert(g.to_string(), ts);
+        }
+    }
+
+    /// Decided timestamp for a still-prepared gid, if any.
+    pub fn decided(&self, gid: &str) -> Option<u64> {
+        self.decided.lock().get(gid).copied()
+    }
+
+    /// Consume the decided timestamp when the prepared transaction finishes.
+    fn take(&self, gid: &str) -> Option<u64> {
+        self.decided.lock().remove(gid)
+    }
+}
+
 /// An MVCC snapshot: which transactions' effects are visible.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
@@ -32,6 +83,9 @@ pub struct Snapshot {
     pub active: Vec<Xid>,
     /// The observing transaction's own xid (0 when read-only/implicit).
     pub my_xid: Xid,
+    /// Distributed snapshot token: when set, visibility ignores the local
+    /// active set and evaluates against the shared commit clock instead.
+    pub as_of: Option<u64>,
 }
 
 impl Snapshot {
@@ -54,6 +108,11 @@ struct TxnTable {
     active: BTreeSet<Xid>,
     /// gid → xid for prepared transactions.
     prepared: HashMap<String, Xid>,
+    /// xid → commit-clock timestamp, recorded at commit.
+    commit_ts: HashMap<Xid, u64>,
+    /// Pre-assigned commit timestamps (the 2PC coordinator stamps its own
+    /// local transaction half with the distributed decision's timestamp).
+    staged: HashMap<Xid, u64>,
 }
 
 /// Engine-wide transaction state.
@@ -61,11 +120,18 @@ struct TxnTable {
 pub struct TxnManager {
     next_xid: AtomicU64,
     inner: Mutex<TxnTable>,
+    /// Commit clock; engine-local by default, swapped for one shared
+    /// cluster-wide instance by the distributed layer.
+    clock: Mutex<Arc<CommitClock>>,
 }
 
 impl Default for TxnManager {
     fn default() -> Self {
-        TxnManager { next_xid: AtomicU64::new(1), inner: Mutex::new(TxnTable::default()) }
+        TxnManager {
+            next_xid: AtomicU64::new(1),
+            inner: Mutex::new(TxnTable::default()),
+            clock: Mutex::new(Arc::new(CommitClock::default())),
+        }
     }
 }
 
@@ -90,7 +156,26 @@ impl TxnManager {
         } else {
             xmax
         });
-        Snapshot { xmin, xmax, active, my_xid }
+        Snapshot { xmin, xmax, active, my_xid, as_of: None }
+    }
+
+    /// Take a snapshot pinned to a distributed snapshot token: visibility is
+    /// evaluated against the shared commit clock instead of the local active
+    /// set (see [`CommitClock`]).
+    pub fn snapshot_at(&self, my_xid: Xid, token: u64) -> Snapshot {
+        let mut snap = self.snapshot(my_xid);
+        snap.as_of = Some(token);
+        snap
+    }
+
+    /// Share a cluster-wide commit clock across engines (replaces the
+    /// engine-local default).
+    pub fn set_commit_clock(&self, clock: Arc<CommitClock>) {
+        *self.clock.lock() = clock;
+    }
+
+    pub fn commit_clock(&self) -> Arc<CommitClock> {
+        self.clock.lock().clone()
     }
 
     pub fn status(&self, xid: Xid) -> TxStatus {
@@ -107,8 +192,15 @@ impl TxnManager {
     }
 
     pub fn commit(&self, xid: Xid) {
+        let clock = self.commit_clock();
         let mut t = self.inner.lock();
+        // Draw the timestamp while holding the table lock: a token reader
+        // (who must take this lock to check status) can then never observe a
+        // drawn-but-unrecorded commit, so any token issued before this
+        // commit's timestamp stays strictly smaller than it.
+        let ts = t.staged.remove(&xid).unwrap_or_else(|| clock.next());
         t.status.insert(xid, TxStatus::Committed);
+        t.commit_ts.insert(xid, ts);
         t.active.remove(&xid);
     }
 
@@ -116,6 +208,14 @@ impl TxnManager {
         let mut t = self.inner.lock();
         t.status.insert(xid, TxStatus::Aborted);
         t.active.remove(&xid);
+        t.staged.remove(&xid);
+    }
+
+    /// Pre-assign the commit timestamp for a running transaction: the 2PC
+    /// coordinator stamps its own local half with the distributed decision's
+    /// timestamp so every node's half commits at the same clock instant.
+    pub fn stage_commit_ts(&self, xid: Xid, ts: u64) {
+        self.inner.lock().staged.insert(xid, ts);
     }
 
     /// Phase one of 2PC: transition `xid` to prepared under `gid`. The xid
@@ -137,16 +237,60 @@ impl TxnManager {
     /// Finish a prepared transaction. Returns its xid so the caller can
     /// release its locks.
     pub fn finish_prepared(&self, gid: &str, commit: bool) -> PgResult<Xid> {
+        let clock = self.commit_clock();
+        // Consume any coordinator-decided timestamp before taking the table
+        // lock (lock order is table → registry, never the reverse).
+        let decided = clock.take(gid);
         let mut t = self.inner.lock();
-        let xid = t.prepared.remove(gid).ok_or_else(|| {
-            PgError::new(
+        let Some(xid) = t.prepared.remove(gid) else {
+            drop(t);
+            if let Some(ts) = decided {
+                clock.publish_all([gid], ts);
+            }
+            return Err(PgError::new(
                 ErrorCode::InvalidTransactionState,
                 format!("prepared transaction with identifier \"{gid}\" does not exist"),
-            )
-        })?;
-        t.status.insert(xid, if commit { TxStatus::Committed } else { TxStatus::Aborted });
+            ));
+        };
+        if commit {
+            let ts = decided.unwrap_or_else(|| clock.next());
+            t.status.insert(xid, TxStatus::Committed);
+            t.commit_ts.insert(xid, ts);
+        } else {
+            t.status.insert(xid, TxStatus::Aborted);
+        }
         t.active.remove(&xid);
         Ok(xid)
+    }
+
+    /// Token visibility: had `xid` committed with a timestamp `<= token`?
+    ///
+    /// Unknown xids (truncated after commit, or WAL-restored without their
+    /// timestamps) count as infinitely old commits. A still-prepared xid is
+    /// visible iff the 2PC coordinator already published its decided
+    /// timestamp at or before the token — that is what makes a multi-node
+    /// commit atomic under tokens: the registry entry and the applied
+    /// `commit_ts` carry the same timestamp.
+    pub fn committed_at(&self, xid: Xid, token: u64) -> bool {
+        if xid == INVALID_XID {
+            return false;
+        }
+        let clock = self.commit_clock();
+        let t = self.inner.lock();
+        match t.status.get(&xid).copied() {
+            // truncated/restored commit: infinitely old
+            None => true,
+            Some(TxStatus::Committed) => t.commit_ts.get(&xid).copied().unwrap_or(0) <= token,
+            Some(TxStatus::Prepared) => {
+                // reverse lookup; the prepared map only holds in-flight 2PCs
+                t.prepared
+                    .iter()
+                    .find(|(_, &x)| x == xid)
+                    .and_then(|(gid, _)| clock.decided(gid))
+                    .map_or(false, |c| c <= token)
+            }
+            Some(TxStatus::InProgress) | Some(TxStatus::Aborted) => false,
+        }
     }
 
     /// Gids of all currently prepared transactions (the recovery daemon's
@@ -176,6 +320,24 @@ impl TxnManager {
 
 /// MVCC visibility: is a tuple with the given `xmin`/`xmax` visible to `snap`?
 pub fn tuple_visible(txns: &TxnManager, snap: &Snapshot, xmin: Xid, xmax: Xid) -> bool {
+    // Distributed snapshot token: ignore the local active set entirely and
+    // ask "had this commit happened at the token's instant?" — the same
+    // question on every node, so a multi-node commit is either visible
+    // everywhere or nowhere.
+    if let Some(token) = snap.as_of {
+        let inserted_visible =
+            (xmin == snap.my_xid && xmin != INVALID_XID) || txns.committed_at(xmin, token);
+        if !inserted_visible {
+            return false;
+        }
+        if xmax == INVALID_XID {
+            return true;
+        }
+        if xmax == snap.my_xid {
+            return false;
+        }
+        return !txns.committed_at(xmax, token);
+    }
     // Inserted by me? visible unless I also deleted it.
     let inserted_visible = if xmin == snap.my_xid && xmin != INVALID_XID {
         true
@@ -301,6 +463,85 @@ mod tests {
         tm.finish_prepared("g", true).unwrap();
         let snap2 = tm.snapshot(INVALID_XID);
         assert!(!tuple_visible(&tm, &snap2, ins, del));
+    }
+
+    #[test]
+    fn token_visibility_orders_commits() {
+        let tm = TxnManager::default();
+        let clock = tm.commit_clock();
+        let a = tm.begin();
+        let before = clock.now();
+        tm.commit(a);
+        let after = clock.now();
+        // a token drawn before the commit never sees it; drawn after, always
+        assert!(!tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, before), a, INVALID_XID));
+        assert!(tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, after), a, INVALID_XID));
+        // delete ordering follows the same rule
+        let del = tm.begin();
+        let mid = clock.now();
+        tm.commit(del);
+        let end = clock.now();
+        assert!(tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, mid), a, del));
+        assert!(!tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, end), a, del));
+    }
+
+    #[test]
+    fn token_sees_decided_prepared_commits() {
+        let tm = TxnManager::default();
+        let clock = tm.commit_clock();
+        let xid = tm.begin();
+        tm.prepare(xid, "g1").unwrap();
+        let t0 = clock.now();
+        // undecided prepared txn: invisible at any token
+        assert!(!tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, t0), xid, INVALID_XID));
+        // coordinator decides and publishes; locally still prepared, yet a
+        // token at/after the decision already sees the rows
+        let c = clock.next();
+        clock.publish_all(["g1"], c);
+        assert!(tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, c), xid, INVALID_XID));
+        assert!(!tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, t0), xid, INVALID_XID));
+        // applying the prepared commit keeps the same timestamp
+        tm.finish_prepared("g1", true).unwrap();
+        assert!(tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, c), xid, INVALID_XID));
+        assert!(!tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, t0), xid, INVALID_XID));
+    }
+
+    #[test]
+    fn token_treats_unknown_xids_as_ancient() {
+        // truncated/WAL-restored commits carry no timestamp: visible to all
+        let tm = TxnManager::default();
+        assert!(tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, 0), 12345, INVALID_XID));
+    }
+
+    #[test]
+    fn shared_clock_orders_across_managers() {
+        let clock = Arc::new(CommitClock::default());
+        let a = TxnManager::default();
+        let b = TxnManager::default();
+        a.set_commit_clock(clock.clone());
+        b.set_commit_clock(clock.clone());
+        let xa = a.begin();
+        let xb = b.begin();
+        a.commit(xa);
+        let mid = clock.now();
+        b.commit(xb);
+        // one token, evaluated on two engines, cuts the commit order cleanly
+        assert!(tuple_visible(&a, &a.snapshot_at(INVALID_XID, mid), xa, INVALID_XID));
+        assert!(!tuple_visible(&b, &b.snapshot_at(INVALID_XID, mid), xb, INVALID_XID));
+    }
+
+    #[test]
+    fn staged_timestamp_stamps_local_half() {
+        let tm = TxnManager::default();
+        let clock = tm.commit_clock();
+        let xid = tm.begin();
+        let c = clock.next();
+        tm.stage_commit_ts(xid, c);
+        // the clock moves on before the local half commits
+        let _ = clock.next();
+        tm.commit(xid);
+        assert!(tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, c), xid, INVALID_XID));
+        assert!(!tuple_visible(&tm, &tm.snapshot_at(INVALID_XID, c - 1), xid, INVALID_XID));
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub struct SimConfig {
     /// coordinator path — still a pure function of the seed, so the
     /// replay-by-seed contract is unchanged.
     pub mx_routing: bool,
+    /// Run the cluster with distributed snapshot isolation
+    /// (`ClusterConfig::snapshot_isolation`): every distributed read
+    /// evaluates under a coordinator-issued commit-clock token, checked
+    /// against the MirrorRunner oracle like any other read. Seed-derived
+    /// (even seeds) so the corpus drives both modes; the read-skew invariant
+    /// in [`check_read_skew`] knows which guarantee to hold the run to.
+    pub snapshot_isolation: bool,
 }
 
 impl SimConfig {
@@ -76,6 +83,7 @@ impl SimConfig {
             faults: true,
             tracing: false,
             mx_routing: seed % 2 == 0,
+            snapshot_isolation: seed % 2 == 0,
         }
     }
 }
@@ -652,6 +660,10 @@ pub fn check_invariants(c: &Arc<Cluster>) -> Result<(), String> {
     if !pending.is_empty() {
         return Err(format!("move journal still has pending records: {pending:?}"));
     }
+    // Decided-but-unapplied halves are a *read-skew window*, a more specific
+    // violation than "stuck prepared"; check it first so the sharper error
+    // wins when a frozen commit trips both.
+    check_read_skew(c)?;
     for node in c.nodes() {
         if !node.is_active() {
             continue;
@@ -659,6 +671,50 @@ pub fn check_invariants(c: &Arc<Cluster>) -> Result<(), String> {
         let gids = node.engine().txns.prepared_gids();
         if !gids.is_empty() {
             return Err(format!("stuck prepared transactions on {}: {gids:?}", node.name));
+        }
+    }
+    Ok(())
+}
+
+/// The cross-node read-skew invariant (§3.7.4). A prepared transaction whose
+/// durable commit record exists is *decided*: its other halves are (or will
+/// be) visible on their nodes while this node still hides it — exactly the
+/// window a concurrent multi-node read can observe half-applied.
+///
+/// * `snapshot_isolation` off: any such half IS an open anomaly window —
+///   report it as read skew. (The paper accepts this; the sim only drives
+///   this check on mode-on seeds, and the anomaly tests assert the `Err`.)
+/// * `snapshot_isolation` on: the window is harmless **iff** the decided
+///   commit timestamp was published to the commit clock before any
+///   `COMMIT PREPARED` went out, because token readers then see the frozen
+///   half through the registry. A decided gid missing from the registry
+///   would silently re-open the anomaly, so that is the violation.
+pub fn check_read_skew(c: &Arc<Cluster>) -> Result<(), String> {
+    for node in c.nodes() {
+        if !node.is_active() {
+            continue;
+        }
+        for gid in node.engine().txns.prepared_gids() {
+            let Some(origin) = citrus::extension::parse_gid_origin(&gid) else { continue };
+            let decided = recovery::commit_record_exists(c, NodeId(origin), &gid)
+                .map_err(|e| format!("commit records unreadable for {gid}: {e:?}"))?;
+            if !decided {
+                continue; // undecided: invisible everywhere, no skew possible
+            }
+            if !c.config.snapshot_isolation {
+                return Err(format!(
+                    "cross-node read skew window: {gid} decided-committed but still \
+                     prepared on {}",
+                    node.name
+                ));
+            }
+            if c.commit_clock.decided(&gid).is_none() {
+                return Err(format!(
+                    "snapshot isolation hole: {gid} decided-committed on {} but its \
+                     commit timestamp was never published to the commit clock",
+                    node.name
+                ));
+            }
         }
     }
     Ok(())
@@ -743,6 +799,7 @@ fn build_cluster(cfg: &SimConfig) -> Arc<Cluster> {
     cc.shard_count = cfg.shard_count;
     cc.executor_threads = cfg.executor_threads;
     cc.tracing = cfg.tracing;
+    cc.snapshot_isolation = cfg.snapshot_isolation;
     let c = Cluster::new(cc);
     for _ in 0..cfg.workers {
         c.add_worker().expect("add worker");
@@ -1156,7 +1213,10 @@ fn bench_arm(
 
 /// The §4 evaluation for one pattern: the identical workload-unit stream on
 /// a distributed cluster and on a single pgmini node, with per-statement
-/// virtual-latency percentiles and unit throughput for both arms.
+/// virtual-latency percentiles and unit throughput for both arms. Runs with
+/// snapshot isolation off — the paper's semantics and the committed
+/// regression baseline; [`bench_pattern_snapshot_isolation`] measures the
+/// mode-on overhead against it.
 pub fn bench_pattern(
     pattern: Pattern,
     scales: &SimScales,
@@ -1166,10 +1226,43 @@ pub fn bench_pattern(
     shard_count: u32,
     executor_threads: usize,
 ) -> PgResult<PatternBench> {
+    bench_pattern_mode(pattern, scales, seed, units, workers, shard_count, executor_threads, false)
+}
+
+/// The mode-on arm of the same evaluation: identical stream, identical
+/// cluster shape, `ClusterConfig::snapshot_isolation` enabled — so the
+/// difference in `units_per_vsec` against [`bench_pattern`] *is* the token
+/// machinery's overhead (expected: none on the virtual clock; the clock
+/// draw and registry publish are not modelled costs, and the token adds no
+/// wire traffic).
+pub fn bench_pattern_snapshot_isolation(
+    pattern: Pattern,
+    scales: &SimScales,
+    seed: u64,
+    units: u64,
+    workers: u32,
+    shard_count: u32,
+    executor_threads: usize,
+) -> PgResult<PatternBench> {
+    bench_pattern_mode(pattern, scales, seed, units, workers, shard_count, executor_threads, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_pattern_mode(
+    pattern: Pattern,
+    scales: &SimScales,
+    seed: u64,
+    units: u64,
+    workers: u32,
+    shard_count: u32,
+    executor_threads: usize,
+    snapshot_isolation: bool,
+) -> PgResult<PatternBench> {
     let mut cfg = SimConfig::new(seed);
     cfg.workers = workers;
     cfg.shard_count = shard_count;
     cfg.executor_threads = executor_threads;
+    cfg.snapshot_isolation = snapshot_isolation;
     let cluster = build_cluster(&cfg);
     // The distributed arm runs MX-routed (§2.3): tenant transactions pin to
     // their placement's worker and bypass the coordinator, cross-shard
@@ -1236,6 +1329,49 @@ mod tests {
             names.sort_unstable();
             names.dedup();
             assert_eq!(names.len(), total, "seed {seed}: duplicate DDL names");
+        }
+    }
+
+    #[test]
+    fn snapshot_isolation_covers_both_modes_across_the_corpus() {
+        // Even seeds run mode-on, odd seeds mode-off: every corpus sweep
+        // exercises both token and latest-snapshot visibility against the
+        // mirror oracle.
+        for seed in 0..16u64 {
+            assert_eq!(SimConfig::new(seed).snapshot_isolation, seed % 2 == 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn read_skew_invariant_flags_the_frozen_window_mode_off_only() {
+        for si in [false, true] {
+            let mut cc = ClusterConfig::default();
+            cc.shard_count = 8;
+            cc.snapshot_isolation = si;
+            let c = Cluster::new(cc);
+            c.add_worker().unwrap();
+            c.add_worker().unwrap();
+            let mut s = c.session().unwrap();
+            s.execute("CREATE TABLE t (k bigint, v bigint)").unwrap();
+            s.execute("SELECT create_distributed_table('t', 'k')").unwrap();
+            for k in 0..16 {
+                s.execute(&format!("INSERT INTO t VALUES ({k}, 0)")).unwrap();
+            }
+            let split = citrus::interleave::freeze_commit_prepared(&c, NodeId(2));
+            s.execute("UPDATE t SET v = v + 1").unwrap();
+            assert_eq!(split.frozen_gids().len(), 1);
+            if si {
+                // decided timestamp published before COMMIT PREPARED: token
+                // readers see the frozen half, no skew window exists
+                check_read_skew(&c).unwrap();
+                // ...but the half is still a stuck-prepared violation
+                assert!(check_invariants(&c).unwrap_err().contains("stuck prepared"));
+            } else {
+                let err = check_invariants(&c).unwrap_err();
+                assert!(err.contains("read skew"), "{err}");
+            }
+            split.release().unwrap();
+            check_invariants(&c).unwrap();
         }
     }
 

@@ -20,6 +20,13 @@ Checks:
     arm, and its ``units_per_vsec`` must not regress more than 10% against
     the committed baseline (the 3x full-run target is asserted by the full
     bench binary itself).
+  * Snapshot isolation (BENCH_snapshot_smoke.json): the mode-off arm is the
+    default everywhere else, so the mode-off/mode-on split gates both sides
+    of the feature — mode-off ``units_per_vsec`` must not regress more than
+    10% against the committed baseline (the token machinery must stay free
+    when disabled), and mode-on must stay within 10% of the *fresh* mode-off
+    arm (the token path adds no modelled cost; a gap here means tokens
+    started charging wire or planner time).
 
 The committed baseline is read from git HEAD so the smoke run that just
 overwrote the working-tree file cannot compare against itself. If a baseline
@@ -127,6 +134,43 @@ def main():
                 failures.append(
                     f"columnar vectorized units_per_vsec regressed >10%: "
                     f"{vec:.3f} < {floor:.3f} (baseline {baseline:.3f})"
+                )
+
+    new_si = fresh("BENCH_snapshot_smoke.json")
+    if new_si is None:
+        failures.append(
+            "BENCH_snapshot_smoke.json missing — run scripts/bench_workloads.sh --smoke first"
+        )
+    else:
+        off = new_si["mode_off"]["units_per_vsec"]
+        on = new_si["mode_on"]["units_per_vsec"]
+        floor = off * (1.0 - TOLERANCE)
+        status = "ok" if on >= floor else "REGRESSED"
+        print(
+            f"  snapshot isolation: mode-on {on:.3f} units/vsec vs mode-off {off:.3f} "
+            f"(floor {floor:.3f}) {status}"
+        )
+        if on < floor:
+            failures.append(
+                f"snapshot-isolation mode-on overhead exceeds 10%: "
+                f"{on:.3f} < {floor:.3f} (mode-off {off:.3f})"
+            )
+        base_si = committed("BENCH_snapshot_smoke.json")
+        if base_si is None:
+            skipped.append("no committed BENCH_snapshot_smoke.json baseline (bootstrap)")
+        else:
+            baseline = base_si["mode_off"]["units_per_vsec"]
+            floor = baseline * (1.0 - TOLERANCE)
+            status = "ok" if off >= floor else "REGRESSED"
+            print(
+                f"  snapshot mode-off: {off:.3f} units/vsec vs baseline {baseline:.3f} "
+                f"(floor {floor:.3f}) {status}"
+            )
+            if off < floor:
+                failures.append(
+                    f"mode-off units_per_vsec regressed >10% (the disabled token "
+                    f"machinery must stay free): {off:.3f} < {floor:.3f} "
+                    f"(baseline {baseline:.3f})"
                 )
 
     for s in skipped:

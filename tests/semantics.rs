@@ -7,8 +7,13 @@ use pgmini::types::Datum;
 use std::sync::Arc;
 
 fn cluster(workers: u32) -> Arc<Cluster> {
+    cluster_with(workers, false)
+}
+
+fn cluster_with(workers: u32, snapshot_isolation: bool) -> Arc<Cluster> {
     let mut cfg = ClusterConfig::default();
     cfg.shard_count = 8;
+    cfg.snapshot_isolation = snapshot_isolation;
     let c = Cluster::new(cfg);
     for _ in 0..workers {
         c.add_worker().unwrap();
@@ -16,32 +21,103 @@ fn cluster(workers: u32) -> Arc<Cluster> {
     c
 }
 
-/// §3.7.4: citrus provides atomicity but *not* distributed snapshot
-/// isolation. A concurrent multi-node read can observe a multi-node write
-/// half-applied (committed on one node, not yet on another) — the anomaly
-/// the paper explicitly accepts. This test documents that the system is
-/// still atomic *eventually*: after commit completes, no reader ever sees a
-/// partial state.
-#[test]
-fn atomic_after_commit_despite_no_snapshot_isolation() {
-    let c = cluster(3);
+/// Two keys of `pairs` whose shards live on different nodes, plus the node
+/// holding the second key (the interleaver's freeze victim).
+fn keys_on_two_nodes(c: &Arc<Cluster>) -> (i64, i64, citrus::NodeId) {
+    let meta = c.metadata.read();
+    let dt = meta.table("pairs").unwrap();
+    for a in 0..16i64 {
+        for b in 0..16i64 {
+            let ba = meta.shard_index_for_value("pairs", &Datum::Int(a)).unwrap();
+            let bb = meta.shard_index_for_value("pairs", &Datum::Int(b)).unwrap();
+            let na = meta.shard(dt.shards[ba]).unwrap().placements[0];
+            let nb = meta.shard(dt.shards[bb]).unwrap().placements[0];
+            if na != nb {
+                return (a, b, nb);
+            }
+        }
+    }
+    panic!("no two keys on different nodes");
+}
+
+/// Seed `pairs` and run a two-node value transfer (+5/-5) to COMMIT while
+/// the second key's node has its `COMMIT PREPARED` frozen. Returns the split
+/// handle and the two keys: the cluster sits in the half-applied window.
+fn transfer_under_frozen_commit(
+    c: &Arc<Cluster>,
+) -> (citrus::interleave::SplitCommit, i64, i64) {
     let mut s = c.session().unwrap();
     s.execute("CREATE TABLE pairs (k bigint PRIMARY KEY, v bigint)").unwrap();
     s.execute("SELECT create_distributed_table('pairs', 'k')").unwrap();
     for k in 0..16i64 {
         s.execute(&format!("INSERT INTO pairs VALUES ({k}, 0)")).unwrap();
     }
-    // writer: multi-node transaction moving value between two keys
+    let (ka, kb, victim) = keys_on_two_nodes(c);
+    let split = citrus::interleave::freeze_commit_prepared(c, victim);
     s.execute("BEGIN").unwrap();
-    s.execute("UPDATE pairs SET v = v + 5 WHERE k = 1").unwrap();
-    s.execute("UPDATE pairs SET v = v - 5 WHERE k = 9").unwrap();
+    s.execute(&format!("UPDATE pairs SET v = v + 5 WHERE k = {ka}")).unwrap();
+    s.execute(&format!("UPDATE pairs SET v = v - 5 WHERE k = {kb}")).unwrap();
+    // the client's COMMIT succeeds: the decision is durable, recovery owns
+    // the frozen half (§3.7.2)
     s.execute("COMMIT").unwrap();
-    // after commit, every reader sees the balanced state
+    assert_eq!(split.frozen_gids().len(), 1, "one half held open on the victim");
+    (split, ka, kb)
+}
+
+/// §3.7.4 read-skew *demonstrator*: with `snapshot_isolation` off, a
+/// concurrent multi-node read observes a committed multi-node write
+/// half-applied — the anomaly the paper explicitly accepts. The interleaver
+/// holds a two-node transfer's COMMIT between its `COMMIT PREPARED` steps;
+/// a reader in the window sees money created out of thin air. This test is
+/// kept deliberately as the negative/anomaly-documenting half of the pair:
+/// it proves the window is real, and that atomicity still holds *eventually*
+/// (after release, no reader ever sees a partial state).
+#[test]
+fn read_skew_demonstrated_without_snapshot_isolation() {
+    let c = cluster(3);
+    let (split, ka, kb) = transfer_under_frozen_commit(&c);
+    // the anomaly: +5 applied, -5 still held prepared on the victim
     let mut reader = c.session().unwrap();
     let r = reader.execute("SELECT sum(v) FROM pairs").unwrap();
-    assert_eq!(r.rows()[0][0], Datum::Int(0));
-    let r = reader.execute("SELECT v FROM pairs WHERE k = 1").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(5), "reader sees the transfer half-applied");
+    let r = reader.execute(&format!("SELECT v FROM pairs WHERE k = {ka}")).unwrap();
     assert_eq!(r.rows()[0][0], Datum::Int(5));
+    let r = reader.execute(&format!("SELECT v FROM pairs WHERE k = {kb}")).unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(0), "victim's half not yet applied");
+    // the sim invariant flags exactly this window
+    let err = workloads::sim::check_read_skew(&c).unwrap_err();
+    assert!(err.contains("read skew"), "{err}");
+    // release: recovery finishes the frozen half, atomicity is restored
+    split.release().unwrap();
+    assert!(workloads::sim::check_read_skew(&c).is_ok());
+    let r = reader.execute("SELECT sum(v) FROM pairs").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(0));
+    let r = reader.execute(&format!("SELECT v FROM pairs WHERE k = {kb}")).unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(-5));
+}
+
+/// The mirror: with `snapshot_isolation` on, the same interleaving cannot
+/// produce the anomaly. The 2PC published its decided commit timestamp for
+/// every participant before any `COMMIT PREPARED` went out, so a token
+/// reader sees the transfer atomically — the frozen, still-prepared half
+/// included — and the sim invariant stays green inside the window.
+#[test]
+fn snapshot_isolation_makes_the_anomaly_impossible() {
+    let c = cluster_with(3, true);
+    let (split, ka, kb) = transfer_under_frozen_commit(&c);
+    let mut reader = c.session().unwrap();
+    let r = reader.execute("SELECT sum(v) FROM pairs").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(0), "no token reader sees a partial commit");
+    let r = reader.execute(&format!("SELECT v FROM pairs WHERE k = {ka}")).unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(5));
+    // the frozen half is decided: token visibility reads it through the
+    // commit-clock registry even though the node still holds it prepared
+    let r = reader.execute(&format!("SELECT v FROM pairs WHERE k = {kb}")).unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(-5));
+    assert!(workloads::sim::check_read_skew(&c).is_ok(), "no skew window under tokens");
+    split.release().unwrap();
+    let r = reader.execute("SELECT sum(v) FROM pairs").unwrap();
+    assert_eq!(r.rows()[0][0], Datum::Int(0));
 }
 
 /// A failed statement inside a distributed transaction aborts everything on
