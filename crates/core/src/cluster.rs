@@ -87,6 +87,15 @@ pub struct ClusterConfig {
     /// local latest snapshot; 2PC publishes one decided timestamp for all
     /// participants, so a multi-node commit becomes visible atomically.
     pub snapshot_isolation: bool,
+    /// Generation-fence MX-pinned transactions against concurrent metadata
+    /// changes (DDL propagation, shard moves): a pinned transaction is
+    /// stamped with the metadata generation it planned against; a
+    /// mid-transaction bump that touched one of its tables aborts it with a
+    /// retryable 40001, a bump elsewhere escalates it to the coordinator
+    /// path, and metadata changes may force-abort local blockers instead of
+    /// waiting forever. Off reverts to the pre-fence behaviour (kept so the
+    /// anomaly demonstrators can show the hang / lost write it prevents).
+    pub mx_fencing: bool,
 }
 
 impl Default for ClusterConfig {
@@ -116,6 +125,7 @@ impl Default for ClusterConfig {
             pipeline: true,
             local_execution: true,
             snapshot_isolation: false,
+            mx_fencing: true,
         }
     }
 }
@@ -754,6 +764,16 @@ pub struct MxSession {
     pub routed: u64,
     /// Statements that escalated to the coordinator.
     pub escalated: u64,
+    /// Metadata generation the open pinned transaction planned against
+    /// (stamped when the block pins; refreshed on a non-conflicting bump).
+    txn_generation: Option<u64>,
+    /// Tables the open pinned transaction has referenced — the fence's
+    /// conflict set.
+    txn_tables: Vec<String>,
+    /// The open transaction already escalated once for a non-conflicting
+    /// metadata bump (the escalation is counted per transaction, not per
+    /// statement).
+    escalated_midtxn: bool,
 }
 
 impl Cluster {
@@ -769,6 +789,9 @@ impl Cluster {
             last: NodeId(0),
             routed: 0,
             escalated: 0,
+            txn_generation: None,
+            txn_tables: Vec::new(),
+            escalated_midtxn: false,
         }
     }
 }
@@ -828,8 +851,15 @@ impl MxSession {
                     self.pending_begin = false;
                     return Ok(QueryResult::Empty);
                 }
+                if matches!(stmt, Statement::Commit) {
+                    // last fence window: a conflicting bump that landed after
+                    // the final statement must not commit (rollback is always
+                    // safe — it only releases locks)
+                    self.fence_check(None)?;
+                }
                 let was_pinned = self.pinned.is_some();
                 let node = self.pinned.take().unwrap_or(self.last);
+                self.clear_txn_fence();
                 if !self.cached_live(node) {
                     if !was_pinned || matches!(stmt, Statement::Rollback) {
                         // stray txn control, or the transaction died with
@@ -843,12 +873,27 @@ impl MxSession {
                 }
                 self.last = node;
                 let (_, sess) = self.sessions.get_mut(&node).expect("live session");
+                // a SerializationFailure here means the engine fenced the
+                // transaction off (force-abort already counted at the
+                // deciding site); the guard rolled it back cleanly
                 return sess.session_mut().execute_stmt(stmt);
             }
             _ => {}
         }
+        if self.pinned.is_some() {
+            // per-statement fence window: detect metadata bumps that landed
+            // since the transaction stamped its generation
+            self.fence_check(Some(stmt))?;
+        }
         let node = self.target_for(stmt);
         let begin = self.pending_begin;
+        // stamp before executing so a bump racing the first statement is
+        // caught by the next fence window, not silently absorbed
+        let stamp = if begin && self.cluster.config.mx_fencing {
+            Some(self.cluster.metadata.read().generation())
+        } else {
+            None
+        };
         let result = {
             let sess = self.session_for(node)?;
             if begin {
@@ -859,6 +904,15 @@ impl MxSession {
         self.pending_begin = false;
         if begin {
             self.pinned = Some(node);
+            self.txn_generation = stamp;
+            self.txn_tables = crate::planner::rewrite::collect_tables(stmt);
+            self.escalated_midtxn = false;
+        } else if self.pinned == Some(node) {
+            for t in crate::planner::rewrite::collect_tables(stmt) {
+                if !self.txn_tables.contains(&t) {
+                    self.txn_tables.push(t);
+                }
+            }
         }
         self.last = node;
         if node == NodeId(0) {
@@ -866,7 +920,94 @@ impl MxSession {
         } else {
             self.routed += 1;
         }
+        if let Err(e) = &result {
+            if e.code == ErrorCode::SerializationFailure && self.pinned == Some(node) {
+                // the engine fenced the pinned transaction off mid-statement
+                // (force-abort by a blocked metadata change, counted at the
+                // deciding site): the remote transaction is already rolled
+                // back, so unpin — the retry re-resolves its route against
+                // fresh metadata
+                self.pinned = None;
+                self.clear_txn_fence();
+            }
+        }
         result
+    }
+
+    /// Forget the open transaction's fence state (commit/rollback/abort).
+    fn clear_txn_fence(&mut self) {
+        self.txn_generation = None;
+        self.txn_tables.clear();
+        self.escalated_midtxn = false;
+    }
+
+    /// Generation-fence window for the open pinned transaction. `stmt` is
+    /// the statement about to run (its tables join the conflict set); `None`
+    /// at commit. A bump that touched one of the transaction's tables rolls
+    /// the remote transaction back (locks released cleanly) and surfaces a
+    /// retryable 40001; a bump elsewhere escalates the session to the
+    /// coordinator path for the rest of the block and refreshes the stamp.
+    fn fence_check(&mut self, stmt: Option<&Statement>) -> PgResult<()> {
+        if !self.cluster.config.mx_fencing {
+            return Ok(());
+        }
+        let (Some(node), Some(stamp)) = (self.pinned, self.txn_generation) else {
+            return Ok(());
+        };
+        if let Some(s) = stmt {
+            for t in crate::planner::rewrite::collect_tables(s) {
+                if !self.txn_tables.contains(&t) {
+                    self.txn_tables.push(t);
+                }
+            }
+        }
+        let (gen_now, conflict) = {
+            let meta = self.cluster.metadata.read();
+            let g = meta.generation();
+            if g == stamp {
+                return Ok(());
+            }
+            (g, self.txn_tables.iter().any(|t| meta.changed_since(t, stamp)))
+        };
+        if conflict {
+            if self.cached_live(node) {
+                if let Some((_, sess)) = self.sessions.get_mut(&node) {
+                    let _ = sess.session_mut().execute_stmt(&Statement::Rollback);
+                }
+            }
+            self.pinned = None;
+            self.clear_txn_fence();
+            self.cluster.metrics.mx_generation_aborts.fetch_add(1, Ordering::Relaxed);
+            if self.cluster.tracer.enabled() {
+                self.cluster.tracer.record_daemon(
+                    crate::trace::Span::new("mx_fence_abort")
+                        .with("node", node.0)
+                        .with("generation", gen_now),
+                );
+            }
+            return Err(PgError::new(
+                ErrorCode::SerializationFailure,
+                "could not serialize access due to a concurrent metadata change \
+                 (MX transaction fenced; retry)",
+            ));
+        }
+        // the bump is elsewhere: the pinned node keeps the transaction (any
+        // node coordinates in MX mode) but gives up fast-path trust — the
+        // rest of the block replans through the full coordinator path
+        if !self.escalated_midtxn {
+            self.escalated_midtxn = true;
+            self.cluster.metrics.mx_midtxn_escalations.fetch_add(1, Ordering::Relaxed);
+            if self.cluster.tracer.enabled() {
+                self.cluster.tracer.record_daemon(
+                    crate::trace::Span::new("mx_midtxn_escalation")
+                        .with("node", node.0)
+                        .with("from_generation", stamp)
+                        .with("to_generation", gen_now),
+                );
+            }
+        }
+        self.txn_generation = Some(gen_now);
+        Ok(())
     }
 
     /// Distributed COPY, driven from the pinned node or the coordinator.

@@ -40,6 +40,8 @@ pub fn propagate(
         }
         Statement::Truncate { tables } => {
             let mut tasks = Vec::new();
+            let mut per_node: std::collections::BTreeMap<u32, Vec<String>> =
+                std::collections::BTreeMap::new();
             {
                 let meta = cluster.metadata.read_recursive();
                 for t in tables {
@@ -47,6 +49,7 @@ pub fn propagate(
                     for sid in &dt.shards {
                         let shard = meta.shard(*sid)?;
                         for &node in &shard.placements {
+                            per_node.entry(node.0).or_default().push(shard.physical_name());
                             tasks.push(Task {
                                 node,
                                 group: None,
@@ -59,6 +62,23 @@ pub fn propagate(
                         }
                     }
                 }
+            }
+            // bump the generation *before* the fan-out so pinned MX sessions
+            // fence at their next statement boundary, and clear any holder
+            // that would otherwise block the shard truncates forever
+            {
+                let mut meta = cluster.metadata.write();
+                for t in tables {
+                    meta.note_ddl(t);
+                }
+            }
+            for (node, physical) in &per_node {
+                crate::deadlock::fence_local_blockers(
+                    cluster,
+                    crate::metadata::NodeId(*node),
+                    physical,
+                    state.dist_txn,
+                )?;
             }
             let plan = DistPlan {
                 kind: PlannerKind::Router,
@@ -116,6 +136,10 @@ fn propagate_create_index(
 ) -> PgResult<QueryResult> {
     // apply to the local shell first so future shards inherit the index
     session.execute_local(&Statement::CreateIndex(Box::new(ci.clone())))?;
+    // propagated DDL is a metadata change: bump the generation so every
+    // node's plan cache drops entries stamped against the old schema and
+    // pinned MX sessions fence at their next statement boundary
+    cluster.metadata.write().note_ddl(&ci.table);
     let mut tasks = Vec::new();
     {
         let meta = cluster.metadata.read_recursive();
@@ -172,12 +196,15 @@ fn drop_tables(
         }
         // drop every shard, then the metadata, then the shell
         let mut tasks = Vec::new();
+        let mut per_node: std::collections::BTreeMap<u32, Vec<String>> =
+            std::collections::BTreeMap::new();
         {
             let meta = cluster.metadata.read_recursive();
             let dt = meta.require_table(name)?;
             for sid in &dt.shards {
                 let shard = meta.shard(*sid)?;
                 for &node in &shard.placements {
+                    per_node.entry(node.0).or_default().push(shard.physical_name());
                     tasks.push(Task {
                         node,
                         group: None,
@@ -190,6 +217,19 @@ fn drop_tables(
                     });
                 }
             }
+        }
+        // fence first (generation bump + holder eviction): the per-shard
+        // DROPs below take table-exclusive locks and must not stall behind
+        // an idle-in-transaction session, and no MX transaction may keep
+        // writing into a shard of a dropped table
+        cluster.metadata.write().note_ddl(name);
+        for (node, physical) in &per_node {
+            crate::deadlock::fence_local_blockers(
+                cluster,
+                crate::metadata::NodeId(*node),
+                physical,
+                state.dist_txn,
+            )?;
         }
         let plan = DistPlan {
             kind: PlannerKind::Router,

@@ -6,11 +6,21 @@
 //! *youngest* distributed transaction in the cycle is cancelled, exactly as
 //! the paper describes (wound-wait is avoided because PostgreSQL clients are
 //! not expected to retry transactions mid-protocol).
+//!
+//! A second, fence tier (gated on `ClusterConfig::mx_fencing`) breaks the
+//! loopback-DDL stall the cycle search cannot see: an MX fast-path
+//! transaction holds only local locks (no distributed id), so a propagated
+//! DDL statement or a shard move blocked behind it forms *no cycle* — it
+//! just waits forever. The per-worker lock report surfaces those local
+//! holders into the coordinator's wait graph; after a bounded wait (the
+//! engine's `deadlock_timeout`) the distributed waiter wins and the local
+//! holder is force-aborted with a retryable serialization failure.
 
 use crate::cluster::Cluster;
 use crate::metadata::NodeId;
 use pgmini::error::PgResult;
-use pgmini::lock::DistTxnId;
+use pgmini::lock::{DistTxnId, LockKey};
+use pgmini::txn::Xid;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -70,7 +80,15 @@ pub fn detect_once(cluster: &Arc<Cluster>) -> PgResult<Option<DistTxnId>> {
             .max_by_key(|d| (d.timestamp, d.number))
     });
     let Some(victim) = victim else {
-        // no cycle, or a purely local one each engine resolves itself
+        // no cycle, or a purely local one each engine resolves itself —
+        // but a distributed waiter aged behind a *local* holder is the
+        // loopback stall: no cycle ever forms, so fence the holder
+        if cluster.config.mx_fencing {
+            let fenced = fence_aged_local_holders(cluster, &mut span);
+            if fenced > 0 {
+                span.set("fenced_local_holders", fenced);
+            }
+        }
         cluster.tracer.record_daemon(span);
         return Ok(None);
     };
@@ -88,6 +106,110 @@ pub fn detect_once(cluster: &Arc<Cluster>) -> PgResult<Option<DistTxnId>> {
     );
     cluster.tracer.record_daemon(span);
     Ok(Some(victim))
+}
+
+/// The detector's fence tier: force-abort local (no distributed id)
+/// transactions that have kept a *distributed* waiter blocked for at least
+/// the engine's `deadlock_timeout`. Returns the number of holders fenced.
+fn fence_aged_local_holders(cluster: &Arc<Cluster>, span: &mut crate::trace::Span) -> u64 {
+    let mut fenced = 0u64;
+    for node in cluster.nodes() {
+        if !node.is_active() {
+            continue;
+        }
+        let engine = node.engine();
+        let timeout = engine.locks.deadlock_timeout;
+        let mut victims: Vec<Xid> = engine
+            .locks
+            .wait_edges()
+            .into_iter()
+            .filter(|e| e.waiter_dist.is_some() && e.holder_dist.is_none() && e.waited >= timeout)
+            .map(|e| e.holder)
+            .collect();
+        victims.sort_unstable();
+        victims.dedup();
+        for xid in victims {
+            if engine.force_abort_xid(xid) {
+                fenced += 1;
+                span.child(
+                    crate::trace::Span::new("deadlock.fence")
+                        .with("node", node.id.0)
+                        .with("holder", xid),
+                );
+            }
+        }
+    }
+    if fenced > 0 {
+        cluster.metrics.mx_generation_aborts.fetch_add(fenced, std::sync::atomic::Ordering::Relaxed);
+    }
+    fenced
+}
+
+/// Proactive pre-fence used by DDL propagation and the rebalancer before
+/// they take table-exclusive locks: give holders of the named physical
+/// tables on `node` one bounded wait (`deadlock_timeout`) to finish, then
+/// force-abort the survivors so the metadata change cannot stall behind an
+/// idle-in-transaction session forever (the loopback hang — the holder is
+/// not *waiting*, so no cycle ever forms). The metadata change wins;
+/// fenced transactions surface a retryable 40001 at their next statement
+/// or commit. `exclude` shields the caller's own distributed transaction;
+/// prepared transactions are never touched (`force_abort_xid` refuses
+/// them — only 2PC recovery may settle an in-doubt transaction). Returns
+/// the number of holders fenced.
+pub fn fence_local_blockers(
+    cluster: &Arc<Cluster>,
+    node: NodeId,
+    tables: &[String],
+    exclude: Option<DistTxnId>,
+) -> PgResult<u64> {
+    if !cluster.config.mx_fencing {
+        return Ok(0);
+    }
+    let engine = cluster.node(node)?.engine();
+    let keys: Vec<LockKey> = {
+        let cat = engine.catalog.read();
+        tables.iter().filter_map(|t| cat.table_id(t).ok()).map(LockKey::Table).collect()
+    };
+    if keys.is_empty() {
+        return Ok(0);
+    }
+    let timeout = engine.locks.deadlock_timeout;
+    let started = std::time::Instant::now();
+    let mut fenced = 0u64;
+    loop {
+        let mut blockers: Vec<Xid> = keys
+            .iter()
+            .flat_map(|k| engine.locks.holders_of(*k))
+            .filter(|(_, dist)| exclude.is_none() || *dist != exclude)
+            .map(|(xid, _)| xid)
+            .collect();
+        blockers.sort_unstable();
+        blockers.dedup();
+        if blockers.is_empty() {
+            break;
+        }
+        if started.elapsed() >= timeout {
+            for xid in blockers {
+                if engine.force_abort_xid(xid) {
+                    fenced += 1;
+                }
+            }
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    if fenced > 0 {
+        cluster.metrics.mx_generation_aborts.fetch_add(fenced, std::sync::atomic::Ordering::Relaxed);
+        if cluster.tracer.enabled() {
+            cluster.tracer.record_daemon(
+                crate::trace::Span::new("mx_fence.pre")
+                    .with("node", node.0)
+                    .with("tables", tables.join(","))
+                    .with("fenced", fenced),
+            );
+        }
+    }
+    Ok(fenced)
 }
 
 fn find_cycle(adj: &HashMap<GraphNode, Vec<GraphNode>>) -> Option<Vec<GraphNode>> {

@@ -785,6 +785,27 @@ fn run_local_task(
     if !cluster.node(self_node)?.is_active() {
         return Err(PgError::new(ErrorCode::ConnectionFailure, "local node is down"));
     }
+    // worker-side placement fence: a rebalancer move may have switched this
+    // task's placement away between planning and execution — a write landing
+    // in the orphan source copy would be silently lost when the source is
+    // dropped. Re-check fresh metadata before the write lands (a pure
+    // metadata read: no virtual cost, so steady-state fencing is free).
+    if task.is_write && cluster.config.mx_fencing {
+        let meta = cluster.metadata.read_recursive();
+        for sid in &task.shards {
+            let placed = meta.shard(*sid).map(|s| s.placements.contains(&self_node));
+            if !placed.unwrap_or(false) {
+                return Err(PgError::new(
+                    ErrorCode::SerializationFailure,
+                    format!(
+                        "shard {} was moved off this node by a concurrent rebalance \
+                         (plan is stale; retry)",
+                        sid.0
+                    ),
+                ));
+            }
+        }
+    }
     // the local task evaluates under the same snapshot token its remote
     // siblings carry; the client session's own token state is untouched
     let saved = session.snapshot_token();

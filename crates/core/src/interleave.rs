@@ -61,6 +61,48 @@ pub fn freeze_commit_prepared(cluster: &Arc<Cluster>, victim: NodeId) -> SplitCo
     SplitCommit { cluster: cluster.clone(), victim }
 }
 
+/// A DDL propagation frozen mid-fan-out: the statement's shard tasks error
+/// on one victim node, leaving the propagation stopped *between* its steps
+/// (generation bumped, pre-fence run, some placements applied) — the window
+/// the MX escalation drills interleave open transactions into. Created by
+/// [`freeze_ddl`].
+pub struct FrozenDdl {
+    cluster: Arc<Cluster>,
+    /// Node whose shard-level DDL steps are being swallowed.
+    pub victim: NodeId,
+}
+
+/// Arm the fabric so every statement with `tag` (`"create_index"`,
+/// `"truncate"`, `"drop_table"`) sent to `victim` fails, freezing any DDL
+/// propagation at that node's step. The coordinator-side metadata effects
+/// (generation bump, plan-cache invalidation, pre-fencing) have already
+/// happened by the time the freeze bites, so fenced MX sessions observe the
+/// bump while the DDL itself is still incomplete — the precise window the
+/// generation fence exists for.
+///
+/// Replaces any fault plan currently installed on the cluster.
+pub fn freeze_ddl(cluster: &Arc<Cluster>, victim: NodeId, tag: &str) -> FrozenDdl {
+    let plan = FaultPlan::new().with(
+        FaultRule::new(FaultOp::Statement, FaultKind::Error)
+            .on_node(victim.0)
+            .with_tag(tag)
+            .always()
+            .labeled("interleave.freeze_ddl"),
+    );
+    cluster.install_faults(plan, 0);
+    FrozenDdl { cluster: cluster.clone(), victim }
+}
+
+impl FrozenDdl {
+    /// Disarm the freeze and run one recovery pass (settling any 2PC halves
+    /// the aborted propagation left in doubt). The caller re-issues the DDL
+    /// to complete it.
+    pub fn release(self) -> PgResult<RecoveryStats> {
+        self.cluster.clear_faults();
+        recover_once(&self.cluster)
+    }
+}
+
 impl SplitCommit {
     /// Gids still prepared on the victim node — the halves the freeze is
     /// holding open (empty until a commit actually hits the freeze).
@@ -108,5 +150,31 @@ mod tests {
         let stats = split.release().unwrap();
         assert_eq!(stats.committed, 1);
         assert!(c.node(NodeId(2)).unwrap().engine().txns.prepared_gids().is_empty());
+    }
+
+    #[test]
+    fn freeze_ddl_bumps_generation_before_fanout_and_release_unblocks() {
+        let mut cfg = ClusterConfig::default();
+        cfg.shard_count = 8;
+        let c = Cluster::new(cfg);
+        c.add_worker().unwrap();
+        c.add_worker().unwrap();
+        let mut s = c.session().unwrap();
+        s.execute("CREATE TABLE t (k bigint, v bigint)").unwrap();
+        s.execute("SELECT create_distributed_table('t', 'k')").unwrap();
+        let gen_before = c.metadata.read().generation();
+        let frozen = freeze_ddl(&c, NodeId(2), "create_index");
+        assert!(
+            s.execute("CREATE INDEX i_frozen ON t (v)").is_err(),
+            "propagation must stop at the frozen node"
+        );
+        // the metadata effects precede the fan-out: concurrent MX sessions
+        // fence on the bump even though the DDL itself is incomplete
+        let meta = c.metadata.read();
+        assert!(meta.generation() > gen_before);
+        assert!(meta.changed_since("t", gen_before));
+        drop(meta);
+        frozen.release().unwrap();
+        s.execute("CREATE INDEX i_retry ON t (v)").unwrap();
     }
 }

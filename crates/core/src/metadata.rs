@@ -83,6 +83,13 @@ pub struct Metadata {
     /// moves). Cached distributed plans carry the generation they were built
     /// under and are discarded when it no longer matches.
     generation: u64,
+    /// Generation observer: table name → the generation at which that
+    /// table's placements or schema last changed. MX sessions stamp the
+    /// generation they planned against and use this to tell a *conflicting*
+    /// bump (a table their transaction touched changed — abort with a
+    /// retryable serialization failure) from a non-conflicting one (escalate
+    /// to the coordinator path and keep going).
+    changed: HashMap<String, u64>,
 }
 
 impl Metadata {
@@ -93,12 +100,33 @@ impl Metadata {
             next_shard: FIRST_SHARD_ID,
             next_colocation: 1,
             generation: 0,
+            changed: HashMap::new(),
         }
     }
 
     /// Current metadata generation (plan-cache invalidation token).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Record a placement/schema change of `table`: bump the generation and
+    /// remember which table moved it (the generation observer).
+    fn note_change(&mut self, table: &str) {
+        self.generation += 1;
+        self.changed.insert(table.to_string(), self.generation);
+    }
+
+    /// Observer entry point for propagated DDL (CREATE INDEX, TRUNCATE):
+    /// worker plan caches key on the generation, so a remote bump recorded
+    /// here invalidates them cluster-wide.
+    pub fn note_ddl(&mut self, table: &str) {
+        self.note_change(table);
+    }
+
+    /// Has `table` changed since the observer generation `since`? Drives the
+    /// conflicting/non-conflicting split of the MX fence.
+    pub fn changed_since(&self, table: &str, since: u64) -> bool {
+        self.changed.get(table).is_some_and(|&g| g > since)
     }
 
     pub fn is_citrus_table(&self, name: &str) -> bool {
@@ -123,7 +151,11 @@ impl Metadata {
 
     pub fn shard_mut(&mut self, id: ShardId) -> PgResult<&mut Shard> {
         // mutable shard access can move placements — invalidate cached plans
-        self.generation += 1;
+        // and record which table's placements moved for the MX fence
+        match self.shards.get(&id).map(|s| s.table.clone()) {
+            Some(table) => self.note_change(&table),
+            None => self.generation += 1,
+        }
         self.shards
             .get_mut(&id)
             .ok_or_else(|| PgError::internal(format!("unknown shard {}", id.0)))
@@ -194,7 +226,7 @@ impl Metadata {
                 .collect(),
         };
         let ranges = hash_ranges(shard_count);
-        self.generation += 1;
+        self.note_change(name);
         let mut ids = Vec::with_capacity(shard_count as usize);
         for (i, (min_hash, max_hash)) in ranges.into_iter().enumerate() {
             let id = ShardId(self.next_shard);
@@ -228,7 +260,7 @@ impl Metadata {
     /// Mark a distributed table's placements as columnar (recorded after
     /// registration, from the shell table's access method).
     pub fn mark_columnar(&mut self, name: &str) -> PgResult<()> {
-        self.generation += 1;
+        self.note_change(name);
         match self.tables.get_mut(name) {
             Some(t) => {
                 t.columnar = true;
@@ -248,7 +280,7 @@ impl Metadata {
         }
         let id = ShardId(self.next_shard);
         self.next_shard += 1;
-        self.generation += 1;
+        self.note_change(name);
         self.shards.insert(
             id,
             Shard {
@@ -277,7 +309,7 @@ impl Metadata {
         let meta = self.tables.remove(name).ok_or_else(|| {
             PgError::new(ErrorCode::UndefinedTable, format!("\"{name}\" is not a citrus table"))
         })?;
-        self.generation += 1;
+        self.note_change(name);
         Ok(meta
             .shards
             .iter()

@@ -122,6 +122,14 @@ pub struct Metrics {
     /// Journaled moves rolled forward by the move-recovery pass (crashed at
     /// or after the switch; source drop finished).
     pub moves_rolled_forward: AtomicU64,
+    /// MX transactions aborted by the generation fence (a concurrent DDL or
+    /// shard move touched a table the pinned transaction planned against, or
+    /// a local holder was force-aborted to unblock a metadata change). The
+    /// abort is surfaced as SQLSTATE 40001 and is retryable.
+    pub mx_generation_aborts: AtomicU64,
+    /// MX transactions that saw a *non-conflicting* metadata bump mid-flight
+    /// and escalated to the coordinator path for the rest of the transaction.
+    pub mx_midtxn_escalations: AtomicU64,
     statements: Mutex<BTreeMap<u64, StatEntry>>,
 }
 

@@ -591,4 +591,46 @@ mod tests {
         }
         assert!(cache.stats().entries <= MAX_ENTRIES);
     }
+
+    /// Regression: propagated DDL issued on the *coordinator* must
+    /// invalidate the plan caches of MX workers. Every node's cache entries
+    /// are stamped with the shared metadata generation, so the bug was that
+    /// DDL propagation never bumped the generation at all — worker caches
+    /// kept serving entries planned against the old schema.
+    #[test]
+    fn remote_ddl_generation_bump_invalidates_worker_plan_cache() {
+        let mut cfg = crate::cluster::ClusterConfig::default();
+        cfg.shard_count = 8;
+        let c = crate::cluster::Cluster::new(cfg);
+        c.add_worker().unwrap();
+        c.add_worker().unwrap();
+        let mut s = c.session().unwrap();
+        s.execute("CREATE TABLE t (k bigint, v bigint)").unwrap();
+        s.execute("SELECT create_distributed_table('t', 'k')").unwrap();
+
+        // warm one worker's cache through the MX routed path
+        let mut mx = c.mx_session();
+        mx.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+        let worker = mx.last_node();
+        assert_ne!(worker, crate::metadata::NodeId(0), "fast-path insert routes to a worker");
+        mx.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+        let ext = c.extension(worker).unwrap();
+        let warmed = ext.plan_cache_stats();
+        assert!(warmed.hits >= 1, "same shape re-plans from the worker cache: {warmed:?}");
+
+        // remote DDL on the coordinator: the generation bump must evict the
+        // worker's stale entry (next same-shape statement misses, then the
+        // refilled entry hits again)
+        s.execute("CREATE INDEX t_v_idx ON t (v)").unwrap();
+        mx.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+        let after = ext.plan_cache_stats();
+        assert_eq!(
+            after.misses,
+            warmed.misses + 1,
+            "remote generation bump invalidates the worker cache: {after:?}"
+        );
+        assert_eq!(after.hits, warmed.hits, "the post-DDL statement must not hit");
+        mx.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+        assert_eq!(ext.plan_cache_stats().hits, warmed.hits + 1, "cache refills after the bump");
+    }
 }

@@ -428,7 +428,28 @@ fn run_move(
     // phase 3+4: write-locked catch-up, then the metadata switch. Locks are
     // released on *every* exit path so an injected fault never wedges the
     // source shards.
+    //
+    // The exclusive acquires below would stall forever behind an idle-in-
+    // transaction session pinned to the source (the holder is not waiting,
+    // so no deadlock cycle ever forms): pre-fence such holders — bounded
+    // wait, then force-abort with a retryable 40001 — before taking the
+    // locks. The lock transaction itself is registered with a distributed
+    // id (and a cancel flag) so the wait graph and per-worker lock reports
+    // see the move as a distributed waiter, not an anonymous local one.
+    let physical_names: Vec<String> =
+        table_ids.iter().map(|(_, _, physical)| physical.clone()).collect();
+    let move_dist = pgmini::lock::DistTxnId {
+        origin_node: 0,
+        number: move_id,
+        timestamp: move_id,
+    };
+    crate::deadlock::fence_local_blockers(cluster, from, &physical_names, Some(move_dist))?;
     let lock_xid = src_engine.txns.begin();
+    src_engine.locks.register_txn(
+        lock_xid,
+        std::sync::Arc::new(std::sync::atomic::AtomicU8::new(0)),
+        Some(move_dist),
+    );
     let locked = (|| -> PgResult<u64> {
         for (src_id, _, _) in &table_ids {
             src_engine.locks.acquire(lock_xid, LockKey::Table(*src_id), LockMode::Exclusive)?;

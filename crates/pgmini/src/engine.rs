@@ -458,6 +458,26 @@ impl Engine {
         Ok(total)
     }
 
+    /// Force-abort a transaction from outside its owning session (the
+    /// metadata-fence victim path): mark it aborted in the MVCC status map
+    /// (its versions become invisible), WAL-log the abort, raise the owner's
+    /// fence flag, and release every lock it holds so blocked distributed
+    /// operations can proceed. The owning session discovers the abort at its
+    /// next statement (or blocked lock wait) and surfaces a retryable
+    /// serialization failure. Returns false for unknown/finished xids.
+    pub fn force_abort_xid(&self, xid: Xid) -> bool {
+        if self.txns.status(xid) != crate::txn::TxStatus::InProgress {
+            return false;
+        }
+        // flag first: if the victim is blocked in the lock manager it must
+        // wake with the fence error, and release_all drops its registration
+        self.locks.fence_xid(xid);
+        self.txns.abort(xid);
+        self.wal.append(WalRecord::Abort { xid });
+        self.locks.release_all(xid);
+        true
+    }
+
     // ---------------- replication / recovery ----------------
 
     /// Rebuild an engine from a WAL stream, stopping after `upto` records

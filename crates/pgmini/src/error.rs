@@ -22,6 +22,9 @@ pub enum ErrorCode {
     NotNullViolation,
     /// 40P01 — deadlock detected.
     DeadlockDetected,
+    /// 40001 — serialization failure (e.g. a transaction fenced off by a
+    /// concurrent metadata change; retrying the transaction can succeed).
+    SerializationFailure,
     /// 57014 — query cancelled (e.g. by the distributed deadlock detector).
     QueryCanceled,
     /// 25xxx — invalid transaction state (e.g. COMMIT PREPARED of unknown gid).
@@ -54,6 +57,7 @@ impl ErrorCode {
             ErrorCode::ForeignKeyViolation => "23503",
             ErrorCode::NotNullViolation => "23502",
             ErrorCode::DeadlockDetected => "40P01",
+            ErrorCode::SerializationFailure => "40001",
             ErrorCode::QueryCanceled => "57014",
             ErrorCode::InvalidTransactionState => "25000",
             ErrorCode::FeatureNotSupported => "0A000",
@@ -98,7 +102,12 @@ impl PgError {
     /// True when retrying the whole transaction could succeed (deadlock or
     /// cancellation), which is how benchmark drivers treat these conditions.
     pub fn is_retryable(&self) -> bool {
-        matches!(self.code, ErrorCode::DeadlockDetected | ErrorCode::QueryCanceled)
+        matches!(
+            self.code,
+            ErrorCode::DeadlockDetected
+                | ErrorCode::QueryCanceled
+                | ErrorCode::SerializationFailure
+        )
     }
 }
 
@@ -134,6 +143,7 @@ mod tests {
     fn retryable_classification() {
         assert!(PgError::new(ErrorCode::DeadlockDetected, "x").is_retryable());
         assert!(PgError::new(ErrorCode::QueryCanceled, "x").is_retryable());
+        assert!(PgError::new(ErrorCode::SerializationFailure, "x").is_retryable());
         assert!(!PgError::new(ErrorCode::UniqueViolation, "x").is_retryable());
     }
 

@@ -58,6 +58,9 @@ pub struct DistTxnId {
 pub const CANCEL_NONE: u8 = 0;
 pub const CANCEL_QUERY: u8 = 1;
 pub const CANCEL_DEADLOCK: u8 = 2;
+/// The transaction was force-aborted by a metadata fence (its locks are
+/// already released); the session surfaces a retryable serialization failure.
+pub const CANCEL_FENCE: u8 = 3;
 
 /// Shared per-session cancellation flag.
 pub type CancelFlag = Arc<AtomicU8>;
@@ -69,6 +72,21 @@ pub struct WaitEdge {
     pub holder: Xid,
     pub waiter_dist: Option<DistTxnId>,
     pub holder_dist: Option<DistTxnId>,
+    /// How long the waiter has been blocked (the distributed detector's
+    /// bounded-wait tier compares this against `deadlock_timeout`).
+    pub waited: Duration,
+}
+
+/// One held lock, as surfaced by [`LockManager::lock_report`]: the
+/// per-worker report the distributed layer merges into the coordinator's
+/// wait graph so it can see purely-local (MX fast path) lock holders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockHolder {
+    pub key: LockKey,
+    pub xid: Xid,
+    pub mode: LockMode,
+    /// `None` means the holder is invisible to distributed-id graph merging.
+    pub dist: Option<DistTxnId>,
 }
 
 #[derive(Debug, Default)]
@@ -84,6 +102,8 @@ struct LockState {
     held: HashMap<Xid, Vec<LockKey>>,
     /// xid → the key it is currently blocked on.
     waiting_on: HashMap<Xid, LockKey>,
+    /// xid → when it started blocking (drives `WaitEdge::waited`).
+    waiting_since: HashMap<Xid, std::time::Instant>,
     cancel: HashMap<Xid, CancelFlag>,
     dist: HashMap<Xid, DistTxnId>,
 }
@@ -120,12 +140,18 @@ impl LockState {
                 .get(key)
                 .and_then(|e| e.waiters.iter().find(|&&(x, _)| x == waiter).map(|&(_, m)| m))
                 .unwrap_or(LockMode::Exclusive);
+            let waited = self
+                .waiting_since
+                .get(&waiter)
+                .map(|t| t.elapsed())
+                .unwrap_or(Duration::ZERO);
             for holder in self.conflicting_holders(key, waiter, mode) {
                 out.push(WaitEdge {
                     waiter,
                     holder,
                     waiter_dist: self.dist.get(&waiter).copied(),
                     holder_dist: self.dist.get(&holder).copied(),
+                    waited,
                 });
             }
         }
@@ -224,6 +250,7 @@ impl LockManager {
         // slow path: enqueue and wait
         s.locks.get_mut(&key).expect("present").waiters.push((xid, mode));
         s.waiting_on.insert(xid, key);
+        s.waiting_since.insert(xid, std::time::Instant::now());
         let cancel = s.cancel.get(&xid).cloned();
         let started = std::time::Instant::now();
         let mut deadlock_checked = false;
@@ -236,14 +263,20 @@ impl LockManager {
                     reason => {
                         self.remove_waiter(&mut s, xid, key);
                         flag.store(CANCEL_NONE, Ordering::SeqCst);
-                        return Err(if reason == CANCEL_DEADLOCK {
-                            PgError::new(
+                        return Err(match reason {
+                            CANCEL_DEADLOCK => PgError::new(
                                 ErrorCode::DeadlockDetected,
                                 "canceling the transaction since it was involved in a \
                                  distributed deadlock",
-                            )
-                        } else {
-                            PgError::new(ErrorCode::QueryCanceled, "canceling statement due to user request")
+                            ),
+                            CANCEL_FENCE => PgError::new(
+                                ErrorCode::SerializationFailure,
+                                "canceling statement due to a conflicting metadata change",
+                            ),
+                            _ => PgError::new(
+                                ErrorCode::QueryCanceled,
+                                "canceling statement due to user request",
+                            ),
                         });
                     }
                 }
@@ -259,6 +292,7 @@ impl LockManager {
                 entry.waiters.retain(|&(x, _)| x != xid);
                 upgrade_or_add(entry, xid, mode);
                 s.waiting_on.remove(&xid);
+                s.waiting_since.remove(&xid);
                 s.held.entry(xid).or_default().push(key);
                 return Ok(());
             }
@@ -287,6 +321,7 @@ impl LockManager {
             e.waiters.retain(|&(x, _)| x != xid);
         }
         s.waiting_on.remove(&xid);
+        s.waiting_since.remove(&xid);
     }
 
     /// Release everything `xid` holds (commit, abort, or COMMIT PREPARED).
@@ -303,6 +338,7 @@ impl LockManager {
             }
         }
         s.waiting_on.remove(&xid);
+        s.waiting_since.remove(&xid);
         s.cancel.remove(&xid);
         s.dist.remove(&xid);
         self.cond.notify_all();
@@ -348,6 +384,49 @@ impl LockManager {
         drop(s);
         self.cond.notify_all();
         hit.is_some()
+    }
+
+    /// Mark a specific local transaction as a metadata-fence victim: its
+    /// next cancel-flag check (blocked acquire or statement boundary) raises
+    /// a retryable serialization failure. Returns true when the flag of a
+    /// registered transaction was raised.
+    pub fn fence_xid(&self, xid: Xid) -> bool {
+        let s = self.state.lock();
+        let hit = s.cancel.get(&xid).map(|f| {
+            f.store(CANCEL_FENCE, Ordering::SeqCst);
+        });
+        drop(s);
+        self.cond.notify_all();
+        hit.is_some()
+    }
+
+    /// Per-worker lock report: every held lock with its holder's identity.
+    /// The distributed layer's fence tier uses this to find purely-local
+    /// holders (`dist == None`) that block distributed operations.
+    pub fn lock_report(&self) -> Vec<LockHolder> {
+        let s = self.state.lock();
+        let mut out = Vec::new();
+        for (key, entry) in &s.locks {
+            for &(xid, mode) in &entry.holders {
+                out.push(LockHolder { key: *key, xid, mode, dist: s.dist.get(&xid).copied() });
+            }
+        }
+        out.sort_by_key(|h| h.xid);
+        out
+    }
+
+    /// Holders of `key` (the targeted flavour of [`Self::lock_report`]).
+    pub fn holders_of(&self, key: LockKey) -> Vec<(Xid, Option<DistTxnId>)> {
+        let s = self.state.lock();
+        s.locks
+            .get(&key)
+            .map(|e| {
+                e.holders
+                    .iter()
+                    .map(|&(xid, _)| (xid, s.dist.get(&xid).copied()))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Number of transactions currently blocked.
@@ -503,6 +582,63 @@ mod tests {
         let err = lm.acquire(2, LockKey::Row(T, 1), LockMode::Exclusive).unwrap_err();
         assert_eq!(err.code, ErrorCode::QueryCanceled);
         lm.release_all(1);
+    }
+
+    #[test]
+    fn fence_xid_wakes_waiter_with_serialization_failure() {
+        let lm = Arc::new(LockManager::default());
+        lm.register_txn(1, flag(), None);
+        lm.acquire(1, LockKey::Row(T, 3), LockMode::Exclusive).unwrap();
+        let lm2 = lm.clone();
+        let h = thread::spawn(move || {
+            lm2.register_txn(2, flag(), None);
+            lm2.acquire(2, LockKey::Row(T, 3), LockMode::Exclusive)
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert!(lm.fence_xid(2));
+        let err = h.join().unwrap().unwrap_err();
+        assert_eq!(err.code, ErrorCode::SerializationFailure);
+        lm.release_all(1);
+        lm.release_all(2);
+    }
+
+    #[test]
+    fn lock_report_distinguishes_local_and_distributed_holders() {
+        let lm = LockManager::default();
+        let d = DistTxnId { origin_node: 1, number: 7, timestamp: 70 };
+        lm.register_txn(1, flag(), None);
+        lm.register_txn(2, flag(), Some(d));
+        lm.acquire(1, LockKey::Table(T), LockMode::Shared).unwrap();
+        lm.acquire(2, LockKey::Table(T), LockMode::Shared).unwrap();
+        let report = lm.lock_report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].xid, 1);
+        assert_eq!(report[0].dist, None);
+        assert_eq!(report[1].xid, 2);
+        assert_eq!(report[1].dist, Some(d));
+        let holders = lm.holders_of(LockKey::Table(T));
+        assert_eq!(holders, vec![(1, None), (2, Some(d))]);
+        lm.release_all(1);
+        lm.release_all(2);
+    }
+
+    #[test]
+    fn wait_edges_carry_wait_age() {
+        let lm = Arc::new(LockManager::default());
+        lm.register_txn(1, flag(), None);
+        lm.acquire(1, LockKey::Row(T, 9), LockMode::Exclusive).unwrap();
+        let lm2 = lm.clone();
+        let h = thread::spawn(move || {
+            lm2.register_txn(2, flag(), None);
+            let _ = lm2.acquire(2, LockKey::Row(T, 9), LockMode::Exclusive);
+            lm2.release_all(2);
+        });
+        thread::sleep(Duration::from_millis(30));
+        let edges = lm.wait_edges();
+        assert_eq!(edges.len(), 1);
+        assert!(edges[0].waited >= Duration::from_millis(10));
+        lm.release_all(1);
+        h.join().unwrap();
     }
 
     #[test]

@@ -238,8 +238,24 @@ impl Session {
         // transaction, but COMMIT/ROLLBACK must still run so the transaction
         // (here and on any node that shares its fate) can clean up — exactly
         // like PostgreSQL processing a pending cancel interrupt
-        if self.cancel.load(Ordering::SeqCst) != CANCEL_NONE {
+        let pending_cancel = self.cancel.load(Ordering::SeqCst);
+        if pending_cancel != CANCEL_NONE {
             self.cancel.store(CANCEL_NONE, Ordering::SeqCst);
+            if pending_cancel == crate::lock::CANCEL_FENCE {
+                // the transaction was force-aborted under us by a metadata
+                // fence: engine-side state (txn status, locks) is already
+                // gone, so drop the session half and surface the retryable
+                // serialization failure. A plain ROLLBACK stays silent.
+                self.rollback_current();
+                if !matches!(stmt, Statement::Rollback) {
+                    return Err(PgError::new(
+                        ErrorCode::SerializationFailure,
+                        "could not serialize access due to a concurrent metadata change \
+                         (transaction fenced; retry)",
+                    ));
+                }
+                return Ok(QueryResult::Empty);
+            }
             if matches!(stmt, Statement::Commit | Statement::Rollback) {
                 if self.explicit_txn && self.xid.is_some() {
                     self.txn_failed = true;
@@ -416,6 +432,16 @@ impl Session {
             self.explicit_txn = false;
             return Ok(());
         };
+        // a force-aborted (fenced) transaction must never commit: its writes
+        // were already rolled back engine-side
+        if self.engine.txns.status(xid) == crate::txn::TxStatus::Aborted {
+            self.rollback_current();
+            return Err(PgError::new(
+                ErrorCode::SerializationFailure,
+                "could not commit: transaction was aborted by a concurrent metadata \
+                 change (retry)",
+            ));
+        }
         if let Some(ext) = self.engine.hooks.installed() {
             if let Err(e) = ext.pre_commit(self) {
                 self.rollback_current();

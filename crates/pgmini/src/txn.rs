@@ -194,6 +194,12 @@ impl TxnManager {
     pub fn commit(&self, xid: Xid) {
         let clock = self.commit_clock();
         let mut t = self.inner.lock();
+        // a force-aborted xid stays aborted (its effects were already undone)
+        if t.status.get(&xid) == Some(&TxStatus::Aborted) {
+            t.active.remove(&xid);
+            t.staged.remove(&xid);
+            return;
+        }
         // Draw the timestamp while holding the table lock: a token reader
         // (who must take this lock to check status) can then never observe a
         // drawn-but-unrecorded commit, so any token issued before this

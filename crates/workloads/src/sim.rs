@@ -70,6 +70,13 @@ pub struct SimConfig {
     /// (even seeds) so the corpus drives both modes; the read-skew invariant
     /// in [`check_read_skew`] knows which guarantee to hold the run to.
     pub snapshot_isolation: bool,
+    /// Grow the schedule with [`SimEvent::MxInterleave`] events: open MX
+    /// transactions that a propagated DDL, a frozen-mid-fan-out DDL
+    /// ([`citrus::interleave::freeze_ddl`]), or a shard move interleaves
+    /// into at a statement boundary — the generation-fence drill. Off by
+    /// default so the existing seed corpus (schedules, fingerprints) is
+    /// byte-identical with the flag absent.
+    pub mx_ddl_interleave: bool,
 }
 
 impl SimConfig {
@@ -84,6 +91,7 @@ impl SimConfig {
             tracing: false,
             mx_routing: seed % 2 == 0,
             snapshot_isolation: seed % 2 == 0,
+            mx_ddl_interleave: false,
         }
     }
 }
@@ -139,8 +147,37 @@ pub enum SimEvent {
     /// One maintenance-daemon pass: deadlock detection, 2PC recovery, move
     /// recovery.
     Maintenance,
+    /// Generation-fence drill (only generated when
+    /// [`SimConfig::mx_ddl_interleave`] is on): open an MX transaction, land
+    /// a write, then interleave a metadata change of the selected flavor
+    /// into it from the coordinator before the transaction's next statement.
+    /// `sel` keeps index names unique and picks move buckets, like
+    /// `Ddl::n`.
+    MxInterleave { kind: MxInterleaveKind, sel: u32 },
     /// Deliberately plant a metadata bug (mutation testing only).
     Corrupt { kind: CorruptKind },
+}
+
+/// Which metadata change an [`SimEvent::MxInterleave`] drives into the open
+/// MX transaction — each flavor lands in a different arm of the escalation
+/// contract (DESIGN.md §9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MxInterleaveKind {
+    /// Propagated CREATE INDEX on the table the transaction planned
+    /// against: conflicting bump, the transaction must fence with a
+    /// retryable 40001 and succeed on retry.
+    ConflictDdl,
+    /// Propagated CREATE INDEX on an unrelated table: non-conflicting bump,
+    /// the transaction escalates to the coordinator path and commits.
+    EscalateDdl,
+    /// Shard move of a drill bucket: the pre-fence (same placement) or the
+    /// metadata switch (any placement) fences the transaction; the retry
+    /// re-resolves its route against the moved placement.
+    Move,
+    /// DDL frozen mid-fan-out by [`citrus::interleave::freeze_ddl`]: the
+    /// generation bump precedes the stuck fan-out, so the transaction
+    /// fences *inside* the propagation window.
+    FrozenDdl,
 }
 
 /// The planted metadata bugs the mutation tests use.
@@ -229,11 +266,23 @@ pub fn derive_schedule(cfg: &SimConfig) -> Vec<SimEvent> {
         let at = rng.random_range(0..=events.len());
         events.insert(at, SimEvent::Failover { worker_sel: rng.random_range(0..cfg.workers) });
     }
+    if cfg.mx_ddl_interleave {
+        // one drill of every flavor, spliced at seed-chosen points; extra
+        // rng draws happen only with the flag on, so flag-off schedules are
+        // byte-identical to the historical corpus
+        use MxInterleaveKind::*;
+        for kind in [ConflictDdl, EscalateDdl, Move, FrozenDdl] {
+            let at = rng.random_range(0..=events.len());
+            events.insert(at, SimEvent::MxInterleave { kind, sel: 0 });
+        }
+    }
     events.push(SimEvent::Maintenance);
     // unique DDL index names, stable under shrinking
     for (i, e) in events.iter_mut().enumerate() {
-        if let SimEvent::Ddl { n } = e {
-            *n = i as u32;
+        match e {
+            SimEvent::Ddl { n } => *n = i as u32,
+            SimEvent::MxInterleave { sel, .. } => *sel = i as u32,
+            _ => {}
         }
     }
     events
@@ -744,6 +793,13 @@ pub struct SimReport {
     pub mx_routed: u64,
     /// Statements the MX session escalated to the coordinator.
     pub mx_escalated: u64,
+    /// `Metrics::mx_generation_aborts` at the end of the run — nonzero only
+    /// when the schedule carried drill events (`mx_ddl_interleave`).
+    pub mx_generation_aborts: u64,
+    /// `Metrics::mx_midtxn_escalations` at the end of the run — ditto.
+    pub mx_midtxn_escalations: u64,
+    /// Drill transactions that committed (first attempt or 40001 retry).
+    pub drill_commits: u64,
 }
 
 /// A failed run: the index of the offending event plus what went wrong.
@@ -839,6 +895,195 @@ fn apply_corruption(c: &Arc<Cluster>, kind: CorruptKind) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------- MX DDL-interleave drill ----------------
+
+/// Model of the drill table's committed contents — the lost-write oracle
+/// for the generation fence. Every committed drill transaction contributes
+/// exactly one row with `v = 2`; a write that landed in a moved-away or
+/// dropped shard copy shows up as a short count (and as an orphan physical
+/// table in [`check_invariants`]).
+struct DrillState {
+    next_key: i64,
+    committed: i64,
+}
+
+/// One generation-fence drill: open an MX transaction, land its first
+/// write (pinning the session), interleave a metadata change of `kind`
+/// from the coordinator, then drive the transaction's next statement and
+/// COMMIT through the fence. A conflicting change must surface as a
+/// retryable 40001 — never a hang, never a lost write — and the retry must
+/// commit against fresh metadata.
+fn run_mx_interleave(
+    cluster: &Arc<Cluster>,
+    cfg: &SimConfig,
+    drill: &mut DrillState,
+    kind: MxInterleaveKind,
+    sel: u32,
+    injectors: &mut Vec<Arc<netsim::fault::FaultInjector>>,
+) -> Result<(), String> {
+    let k = drill.next_key;
+    drill.next_key += 1;
+    let site = |s: &'static str| move |e: PgError| format!("drill {s}: {e:?}");
+
+    let mut mx = cluster.mx_session();
+    let open = |mx: &mut citrus::cluster::MxSession| -> PgResult<()> {
+        mx.execute("BEGIN")?;
+        mx.execute(&format!("INSERT INTO mx_drill VALUES ({k}, 1)"))?;
+        Ok(())
+    };
+    let finish = |mx: &mut citrus::cluster::MxSession| -> PgResult<()> {
+        mx.execute(&format!("UPDATE mx_drill SET v = v + 1 WHERE k = {k}"))?;
+        mx.execute("COMMIT")?;
+        Ok(())
+    };
+    open(&mut mx).map_err(site("open"))?;
+
+    // a propagated CREATE INDEX bumps the generation *before* its fan-out,
+    // so even a chaos-aborted propagation leaves the fence armed — mirror
+    // the base Ddl event's tolerance for injected connection failures
+    let ddl = |s: &mut citrus::cluster::ClientSession, sql: &str| -> PgResult<()> {
+        match s.execute(sql) {
+            Ok(_) => Ok(()),
+            Err(e) if e.code == ErrorCode::ConnectionFailure => Ok(()),
+            Err(e) => Err(e),
+        }
+    };
+
+    // the interleaved metadata change; `must_fence` = the change touched
+    // the transaction's table, so surviving to COMMIT would be the exact
+    // stale-plan anomaly the fence exists to kill
+    let mut must_fence = true;
+    match kind {
+        MxInterleaveKind::ConflictDdl => {
+            let mut s = cluster.session().map_err(site("session open"))?;
+            ddl(&mut s, &format!("CREATE INDEX mx_drill_idx_{sel} ON mx_drill (v)"))
+                .map_err(site("conflict ddl"))?;
+        }
+        MxInterleaveKind::EscalateDdl => {
+            let mut s = cluster.session().map_err(site("session open"))?;
+            ddl(&mut s, &format!("CREATE INDEX mx_by_idx_{sel} ON mx_bystander (v)"))
+                .map_err(site("bystander ddl"))?;
+            must_fence = false;
+        }
+        MxInterleaveKind::Move => {
+            let (bucket, from) = {
+                let meta = cluster.metadata.read();
+                let t = meta.table("mx_drill").ok_or("mx_drill missing")?;
+                let bucket = (sel as usize) % t.shards.len();
+                let shard = meta.shard(t.shards[bucket]).map_err(|e| format!("{e:?}"))?;
+                let from =
+                    *shard.placements.first().ok_or("drill shard without placement")?;
+                (bucket, from)
+            };
+            let to = cluster
+                .worker_ids()
+                .into_iter()
+                .find(|w| *w != from && cluster.node(*w).map(|n| n.is_active()).unwrap_or(false))
+                .ok_or("no active move target for the drill")?;
+            match rebalancer::move_shard_group(cluster, "mx_drill", bucket, from, to) {
+                Ok(_) => {}
+                Err(_) => {
+                    // chaos killed the move before (or after) the metadata
+                    // switch; journal recovery restores the invariant and
+                    // the transaction may legitimately commit unfenced
+                    rebalancer::recover_moves(cluster).map_err(site("move recovery"))?;
+                    must_fence = false;
+                }
+            }
+        }
+        MxInterleaveKind::FrozenDdl => {
+            // freeze the propagation between its steps: generation bumped
+            // and pre-fence run, shard index unbuilt on the victim. The
+            // open transaction is driven through the fence INSIDE this
+            // window — the precise interleaving the contract covers.
+            let victim = cluster
+                .worker_ids()
+                .into_iter()
+                .find(|w| cluster.node(*w).map(|n| n.is_active()).unwrap_or(false))
+                .ok_or("no active worker to freeze")?;
+            let frozen = citrus::interleave::freeze_ddl(cluster, victim, "create_index");
+            let mut s = cluster.session().map_err(site("session open"))?;
+            if s.execute(&format!("CREATE INDEX mx_fz_idx_{sel} ON mx_drill (v)")).is_ok() {
+                return Err("frozen CREATE INDEX unexpectedly completed".into());
+            }
+            match finish(&mut mx) {
+                Err(e) if e.code == ErrorCode::SerializationFailure => {}
+                Ok(()) => {
+                    return Err(
+                        "drill FrozenDdl: transaction survived inside the frozen window".into()
+                    )
+                }
+                Err(e) => return Err(format!("drill FrozenDdl: unexpected error {e:?}")),
+            }
+            frozen.release().map_err(site("freeze release"))?;
+            if cfg.faults {
+                injectors.push(cluster.install_faults(chaos_plan(cfg), cfg.seed));
+            }
+            // complete the DDL under a fresh name (the half-propagated
+            // index is harmless; re-using the name would trip on the
+            // already-applied local shell)
+            ddl(&mut s, &format!("CREATE INDEX mx_fz_idx_{sel}_r ON mx_drill (v)"))
+                .map_err(site("frozen ddl completion"))?;
+            // the fenced transaction retries cleanly after the window
+            open(&mut mx).map_err(site("frozen retry open"))?;
+            finish(&mut mx).map_err(site("frozen retry finish"))?;
+            drill.committed += 1;
+            return Ok(());
+        }
+    }
+
+    match finish(&mut mx) {
+        Ok(()) => {
+            if must_fence {
+                return Err(format!(
+                    "drill {kind:?}: open MX transaction survived a conflicting metadata change"
+                ));
+            }
+        }
+        Err(e) if e.code == ErrorCode::SerializationFailure => {
+            // the fence's contract: the abort is clean (locks released,
+            // session unpinned) and retryable — rerun the transaction
+            // against fresh metadata
+            open(&mut mx).map_err(site("retry open"))?;
+            finish(&mut mx).map_err(site("retry finish"))?;
+        }
+        Err(e) => return Err(format!("drill {kind:?}: unexpected error {e:?}")),
+    }
+    drill.committed += 1;
+    Ok(())
+}
+
+/// Read the drill table back through the coordinator and compare against
+/// the model — the lost/orphan-write check, with the same bounded client
+/// re-submission chaos allowance as [`MirrorRunner::dist_run`].
+fn check_drill_model(cluster: &Arc<Cluster>, drill: &DrillState) -> Result<(), String> {
+    let mut s = cluster.session().map_err(|e| format!("{e:?}"))?;
+    let mut last = String::new();
+    for _ in 0..12 {
+        match s.execute("SELECT count(*), sum(v) FROM mx_drill") {
+            Ok(r) => {
+                let row = &r.rows()[0];
+                let (count, sum) = (
+                    row[0].as_i64().unwrap_or(-1),
+                    if drill.committed == 0 { 0 } else { row[1].as_i64().unwrap_or(-1) },
+                );
+                if count != drill.committed || sum != drill.committed * 2 {
+                    return Err(format!(
+                        "drill writes lost or duplicated: count={count} sum={sum}, \
+                         model count={} sum={}",
+                        drill.committed,
+                        drill.committed * 2
+                    ));
+                }
+                return Ok(());
+            }
+            Err(e) if e.code == ErrorCode::ConnectionFailure => last = format!("{e:?}"),
+            Err(e) => return Err(format!("drill read-back failed: {e:?}")),
+        }
+    }
+    Err(format!("drill read-back exhausted retries: {last}"))
+}
+
 /// Execute `events` for `cfg`. A pure function of its arguments: same
 /// inputs, same outcome — the replay-by-seed and shrinking contract.
 pub fn run_schedule(cfg: &SimConfig, events: &[SimEvent]) -> Result<SimReport, SimFailure> {
@@ -864,12 +1109,29 @@ pub fn run_schedule(cfg: &SimConfig, events: &[SimEvent]) -> Result<SimReport, S
     if let Some(d) = mirror.divergence.clone() {
         return Err(fail(0, format!("divergence during setup: {d}")));
     }
+    let mut drill = DrillState { next_key: 0, committed: 0 };
+    if cfg.mx_ddl_interleave {
+        // drill tables live outside the mirrored workload: their statements
+        // never flow through the oracle, their committed contents are
+        // checked against the drill model instead
+        let mut s = cluster.session().map_err(|e| fail(0, format!("{e:?}")))?;
+        for sql in [
+            "CREATE TABLE mx_drill (k bigint, v bigint)",
+            "SELECT create_distributed_table('mx_drill', 'k')",
+            "CREATE TABLE mx_bystander (k bigint, v bigint)",
+            "SELECT create_distributed_table('mx_bystander', 'k')",
+        ] {
+            s.execute(sql).map_err(|e| fail(0, format!("drill setup failed: {e:?}")))?;
+        }
+    }
 
-    let injector = if cfg.faults {
-        Some(cluster.install_faults(chaos_plan(cfg), cfg.seed))
-    } else {
-        None
-    };
+    // the chaos injector can be swapped out mid-run (a FrozenDdl drill
+    // replaces the plan and reinstalls it); fault totals sum over every
+    // installed injector
+    let mut injectors: Vec<Arc<netsim::fault::FaultInjector>> = Vec::new();
+    if cfg.faults {
+        injectors.push(cluster.install_faults(chaos_plan(cfg), cfg.seed));
+    }
     let mut state = make_state(&patterns, &scales, cfg.seed);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x041B_0B0E_5EED);
     let mut report = SimReport::default();
@@ -955,6 +1217,11 @@ pub fn run_schedule(cfg: &SimConfig, events: &[SimEvent]) -> Result<SimReport, S
                 rebalancer::recover_moves(&cluster)
                     .map_err(|e| fail(i, format!("move recovery failed: {e:?}")))?;
             }
+            SimEvent::MxInterleave { kind, sel } => {
+                run_mx_interleave(&cluster, cfg, &mut drill, kind, sel, &mut injectors)
+                    .map_err(|d| fail(i, d))?;
+                check_drill_model(&cluster, &drill).map_err(|d| fail(i, d))?;
+            }
             SimEvent::Corrupt { kind } => {
                 apply_corruption(&cluster, kind).map_err(|d| fail(i, d))?;
             }
@@ -986,9 +1253,14 @@ pub fn run_schedule(cfg: &SimConfig, events: &[SimEvent]) -> Result<SimReport, S
     report.reads_checked = mirror.reads_checked;
     report.writes_checked = mirror.writes_checked;
     (report.mx_routed, report.mx_escalated) = mirror.dist.route_stats();
-    if let Some(inj) = &injector {
-        report.faults_fired = inj.fired();
-        report.fault_errors = inj
+    report.mx_generation_aborts =
+        cluster.metrics.mx_generation_aborts.load(std::sync::atomic::Ordering::Relaxed);
+    report.mx_midtxn_escalations =
+        cluster.metrics.mx_midtxn_escalations.load(std::sync::atomic::Ordering::Relaxed);
+    report.drill_commits = drill.committed as u64;
+    for inj in &injectors {
+        report.faults_fired += inj.fired();
+        report.fault_errors += inj
             .events()
             .iter()
             .filter(|e| matches!(e.kind, FaultKind::Error | FaultKind::Crash))

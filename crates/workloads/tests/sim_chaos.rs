@@ -10,7 +10,7 @@
 //! * `CITRUS_SIM_SEED=S`   — replay exactly seed S via `replay_env_seed`.
 
 use workloads::sim::{
-    self, CorruptKind, SimConfig, SimEvent,
+    self, CorruptKind, MxInterleaveKind, SimConfig, SimEvent,
 };
 
 fn corpus_size() -> u64 {
@@ -39,6 +39,16 @@ fn check_seed(seed: u64) {
         "seed {seed}: every transaction failed ({}/{})",
         report.txns_failed,
         report.txns_attempted
+    );
+    // the generation fence is free when no metadata change lands inside an
+    // open MX transaction: the standard corpus never fences or escalates
+    assert_eq!(
+        report.mx_generation_aborts, 0,
+        "seed {seed}: generation fence fired outside the drill arm"
+    );
+    assert_eq!(
+        report.mx_midtxn_escalations, 0,
+        "seed {seed}: mid-transaction escalation outside the drill arm"
     );
 }
 
@@ -117,6 +127,87 @@ fn mx_and_coordinator_routing_agree_with_the_oracle() {
                 assert!(report.mx_routed >= 1, "seed {seed} mx={mx}: nothing routed");
             }
         }
+    }
+}
+
+/// The generation-fence drill corpus: schedules grown with MxInterleave
+/// events — open MX transactions that propagated DDL, frozen-mid-fan-out
+/// DDL, and shard moves interleave into at statement boundaries, under the
+/// full chaos fault plan. Every drill transaction must either escalate and
+/// commit or fence with a retryable 40001 and commit on retry; the drill
+/// model catches lost/duplicated writes and the standing invariants
+/// (one-live-placement, no orphans, no stuck sessions) hold after every
+/// event.
+#[test]
+fn mx_ddl_interleave_drill_corpus() {
+    for seed in [0u64, 2, 5, 9] {
+        let mut cfg = SimConfig::new(seed);
+        cfg.mx_ddl_interleave = true;
+        let report = sim::run_seed(&cfg).unwrap_or_else(|e| panic!("drill seed {seed}: {e}"));
+        assert_eq!(report.drill_commits, 4, "seed {seed}: every drill flavor commits once");
+        assert!(
+            report.mx_generation_aborts >= 1,
+            "seed {seed}: no drill transaction was fenced"
+        );
+        assert!(
+            report.mx_midtxn_escalations >= 1,
+            "seed {seed}: no drill transaction escalated mid-flight"
+        );
+    }
+}
+
+/// Flag-off schedules are byte-identical to the historical corpus: the
+/// drill mode must not perturb existing seeds' replay contract.
+#[test]
+fn drill_flag_off_leaves_schedules_unchanged() {
+    for seed in 0..20u64 {
+        let cfg = SimConfig::new(seed);
+        let mut on = cfg.clone();
+        on.mx_ddl_interleave = true;
+        let (base, drilled) = (sim::derive_schedule(&cfg), sim::derive_schedule(&on));
+        assert_eq!(
+            base,
+            sim::derive_schedule(&cfg),
+            "seed {seed}: flag-off schedule not deterministic"
+        );
+        let stripped: Vec<SimEvent> = drilled
+            .iter()
+            .filter(|e| !matches!(e, SimEvent::MxInterleave { .. }))
+            .copied()
+            .collect();
+        assert_eq!(stripped.len(), base.len(), "seed {seed}: drill mode altered base events");
+        let kinds: Vec<MxInterleaveKind> = drilled
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::MxInterleave { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds.len(), 4, "seed {seed}: one drill of every flavor");
+    }
+}
+
+/// The drill schedules keep the §3.6 determinism contract: byte-identical
+/// statement traces and identical fence/escalation counts at 1 and 8
+/// executor threads.
+#[test]
+fn drill_reports_identical_at_1_and_8_threads() {
+    for seed in [2u64, 9] {
+        let run = |threads: usize| {
+            let mut cfg = SimConfig::new(seed);
+            cfg.executor_threads = threads;
+            cfg.tracing = true;
+            cfg.mx_ddl_interleave = true;
+            sim::run_seed(&cfg).unwrap_or_else(|e| panic!("drill threads={threads}: {e}"))
+        };
+        let (a, b) = (run(1), run(8));
+        assert_eq!(
+            a.trace_fingerprint, b.trace_fingerprint,
+            "drill seed {seed}: traces differ between 1 and 8 threads"
+        );
+        assert_eq!(a.mx_generation_aborts, b.mx_generation_aborts, "drill seed {seed}");
+        assert_eq!(a.mx_midtxn_escalations, b.mx_midtxn_escalations, "drill seed {seed}");
+        assert_eq!(a.drill_commits, b.drill_commits, "drill seed {seed}");
     }
 }
 

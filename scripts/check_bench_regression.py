@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Bench regression gate (ci.sh step 13).
+"""Bench regression gate (ci.sh step 15).
 
 Compares the freshly generated smoke bench artifacts against the committed
 baselines. The virtual-time fields in the smoke artifacts are deterministic
@@ -11,7 +11,10 @@ baseline update.
 Checks:
   * TPC-C (multi_tenant) and YCSB (high_performance_crud) distributed
     ``units_per_vsec`` in BENCH_workloads_smoke.json must not regress more
-    than 10% against the committed baseline.
+    than 10% against the committed baseline. Both arms run MX-routed with
+    the generation fence on and no DDL in flight, so this gate is also
+    what pins the fence's zero steady-state cost (DESIGN.md §9): a fence
+    that started charging per-statement work would show up here directly.
   * The warm plan-cache arm in BENCH_executor_smoke.json must stay cheaper
     than cold on the virtual clock (wall-clock fields are noisy in smoke
     mode and are gated by the full bench + plan_cache_regression test

@@ -21,17 +21,23 @@
 #      demonstrator/mirror pair (tests/semantics.rs) and the mode x thread
 #      differential + MX frozen-window suite (mx_snapshot.rs), run
 #      explicitly so a partial filter can never skip the anomaly tests
-#  10. workloads suite, run explicitly: seeded-chaos sim corpus (every seed
+#  10. MX generation-fence escalation drills: concurrent DDL / frozen DDL /
+#      shard moves / failover interleaved into open MX transactions
+#      (mx_ddl_escalation.rs, with the pre-fix hang and silent-commit
+#      anomalies kept as negative demonstrators), plus the sim's
+#      mx_ddl_interleave drill mode under the full chaos plan — run
+#      explicitly so a partial filter can never skip the fence wall
+#  11. workloads suite, run explicitly: seeded-chaos sim corpus (every seed
 #      oracle-checked with >= 1 move, failover, and faulted statement;
 #      even seeds run with snapshot isolation on and the read-skew
 #      invariant active), seed-determinism of the workload drivers, and the
 #      INSERT..SELECT / stored-procedure differential tests
-#  11. one-iteration smoke of the executor bench (exercises the wall-clock
+#  12. one-iteration smoke of the executor bench (exercises the wall-clock
 #      fan-out and plan-cache paths end to end; no thresholds)
-#  12. one-iteration smoke of the §4 workloads evaluation (also writes the
+#  13. one-iteration smoke of the §4 workloads evaluation (also writes the
 #      snapshot-isolation mode-off vs mode-on overhead artifact)
-#  13. smoke of the columnar vectorized-vs-volcano bench
-#  14. bench regression gate: the smoke artifacts' virtual-time numbers are
+#  14. smoke of the columnar vectorized-vs-volcano bench
+#  15. bench regression gate: the smoke artifacts' virtual-time numbers are
 #      deterministic, so they are compared against the committed
 #      BENCH_*_smoke.json baselines — TPC-C / YCSB / columnar-vectorized
 #      units_per_vsec must not regress more than 10%, the warm plan-cache arm
@@ -54,47 +60,52 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> [1/14] cargo build --release"
+echo "==> [1/15] cargo build --release"
 cargo build --release
 
-echo "==> [2/14] cargo test -q"
+echo "==> [2/15] cargo test -q"
 cargo test -q
 
-echo "==> [3/14] warnings-as-errors check of crates/core"
+echo "==> [3/15] warnings-as-errors check of crates/core"
 RUSTFLAGS="-Dwarnings" cargo check -p citrus --all-targets
 
-echo "==> [4/14] fault-injection suite"
+echo "==> [4/15] fault-injection suite"
 cargo test -q -p citrus --test faults
 
-echo "==> [5/14] parallel-executor equivalence suite"
+echo "==> [5/15] parallel-executor equivalence suite"
 cargo test -q -p citrus --test executor_parallel
 
-echo "==> [6/14] trace-golden + differential-oracle suite (1 vs 8 threads)"
+echo "==> [6/15] trace-golden + differential-oracle suite (1 vs 8 threads)"
 cargo test -q -p citrus --test trace_golden --test oracle_differential
 
-echo "==> [7/14] vectorized-vs-volcano differential wall"
+echo "==> [7/15] vectorized-vs-volcano differential wall"
 cargo test -q -p citrus --test executor_vectorized
 
-echo "==> [8/14] rebalancer crash-safety drill suite"
+echo "==> [8/15] rebalancer crash-safety drill suite"
 cargo test -q -p citrus --test rebalance_faults
 
-echo "==> [9/14] snapshot-isolation anomaly wall (demonstrator/mirror + MX differential)"
+echo "==> [9/15] snapshot-isolation anomaly wall (demonstrator/mirror + MX differential)"
 cargo test -q --test semantics
 cargo test -q -p citrus --test mx_snapshot
 
-echo "==> [10/14] workloads suite: sim chaos corpus (${SIM_SEEDS} seeds) + oracle tests"
+echo "==> [10/15] MX generation-fence escalation drills"
+cargo test -q -p citrus --test mx_ddl_escalation
+cargo test -q -p workloads --test sim_chaos mx_ddl_interleave_drill_corpus
+cargo test -q -p workloads --test sim_chaos drill_
+
+echo "==> [11/15] workloads suite: sim chaos corpus (${SIM_SEEDS} seeds) + oracle tests"
 CITRUS_SIM_SEEDS="$SIM_SEEDS" cargo test -q -p workloads
 
-echo "==> [11/14] executor bench smoke"
+echo "==> [12/15] executor bench smoke"
 sh scripts/bench.sh --smoke
 
-echo "==> [12/14] workloads bench smoke"
+echo "==> [13/15] workloads bench smoke"
 sh scripts/bench_workloads.sh --smoke
 
-echo "==> [13/14] columnar vectorized bench smoke"
+echo "==> [14/15] columnar vectorized bench smoke"
 sh scripts/bench_columnar.sh --smoke
 
-echo "==> [14/14] bench regression gate (vs committed smoke baselines)"
+echo "==> [15/15] bench regression gate (vs committed smoke baselines)"
 python3 scripts/check_bench_regression.py
 
 echo "==> CI green"
