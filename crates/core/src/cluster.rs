@@ -198,6 +198,10 @@ pub struct Cluster {
     /// Always-on counters + virtual-time histograms backing the stat
     /// relations (`citus_stat_statements`, `citus_stat_activity`).
     pub metrics: crate::metrics::Metrics,
+    /// Registered incrementally maintained rollups + changefeed stream hints
+    /// (§ rollup). Lives on the cluster so it survives crash/promote engine
+    /// replacement.
+    pub rollups: crate::rollup::Rollups,
 }
 
 impl Cluster {
@@ -221,6 +225,7 @@ impl Cluster {
             commit_clock: Arc::new(pgmini::txn::CommitClock::default()),
             tracer,
             metrics: crate::metrics::Metrics::default(),
+            rollups: crate::rollup::Rollups::default(),
         });
         cluster.add_node_internal("coordinator");
         cluster
@@ -551,6 +556,8 @@ pub fn stmt_tag(stmt: &Statement) -> &'static str {
         Statement::Delete(_) => "delete",
         Statement::CreateTable(_) => "create_table",
         Statement::CreateIndex(_) => "create_index",
+        Statement::CreateRollup(_) => "create_rollup",
+        Statement::DropRollup { .. } => "drop_rollup",
         Statement::DropTable { .. } => "drop_table",
         Statement::Truncate { .. } => "truncate",
         Statement::Copy(_) => "copy",

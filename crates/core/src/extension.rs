@@ -83,6 +83,11 @@ impl CitrusExtension {
     ) -> Arc<Self> {
         let ext = Self::install(cluster, engine, node);
         cluster.replace_extension(node, ext.clone());
+        // a restored/promoted coordinator rebuilds the rollup registry from
+        // its durable catalog; stream hints die with the old engine Arc
+        if node == NodeId(0) {
+            let _ = crate::rollup::reload_registry(cluster);
+        }
         ext
     }
 
@@ -116,6 +121,18 @@ impl CitrusExtension {
                 "CREATE TABLE IF NOT EXISTS {REBALANCE_STATUS_TABLE} (move_id bigint PRIMARY KEY, \
                  table_name text, bucket bigint, from_node bigint, to_node bigint, \
                  phase text, rows_moved bigint, catchup_rows bigint)"
+            ),
+            // rollup definitions + changefeed cursors (coordinator state,
+            // created everywhere so a promoted standby can serve them)
+            format!(
+                "CREATE TABLE IF NOT EXISTS {} (name text PRIMARY KEY, source text, \
+                 definition text)",
+                crate::rollup::ROLLUPS_TABLE
+            ),
+            format!(
+                "CREATE TABLE IF NOT EXISTS {} (cursor_id text PRIMARY KEY, \
+                 rollup text, shard bigint, node bigint, seq bigint)",
+                crate::changefeed::CHANGEFEED_CURSORS_TABLE
             ),
         ];
         for ddl in ddls {
@@ -201,6 +218,15 @@ impl CitrusExtension {
                 "moves={} rows_moved={rows_moved} catchup_rows={catchup_rows}",
                 reports.len()
             )))
+        });
+        let weak_r = weak.clone();
+        engine.register_udf("citrus_refresh_rollup", move |_session, args| {
+            let cluster = weak_r.upgrade().ok_or_else(|| PgError::internal("cluster gone"))?;
+            match args.first() {
+                Some(Datum::Text(name)) => crate::rollup::refresh(&cluster, name)?,
+                _ => crate::rollup::refresh_all(&cluster)?,
+            }
+            Ok(Datum::Null)
         });
         let weak6 = weak.clone();
         engine.register_udf("citus_create_restore_point", move |_session, args| {
@@ -834,6 +860,12 @@ impl Extension for CitrusExtension {
                 }
                 return None;
             }
+            // staleness-bounded rollup reads: a SELECT touching a registered
+            // rollup drains its changefeed first (no-op when none exist, and
+            // refresh-internal statements skip via try_lock)
+            if self.node == NodeId(0) && matches!(stmt, Statement::Select(_)) {
+                crate::rollup::maybe_refresh_on_read(&cluster, &tables);
+            }
             // cheap pre-filter: reference to at least one citrus table?
             let meta = cluster.metadata.read_recursive();
             if !tables.iter().any(|t| meta.is_citrus_table(t)) {
@@ -933,6 +965,22 @@ impl Extension for CitrusExtension {
                 Some(Err(PgError::unsupported(
                     "COPY to a distributed table: use ClientSession::copy (the data path)",
                 )))
+            }
+            Statement::CreateRollup(cr) => {
+                if self.node != NodeId(0) {
+                    return Some(Err(PgError::unsupported(
+                        "CREATE ROLLUP must run on the coordinator",
+                    )));
+                }
+                Some(crate::rollup::create(&cluster, cr).map(|_| QueryResult::Empty))
+            }
+            Statement::DropRollup { name, if_exists } => {
+                if self.node != NodeId(0) {
+                    return Some(Err(PgError::unsupported(
+                        "DROP ROLLUP must run on the coordinator",
+                    )));
+                }
+                Some(crate::rollup::drop_rollup(&cluster, name, *if_exists).map(|_| QueryResult::Empty))
             }
             _ => None,
         }

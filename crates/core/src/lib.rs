@@ -33,6 +33,7 @@
 //! ```
 
 pub mod backup;
+pub mod changefeed;
 pub mod cluster;
 pub mod copy;
 pub mod cost;
@@ -51,6 +52,7 @@ pub mod planner;
 pub mod procedures;
 pub mod rebalancer;
 pub mod recovery;
+pub mod rollup;
 pub mod table_mgmt;
 pub mod trace;
 

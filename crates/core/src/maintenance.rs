@@ -43,6 +43,7 @@ pub fn start(cluster: &Arc<Cluster>) -> MaintenanceDaemon {
         },
     );
     let weak3 = weak2.clone();
+    let weak4 = weak2.clone();
     let recovery_worker = BackgroundWorker::spawn(
         "citrus-2pc-recovery",
         cluster.config.recovery_interval,
@@ -63,5 +64,17 @@ pub fn start(cluster: &Arc<Cluster>) -> MaintenanceDaemon {
             }
         },
     );
-    MaintenanceDaemon { workers: vec![deadlock_worker, recovery_worker, move_worker] }
+    // drain changefeeds into registered rollups (no-op while none exist)
+    let rollup_worker = BackgroundWorker::spawn(
+        "citrus-rollup-maintenance",
+        cluster.config.recovery_interval,
+        move || {
+            if let Some(c) = weak4.upgrade() {
+                let _ = crate::rollup::refresh_all(&c);
+            }
+        },
+    );
+    MaintenanceDaemon {
+        workers: vec![deadlock_worker, recovery_worker, move_worker, rollup_worker],
+    }
 }

@@ -130,6 +130,15 @@ pub struct Metrics {
     /// MX transactions that saw a *non-conflicting* metadata bump mid-flight
     /// and escalated to the coordinator path for the rest of the transaction.
     pub mx_midtxn_escalations: AtomicU64,
+    /// Rollup refresh transactions committed (changefeed consumption).
+    pub rollup_refreshes: AtomicU64,
+    /// Group-row deltas applied by rollup refreshes.
+    pub rollup_deltas_applied: AtomicU64,
+    /// Min/max retraction fallbacks that re-aggregated a group from source.
+    pub rollup_recounts: AtomicU64,
+    /// Changefeed cursors handed from a move source to its destination at
+    /// the `switched` journal phase.
+    pub cursor_handoffs: AtomicU64,
     statements: Mutex<BTreeMap<u64, StatEntry>>,
 }
 

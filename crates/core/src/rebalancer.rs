@@ -473,6 +473,10 @@ fn run_move(
         // idempotently on roll-forward
         cluster.fault_point(from, FaultOp::Move, "move_switch", scope, FaultPhase::Before)?;
         movejournal::advance(cluster, move_id, MovePhase::Switched)?;
+        // changefeed handoff: drain the settled source streams (the locks
+        // guarantee the per-table horizon reaches end-of-log) and point the
+        // cursors at the destination before placements flip
+        crate::rollup::handoff_cursors(cluster, shard_ids, to)?;
         switch_placements(cluster, shard_ids, to)?;
         cluster.fault_point(from, FaultOp::Move, "move_switch", scope, FaultPhase::After)?;
         Ok(catchup_rows)
@@ -562,7 +566,7 @@ fn apply_wal_delta(
                     catchup_rows += 1;
                 }
             }
-            (2, WalRecord::Update { row_id, new_row, .. }) => {
+            (2, WalRecord::Update { row_id, old_row, new_row, .. }) => {
                 if let Some(&dst_rid) = row_maps[pos].get(row_id) {
                     let snap = dst_engine.txns.snapshot(apply_xid);
                     let _ = dst_store.heap()?.expire(
@@ -577,12 +581,13 @@ fn apply_wal_delta(
                         xid: apply_xid,
                         table: dst_id,
                         row_id: dst_rid,
+                        old_row: old_row.clone(),
                         new_row: new_row.clone(),
                     });
                     catchup_rows += 1;
                 }
             }
-            (3, WalRecord::Delete { row_id, .. }) => {
+            (3, WalRecord::Delete { row_id, row, .. }) => {
                 if let Some(&dst_rid) = row_maps[pos].get(row_id) {
                     let snap = dst_engine.txns.snapshot(apply_xid);
                     let _ = dst_store.heap()?.expire(
@@ -596,6 +601,7 @@ fn apply_wal_delta(
                         xid: apply_xid,
                         table: dst_id,
                         row_id: dst_rid,
+                        row: row.clone(),
                     });
                     catchup_rows += 1;
                 }
@@ -733,6 +739,9 @@ fn roll_forward(
             }
         }
     };
+    // redo the changefeed handoff first — the pre-crash attempt may not have
+    // committed; a cursor already flipped to the destination is skipped
+    crate::rollup::handoff_cursors(cluster, &shard_ids, rec.to)?;
     switch_placements(cluster, &shard_ids, rec.to)?;
     let physicals: Vec<String> = {
         let meta = cluster.metadata.read_recursive();

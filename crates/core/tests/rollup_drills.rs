@@ -1,0 +1,354 @@
+//! Chaos drills for the changefeed/rollup pipeline: crash + standby
+//! promotion mid-stream, shard moves with cursor handoff killed at every
+//! journal-phase boundary, and frozen 2PC windows. Every drill ends by
+//! asserting the rollup is byte-equal to a from-scratch recompute — i.e. no
+//! delta was lost and none was applied twice.
+
+use citrus::cluster::{Cluster, ClusterConfig};
+use citrus::metadata::NodeId;
+use citrus::rebalancer;
+use citrus::rollup;
+use netsim::fault::{FaultKind, FaultOp, FaultPhase, FaultPlan, FaultRule};
+use pgmini::types::Datum;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+/// `sales(k bigint PRIMARY KEY, region text, amount bigint)` distributed on
+/// `k` across `workers` workers, with the standard region rollup installed.
+fn rollup_cluster(workers: u32) -> Arc<Cluster> {
+    let mut cfg = ClusterConfig::default();
+    cfg.shard_count = 8;
+    cfg.executor_threads = 1;
+    let c = Cluster::new(cfg);
+    for _ in 0..workers {
+        c.add_worker().unwrap();
+    }
+    let mut s = c.session().unwrap();
+    s.execute("CREATE TABLE sales (k bigint PRIMARY KEY, region text, amount bigint)").unwrap();
+    s.execute("SELECT create_distributed_table('sales', 'k')").unwrap();
+    s.execute(
+        "CREATE ROLLUP sales_by_region AS SELECT region, count(*) AS n, \
+         sum(amount) AS total, min(amount) AS lo, max(amount) AS hi \
+         FROM sales GROUP BY region",
+    )
+    .unwrap();
+    c
+}
+
+fn insert(c: &Arc<Cluster>, k: i64, region: &str, amount: i64) {
+    let mut s = c.session().unwrap();
+    s.execute(&format!("INSERT INTO sales VALUES ({k}, '{region}', {amount})")).unwrap();
+}
+
+fn refresh(c: &Arc<Cluster>) {
+    rollup::refresh(c, "sales_by_region").unwrap();
+}
+
+fn total(c: &Arc<Cluster>, region: &str) -> Option<i64> {
+    let mut s = c.session().unwrap();
+    let rows = s
+        .query(&format!("SELECT total FROM sales_by_region WHERE region = '{region}'"))
+        .unwrap();
+    rows.first().map(|r| r[0].as_i64().unwrap())
+}
+
+/// `(bucket, from, to)` for the shard group holding `sales.k = key`.
+fn move_coords(c: &Arc<Cluster>, key: i64) -> (usize, NodeId, NodeId) {
+    let meta = c.metadata.read();
+    let bucket = meta.shard_index_for_value("sales", &Datum::Int(key)).unwrap();
+    let dt = meta.table("sales").unwrap();
+    let from = meta.shard(dt.shards[bucket]).unwrap().placements[0];
+    let to = if from == NodeId(1) { NodeId(2) } else { NodeId(1) };
+    (bucket, from, to)
+}
+
+/// Two keys whose shards live on different workers, plus the second's node.
+fn keys_on_two_nodes(c: &Arc<Cluster>) -> (i64, i64, NodeId) {
+    let meta = c.metadata.read();
+    let dt = meta.table("sales").unwrap();
+    for a in 0..32i64 {
+        for b in 0..32i64 {
+            let ba = meta.shard_index_for_value("sales", &Datum::Int(a)).unwrap();
+            let bb = meta.shard_index_for_value("sales", &Datum::Int(b)).unwrap();
+            let na = meta.shard(dt.shards[ba]).unwrap().placements[0];
+            let nb = meta.shard(dt.shards[bb]).unwrap().placements[0];
+            if na != nb {
+                return (a, b, nb);
+            }
+        }
+    }
+    panic!("no two keys on different nodes");
+}
+
+// ---------------- crash + promote mid-stream ----------------
+
+/// A worker crashes with unconsumed changefeed entries; standby promotion
+/// rebuilds the engine from the WAL. The durable cursor seq survives, the
+/// in-memory LSN hint is invalidated (new engine incarnation), and the next
+/// refresh full-decodes from scratch — applying exactly the unseen suffix.
+#[test]
+fn worker_crash_and_promotion_mid_stream() {
+    let c = rollup_cluster(2);
+    for k in 0..12 {
+        insert(&c, k, if k % 2 == 0 { "east" } else { "west" }, 10 + k);
+    }
+    refresh(&c);
+    rollup::verify(&c, "sales_by_region").unwrap();
+
+    // new DML lands on both workers but is NOT consumed before the crash
+    for k in 12..20 {
+        insert(&c, k, "east", 100 + k);
+    }
+    let victim = NodeId(1);
+    citrus::ha::crash_node(&c, victim).unwrap();
+    citrus::ha::promote_standby(&c, victim).unwrap();
+
+    // more DML on the promoted engine, then drain everything
+    insert(&c, 20, "east", 1000);
+    refresh(&c);
+    rollup::verify(&c, "sales_by_region").unwrap();
+    let want: i64 = (12..20).map(|k| 100 + k).sum::<i64>()
+        + (0..12).filter(|k| k % 2 == 0).map(|k| 10 + k).sum::<i64>()
+        + 1000;
+    assert_eq!(total(&c, "east"), Some(want), "no delta lost or double-applied");
+}
+
+/// The coordinator crashes and is promoted: the rollup registry reloads from
+/// the `citrus_rollups` catalog (itself restored from the coordinator WAL),
+/// and refreshes keep working against the durable cursors.
+#[test]
+fn coordinator_crash_and_promotion_reloads_registry() {
+    let c = rollup_cluster(2);
+    for k in 0..8 {
+        insert(&c, k, "east", 1);
+    }
+    refresh(&c);
+
+    insert(&c, 8, "east", 50); // pending at crash time
+    citrus::ha::crash_node(&c, NodeId(0)).unwrap();
+    citrus::ha::promote_standby(&c, NodeId(0)).unwrap();
+
+    // the promoted coordinator knows the rollup again without any DDL replay
+    refresh(&c);
+    rollup::verify(&c, "sales_by_region").unwrap();
+    assert_eq!(total(&c, "east"), Some(58));
+
+    insert(&c, 9, "east", 2);
+    refresh(&c);
+    assert_eq!(total(&c, "east"), Some(60));
+    rollup::verify(&c, "sales_by_region").unwrap();
+}
+
+// ---------------- shard moves: cursor handoff ----------------
+
+/// A clean shard-group move with unconsumed entries on the moved shard: the
+/// handoff drains the source stream inside the move's locked window and
+/// re-anchors the cursor at the destination's current log position.
+#[test]
+fn clean_move_hands_off_cursor() {
+    let c = rollup_cluster(2);
+    for k in 0..24 {
+        insert(&c, k, "east", 1);
+    }
+    refresh(&c);
+    insert(&c, 24, "east", 7); // pending delta on some shard
+    let (bucket, from, to) = move_coords(&c, 24);
+
+    let before = c.metrics.cursor_handoffs.load(Relaxed);
+    rebalancer::move_shard_group(&c, "sales", bucket, from, to).unwrap();
+    assert!(c.metrics.cursor_handoffs.load(Relaxed) > before, "handoff must run");
+
+    // the drained delta is in; post-move DML flows from the new placement
+    rollup::verify(&c, "sales_by_region").unwrap();
+    insert(&c, 25, "east", 9);
+    refresh(&c);
+    rollup::verify(&c, "sales_by_region").unwrap();
+    assert_eq!(total(&c, "east"), Some(24 + 7 + 9));
+
+    // the durable cursor for the moved shard now points at the destination
+    let meta = c.metadata.read();
+    let sid = meta.table("sales").unwrap().shards[bucket];
+    drop(meta);
+    let mut s = c.session().unwrap();
+    let rows = s
+        .query(&format!(
+            "SELECT node FROM citrus_changefeed_cursors \
+             WHERE rollup = 'sales_by_region' AND shard = {}",
+            sid.0
+        ))
+        .unwrap();
+    assert_eq!(rows[0][0], Datum::Int(to.0 as i64));
+}
+
+/// A coordinator-observed error at every move-phase boundary: whether the
+/// recovery pass aborts the move or rolls it forward, the cursor ends on
+/// whichever node owns the placement and no delta is lost or double-applied.
+#[test]
+fn move_fault_at_each_phase_keeps_rollup_consistent() {
+    let drills = [
+        ("move_create", FaultPhase::Before, false),
+        ("move_copy", FaultPhase::Before, false),
+        ("move_copy", FaultPhase::After, false),
+        ("move_catchup", FaultPhase::Before, false),
+        ("move_switch", FaultPhase::Before, false),
+        ("move_switch", FaultPhase::After, true),
+        ("move_drop", FaultPhase::Before, true),
+    ];
+    for (tag, phase, rolls_forward) in drills {
+        let c = rollup_cluster(2);
+        for k in 0..16 {
+            insert(&c, k, "east", 1);
+        }
+        refresh(&c);
+        insert(&c, 16, "east", 5); // pending when the move dies
+        let (bucket, from, to) = move_coords(&c, 16);
+        c.install_faults(
+            FaultPlan::new()
+                .with(FaultRule::new(FaultOp::Move, FaultKind::Error).with_tag(tag).at(phase)),
+            0,
+        );
+        rebalancer::move_shard_group(&c, "sales", bucket, from, to)
+            .expect_err("injected fault must surface");
+        c.clear_faults();
+
+        let stats = rebalancer::recover_moves(&c).unwrap();
+        assert_eq!(stats.rolled_forward, rolls_forward as u64, "{tag}/{phase:?}");
+
+        refresh(&c);
+        rollup::verify(&c, "sales_by_region").unwrap();
+        assert_eq!(total(&c, "east"), Some(21), "{tag}/{phase:?}: drained exactly once");
+
+        // the stream stays live from whichever placement survived
+        insert(&c, 17, "east", 3);
+        refresh(&c);
+        rollup::verify(&c, "sales_by_region").unwrap();
+        assert_eq!(total(&c, "east"), Some(24), "{tag}/{phase:?}");
+    }
+}
+
+/// Node crashes (not just errors) around the switch boundary: promotion
+/// replays the WAL on the victim, move recovery settles the journal in the
+/// correct direction, and the cursor handoff stays exactly-once — the
+/// roll-forward path re-runs it idempotently.
+#[test]
+fn move_crash_and_promote_keeps_rollup_consistent() {
+    // (tag, phase, victim is target?, rolls_forward)
+    let drills = [
+        ("move_copy", FaultPhase::After, true, false),
+        ("move_catchup", FaultPhase::Before, false, false),
+        ("move_switch", FaultPhase::After, false, true),
+        ("move_drop", FaultPhase::Before, false, true),
+    ];
+    for (tag, phase, victim_is_target, rolls_forward) in drills {
+        let c = rollup_cluster(2);
+        for k in 0..16 {
+            insert(&c, k, "east", 1);
+        }
+        refresh(&c);
+        insert(&c, 16, "east", 5);
+        let (bucket, from, to) = move_coords(&c, 16);
+        let victim = if victim_is_target { to } else { from };
+        c.install_faults(
+            FaultPlan::new().with(
+                FaultRule::new(FaultOp::Move, FaultKind::Crash)
+                    .on_node(victim.0)
+                    .with_tag(tag)
+                    .at(phase),
+            ),
+            0,
+        );
+        rebalancer::move_shard_group(&c, "sales", bucket, from, to)
+            .expect_err("crash must surface");
+        c.clear_faults();
+
+        let report = citrus::ha::promote_standby(&c, victim).unwrap();
+        if rolls_forward {
+            assert_eq!(report.move_recovery.rolled_forward, 1, "{tag}/{phase:?}");
+        } else {
+            assert_eq!(report.move_recovery.aborted, 1, "{tag}/{phase:?}");
+        }
+
+        refresh(&c);
+        rollup::verify(&c, "sales_by_region").unwrap();
+        assert_eq!(total(&c, "east"), Some(21), "{tag}/{phase:?}: exactly-once");
+    }
+}
+
+// ---------------- frozen 2PC windows ----------------
+
+/// A multi-shard transaction frozen between PREPARE and COMMIT PREPARED on
+/// one participant: the per-table decode horizon holds that shard's stream
+/// just short of the undecided transaction, so refreshes inside the window
+/// apply only the decided legs — and the rollup still matches a recompute,
+/// because MVCC readers can't see the prepared half either. Releasing the
+/// freeze lets 2PC recovery commit the leg, and the next refresh drains it.
+#[test]
+fn frozen_two_pc_window_keeps_rollup_consistent() {
+    let c = rollup_cluster(3);
+    let (ka, kb, victim) = keys_on_two_nodes(&c);
+    let mut s = c.session().unwrap();
+    for (k, amount) in [(ka, 10), (kb, 20)] {
+        s.execute(&format!("INSERT INTO sales VALUES ({k}, 'east', {amount})")).unwrap();
+    }
+    refresh(&c);
+    assert_eq!(total(&c, "east"), Some(30));
+
+    let split = citrus::interleave::freeze_commit_prepared(&c, victim);
+    s.execute("BEGIN").unwrap();
+    s.execute(&format!("UPDATE sales SET amount = amount + 5 WHERE k = {ka}")).unwrap();
+    s.execute(&format!("UPDATE sales SET amount = amount - 5 WHERE k = {kb}")).unwrap();
+    s.execute("COMMIT").unwrap();
+    assert_eq!(split.frozen_gids().len(), 1, "victim's leg is parked");
+
+    // inside the window: the decided leg streams, the frozen leg stalls its
+    // own shard's horizon, and rollup == recompute throughout
+    refresh(&c);
+    rollup::verify(&c, "sales_by_region").unwrap();
+    assert_eq!(total(&c, "east"), Some(35), "only the decided half is visible");
+
+    // an unrelated row on the victim node BEHIND the frozen transaction in
+    // the WAL must wait too (prefix-stable ordering), on the same table
+    let mut extra = None;
+    for k in 100..200i64 {
+        let meta = c.metadata.read();
+        let b = meta.shard_index_for_value("sales", &Datum::Int(k)).unwrap();
+        let dt = meta.table("sales").unwrap();
+        if meta.shard(dt.shards[b]).unwrap().placements[0] == victim {
+            extra = Some(k);
+            break;
+        }
+    }
+    let extra = extra.expect("some key routes to the victim");
+    s.execute(&format!("INSERT INTO sales VALUES ({extra}, 'east', 1000)")).unwrap();
+    refresh(&c);
+    rollup::verify(&c, "sales_by_region").unwrap();
+
+    // release: recovery commits the parked leg; the stream drains the rest
+    split.release().unwrap();
+    refresh(&c);
+    rollup::verify(&c, "sales_by_region").unwrap();
+    assert_eq!(total(&c, "east"), Some(30 + 1000), "both halves exactly once");
+}
+
+// ---------------- maintenance daemon ----------------
+
+/// The maintenance daemon drains changefeeds on its own cadence: with no
+/// explicit refresh and no rollup reads, the refresh counter advances and
+/// the rollup converges.
+#[test]
+fn maintenance_daemon_refreshes_rollups() {
+    let c = rollup_cluster(2);
+    for k in 0..10 {
+        insert(&c, k, "east", 2);
+    }
+    let before = c.metrics.rollup_refreshes.load(Relaxed);
+    let mut daemon = citrus::maintenance::start(&c);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while c.metrics.rollup_refreshes.load(Relaxed) == before {
+        assert!(std::time::Instant::now() < deadline, "daemon never refreshed the rollup");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    daemon.stop();
+    rollup::verify(&c, "sales_by_region").unwrap();
+    assert_eq!(total(&c, "east"), Some(20));
+}

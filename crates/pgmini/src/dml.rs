@@ -478,6 +478,7 @@ fn apply_conflict_update(
         xid: ctx.xid,
         table: meta.id,
         row_id,
+        old_row: current,
         new_row: new_row.clone(),
     });
     charge_write(ctx, meta, &new_row)?;
@@ -614,6 +615,7 @@ pub fn exec_update(
             xid: ctx.xid,
             table: meta.id,
             row_id,
+            old_row: current,
             new_row: new_row.clone(),
         });
         charge_write(ctx, &meta, &new_row)?;
@@ -663,7 +665,12 @@ pub fn exec_delete(
             _ => continue,
         }
         heap.adjust_live(-1);
-        ctx.engine.wal.append(WalRecord::Delete { xid: ctx.xid, table: meta.id, row_id });
+        ctx.engine.wal.append(WalRecord::Delete {
+            xid: ctx.xid,
+            table: meta.id,
+            row_id,
+            row: current,
+        });
         ctx.cost.add_tuples(&ctx.engine.config.cost, 1);
         count += 1;
     }

@@ -582,7 +582,7 @@ impl Engine {
                         row: row.clone(),
                     });
                 }
-                WalRecord::Update { xid, table, row_id, new_row } => {
+                WalRecord::Update { xid, table, row_id, old_row, new_row } => {
                     if !matches!(fate.get(xid), Some(Fate::Committed | Fate::Prepared(_))) {
                         continue;
                     }
@@ -600,10 +600,11 @@ impl Engine {
                         xid: new_xid,
                         table: *table,
                         row_id: *row_id,
+                        old_row: old_row.clone(),
                         new_row: new_row.clone(),
                     });
                 }
-                WalRecord::Delete { xid, table, row_id } => {
+                WalRecord::Delete { xid, table, row_id, row } => {
                     if !matches!(fate.get(xid), Some(Fate::Committed | Fate::Prepared(_))) {
                         continue;
                     }
@@ -619,6 +620,7 @@ impl Engine {
                         xid: new_xid,
                         table: *table,
                         row_id: *row_id,
+                        row: row.clone(),
                     });
                 }
                 WalRecord::ColumnarAppend { xid, table, seq, rows } => {

@@ -361,6 +361,8 @@ impl Session {
             }
             Statement::CreateTable(_)
             | Statement::CreateIndex(_)
+            | Statement::CreateRollup(_)
+            | Statement::DropRollup { .. }
             | Statement::DropTable { .. }
             | Statement::Truncate { .. }
             | Statement::Copy(_) => {
@@ -594,6 +596,9 @@ impl Session {
                 self.engine.ddl_create_index(ci)?;
                 Ok(QueryResult::Empty)
             }
+            Statement::CreateRollup(_) | Statement::DropRollup { .. } => Err(PgError::unsupported(
+                "ROLLUP tables require the citrus extension",
+            )),
             Statement::DropTable { names, if_exists } => {
                 for n in names {
                     // exclusive lock: wait out readers/writers

@@ -20,9 +20,13 @@ pub type Lsn = u64;
 pub enum WalRecord {
     Begin { xid: Xid },
     Insert { xid: Xid, table: TableId, row_id: u64, row: Row },
-    /// MVCC update: expire `row_id`'s old version, append the new one.
-    Update { xid: Xid, table: TableId, row_id: u64, new_row: Row },
-    Delete { xid: Xid, table: TableId, row_id: u64 },
+    /// MVCC update: expire `row_id`'s old version, append the new one. The
+    /// expired image rides along so logical consumers (change-data capture,
+    /// rollup maintenance) can retract the old row without a heap lookup —
+    /// the WAL analog of `REPLICA IDENTITY FULL`.
+    Update { xid: Xid, table: TableId, row_id: u64, old_row: Row, new_row: Row },
+    /// Delete, carrying the deleted image (see [`WalRecord::Update`]).
+    Delete { xid: Xid, table: TableId, row_id: u64, row: Row },
     /// Append-only columnar stripe write. `seq` is the stripe's stable
     /// sequence number, which shard-move catch-up uses to deduplicate
     /// stripes present in both the copy snapshot and the WAL delta.
@@ -94,6 +98,120 @@ impl Wal {
             .position(|rec| matches!(rec, WalRecord::RestorePoint { name: n } if n == name))
             .map(|i| (i + 1) as Lsn)
     }
+}
+
+// ---------------- logical decode (change-data capture) ----------------
+
+/// One committed logical change of a single table, decoded from the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Change {
+    Insert(Row),
+    Update { old: Row, new: Row },
+    Delete(Row),
+}
+
+/// A decoded per-table change-stream prefix: every *committed* change of one
+/// table in WAL order, up to the decode horizon.
+#[derive(Debug, Clone, Default)]
+pub struct TableChanges {
+    pub changes: Vec<Change>,
+    /// Absolute LSN decoding stopped at: either the first record of the table
+    /// belonging to a transaction whose fate is still undecided (in flight,
+    /// or prepared and not yet resolved), or the end of the slice. Decoding
+    /// can resume from here once the fate lands — everything before the
+    /// horizon is final.
+    pub horizon: Lsn,
+}
+
+/// Transaction fates derivable from a WAL slice alone. Every fate-deciding
+/// event (`COMMIT`, `ABORT`, `PREPARE TRANSACTION`, `COMMIT/ROLLBACK
+/// PREPARED`) is WAL-logged, and always *after* the data records it decides,
+/// so a slice starting at a previous decode horizon is self-contained.
+#[derive(Clone, Copy, PartialEq)]
+enum TxnFate {
+    Committed,
+    Aborted,
+    Prepared,
+}
+
+/// Decode the committed change stream of `table` from `records` (a WAL slice
+/// whose first record sits at absolute LSN `base_lsn`).
+///
+/// The horizon rule makes the stream *prefix-stable*: no later decode of the
+/// same (or a longer) log can ever reorder or insert changes before a
+/// previously returned horizon. A still-undecided transaction stalls the
+/// stream at its first record for the table rather than being skipped,
+/// because once it commits its changes must appear exactly there. Aborted
+/// transactions' records are dropped — symmetric with
+/// [`crate::engine::Engine::restore_from_wal`], which re-logs committed and
+/// prepared records in original order and drops aborted ones, so a
+/// consumer's change *ordinal* (count of committed changes consumed) stays
+/// valid across crash-restore even though raw LSNs do not.
+///
+/// `ColumnarAppend` stripes decode to one [`Change::Insert`] per row —
+/// columnar tables are append-only, so old images never arise.
+pub fn decode_table_changes(records: &[WalRecord], base_lsn: Lsn, table: TableId) -> TableChanges {
+    let mut fate: std::collections::HashMap<Xid, TxnFate> = std::collections::HashMap::new();
+    let mut gid_to_xid: std::collections::HashMap<&str, Xid> = std::collections::HashMap::new();
+    for rec in records {
+        match rec {
+            WalRecord::Commit { xid } => {
+                fate.insert(*xid, TxnFate::Committed);
+            }
+            WalRecord::Abort { xid } => {
+                fate.insert(*xid, TxnFate::Aborted);
+            }
+            WalRecord::Prepare { xid, gid } => {
+                fate.insert(*xid, TxnFate::Prepared);
+                gid_to_xid.insert(gid, *xid);
+            }
+            WalRecord::CommitPrepared { gid } => {
+                if let Some(x) = gid_to_xid.get(gid.as_str()) {
+                    fate.insert(*x, TxnFate::Committed);
+                }
+            }
+            WalRecord::AbortPrepared { gid } => {
+                if let Some(x) = gid_to_xid.get(gid.as_str()) {
+                    fate.insert(*x, TxnFate::Aborted);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = TableChanges::default();
+    for (i, rec) in records.iter().enumerate() {
+        let (xid, rec_table) = match rec {
+            WalRecord::Insert { xid, table, .. }
+            | WalRecord::Update { xid, table, .. }
+            | WalRecord::Delete { xid, table, .. }
+            | WalRecord::ColumnarAppend { xid, table, .. } => (*xid, *table),
+            _ => continue,
+        };
+        if rec_table != table {
+            continue;
+        }
+        match fate.get(&xid) {
+            Some(TxnFate::Committed) => match rec {
+                WalRecord::Insert { row, .. } => out.changes.push(Change::Insert(row.clone())),
+                WalRecord::Update { old_row, new_row, .. } => out
+                    .changes
+                    .push(Change::Update { old: old_row.clone(), new: new_row.clone() }),
+                WalRecord::Delete { row, .. } => out.changes.push(Change::Delete(row.clone())),
+                WalRecord::ColumnarAppend { rows, .. } => {
+                    out.changes.extend(rows.iter().cloned().map(Change::Insert))
+                }
+                _ => unreachable!(),
+            },
+            Some(TxnFate::Aborted) => {}
+            // in flight or prepared-undecided: the horizon
+            None | Some(TxnFate::Prepared) => {
+                out.horizon = base_lsn + i as Lsn;
+                return out;
+            }
+        }
+    }
+    out.horizon = base_lsn + records.len() as Lsn;
+    out
 }
 
 // ---------------- byte encoding ----------------
@@ -196,18 +314,20 @@ pub fn encode_record(rec: &WalRecord) -> Bytes {
             buf.put_u64(*row_id);
             put_row(&mut buf, row);
         }
-        WalRecord::Update { xid, table, row_id, new_row } => {
+        WalRecord::Update { xid, table, row_id, old_row, new_row } => {
             buf.put_u8(3);
             buf.put_u64(*xid);
             buf.put_u32(table.0);
             buf.put_u64(*row_id);
+            put_row(&mut buf, old_row);
             put_row(&mut buf, new_row);
         }
-        WalRecord::Delete { xid, table, row_id } => {
+        WalRecord::Delete { xid, table, row_id, row } => {
             buf.put_u8(4);
             buf.put_u64(*xid);
             buf.put_u32(table.0);
             buf.put_u64(*row_id);
+            put_row(&mut buf, row);
         }
         WalRecord::Commit { xid } => {
             buf.put_u8(5);
@@ -269,13 +389,15 @@ pub fn decode_record(mut buf: Bytes) -> PgResult<WalRecord> {
             let xid = buf.get_u64();
             let table = TableId(buf.get_u32());
             let row_id = buf.get_u64();
-            WalRecord::Update { xid, table, row_id, new_row: get_row(&mut buf)? }
+            let old_row = get_row(&mut buf)?;
+            WalRecord::Update { xid, table, row_id, old_row, new_row: get_row(&mut buf)? }
         }
-        4 => WalRecord::Delete {
-            xid: buf.get_u64(),
-            table: TableId(buf.get_u32()),
-            row_id: buf.get_u64(),
-        },
+        4 => {
+            let xid = buf.get_u64();
+            let table = TableId(buf.get_u32());
+            let row_id = buf.get_u64();
+            WalRecord::Delete { xid, table, row_id, row: get_row(&mut buf)? }
+        }
         5 => WalRecord::Commit { xid: buf.get_u64() },
         6 => WalRecord::Abort { xid: buf.get_u64() },
         7 => {
@@ -322,8 +444,14 @@ mod tests {
                     Datum::Json(Json::parse(r#"{"a": [1, 2]}"#).unwrap()),
                 ],
             },
-            WalRecord::Update { xid: 7, table: TableId(3), row_id: 99, new_row: vec![Datum::Int(6)] },
-            WalRecord::Delete { xid: 7, table: TableId(3), row_id: 99 },
+            WalRecord::Update {
+                xid: 7,
+                table: TableId(3),
+                row_id: 99,
+                old_row: vec![Datum::Int(5)],
+                new_row: vec![Datum::Int(6)],
+            },
+            WalRecord::Delete { xid: 7, table: TableId(3), row_id: 99, row: vec![Datum::Int(6)] },
             WalRecord::Prepare { xid: 7, gid: "citrus_1_7".into() },
             WalRecord::CommitPrepared { gid: "citrus_1_7".into() },
             WalRecord::AbortPrepared { gid: "other".into() },
@@ -377,5 +505,98 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(decode_record(Bytes::from_static(&[])).is_err());
         assert!(decode_record(Bytes::from_static(&[200])).is_err());
+    }
+
+    fn ins(xid: Xid, table: u32, v: i64) -> WalRecord {
+        WalRecord::Insert { xid, table: TableId(table), row_id: v as u64, row: vec![Datum::Int(v)] }
+    }
+
+    #[test]
+    fn decode_emits_only_committed_changes_in_order() {
+        let recs = vec![
+            WalRecord::Begin { xid: 1 },
+            ins(1, 3, 10),
+            WalRecord::Begin { xid: 2 },
+            ins(2, 3, 20), // aborted: dropped
+            WalRecord::Update {
+                xid: 1,
+                table: TableId(3),
+                row_id: 10,
+                old_row: vec![Datum::Int(10)],
+                new_row: vec![Datum::Int(11)],
+            },
+            ins(1, 4, 99), // other table: ignored
+            WalRecord::Abort { xid: 2 },
+            WalRecord::Commit { xid: 1 },
+        ];
+        let s = decode_table_changes(&recs, 0, TableId(3));
+        assert_eq!(
+            s.changes,
+            vec![
+                Change::Insert(vec![Datum::Int(10)]),
+                Change::Update { old: vec![Datum::Int(10)], new: vec![Datum::Int(11)] },
+            ]
+        );
+        assert_eq!(s.horizon, recs.len() as Lsn);
+    }
+
+    #[test]
+    fn decode_horizon_stalls_on_undecided_txn() {
+        // xid 1 is prepared but unresolved: its first record for the table is
+        // the horizon, and a *later* committed change must not jump the queue
+        let recs = vec![
+            ins(2, 3, 1),
+            WalRecord::Commit { xid: 2 },
+            ins(1, 3, 2),
+            WalRecord::Prepare { xid: 1, gid: "g1".into() },
+            ins(3, 3, 3),
+            WalRecord::Commit { xid: 3 },
+        ];
+        let s = decode_table_changes(&recs, 0, TableId(3));
+        assert_eq!(s.changes, vec![Change::Insert(vec![Datum::Int(1)])]);
+        assert_eq!(s.horizon, 2);
+        // resuming from the horizon after the fate lands is self-contained:
+        // the prepare + commit-prepared records sit after the data record
+        let mut recs2 = recs[s.horizon as usize..].to_vec();
+        recs2.push(WalRecord::CommitPrepared { gid: "g1".into() });
+        let s2 = decode_table_changes(&recs2, s.horizon, TableId(3));
+        assert_eq!(
+            s2.changes,
+            vec![Change::Insert(vec![Datum::Int(2)]), Change::Insert(vec![Datum::Int(3)])]
+        );
+        assert_eq!(s2.horizon, s.horizon + recs2.len() as Lsn);
+    }
+
+    #[test]
+    fn decode_in_flight_txn_stalls_only_its_table() {
+        let recs = vec![
+            ins(1, 7, 1), // xid 1 never decided, but only touches table 7
+            ins(2, 3, 2),
+            WalRecord::Commit { xid: 2 },
+        ];
+        let s = decode_table_changes(&recs, 0, TableId(3));
+        assert_eq!(s.changes, vec![Change::Insert(vec![Datum::Int(2)])]);
+        assert_eq!(s.horizon, 3);
+        let stalled = decode_table_changes(&recs, 0, TableId(7));
+        assert!(stalled.changes.is_empty());
+        assert_eq!(stalled.horizon, 0);
+    }
+
+    #[test]
+    fn decode_columnar_append_fans_out_to_inserts() {
+        let recs = vec![
+            WalRecord::ColumnarAppend {
+                xid: 5,
+                table: TableId(4),
+                seq: 0,
+                rows: vec![vec![Datum::Int(1)], vec![Datum::Int(2)]],
+            },
+            WalRecord::Commit { xid: 5 },
+        ];
+        let s = decode_table_changes(&recs, 0, TableId(4));
+        assert_eq!(
+            s.changes,
+            vec![Change::Insert(vec![Datum::Int(1)]), Change::Insert(vec![Datum::Int(2)])]
+        );
     }
 }

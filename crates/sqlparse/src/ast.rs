@@ -14,7 +14,13 @@ pub enum Statement {
     Delete(Box<Delete>),
     CreateTable(Box<CreateTable>),
     CreateIndex(Box<CreateIndex>),
+    /// `CREATE ROLLUP name AS SELECT ...` — an incrementally maintained
+    /// aggregate table (a distributed-engine extension; plain engines reject
+    /// it at execution time).
+    CreateRollup(Box<CreateRollup>),
     DropTable { names: Vec<String>, if_exists: bool },
+    /// `DROP ROLLUP [IF EXISTS] name`.
+    DropRollup { name: String, if_exists: bool },
     Truncate { tables: Vec<String> },
     Copy(Box<CopyStmt>),
     Begin,
@@ -389,6 +395,16 @@ impl TypeName {
             TypeName::Timestamp => "timestamp",
         }
     }
+}
+
+/// `CREATE ROLLUP name AS SELECT agg(..) .. GROUP BY ..`: the defining query
+/// is kept verbatim; validation (single source table, supported aggregates)
+/// happens in the executing engine, not the parser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateRollup {
+    pub name: String,
+    pub if_not_exists: bool,
+    pub query: Select,
 }
 
 #[derive(Debug, Clone, PartialEq)]

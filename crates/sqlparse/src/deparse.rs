@@ -72,6 +72,22 @@ fn write_statement(s: &mut String, stmt: &Statement) {
         }
         Statement::CreateTable(ct) => write_create_table(s, ct),
         Statement::CreateIndex(ci) => write_create_index(s, ci),
+        Statement::CreateRollup(cr) => {
+            s.push_str("CREATE ROLLUP ");
+            if cr.if_not_exists {
+                s.push_str("IF NOT EXISTS ");
+            }
+            s.push_str(&quote_ident(&cr.name));
+            s.push_str(" AS ");
+            write_select(s, &cr.query);
+        }
+        Statement::DropRollup { name, if_exists } => {
+            s.push_str("DROP ROLLUP ");
+            if *if_exists {
+                s.push_str("IF EXISTS ");
+            }
+            s.push_str(&quote_ident(name));
+        }
         Statement::DropTable { names, if_exists } => {
             s.push_str("DROP TABLE ");
             if *if_exists {

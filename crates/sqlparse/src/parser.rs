@@ -696,7 +696,18 @@ impl Parser {
                 if_not_exists,
             })));
         }
-        Err(self.unexpected("'TABLE' or 'INDEX' after CREATE"))
+        if self.eat_kw("rollup") {
+            let if_not_exists = self.parse_if_not_exists()?;
+            let name = self.ident()?;
+            self.expect_kw("as")?;
+            let query = self.parse_select()?;
+            return Ok(Statement::CreateRollup(Box::new(CreateRollup {
+                name,
+                if_not_exists,
+                query,
+            })));
+        }
+        Err(self.unexpected("'TABLE', 'INDEX' or 'ROLLUP' after CREATE"))
     }
 
     fn parse_if_not_exists(&mut self) -> Result<bool, ParseError> {
@@ -789,6 +800,16 @@ impl Parser {
 
     fn parse_drop(&mut self) -> Result<Statement, ParseError> {
         self.expect_kw("drop")?;
+        if self.eat_kw("rollup") {
+            let if_exists = if self.eat_kw("if") {
+                self.expect_kw("exists")?;
+                true
+            } else {
+                false
+            };
+            let name = self.ident()?;
+            return Ok(Statement::DropRollup { name, if_exists });
+        }
         self.expect_kw("table")?;
         let if_exists = if self.eat_kw("if") {
             self.expect_kw("exists")?;

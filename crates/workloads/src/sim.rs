@@ -77,6 +77,14 @@ pub struct SimConfig {
     /// default so the existing seed corpus (schedules, fingerprints) is
     /// byte-identical with the flag absent.
     pub mx_ddl_interleave: bool,
+    /// Maintain an incrementally updated rollup over the RTA transformation
+    /// output (`push_commits`): created chaos-free at setup when the seed's
+    /// mix includes [`Pattern::RealTimeAnalytics`], drained by every
+    /// `Maintenance` event, and held byte-equal to a from-scratch recompute
+    /// by [`check_invariants`] after every event. Seed-derived (odd seeds) —
+    /// the flag adds no schedule events and no rng draws, so derived
+    /// schedules are byte-identical either way.
+    pub rollups: bool,
 }
 
 impl SimConfig {
@@ -92,6 +100,7 @@ impl SimConfig {
             mx_routing: seed % 2 == 0,
             snapshot_isolation: seed % 2 == 0,
             mx_ddl_interleave: false,
+            rollups: seed % 2 == 1,
         }
     }
 }
@@ -493,6 +502,11 @@ struct WorkloadState {
     ycsb: Option<YcsbDriver>,
     gh: Option<gharchive::EventGenerator>,
     tpch_next: usize,
+    /// Serve analytics dashboard reads from the incrementally maintained
+    /// commit rollup instead of re-aggregating `push_commits`. Only the
+    /// distributed bench arm sets this; the chaos sim and the single-node
+    /// mirror keep the raw aggregate.
+    gh_rollup: bool,
 }
 
 fn setup_pattern(
@@ -552,7 +566,8 @@ fn setup_pattern(
 }
 
 fn make_state(patterns: &[Pattern], scales: &SimScales, seed: u64) -> WorkloadState {
-    let mut st = WorkloadState { tpcc: None, ycsb: None, gh: None, tpch_next: 0 };
+    let mut st =
+        WorkloadState { tpcc: None, ycsb: None, gh: None, tpch_next: 0, gh_rollup: false };
     for p in patterns {
         match p {
             Pattern::MultiTenant => {
@@ -590,7 +605,11 @@ fn run_unit(
         }
         Pattern::RealTimeAnalytics => match rng.random_range(0..4u32) {
             0 | 1 => {
-                r.run(&gharchive::dashboard_query())?;
+                if state.gh_rollup {
+                    r.run(&gharchive::rollup_dashboard_query())?;
+                } else {
+                    r.run(&gharchive::dashboard_query())?;
+                }
             }
             2 => {
                 let batch = state.gh.as_mut().expect("gh generator").batch(scales.gh_batch);
@@ -722,6 +741,17 @@ pub fn check_invariants(c: &Arc<Cluster>) -> Result<(), String> {
             return Err(format!("stuck prepared transactions on {}: {gids:?}", node.name));
         }
     }
+    // every registered rollup must equal a from-scratch recompute of its
+    // defining query (the check drains the changefeed first; no-op when no
+    // rollups exist). A refresh or recompute aborted by an injected
+    // connection failure is chaos, not divergence — the next check retries.
+    for name in c.rollups.names() {
+        match citrus::rollup::verify(c, &name) {
+            Ok(()) => {}
+            Err(e) if e.code == ErrorCode::ConnectionFailure => {}
+            Err(e) => return Err(format!("rollup {name} diverged from recompute: {e:?}")),
+        }
+    }
     Ok(())
 }
 
@@ -800,6 +830,9 @@ pub struct SimReport {
     pub mx_midtxn_escalations: u64,
     /// Drill transactions that committed (first attempt or 40001 retry).
     pub drill_commits: u64,
+    /// `Metrics::rollup_refreshes` at the end of the run — nonzero only when
+    /// the seed maintained a rollup (`rollups` + an RTA mix).
+    pub rollup_refreshes: u64,
 }
 
 /// A failed run: the index of the offending event plus what went wrong.
@@ -1109,6 +1142,18 @@ pub fn run_schedule(cfg: &SimConfig, events: &[SimEvent]) -> Result<SimReport, S
     if let Some(d) = mirror.divergence.clone() {
         return Err(fail(0, format!("divergence during setup: {d}")));
     }
+    // the rollup rides the RTA transformation output; created chaos-free at
+    // setup so the initial fill can't be aborted by an injected fault
+    let rollups_live = cfg.rollups && patterns.contains(&Pattern::RealTimeAnalytics);
+    if rollups_live {
+        let mut s = cluster.session().map_err(|e| fail(0, format!("{e:?}")))?;
+        s.execute(
+            "CREATE ROLLUP sim_commit_rollup AS SELECT day, count(*) AS n, \
+             sum(commit_count) AS total, max(commit_count) AS peak \
+             FROM push_commits GROUP BY day",
+        )
+        .map_err(|e| fail(0, format!("rollup setup failed: {e:?}")))?;
+    }
     let mut drill = DrillState { next_key: 0, committed: 0 };
     if cfg.mx_ddl_interleave {
         // drill tables live outside the mirrored workload: their statements
@@ -1216,6 +1261,14 @@ pub fn run_schedule(cfg: &SimConfig, events: &[SimEvent]) -> Result<SimReport, S
                     .map_err(|e| fail(i, format!("recovery pass failed: {e:?}")))?;
                 rebalancer::recover_moves(&cluster)
                     .map_err(|e| fail(i, format!("move recovery failed: {e:?}")))?;
+                // the rollup-maintenance pass: a refresh aborted by an
+                // injected read error rolls back cleanly and catches up on
+                // the next pass — only non-chaos errors fail the run
+                match citrus::rollup::refresh_all(&cluster) {
+                    Ok(()) => {}
+                    Err(e) if e.code == ErrorCode::ConnectionFailure => {}
+                    Err(e) => return Err(fail(i, format!("rollup refresh failed: {e:?}"))),
+                }
             }
             SimEvent::MxInterleave { kind, sel } => {
                 run_mx_interleave(&cluster, cfg, &mut drill, kind, sel, &mut injectors)
@@ -1258,6 +1311,8 @@ pub fn run_schedule(cfg: &SimConfig, events: &[SimEvent]) -> Result<SimReport, S
     report.mx_midtxn_escalations =
         cluster.metrics.mx_midtxn_escalations.load(std::sync::atomic::Ordering::Relaxed);
     report.drill_commits = drill.committed as u64;
+    report.rollup_refreshes =
+        cluster.metrics.rollup_refreshes.load(std::sync::atomic::Ordering::Relaxed);
     for inj in &injectors {
         report.faults_fired += inj.fired();
         report.fault_errors += inj
@@ -1464,6 +1519,15 @@ fn bench_arm(
 ) -> PgResult<ArmStats> {
     setup_pattern(r, pattern, scales, distributed, seed)?;
     let mut state = make_state(&[pattern], scales, seed);
+    if distributed && pattern == Pattern::RealTimeAnalytics {
+        // The distributed arm serves the dashboard from an incrementally
+        // maintained rollup (DESIGN.md §12) — the deployment shape the paper
+        // describes for real-time analytics. The single-node mirror keeps
+        // the raw per-read aggregate a lone PostgreSQL would run. The unit
+        // stream is otherwise identical (same rng, same draws).
+        r.run(&gharchive::rollup_definition())?;
+        state.gh_rollup = true;
+    }
     let mut rng = StdRng::seed_from_u64(seed ^ 0xBE4C_11);
     let mut metered = MeteredRunner::new(r);
     for _ in 0..units {

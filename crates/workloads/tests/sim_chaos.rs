@@ -211,6 +211,43 @@ fn drill_reports_identical_at_1_and_8_threads() {
     }
 }
 
+/// Rollup-maintenance seeds: odd seeds whose mix includes the RTA pattern
+/// create an incrementally maintained rollup over `push_commits`, drain it
+/// on every maintenance pass under the full chaos plan, and hold it
+/// byte-equal to a from-scratch recompute after every event (the
+/// `check_invariants` extension). Seed 1, 5, 9 have RTA as the primary
+/// pattern (`seed % 4 == 1`) and the rollups flag on (`seed % 2 == 1`).
+#[test]
+fn rollup_seeds_maintain_and_verify() {
+    for seed in [1u64, 5, 9] {
+        let cfg = SimConfig::new(seed);
+        assert!(cfg.rollups, "seed {seed} should derive rollups on");
+        let report = sim::run_seed(&cfg).unwrap_or_else(|e| panic!("rollup seed {seed}: {e}"));
+        assert!(
+            report.rollup_refreshes >= 1,
+            "seed {seed}: rollup was never refreshed (refreshes=0)"
+        );
+    }
+}
+
+/// The rollups flag adds no schedule events and no rng draws: derived
+/// schedules are byte-identical with the flag forced either way, so the
+/// replay-by-seed contract of the historical corpus is untouched.
+#[test]
+fn rollup_flag_leaves_schedules_unchanged() {
+    for seed in 0..20u64 {
+        let mut on = SimConfig::new(seed);
+        on.rollups = true;
+        let mut off = SimConfig::new(seed);
+        off.rollups = false;
+        assert_eq!(
+            sim::derive_schedule(&on),
+            sim::derive_schedule(&off),
+            "seed {seed}: rollups flag perturbed the schedule"
+        );
+    }
+}
+
 /// Mutation test: plant a duplicate-placement metadata bug mid-schedule.
 /// The invariant checker must catch it, and the shrinker must reduce the
 /// schedule to a <= 10-event reproducer that still fails.

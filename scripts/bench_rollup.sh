@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Incremental rollup maintenance bench: serving a grouped dashboard from an
+# incrementally maintained rollup (changefeed drain + rollup read) vs
+# recomputing the defining aggregate over the whole source table, measured in
+# deterministic virtual time. Emits BENCH_rollup.json in the repo root.
+#
+# Usage: scripts/bench_rollup.sh [--smoke]
+#   --smoke   1.5k base rows / 4 rounds, no speedup threshold beyond
+#             incremental > recompute (CI); default is 20k base rows / 10
+#             rounds with the 3x speedup assertion (override scale with
+#             CITRUS_ROLLUP_ROWS). Smoke writes BENCH_rollup_smoke.json, the
+#             committed CI regression baseline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> build rollup bench (release)"
+cargo build --release -p citrus-bench --bin rollup_bench
+
+echo "==> run rollup bench $*"
+./target/release/rollup_bench "$@"
+
+case " $* " in
+    *" --smoke "*) echo "==> wrote BENCH_rollup_smoke.json" ;;
+    *) echo "==> wrote BENCH_rollup.json" ;;
+esac

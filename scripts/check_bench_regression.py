@@ -23,6 +23,10 @@ Checks:
     arm, and its ``units_per_vsec`` must not regress more than 10% against
     the committed baseline (the 3x full-run target is asserted by the full
     bench binary itself).
+  * The incremental arm in BENCH_rollup_smoke.json must beat the recompute
+    arm, and its ``units_per_vsec`` must not regress more than 10% against
+    the committed baseline (the 3x full-run target is asserted by the full
+    bench binary itself).
   * Snapshot isolation (BENCH_snapshot_smoke.json): the mode-off arm is the
     default everywhere else, so the mode-off/mode-on split gates both sides
     of the feature — mode-off ``units_per_vsec`` must not regress more than
@@ -137,6 +141,38 @@ def main():
                 failures.append(
                     f"columnar vectorized units_per_vsec regressed >10%: "
                     f"{vec:.3f} < {floor:.3f} (baseline {baseline:.3f})"
+                )
+
+    new_ru = fresh("BENCH_rollup_smoke.json")
+    if new_ru is None:
+        failures.append(
+            "BENCH_rollup_smoke.json missing — run scripts/bench_rollup.sh --smoke first"
+        )
+    else:
+        incr = new_ru["incremental"]["units_per_vsec"]
+        rec = new_ru["recompute"]["units_per_vsec"]
+        status = "ok" if incr > rec else "REGRESSED"
+        print(f"  rollup: incremental {incr:.3f} units/vsec vs recompute {rec:.3f} {status}")
+        if not incr > rec:
+            failures.append(
+                f"incremental rollup arm ({incr:.3f} units/vsec) not faster than "
+                f"recompute ({rec:.3f}) on the virtual clock"
+            )
+        base_ru = committed("BENCH_rollup_smoke.json")
+        if base_ru is None:
+            skipped.append("no committed BENCH_rollup_smoke.json baseline (bootstrap)")
+        else:
+            baseline = base_ru["incremental"]["units_per_vsec"]
+            floor = baseline * (1.0 - TOLERANCE)
+            status = "ok" if incr >= floor else "REGRESSED"
+            print(
+                f"  rollup incremental: {incr:.3f} units/vsec vs baseline {baseline:.3f} "
+                f"(floor {floor:.3f}) {status}"
+            )
+            if incr < floor:
+                failures.append(
+                    f"rollup incremental units_per_vsec regressed >10%: "
+                    f"{incr:.3f} < {floor:.3f} (baseline {baseline:.3f})"
                 )
 
     new_si = fresh("BENCH_snapshot_smoke.json")

@@ -32,19 +32,29 @@
 #      even seeds run with snapshot isolation on and the read-skew
 #      invariant active), seed-determinism of the workload drivers, and the
 #      INSERT..SELECT / stored-procedure differential tests
-#  12. one-iteration smoke of the executor bench (exercises the wall-clock
+#  12. rollup/changefeed recompute-differential wall + chaos drills
+#      (rollup_differential.rs, rollup_drills.rs): incremental maintenance
+#      vs full recompute under proptest op streams at 1 and 8 threads with
+#      and without a fault plan, plus crash+promote, per-phase faulted
+#      moves with cursor handoff, and the frozen-2PC window — run
+#      explicitly so a partial filter can never skip the differential wall
+#  13. one-iteration smoke of the executor bench (exercises the wall-clock
 #      fan-out and plan-cache paths end to end; no thresholds)
-#  13. one-iteration smoke of the §4 workloads evaluation (also writes the
-#      snapshot-isolation mode-off vs mode-on overhead artifact)
-#  14. smoke of the columnar vectorized-vs-volcano bench
-#  15. bench regression gate: the smoke artifacts' virtual-time numbers are
+#  14. one-iteration smoke of the §4 workloads evaluation (also writes the
+#      snapshot-isolation mode-off vs mode-on overhead artifact; the
+#      distributed real-time-analytics arm serves its dashboard from the
+#      incrementally maintained commit rollup)
+#  15. smoke of the columnar vectorized-vs-volcano bench
+#  16. smoke of the incremental-rollup-vs-recompute bench
+#  17. bench regression gate: the smoke artifacts' virtual-time numbers are
 #      deterministic, so they are compared against the committed
 #      BENCH_*_smoke.json baselines — TPC-C / YCSB / columnar-vectorized
 #      units_per_vsec must not regress more than 10%, the warm plan-cache arm
 #      must stay cheaper than cold, the vectorized columnar arm must beat
 #      volcano on the virtual clock, and snapshot isolation must cost
 #      nothing when off (mode-off vs committed baseline) and <=10% when on
-#      (mode-on vs fresh mode-off)
+#      (mode-on vs fresh mode-off); the incremental rollup arm must beat
+#      recompute and not regress more than 10% against its baseline
 #
 # Usage: scripts/ci.sh [--long]
 #   --long   widen the sim chaos corpus (CITRUS_SIM_SEEDS=60; default 25)
@@ -60,52 +70,58 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> [1/15] cargo build --release"
+echo "==> [1/17] cargo build --release"
 cargo build --release
 
-echo "==> [2/15] cargo test -q"
+echo "==> [2/17] cargo test -q"
 cargo test -q
 
-echo "==> [3/15] warnings-as-errors check of crates/core"
+echo "==> [3/17] warnings-as-errors check of crates/core"
 RUSTFLAGS="-Dwarnings" cargo check -p citrus --all-targets
 
-echo "==> [4/15] fault-injection suite"
+echo "==> [4/17] fault-injection suite"
 cargo test -q -p citrus --test faults
 
-echo "==> [5/15] parallel-executor equivalence suite"
+echo "==> [5/17] parallel-executor equivalence suite"
 cargo test -q -p citrus --test executor_parallel
 
-echo "==> [6/15] trace-golden + differential-oracle suite (1 vs 8 threads)"
+echo "==> [6/17] trace-golden + differential-oracle suite (1 vs 8 threads)"
 cargo test -q -p citrus --test trace_golden --test oracle_differential
 
-echo "==> [7/15] vectorized-vs-volcano differential wall"
+echo "==> [7/17] vectorized-vs-volcano differential wall"
 cargo test -q -p citrus --test executor_vectorized
 
-echo "==> [8/15] rebalancer crash-safety drill suite"
+echo "==> [8/17] rebalancer crash-safety drill suite"
 cargo test -q -p citrus --test rebalance_faults
 
-echo "==> [9/15] snapshot-isolation anomaly wall (demonstrator/mirror + MX differential)"
+echo "==> [9/17] snapshot-isolation anomaly wall (demonstrator/mirror + MX differential)"
 cargo test -q --test semantics
 cargo test -q -p citrus --test mx_snapshot
 
-echo "==> [10/15] MX generation-fence escalation drills"
+echo "==> [10/17] MX generation-fence escalation drills"
 cargo test -q -p citrus --test mx_ddl_escalation
 cargo test -q -p workloads --test sim_chaos mx_ddl_interleave_drill_corpus
 cargo test -q -p workloads --test sim_chaos drill_
 
-echo "==> [11/15] workloads suite: sim chaos corpus (${SIM_SEEDS} seeds) + oracle tests"
+echo "==> [11/17] workloads suite: sim chaos corpus (${SIM_SEEDS} seeds) + oracle tests"
 CITRUS_SIM_SEEDS="$SIM_SEEDS" cargo test -q -p workloads
 
-echo "==> [12/15] executor bench smoke"
+echo "==> [12/17] rollup recompute-differential wall + chaos drills"
+cargo test -q -p citrus --test rollup_differential --test rollup_drills
+
+echo "==> [13/17] executor bench smoke"
 sh scripts/bench.sh --smoke
 
-echo "==> [13/15] workloads bench smoke"
+echo "==> [14/17] workloads bench smoke"
 sh scripts/bench_workloads.sh --smoke
 
-echo "==> [14/15] columnar vectorized bench smoke"
+echo "==> [15/17] columnar vectorized bench smoke"
 sh scripts/bench_columnar.sh --smoke
 
-echo "==> [15/15] bench regression gate (vs committed smoke baselines)"
+echo "==> [16/17] rollup incremental-vs-recompute bench smoke"
+sh scripts/bench_rollup.sh --smoke
+
+echo "==> [17/17] bench regression gate (vs committed smoke baselines)"
 python3 scripts/check_bench_regression.py
 
 echo "==> CI green"
